@@ -1,0 +1,74 @@
+//! Serial BFS connected components.
+
+use crate::Vid;
+use lacc_graph::CsrGraph;
+use std::collections::VecDeque;
+
+/// Labels components by repeated breadth-first search; each vertex gets
+/// the smallest id in its component (BFS is seeded in ascending order).
+pub fn bfs_cc(g: &CsrGraph) -> Vec<Vid> {
+    let n = g.num_vertices();
+    let mut labels = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for root in 0..n {
+        if labels[root] != usize::MAX {
+            continue;
+        }
+        labels[root] = root;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = root;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Single-source BFS; returns the set of visited vertices as a boolean
+/// mask and the number visited. Used by the ParConnect simulation's
+/// largest-component peel.
+pub fn bfs_visit(g: &CsrGraph, source: Vid) -> (Vec<bool>, usize) {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut count = 1;
+    visited[source] = true;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    (visited, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find_cc;
+    use lacc_graph::generators::{cycle_graph, erdos_renyi_gnm, metagenome_graph};
+
+    #[test]
+    fn matches_union_find() {
+        for seed in 0..3 {
+            let g = erdos_renyi_gnm(200, 250, seed);
+            assert_eq!(bfs_cc(&g), union_find_cc(&g));
+        }
+        let g = metagenome_graph(1000, 5, 0.01, 2);
+        assert_eq!(bfs_cc(&g), union_find_cc(&g));
+    }
+
+    #[test]
+    fn bfs_visit_counts() {
+        let g = cycle_graph(10);
+        let (vis, count) = bfs_visit(&g, 3);
+        assert_eq!(count, 10);
+        assert!(vis.iter().all(|&v| v));
+    }
+}

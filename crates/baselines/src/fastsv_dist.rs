@@ -1,0 +1,162 @@
+//! Distributed FastSV — the post-paper successor algorithm, as an
+//! extension ablation.
+//!
+//! FastSV (Zhang, Azad & Hu, 2020) replaced LACC in LAGraph: it drops the
+//! star machinery entirely and repeats three monotone min-updates on the
+//! grandparent vector. Here it runs on the same `gblas::dist` substrate
+//! and cost model as LACC, so `exp_ablation`-style comparisons are
+//! apples-to-apples: FastSV does fewer, simpler supersteps per iteration
+//! (no starchecks) but operates on dense vectors every round (no Lemma-1
+//! retirement), which is exactly the trade the follow-up paper discusses.
+
+use crate::Vid;
+use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
+use gblas::dist::{
+    dist_assign, dist_extract, dist_mxv_dense, DistMask, DistMat, DistOpts, DistVec, VecLayout,
+};
+use gblas::MinUsize;
+use lacc_graph::CsrGraph;
+use std::time::Instant;
+
+/// Result of a distributed FastSV run.
+#[derive(Clone, Debug)]
+pub struct FastsvRun {
+    /// Component label per vertex (component minima).
+    pub labels: Vec<Vid>,
+    /// Ranks used.
+    pub p: usize,
+    /// Rounds until the grandparent vector stabilized.
+    pub rounds: usize,
+    /// Modeled makespan in seconds.
+    pub modeled_total_s: f64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+}
+
+fn spmd(comm: &mut Comm, g: &CsrGraph, opts: &DistOpts) -> (Option<Vec<Vid>>, usize, f64) {
+    let n = g.num_vertices();
+    let p = comm.size();
+    let grid = Grid2d::square(p);
+    let layout = VecLayout::new(n, grid);
+    let rank = comm.rank();
+    let a = DistMat::from_graph(g, grid, rank);
+    let world = comm.world();
+    let mut f: DistVec<Vid> = DistVec::from_fn(layout, rank, |v| v);
+    let mut gf: DistVec<Vid> = DistVec::from_fn(layout, rank, |v| v);
+    let nlocal = f.local().len();
+    let max_rounds = 8 * (usize::BITS - n.leading_zeros()) as usize + 32;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        assert!(rounds <= max_rounds, "FastSV did not converge");
+        let mut changed = 0u64;
+
+        // fn[u] = min over neighbors v of gf[v].
+        let fn_vec = dist_mxv_dense(comm, &a, &gf, DistMask::None, MinUsize);
+
+        // Stochastic hooking: f[f[u]] ← min(f[f[u]], fn[u]).
+        let hooks: Vec<(Vid, Vid)> = fn_vec
+            .entries()
+            .iter()
+            .map(|&(u, m)| (f.get_local(u), m.min(f.get_local(u))))
+            .collect();
+        changed += dist_assign(comm, &mut f, &hooks, MinUsize, opts) as u64;
+
+        // Aggressive hooking: f[u] ← min(f[u], fn[u]).
+        for &(u, m) in fn_vec.entries() {
+            if m < f.get_local(u) {
+                f.set_local(u, m);
+                changed += 1;
+            }
+        }
+        comm.charge_compute(fn_vec.local_nvals() as u64 + 1);
+
+        // Shortcutting: f[u] ← min(f[u], gf[u]).
+        for o in 0..nlocal {
+            if gf.local()[o] < f.local()[o] {
+                f.local_mut()[o] = gf.local()[o];
+                changed += 1;
+            }
+        }
+        comm.charge_compute(nlocal as u64 + 1);
+
+        // Recompute grandparents; converged when gf is globally stable.
+        let reqs: Vec<Vid> = f.local().to_vec();
+        let (new_gf, _) = dist_extract(comm, &f, &reqs, opts);
+        let mut gf_changed = 0u64;
+        for (o, &val) in new_gf.iter().enumerate() {
+            if gf.local()[o] != val {
+                gf.local_mut()[o] = val;
+                gf_changed += 1;
+            }
+        }
+        comm.charge_compute(nlocal as u64 + 1);
+
+        let total = comm.allreduce(&world, changed + gf_changed, |a, b| a + b);
+        if total == 0 {
+            break;
+        }
+    }
+    let labels = f.to_global(comm);
+    ((rank == 0).then_some(labels), rounds, comm.clock_s())
+}
+
+/// Runs distributed FastSV on `p` simulated ranks (square grid).
+pub fn fastsv_dist(g: &CsrGraph, p: usize, model: MachineModel, opts: &DistOpts) -> FastsvRun {
+    let _ = Grid2d::square(p);
+    let wall = Instant::now();
+    let outs = run_spmd_with_model(p, model, |comm| spmd(comm, g, opts));
+    FastsvRun {
+        labels: outs[0].0.clone().expect("rank 0 labels"),
+        p,
+        rounds: outs[0].1,
+        modeled_total_s: outs.iter().map(|o| o.2).fold(0.0f64, f64::max),
+        wall_s: wall.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fastsv_cc, union_find_cc};
+    use dmsim::EDISON;
+    use lacc_graph::generators::*;
+    use lacc_graph::unionfind::canonicalize_labels;
+
+    fn check(g: &CsrGraph, p: usize) -> FastsvRun {
+        let run = fastsv_dist(g, p, EDISON.lacc_model(), &DistOpts::default());
+        assert_eq!(canonicalize_labels(&run.labels), union_find_cc(g), "p={p}");
+        run
+    }
+
+    #[test]
+    fn correct_across_grids() {
+        let g = erdos_renyi_gnm(250, 300, 8);
+        for p in [1, 4, 9, 16] {
+            check(&g, p);
+        }
+    }
+
+    #[test]
+    fn matches_serial_fastsv_labels() {
+        // Both converge to component minima, so the labels are equal —
+        // not just the partitions.
+        let g = community_graph(800, 40, 3.0, 1.4, 12);
+        let serial = fastsv_cc(&g);
+        let dist = check(&g, 4);
+        assert_eq!(dist.labels, serial);
+    }
+
+    #[test]
+    fn path_and_adversarial() {
+        check(&path_graph(500), 9);
+        let el = lacc_graph::EdgeList::from_pairs(82, [(77, 80), (80, 79), (79, 81), (81, 78)]);
+        check(&CsrGraph::from_edges(el), 4);
+    }
+
+    #[test]
+    fn logarithmic_rounds() {
+        let run = check(&path_graph(2048), 4);
+        assert!(run.rounds <= 30, "rounds = {}", run.rounds);
+    }
+}

@@ -1,0 +1,111 @@
+//! Parallel min-label propagation.
+//!
+//! The technique inside Slota et al.'s Multistep method (§II-C): every
+//! round, each vertex takes the minimum label in its closed neighborhood;
+//! converges in `O(diameter)` rounds. Simple and embarrassingly parallel,
+//! but much slower than hook-and-jump algorithms on high-diameter graphs —
+//! the contrast the benches demonstrate.
+
+use crate::Vid;
+use lacc_graph::CsrGraph;
+
+/// Minimum edges before the parallel path engages.
+const PAR_GRAIN: usize = 16_384;
+
+/// Min-label propagation with `threads` worker threads. Two-phase rounds
+/// keep the result deterministic.
+pub fn label_propagation_cc_with_threads(g: &CsrGraph, threads: usize) -> Vec<Vid> {
+    let n = g.num_vertices();
+    let mut labels: Vec<Vid> = (0..n).collect();
+    let mut next = labels.clone();
+    loop {
+        let changed = step(g, threads, &labels, &mut next);
+        std::mem::swap(&mut labels, &mut next);
+        if changed == 0 {
+            return labels;
+        }
+    }
+}
+
+fn step(g: &CsrGraph, threads: usize, labels: &[Vid], next: &mut [Vid]) -> usize {
+    let n = g.num_vertices();
+    let run_chunk = |range: std::ops::Range<usize>, out: &mut [Vid]| -> usize {
+        let mut changed = 0;
+        for (v, slot) in range.clone().zip(out.iter_mut()) {
+            let mut best = labels[v];
+            for &u in g.neighbors(v) {
+                best = best.min(labels[u]);
+            }
+            if best != labels[v] {
+                changed += 1;
+            }
+            *slot = best;
+        }
+        changed
+    };
+    if threads <= 1 || g.num_directed_edges() < PAR_GRAIN {
+        run_chunk(0..n, next)
+    } else {
+        let chunk = n.div_ceil(threads);
+        let mut total = 0;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest: &mut [Vid] = next;
+            for t in 0..threads {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                let (mine, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                handles.push(scope.spawn(move || run_chunk(lo..hi, mine)));
+            }
+            for h in handles {
+                total += h.join().expect("labelprop worker panicked");
+            }
+        });
+        total
+    }
+}
+
+/// Min-label propagation with an automatically chosen thread count.
+pub fn label_propagation_cc(g: &CsrGraph) -> Vec<Vid> {
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get().min(8))
+        .unwrap_or(1);
+    label_propagation_cc_with_threads(g, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find_cc;
+    use lacc_graph::generators::*;
+
+    fn check(g: &CsrGraph) {
+        for threads in [1, 4] {
+            // Label propagation's labels are already canonical (component
+            // minima).
+            assert_eq!(label_propagation_cc_with_threads(g, threads), union_find_cc(g));
+        }
+    }
+
+    #[test]
+    fn matches_union_find() {
+        check(&path_graph(200));
+        check(&star_graph(50));
+        for seed in 0..3 {
+            check(&erdos_renyi_gnm(300, 400, seed));
+        }
+        check(&community_graph(1000, 40, 3.0, 1.4, 1));
+    }
+
+    #[test]
+    fn empty() {
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(0)));
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(4)));
+    }
+
+    #[test]
+    fn parallel_large() {
+        check(&erdos_renyi_gnm(20_000, 50_000, 2));
+    }
+}

@@ -1,0 +1,88 @@
+//! The Multistep method (Slota, Rajamanickam & Madduri), §II-C.
+//!
+//! The shared-memory hybrid the paper cites alongside ParConnect: a BFS
+//! from a high-degree seed labels the (presumed) giant component, then
+//! min-label propagation finishes the remainder. Implemented with the
+//! workspace's threaded label propagation so it slots into the same
+//! comparison benches.
+
+use crate::bfs::bfs_visit;
+use crate::Vid;
+use lacc_graph::CsrGraph;
+
+/// Multistep connected components: BFS peel + label propagation.
+pub fn multistep_cc(g: &CsrGraph) -> Vec<Vid> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Step 1: BFS from the max-degree vertex.
+    let seed = (0..n).max_by_key(|&v| g.degree(v)).expect("nonempty");
+    let (visited, _count) = bfs_visit(g, seed);
+    // The BFS component's canonical label is its minimum member.
+    let bfs_label = (0..n).find(|&v| visited[v]).expect("seed visited");
+
+    // Step 2: min-label propagation on the remainder (two-phase rounds;
+    // visited vertices are frozen).
+    let mut labels: Vec<Vid> = (0..n)
+        .map(|v| if visited[v] { bfs_label } else { v })
+        .collect();
+    loop {
+        let mut changed = 0usize;
+        let prev = labels.clone();
+        for v in 0..n {
+            if visited[v] {
+                continue;
+            }
+            let mut best = prev[v];
+            for &u in g.neighbors(v) {
+                best = best.min(prev[u]);
+            }
+            if best != labels[v] {
+                labels[v] = best;
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            return labels;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find_cc;
+    use lacc_graph::generators::*;
+    use lacc_graph::unionfind::canonicalize_labels;
+
+    fn check(g: &CsrGraph) {
+        assert_eq!(canonicalize_labels(&multistep_cc(g)), union_find_cc(g));
+    }
+
+    #[test]
+    fn matches_union_find() {
+        check(&path_graph(200));
+        check(&star_graph(64));
+        for seed in 0..3 {
+            check(&erdos_renyi_gnm(400, 500, seed));
+        }
+        check(&community_graph(1500, 60, 3.5, 1.4, 2));
+        check(&metagenome_graph(1200, 6, 0.01, 4));
+        check(&barabasi_albert(800, 3, 5));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(0)));
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(7)));
+    }
+
+    #[test]
+    fn giant_component_gets_min_label() {
+        // BA graphs are connected: the whole graph is the BFS component
+        // and every label must be 0.
+        let g = barabasi_albert(500, 2, 1);
+        assert!(multistep_cc(&g).iter().all(|&l| l == 0));
+    }
+}

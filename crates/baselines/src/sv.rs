@@ -1,0 +1,210 @@
+//! Shared-memory Shiloach–Vishkin-family connected components.
+//!
+//! This is the hook-and-jump CRCW algorithm family the paper builds on,
+//! in its Awerbuch–Shiloach star-based formulation (§II-C: AS is the
+//! simplification of SV with simpler data structures — star flags instead
+//! of iteration stamps). Edge scans run across real threads; every phase
+//! is two-phase (collect reads, then apply min-combined writes), so the
+//! result is deterministic regardless of thread count.
+//!
+//! This plays the role of "an efficient shared-memory algorithm" from
+//! §VI-D: the thing you would run instead of LACC when the graph fits in
+//! one node's memory.
+
+use crate::Vid;
+use lacc_graph::CsrGraph;
+
+/// Minimum edges before the parallel path engages (below this, spawning
+/// threads costs more than the scan).
+const PAR_GRAIN: usize = 16_384;
+
+/// Star recomputation (same conjunction-fixed Algorithm 2 as `lacc`).
+fn starcheck(f: &[Vid], star: &mut [bool]) {
+    let n = f.len();
+    for s in star.iter_mut() {
+        *s = true;
+    }
+    for v in 0..n {
+        let gf = f[f[v]];
+        if f[v] != gf {
+            star[v] = false;
+            star[gf] = false;
+        }
+    }
+    let snapshot = star.to_vec();
+    for v in 0..n {
+        star[v] = star[v] && snapshot[f[v]];
+    }
+}
+
+/// Scans all edges across `threads` workers, collecting hook candidates,
+/// then min-combines them per target.
+fn collect_hooks<F>(g: &CsrGraph, threads: usize, cand: F) -> Vec<(Vid, Vid)>
+where
+    F: Fn(Vid, Vid) -> Option<(Vid, Vid)> + Sync,
+{
+    let n = g.num_vertices();
+    let m = g.num_directed_edges();
+    let run_chunk = |range: std::ops::Range<usize>| -> Vec<(Vid, Vid)> {
+        let mut out = Vec::new();
+        for u in range {
+            for &v in g.neighbors(u) {
+                if let Some(h) = cand(u, v) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    };
+    let mut all: Vec<(Vid, Vid)> = if threads <= 1 || m < PAR_GRAIN {
+        run_chunk(0..n)
+    } else {
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Vec<(Vid, Vid)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = (t * chunk).min(n);
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || run_chunk(lo..hi))
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("sv worker panicked"));
+            }
+        });
+        results.concat()
+    };
+    // Min-combine per target: after an ascending sort, the first entry per
+    // target carries the smallest value.
+    all.sort_unstable();
+    all.dedup_by(|next, first| next.0 == first.0);
+    all
+}
+
+fn apply_hooks(f: &mut [Vid], hooks: &[(Vid, Vid)]) -> usize {
+    let mut changed = 0;
+    for &(t, v) in hooks {
+        if f[t] != v {
+            f[t] = v;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Hook-and-jump connected components with `threads` worker threads.
+pub fn shiloach_vishkin_cc_with_threads(g: &CsrGraph, threads: usize) -> Vec<Vid> {
+    let n = g.num_vertices();
+    let mut f: Vec<Vid> = (0..n).collect();
+    let mut star = vec![true; n];
+    let max_iters = 4 * (usize::BITS - n.leading_zeros()) as usize + 16;
+    for _ in 0..max_iters {
+        let mut changed = 0usize;
+
+        // Conditional hooking: stars hook onto strictly smaller parents.
+        let fr: &Vec<Vid> = &f;
+        let sr: &Vec<bool> = &star;
+        let hooks = collect_hooks(g, threads, |u, v| {
+            (sr[u] && fr[v] < fr[u]).then(|| (fr[u], fr[v]))
+        });
+        changed += apply_hooks(&mut f, &hooks);
+        starcheck(&f, &mut star);
+
+        // Unconditional hooking: remaining stars hook onto nonstar trees
+        // (safe: nonstars never hook, so no cycles).
+        let fr: &Vec<Vid> = &f;
+        let sr: &Vec<bool> = &star;
+        let hooks = collect_hooks(g, threads, |u, v| {
+            (sr[u] && !sr[v] && fr[u] != fr[v]).then(|| (fr[u], fr[v]))
+        });
+        changed += apply_hooks(&mut f, &hooks);
+        starcheck(&f, &mut star);
+
+        // Pointer jumping (one step, two-phase).
+        let gf: Vec<Vid> = (0..n).map(|v| f[f[v]]).collect();
+        for v in 0..n {
+            if f[v] != gf[v] {
+                f[v] = gf[v];
+                changed += 1;
+            }
+        }
+        starcheck(&f, &mut star);
+
+        if changed == 0 {
+            return f;
+        }
+    }
+    panic!("Shiloach-Vishkin did not converge within {max_iters} iterations");
+}
+
+/// Hook-and-jump connected components with an automatically chosen thread
+/// count.
+pub fn shiloach_vishkin_cc(g: &CsrGraph) -> Vec<Vid> {
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get().min(8))
+        .unwrap_or(1);
+    shiloach_vishkin_cc_with_threads(g, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find_cc;
+    use lacc_graph::generators::*;
+    use lacc_graph::unionfind::canonicalize_labels;
+
+    fn check(g: &CsrGraph) {
+        for threads in [1, 4] {
+            let f = shiloach_vishkin_cc_with_threads(g, threads);
+            assert_eq!(canonicalize_labels(&f), union_find_cc(g), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn basic_families() {
+        check(&path_graph(300));
+        check(&cycle_graph(64));
+        check(&star_graph(40));
+        check(&random_forest(500, 9, 3));
+    }
+
+    #[test]
+    fn random_and_skewed() {
+        for seed in 0..3 {
+            check(&erdos_renyi_gnm(250, 300, seed));
+        }
+        check(&rmat(8, 4, RmatParams::graph500(), 5));
+        check(&community_graph(1500, 60, 3.0, 1.4, 2));
+    }
+
+    #[test]
+    fn lemma1_adversarial_ids() {
+        // The same id pattern that broke the paper's Lemma 1 (no converged
+        // tracking here, but keep the case covered).
+        let el = lacc_graph::EdgeList::from_pairs(82, [(77, 80), (80, 79), (79, 81), (81, 78)]);
+        check(&CsrGraph::from_edges(el));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = erdos_renyi_gnm(400, 600, 9);
+        let a = shiloach_vishkin_cc_with_threads(&g, 1);
+        let b = shiloach_vishkin_cc_with_threads(&g, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(0)));
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(3)));
+        check(&path_graph(2));
+    }
+
+    #[test]
+    fn large_parallel_path_engages_threads() {
+        // Enough edges to cross PAR_GRAIN so the threaded scan runs.
+        let g = erdos_renyi_gnm(20_000, 40_000, 11);
+        check(&g);
+    }
+}

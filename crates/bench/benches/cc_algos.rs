@@ -1,0 +1,49 @@
+//! Criterion benches: wall time of every connected-components algorithm in
+//! the workspace on two contrasting inputs — a many-component community
+//! graph (LACC's best case) and a single-component path-heavy graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lacc::{lacc_serial, LaccOpts};
+use lacc_baselines as b;
+use lacc_graph::generators::{community_graph, metagenome_graph};
+use lacc_graph::CsrGraph;
+use std::hint::black_box;
+
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("community_20k", community_graph(20_000, 800, 4.0, 1.4, 1)),
+        ("metagenome_20k", metagenome_graph(20_000, 7, 0.005, 2)),
+    ]
+}
+
+fn bench_cc(c: &mut Criterion) {
+    for (gname, g) in graphs() {
+        let mut group = c.benchmark_group(format!("cc_{gname}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("union_find", gname), &g, |bch, g| {
+            bch.iter(|| b::union_find_cc(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", gname), &g, |bch, g| {
+            bch.iter(|| b::bfs_cc(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("shiloach_vishkin", gname), &g, |bch, g| {
+            bch.iter(|| b::sv::shiloach_vishkin_cc_with_threads(black_box(g), 4))
+        });
+        group.bench_with_input(BenchmarkId::new("label_propagation", gname), &g, |bch, g| {
+            bch.iter(|| b::labelprop::label_propagation_cc_with_threads(black_box(g), 4))
+        });
+        group.bench_with_input(BenchmarkId::new("fastsv", gname), &g, |bch, g| {
+            bch.iter(|| b::fastsv_cc(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("lacc_serial", gname), &g, |bch, g| {
+            bch.iter(|| lacc_serial(black_box(g), &LaccOpts::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("lacc_dense_as", gname), &g, |bch, g| {
+            bch.iter(|| lacc_serial(black_box(g), &LaccOpts::dense_as()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_cc);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenches for the GraphBLAS primitives: SpMV vs SpMSpV at
+//! several input densities (the dispatch the paper's `GrB_mxv` performs),
+//! plus serial extract/assign throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas::serial::{self, Pattern, SparseVec};
+use gblas::{Mask, MinUsize};
+use lacc_graph::generators::{rmat, RmatParams};
+use std::hint::black_box;
+
+fn bench_mxv(c: &mut Criterion) {
+    let g = rmat(13, 12, RmatParams::graph500(), 7);
+    let n = g.num_vertices();
+    let a = Pattern::from_graph(&g);
+    let x_dense: Vec<usize> = (0..n).map(|v| v * 7 % n).collect();
+
+    let mut group = c.benchmark_group("mxv");
+    group.sample_size(20);
+    group.bench_function("spmv_dense_full", |b| {
+        b.iter(|| serial::mxv_dense(&a, black_box(&x_dense), Mask::None, MinUsize))
+    });
+    for density_pct in [1usize, 10, 50] {
+        let entries: Vec<(usize, usize)> = (0..n)
+            .filter(|v| v % 100 < density_pct)
+            .map(|v| (v, x_dense[v]))
+            .collect();
+        let x_sparse = SparseVec::from_entries(n, entries);
+        group.bench_with_input(
+            BenchmarkId::new("spmspv", format!("{density_pct}pct")),
+            &x_sparse,
+            |b, x| b.iter(|| serial::mxv_sparse(&a, black_box(x), Mask::None, MinUsize)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_extract_assign(c: &mut Criterion) {
+    let n = 1 << 16;
+    let src: Vec<usize> = (0..n).map(|v| v * 3 % n).collect();
+    let indices: Vec<usize> = (0..n / 4).map(|k| (k * 13) % n).collect();
+    let updates: Vec<(usize, usize)> = indices.iter().map(|&i| (i, i / 2)).collect();
+
+    let mut group = c.benchmark_group("indexing");
+    group.bench_function("extract_16k", |b| {
+        b.iter(|| serial::extract(black_box(&src), black_box(&indices)))
+    });
+    group.bench_function("assign_16k", |b| {
+        b.iter_batched(
+            || src.clone(),
+            |mut w| serial::assign(&mut w, black_box(&updates), MinUsize),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mxv, bench_extract_assign);
+criterion_main!(benches);

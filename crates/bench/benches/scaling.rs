@@ -1,0 +1,32 @@
+//! Criterion benches: distributed LACC at several simulated grid sizes.
+//! Wall time here measures the *simulator* (threads + channels), while the
+//! experiment binaries report modeled machine time; this bench guards
+//! against regressions in the runtime itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmsim::EDISON;
+use lacc::{run_distributed, LaccOpts};
+use lacc_graph::generators::community_graph;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let g = community_graph(10_000, 400, 4.0, 1.4, 3);
+    let mut group = c.benchmark_group("dist_lacc_simwall");
+    group.sample_size(10);
+    for p in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                run_distributed(
+                    black_box(&g),
+                    p,
+                    EDISON.lacc_model(),
+                    &LaccOpts::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation study — each §IV-B / §V-B optimization toggled independently.
+//!
+//! Not a paper figure, but the paper's conclusions attribute LACC's
+//! performance to three mechanisms; this experiment isolates them:
+//!
+//! 1. **Vector sparsity** (Lemmas 1–2): LACC vs the dense-AS translation.
+//! 2. **All-to-all algorithm**: pairwise-exchange vs hypercube vs sparse.
+//! 3. **Hot-rank broadcast**: on vs off, plus a sweep of the threshold h.
+
+use dmsim::{AllToAll, EDISON};
+use gblas::dist::DistOpts;
+use lacc::{run_distributed, LaccOpts};
+use lacc_bench::*;
+use lacc_graph::generators::suite::by_name;
+
+fn main() {
+    let shrink = shrink();
+    let p = if full_mode() { 256 } else { 64 };
+    let model = EDISON.lacc_model();
+    let prob = by_name("archaea").expect("known problem");
+    let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
+    eprintln!("[ablation] {} at p={p}: n={} m={}", prob.name, g.num_vertices(), g.num_directed_edges());
+
+    let mut rows = Vec::new();
+    let mut run_cfg = |label: &str, opts: LaccOpts| {
+        let run = run_distributed(&g, p, model, &opts);
+        rows.push(vec![
+            label.to_string(),
+            fmt_s(run.modeled_total_s),
+            format!("{}", run.num_iterations()),
+            fmt_s(run.wall_s),
+        ]);
+    };
+
+    // 1. Sparsity.
+    run_cfg("LACC (all optimizations)", LaccOpts::default());
+    run_cfg("dense AS (no sparsity)", LaccOpts::dense_as());
+
+    // 2. All-to-all algorithms (sparsity on).
+    for (name, algo) in [
+        ("alltoall = pairwise", AllToAll::Pairwise),
+        ("alltoall = hypercube", AllToAll::Hypercube),
+        ("alltoall = direct", AllToAll::Direct),
+        ("alltoall = sparse", AllToAll::Sparse),
+    ] {
+        let opts = LaccOpts {
+            dist: DistOpts { alltoall: algo, ..DistOpts::default() },
+            ..LaccOpts::default()
+        };
+        run_cfg(name, opts);
+    }
+
+    // 3. Hot-rank broadcast.
+    run_cfg(
+        "hot-rank broadcast off",
+        LaccOpts {
+            dist: DistOpts { hot_bcast: false, ..DistOpts::default() },
+            ..LaccOpts::default()
+        },
+    );
+    for h in [1.0, 2.0, 4.0, 16.0] {
+        let opts = LaccOpts {
+            dist: DistOpts { hot_threshold: h, ..DistOpts::default() },
+            ..LaccOpts::default()
+        };
+        run_cfg(&format!("hot threshold h = {h}"), opts);
+    }
+
+    // Fully naive stack for reference.
+    run_cfg("naive comm (pairwise, no bcast)", LaccOpts::naive_comm());
+
+    // Extension: distributed FastSV (the LAGraph successor) on the same
+    // substrate and machine model.
+    let fsv = lacc_baselines::fastsv_dist(&g, p, model, &DistOpts::default());
+    rows.push(vec![
+        "FastSV (distributed, extension)".to_string(),
+        fmt_s(fsv.modeled_total_s),
+        format!("{}", fsv.rounds),
+        fmt_s(fsv.wall_s),
+    ]);
+
+    let header = ["configuration", "modeled s", "iterations", "sim wall s"];
+    print_table(&format!("Ablation on {} (p = {p}, Edison model)", prob.name), &header, &rows);
+    write_csv("ablation", &header, &rows);
+}

@@ -1,0 +1,51 @@
+//! Figure 7 — percentage of vertices in converged components per
+//! iteration.
+//!
+//! The five stand-ins with the most connected components. The paper's
+//! point: on many-component graphs most vertices retire within a few
+//! iterations (which is what powers LACC's sparse vectors), while M3
+//! converges late. Serial LACC's per-iteration statistics supply the
+//! series exactly.
+
+use lacc::{lacc_serial, LaccOpts};
+use lacc_bench::*;
+use lacc_graph::generators::suite::by_name;
+
+fn main() {
+    let shrink = shrink();
+    let names = ["archaea", "eukarya", "M3", "iso_m100", "uk-2002"];
+    let mut rows = Vec::new();
+    let mut max_iters = 0usize;
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for name in names {
+        let prob = by_name(name).expect("known problem");
+        let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
+        let run = lacc_serial(&g, &LaccOpts::default());
+        let fr = run.converged_fractions();
+        max_iters = max_iters.max(fr.len());
+        series.push((name.to_string(), fr));
+    }
+    for iter in 0..max_iters {
+        let mut row = vec![format!("{}", iter + 1)];
+        for (_, fr) in &series {
+            row.push(match fr.get(iter) {
+                Some(f) => format!("{:.1}%", f * 100.0),
+                None => "100.0%".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<&str> = vec!["iteration"];
+    for (name, _) in &series {
+        header.push(name);
+    }
+    print_table(
+        "Figure 7: % of vertices in converged components per iteration",
+        &header,
+        &rows,
+    );
+    write_csv("fig7_converged_fraction", &header, &rows);
+    println!(
+        "\nShape check: protein-similarity graphs retire most vertices early; M3 (metagenome) stays active much longer."
+    );
+}

@@ -1,0 +1,266 @@
+//! Subcommand implementations.
+
+use crate::args::{parse, Args};
+use lacc::{lacc_serial, run_distributed, LaccOpts};
+use lacc_baselines as baselines;
+use lacc_graph::generators::{self, suite};
+use lacc_graph::stats::graph_stats;
+use lacc_graph::{io, CsrGraph, EdgeList};
+use std::path::Path;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  lacc stats    <graph>
+  lacc cc       <graph> [--algo lacc|unionfind|bfs|sv|labelprop|fastsv|multistep] [--out labels.txt]
+  lacc cc-dist  <graph> --ranks P [--machine edison|cori] [--flat]
+  lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
+  lacc convert  <in> <out>
+
+graph formats by extension: .mtx (Matrix Market), .bin (lacc binary), otherwise edge list";
+
+/// Dispatches to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv);
+    let cmd = args
+        .positional
+        .first()
+        .ok_or_else(|| "no subcommand given".to_string())?;
+    match cmd.as_str() {
+        "stats" => cmd_stats(&args),
+        "cc" => cmd_cc(&args),
+        "cc-dist" => cmd_cc_dist(&args),
+        "generate" => cmd_generate(&args),
+        "convert" => cmd_convert(&args),
+        other => Err(format!("unknown subcommand: {other}")),
+    }
+}
+
+/// Loads an edge list from a path, choosing the format by extension.
+pub fn load_edges(path: &Path) -> Result<EdgeList, String> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let fail = |e: String| format!("{}: {e}", path.display());
+    match ext {
+        "mtx" => {
+            let file = std::fs::File::open(path).map_err(|e| fail(e.to_string()))?;
+            io::read_matrix_market(file).map_err(|e| fail(e.to_string()))
+        }
+        "bin" => io::load_binary(path).map_err(|e| fail(e.to_string())),
+        _ => {
+            let file = std::fs::File::open(path).map_err(|e| fail(e.to_string()))?;
+            io::read_edge_list(file, None).map_err(|e| fail(e.to_string()))
+        }
+    }
+}
+
+/// Saves an edge list to a path, choosing the format by extension.
+pub fn save_edges(path: &Path, el: &EdgeList) -> Result<(), String> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let fail = |e: std::io::Error| format!("{}: {e}", path.display());
+    match ext {
+        "mtx" => {
+            let file = std::fs::File::create(path).map_err(fail)?;
+            io::write_matrix_market(file, el).map_err(fail)
+        }
+        "bin" => io::save_binary(path, el).map_err(fail),
+        _ => {
+            let file = std::fs::File::create(path).map_err(fail)?;
+            io::write_edge_list(file, el).map_err(fail)
+        }
+    }
+}
+
+fn load_graph(args: &Args) -> Result<CsrGraph, String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "missing graph path".to_string())?;
+    Ok(CsrGraph::from_edges(load_edges(Path::new(path))?))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let s = graph_stats(&g);
+    println!("vertices            {}", s.vertices);
+    println!("directed edges      {}", s.directed_edges);
+    println!("undirected edges    {}", s.directed_edges / 2);
+    println!("components          {}", s.components);
+    println!("largest component   {}", s.largest_component);
+    println!("isolated vertices   {}", s.isolated_vertices);
+    println!("average degree      {:.2}", s.avg_degree);
+    println!("max degree          {}", s.max_degree);
+    Ok(())
+}
+
+fn cmd_cc(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let algo = args.options.get("algo").map(|s| s.as_str()).unwrap_or("lacc");
+    let t = std::time::Instant::now();
+    let labels = match algo {
+        "lacc" => lacc_serial(&g, &LaccOpts::default()).labels,
+        "unionfind" => baselines::union_find_cc(&g),
+        "bfs" => baselines::bfs_cc(&g),
+        "sv" => baselines::shiloach_vishkin_cc(&g),
+        "labelprop" => baselines::label_propagation_cc(&g),
+        "fastsv" => baselines::fastsv_cc(&g),
+        "multistep" => baselines::multistep_cc(&g),
+        other => return Err(format!("unknown algorithm: {other}")),
+    };
+    let elapsed = t.elapsed().as_secs_f64();
+    lacc::verify_labels(&g, &labels).map_err(|e| format!("internal error: {e}"))?;
+    let canon = lacc_graph::unionfind::canonicalize_labels(&labels);
+    let ncomp = lacc_graph::unionfind::count_components(&canon);
+    println!("{ncomp} components via {algo} in {:.1} ms (verified)", elapsed * 1e3);
+    if let Some(out) = args.options.get("out") {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?,
+        );
+        for (v, l) in canon.iter().enumerate() {
+            writeln!(f, "{v} {l}").map_err(|e| e.to_string())?;
+        }
+        println!("labels written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_cc_dist(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let ranks: usize = args.get_or("ranks", 4)?;
+    let machine = match args.options.get("machine").map(|s| s.as_str()).unwrap_or("edison") {
+        "edison" => dmsim::EDISON,
+        "cori" => dmsim::CORI_KNL,
+        other => return Err(format!("unknown machine: {other}")),
+    };
+    let model = if args.has_flag("flat") { machine.flat_model() } else { machine.lacc_model() };
+    let run = run_distributed(&g, ranks, model, &LaccOpts::default());
+    println!(
+        "{} components via distributed LACC on {} ranks ({})",
+        run.num_components(),
+        ranks,
+        machine.name
+    );
+    println!("iterations          {}", run.num_iterations());
+    println!("modeled time        {:.3} ms", run.modeled_total_s * 1e3);
+    println!("simulation wall     {:.1} ms", run.wall_s * 1e3);
+    let b = run.breakdown();
+    println!(
+        "step breakdown      cond {:.2}ms | uncond {:.2}ms | shortcut {:.2}ms | starcheck {:.2}ms",
+        b.cond_s * 1e3,
+        b.uncond_s * 1e3,
+        b.shortcut_s * 1e3,
+        b.starcheck_s * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let family = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "missing generator family".to_string())?;
+    let out = args.require("out")?.to_string();
+    let n: usize = args.get_or("n", 10_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let g = if let Some(name) = family.strip_prefix("suite:") {
+        suite::by_name(name)
+            .ok_or_else(|| format!("unknown suite graph: {name}"))?
+            .build()
+    } else {
+        match family.as_str() {
+            "community" => {
+                let comps: usize = args.get_or("components", (n / 50).max(1))?;
+                let degree: f64 = args.get_or("degree", 8.0)?;
+                generators::community_graph(n, comps, degree, 1.4, seed)
+            }
+            "metagenome" => generators::metagenome_graph(n, 7, 0.005, seed),
+            "rmat" => {
+                let scale: u32 = args.get_or("scale", 14)?;
+                let ef: usize = args.get_or("edge-factor", 16)?;
+                generators::rmat(scale, ef, generators::RmatParams::graph500(), seed)
+            }
+            "mesh3d" => {
+                let side = (n as f64).cbrt().round().max(2.0) as usize;
+                generators::mesh_3d(side, side, side)
+            }
+            "er" => {
+                let m: usize = args.get_or("m", n * 4)?;
+                generators::erdos_renyi_gnm(n, m, seed)
+            }
+            other => return Err(format!("unknown family: {other}")),
+        }
+    };
+    save_edges(Path::new(&out), &g.to_edgelist())?;
+    println!(
+        "wrote {}: {} vertices, {} undirected edges",
+        out,
+        g.num_vertices(),
+        g.num_undirected_edges()
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let input = args.positional.get(1).ok_or("missing input path")?;
+    let output = args.positional.get(2).ok_or("missing output path")?;
+    let el = load_edges(Path::new(input))?;
+    save_edges(Path::new(output), &el)?;
+    println!("converted {input} -> {output} ({} edge entries)", el.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        assert!(dispatch(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn generate_stats_cc_convert_pipeline() {
+        let dir = std::env::temp_dir().join("lacc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx").display().to_string();
+        let bin = dir.join("g.bin").display().to_string();
+
+        dispatch(&argv(&["generate", "community", "--n", "500", "--out", &mtx])).unwrap();
+        dispatch(&argv(&["stats", &mtx])).unwrap();
+        dispatch(&argv(&["convert", &mtx, &bin])).unwrap();
+        dispatch(&argv(&["cc", &bin, "--algo", "lacc"])).unwrap();
+        dispatch(&argv(&["cc", &bin, "--algo", "unionfind"])).unwrap();
+        dispatch(&argv(&["cc-dist", &bin, "--ranks", "4"])).unwrap();
+
+        // Converted graphs must describe the same structure.
+        let a = CsrGraph::from_edges(load_edges(Path::new(&mtx)).unwrap());
+        let b = CsrGraph::from_edges(load_edges(Path::new(&bin)).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cc_rejects_unknown_algo() {
+        let dir = std::env::temp_dir().join("lacc-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n").unwrap();
+        assert!(dispatch(&argv(&["cc", &p, "--algo", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn labels_file_is_written() {
+        let dir = std::env::temp_dir().join("lacc-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        let out = dir.join("labels.txt").display().to_string();
+        std::fs::write(&p, "0 1\n2 3\n").unwrap();
+        dispatch(&argv(&["cc", &p, "--out", &out])).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("2 2"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Distributed LACC over the simulated machine.
+//!
+//! The SPMD program each rank executes is the exact algorithm of
+//! [`crate::serial`], with every vector operation replaced by its
+//! [`gblas::dist`] counterpart. Because serial and distributed primitives
+//! resolve concurrent updates with the same monoid rules, a distributed
+//! run with `permute = false` produces a parent vector *bit-identical* to
+//! the serial run (tested below) — the strongest possible correctness
+//! statement for the communication layer.
+
+use crate::options::LaccOpts;
+use crate::stats::{IterStats, LaccRun, StepBreakdown};
+use crate::Vid;
+use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
+use gblas::dist::{
+    dist_assign, dist_extract, dist_mxv_dense, dist_mxv_sparse, DistMask, DistMat, DistOpts,
+    DistSpVec, DistVec, VecLayout,
+};
+use gblas::{AndBool, MinUsize};
+use lacc_graph::permute::Permutation;
+use lacc_graph::CsrGraph;
+use std::time::Instant;
+
+/// Per-rank, per-iteration record produced inside the SPMD program.
+#[derive(Clone, Debug, Default)]
+struct RankIter {
+    active_before: usize,
+    converged_after: usize,
+    spmv_dense: bool,
+    cond_changed: u64,
+    uncond_changed: u64,
+    shortcut_changed: u64,
+    modeled: StepBreakdown,
+    extract_received: u64,
+}
+
+/// What each rank returns from the SPMD program.
+struct RankOutput {
+    labels: Option<Vec<Vid>>,
+    iters: Vec<RankIter>,
+    final_clock_s: f64,
+}
+
+/// Star recomputation (Algorithm 6) over distributed vectors.
+///
+/// Returns the number of extract requests this rank received (Figure 3).
+fn starcheck_dist(
+    comm: &mut Comm,
+    f: &DistVec<Vid>,
+    star: &mut DistVec<bool>,
+    active: &[bool],
+    dist_opts: &DistOpts,
+) -> u64 {
+    let local_active: Vec<usize> = (0..active.len()).filter(|&o| active[o]).collect();
+    for &o in &local_active {
+        star.local_mut()[o] = true;
+    }
+    comm.charge_compute(local_active.len() as u64 + 1);
+    // Grandparents of active vertices: gf[v] = f[f[v]].
+    let reqs: Vec<Vid> = local_active.iter().map(|&o| f.local()[o]).collect();
+    let (gfs, st1) = dist_extract(comm, f, &reqs, dist_opts);
+    let mut demote: Vec<(Vid, bool)> = Vec::new();
+    for (&o, &gf) in local_active.iter().zip(&gfs) {
+        if f.local()[o] != gf {
+            star.local_mut()[o] = false;
+            demote.push((gf, false));
+        }
+    }
+    comm.charge_compute(local_active.len() as u64 + 1);
+    dist_assign(comm, star, &demote, AndBool, dist_opts);
+    // star[v] ← star[v] ∧ star[f[v]].
+    let (parent_star, st2) = dist_extract(comm, star, &reqs, dist_opts);
+    for (&o, &ps) in local_active.iter().zip(&parent_star) {
+        star.local_mut()[o] = star.local_mut()[o] && ps;
+    }
+    comm.charge_compute(local_active.len() as u64 + 1);
+    st1.received_requests + st2.received_requests
+}
+
+/// The SPMD body: one rank's share of a LACC run.
+fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
+    let n = g.num_vertices();
+    let p = comm.size();
+    let grid = Grid2d::square(p);
+    let layout = if opts.cyclic_vectors {
+        VecLayout::cyclic(n, grid)
+    } else {
+        VecLayout::new(n, grid)
+    };
+    let rank = comm.rank();
+    let a = DistMat::from_graph(g, grid, rank);
+    let mut f: DistVec<Vid> = DistVec::from_fn(layout, rank, |g| g);
+    let mut star: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
+    let chunk_len = f.local().len();
+    let mut active = vec![true; chunk_len];
+    let mut active_count_global = n;
+    let world = comm.world();
+    let mut iters: Vec<RankIter> = Vec::new();
+    // Star staleness bookkeeping, mirroring `crate::serial`: a zero-change
+    // iteration proves a fixpoint only if the previous shortcut changed
+    // nothing (the star vector was fresh).
+    let mut prev_shortcut_changed = 0u64;
+
+    for _iteration in 1..=opts.max_iters {
+        let mut rec = RankIter {
+            active_before: active_count_global,
+            ..Default::default()
+        };
+        // --- Step 1: conditional hooking, fused with the convergence
+        // detector (one (min, max)-monoid mxv; see `crate::serial`) ---
+        let t0 = comm.snapshot().clock_s;
+        let mask_vec: DistVec<bool> = {
+            let mut m = star.clone();
+            for (o, ml) in m.local_mut().iter_mut().enumerate() {
+                *ml = *ml && active[o];
+            }
+            m
+        };
+        let density = if n == 0 { 0.0 } else { active_count_global as f64 / n as f64 };
+        let use_dense = density >= opts.dense_threshold;
+        rec.spmv_dense = use_dense;
+        let q: DistSpVec<(Vid, Vid)> = if use_dense {
+            let pairs: DistVec<(Vid, Vid)> =
+                DistVec::from_fn(layout, rank, |g| (f.get_local(g), f.get_local(g)));
+            dist_mxv_dense(comm, &a, &pairs, DistMask::Keep(&mask_vec), gblas::MinMaxUsize)
+        } else {
+            let entries: Vec<(Vid, (Vid, Vid))> = active
+                .iter()
+                .enumerate()
+                .filter(|&(_, &act)| act)
+                .map(|(o, _)| (f.global_of(o), (f.local()[o], f.local()[o])))
+                .collect();
+            let x = DistSpVec::from_local_entries(layout, rank, entries);
+            dist_mxv_sparse(comm, &a, &x, DistMask::Keep(&mask_vec), gblas::MinMaxUsize, &opts.dist)
+        };
+
+        // Converged-component tracking (Lemma 1, strengthened; evaluated
+        // on the start-of-iteration state, same rule as `crate::serial`).
+        let mut newly_converged = 0u64;
+        if opts.use_sparsity {
+            let mut root_quiet: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
+            let demote: Vec<(Vid, bool)> = q
+                .entries()
+                .iter()
+                .filter(|&&(v, (lo, hi))| {
+                    let fv = f.get_local(v);
+                    !(lo == fv && hi == fv)
+                })
+                .map(|&(v, _)| (f.get_local(v), false))
+                .collect();
+            dist_assign(comm, &mut root_quiet, &demote, AndBool, &opts.dist);
+            let candidates: Vec<usize> = (0..chunk_len)
+                .filter(|&o| active[o] && star.local()[o])
+                .collect();
+            let reqs: Vec<Vid> = candidates.iter().map(|&o| f.local()[o]).collect();
+            let (flags, st) = dist_extract(comm, &root_quiet, &reqs, &opts.dist);
+            rec.extract_received += st.received_requests;
+            for (&o, &quiet) in candidates.iter().zip(&flags) {
+                if quiet {
+                    active[o] = false;
+                    newly_converged += 1;
+                }
+            }
+            comm.charge_compute(chunk_len as u64 + 1);
+        }
+
+        // Conditional hooks from the fused sweep (skip just-deactivated
+        // vertices; their hooks are no-ops).
+        let updates: Vec<(Vid, Vid)> = q
+            .entries()
+            .iter()
+            .filter(|&&(v, _)| active[layout.offset_of(rank, v)])
+            .map(|&(v, (lo, _))| {
+                let fv = f.get_local(v);
+                (fv, lo.min(fv))
+            })
+            .collect();
+        rec.cond_changed = dist_assign(comm, &mut f, &updates, MinUsize, &opts.dist) as u64;
+        rec.modeled.cond_s += comm.snapshot().clock_s - t0;
+
+        let t1 = comm.snapshot().clock_s;
+        rec.extract_received += starcheck_dist(comm, &f, &mut star, &active, &opts.dist);
+        rec.modeled.starcheck_s += comm.snapshot().clock_s - t1;
+
+        // --- Step 2: unconditional hooking ---
+        let t2 = comm.snapshot().clock_s;
+        let entries: Vec<(Vid, Vid)> = active
+            .iter()
+            .enumerate()
+            .filter(|&(o, &act)| act && !star.local()[o])
+            .map(|(o, _)| (f.global_of(o), f.local()[o]))
+            .collect();
+        let x = DistSpVec::from_local_entries(layout, rank, entries);
+        let mask_vec2: DistVec<bool> = {
+            let mut m = star.clone();
+            for (o, ml) in m.local_mut().iter_mut().enumerate() {
+                *ml = *ml && active[o];
+            }
+            m
+        };
+        let fn2 = dist_mxv_sparse(comm, &a, &x, DistMask::Keep(&mask_vec2), MinUsize, &opts.dist);
+        let updates2: Vec<(Vid, Vid)> = fn2
+            .entries()
+            .iter()
+            .map(|&(v, m)| (f.get_local(v), m))
+            .collect();
+        rec.uncond_changed = dist_assign(comm, &mut f, &updates2, MinUsize, &opts.dist) as u64;
+        rec.modeled.uncond_s += comm.snapshot().clock_s - t2;
+
+        let t3 = comm.snapshot().clock_s;
+        rec.extract_received += starcheck_dist(comm, &f, &mut star, &active, &opts.dist);
+        rec.modeled.starcheck_s += comm.snapshot().clock_s - t3;
+
+        // --- Step 3: shortcutting (active nonstars) ---
+        let t4 = comm.snapshot().clock_s;
+        let targets: Vec<usize> = (0..chunk_len)
+            .filter(|&o| active[o] && !star.local()[o])
+            .collect();
+        let reqs: Vec<Vid> = targets.iter().map(|&o| f.local()[o]).collect();
+        let (gfs, st) = dist_extract(comm, &f, &reqs, &opts.dist);
+        rec.extract_received += st.received_requests;
+        for (&o, &gf) in targets.iter().zip(&gfs) {
+            if f.local()[o] != gf {
+                f.local_mut()[o] = gf;
+                rec.shortcut_changed += 1;
+            }
+        }
+        comm.charge_compute(targets.len() as u64 + 1);
+        rec.modeled.shortcut_s += comm.snapshot().clock_s - t4;
+
+        // --- Global convergence test ---
+        let local = [rec.cond_changed, rec.uncond_changed, rec.shortcut_changed, newly_converged];
+        let global = comm.allreduce(&world, local, |a, b| {
+            [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+        });
+        rec.cond_changed = global[0];
+        rec.uncond_changed = global[1];
+        rec.shortcut_changed = global[2];
+        active_count_global -= global[3] as usize;
+        rec.converged_after = n - active_count_global;
+        // Fixpoint only counts with a fresh star vector (see the serial
+        // implementation's staleness note).
+        let done = global[0] + global[1] + global[2] == 0 && prev_shortcut_changed == 0;
+        prev_shortcut_changed = global[2];
+        iters.push(rec);
+        if done {
+            break;
+        }
+    }
+
+    let labels = f.to_global(comm);
+    RankOutput {
+        labels: (rank == 0).then_some(labels),
+        iters,
+        final_clock_s: comm.clock_s(),
+    }
+}
+
+/// Runs distributed LACC on `p` simulated ranks under `model`.
+///
+/// `p` must be a perfect square (CombBLAS' square-grid restriction,
+/// §VI-A). Returns labels in the *original* vertex numbering even when
+/// `opts.permute` applies a load-balancing relabeling internally.
+///
+/// ```
+/// use lacc::{run_distributed, LaccOpts};
+/// use lacc_graph::generators::cycle_graph;
+///
+/// let g = cycle_graph(64);
+/// let run = run_distributed(&g, 4, dmsim::EDISON.lacc_model(), &LaccOpts::default());
+/// assert_eq!(run.num_components(), 1);
+/// assert!(run.modeled_total_s > 0.0);
+/// ```
+pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccOpts) -> LaccRun {
+    let n = g.num_vertices();
+    let _ = Grid2d::square(p); // validate early
+    let (work_graph, perm) = if opts.permute && n > 1 {
+        let perm = Permutation::random(n, opts.permute_seed);
+        (perm.permute_graph(g), Some(perm))
+    } else {
+        (g.clone(), None)
+    };
+    let wall_start = Instant::now();
+    let outs = run_spmd_with_model(p, model, |comm| lacc_spmd(comm, &work_graph, opts));
+    let wall_s = wall_start.elapsed().as_secs_f64();
+
+    let labels_permuted = outs[0].labels.clone().expect("rank 0 returns labels");
+    let labels = match &perm {
+        Some(perm) => perm.unpermute_labels(&labels_permuted),
+        None => labels_permuted,
+    };
+    let modeled_total_s = outs.iter().map(|o| o.final_clock_s).fold(0.0f64, f64::max);
+    let niters = outs[0].iters.len();
+    debug_assert!(outs.iter().all(|o| o.iters.len() == niters));
+    let iters: Vec<IterStats> = (0..niters)
+        .map(|k| {
+            let r0 = &outs[0].iters[k];
+            let max_over = |sel: fn(&StepBreakdown) -> f64| {
+                outs.iter().map(|o| sel(&o.iters[k].modeled)).fold(0.0f64, f64::max)
+            };
+            IterStats {
+                iteration: k + 1,
+                active_before: r0.active_before,
+                converged_after: r0.converged_after,
+                spmv_dense: r0.spmv_dense,
+                cond_changed: r0.cond_changed as usize,
+                uncond_changed: r0.uncond_changed as usize,
+                shortcut_changed: r0.shortcut_changed as usize,
+                modeled: StepBreakdown {
+                    cond_s: max_over(|b| b.cond_s),
+                    uncond_s: max_over(|b| b.uncond_s),
+                    shortcut_s: max_over(|b| b.shortcut_s),
+                    starcheck_s: max_over(|b| b.starcheck_s),
+                },
+                extract_received: outs.iter().map(|o| o.iters[k].extract_received).collect(),
+            }
+        })
+        .collect();
+
+    LaccRun { labels, iters, p, modeled_total_s, wall_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::lacc_serial;
+    use dmsim::EDISON;
+    use lacc_graph::generators::*;
+    use lacc_graph::stats::ground_truth_labels;
+    use lacc_graph::unionfind::canonicalize_labels;
+
+    fn model() -> MachineModel {
+        EDISON.lacc_model()
+    }
+
+    fn check(g: &CsrGraph, p: usize, opts: &LaccOpts) -> LaccRun {
+        let run = run_distributed(g, p, model(), opts);
+        assert_eq!(
+            canonicalize_labels(&run.labels),
+            ground_truth_labels(g),
+            "wrong components at p={p}"
+        );
+        run
+    }
+
+    #[test]
+    fn correct_across_grid_sizes() {
+        let g = erdos_renyi_gnm(200, 300, 5);
+        for p in [1, 4, 9, 16] {
+            check(&g, p, &LaccOpts::default());
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_serial_without_permutation() {
+        let opts = LaccOpts { permute: false, ..LaccOpts::default() };
+        for seed in 0..3 {
+            let g = community_graph(600, 30, 3.0, 1.4, seed);
+            let serial = lacc_serial(&g, &opts);
+            for p in [4, 9] {
+                let dist = run_distributed(&g, p, model(), &opts);
+                assert_eq!(dist.labels, serial.labels, "seed={seed} p={p}");
+                // Same iteration trajectory too.
+                assert_eq!(dist.num_iterations(), serial.num_iterations());
+                for (a, b) in dist.iters.iter().zip(&serial.iters) {
+                    assert_eq!(a.cond_changed, b.cond_changed);
+                    assert_eq!(a.uncond_changed, b.uncond_changed);
+                    assert_eq!(a.shortcut_changed, b.shortcut_changed);
+                    assert_eq!(a.converged_after, b.converged_after);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_partition() {
+        let g = rmat(8, 4, RmatParams::graph500(), 9);
+        let run = check(&g, 4, &LaccOpts::default());
+        assert!(run.num_iterations() > 0);
+    }
+
+    #[test]
+    fn works_with_all_comm_configs() {
+        let g = metagenome_graph(800, 6, 0.01, 3);
+        for opts in [LaccOpts::default(), LaccOpts::naive_comm(), LaccOpts::dense_as()] {
+            check(&g, 4, &opts);
+        }
+    }
+
+    #[test]
+    fn path_worst_case_distributed() {
+        let g = path_graph(1000);
+        let run = check(&g, 16, &LaccOpts::default());
+        assert_eq!(run.num_components(), 1);
+        assert!(run.modeled_total_s > 0.0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = community_graph(2000, 100, 3.0, 1.4, 8);
+        let run = check(&g, 4, &LaccOpts::default());
+        assert_eq!(run.p, 4);
+        let last = run.iters.last().unwrap();
+        assert_eq!(last.converged_after, 2000);
+        assert_eq!(run.iters[0].extract_received.len(), 4);
+        assert!(run.breakdown().total() > 0.0);
+        assert!(run.modeled_total_s >= run.breakdown().total() * 0.5);
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(1)), 4, &LaccOpts::default());
+        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(0)), 1, &LaccOpts::default());
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let g = path_graph(7);
+        check(&g, 16, &LaccOpts::default());
+    }
+
+    #[test]
+    fn cyclic_vectors_match_blocked_bitwise() {
+        // §VII future-work layout: a different distribution must change
+        // communication, never results — with permutation disabled the
+        // parent vectors are bit-identical.
+        for seed in 0..2 {
+            let g = community_graph(700, 35, 3.0, 1.4, seed);
+            let blocked = LaccOpts { permute: false, ..LaccOpts::default() };
+            let cyclic = LaccOpts { permute: false, cyclic_vectors: true, ..LaccOpts::default() };
+            for p in [4, 9, 16] {
+                let a = run_distributed(&g, p, model(), &blocked);
+                let b = run_distributed(&g, p, model(), &cyclic);
+                assert_eq!(a.labels, b.labels, "seed={seed} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_correct_on_families() {
+        let opts = LaccOpts::cyclic();
+        check(&path_graph(300), 4, &opts);
+        check(&rmat(7, 4, RmatParams::graph500(), 2), 9, &opts);
+        check(&metagenome_graph(600, 6, 0.01, 3), 16, &opts);
+    }
+
+    #[test]
+    fn cyclic_balances_extract_requests() {
+        // The point of the layout: after min-hooking concentrates parents
+        // at low ids, the blocked layout funnels extract requests to low
+        // ranks; cyclic spreads them. Compare the max/avg imbalance of
+        // per-rank received requests summed over the run.
+        let g = rmat(10, 8, RmatParams::graph500(), 5);
+        let p = 16;
+        let imbalance = |opts: &LaccOpts| {
+            let run = run_distributed(&g, p, model(), opts);
+            let mut per_rank = vec![0u64; p];
+            for it in &run.iters {
+                for (r, &x) in it.extract_received.iter().enumerate() {
+                    per_rank[r] += x;
+                }
+            }
+            let max = *per_rank.iter().max().unwrap() as f64;
+            let avg = per_rank.iter().sum::<u64>() as f64 / p as f64;
+            max / avg.max(1.0)
+        };
+        // Disable the hot-rank broadcast so the raw skew is measured, and
+        // the permutation so ids stay adversarial.
+        let blocked = LaccOpts { permute: false, ..LaccOpts::naive_comm() };
+        let cyclic = LaccOpts { permute: false, cyclic_vectors: true, ..LaccOpts::naive_comm() };
+        let (ib, ic) = (imbalance(&blocked), imbalance(&cyclic));
+        assert!(
+            ic < ib,
+            "cyclic should balance extract traffic: blocked {ib:.2}x vs cyclic {ic:.2}x"
+        );
+    }
+}

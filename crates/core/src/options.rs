@@ -1,0 +1,95 @@
+//! LACC configuration: the paper's optimizations as toggles, so the
+//! ablation experiment can turn each one off.
+
+use gblas::dist::DistOpts;
+
+/// Options controlling a LACC run.
+#[derive(Clone, Copy, Debug)]
+pub struct LaccOpts {
+    /// Exploit Lemmas 1–2: track converged components, keep vectors sparse,
+    /// and restrict each step to the Table I active subsets. Turning this
+    /// off yields the "naive translation" dense-AS variant §IV-B warns
+    /// about.
+    pub use_sparsity: bool,
+    /// When the active fraction is at least this, `mxv` takes the SpMV
+    /// (dense-vector) path; below it, SpMSpV. Mirrors the internal dispatch
+    /// of the paper's `GrB_mxv`.
+    pub dense_threshold: f64,
+    /// Communication options for the distributed primitives (§V-B).
+    pub dist: DistOpts,
+    /// Apply a random symmetric permutation before distributing the matrix
+    /// (CombBLAS' load balancing).
+    pub permute: bool,
+    /// Seed for the load-balancing permutation.
+    pub permute_seed: u64,
+    /// Safety bound on iterations (AS converges in ≤ ~2·log₂ n).
+    pub max_iters: usize,
+    /// Distribute vectors cyclically instead of in blocks — the paper's
+    /// §VII future-work layout. Balances the skewed `extract`/`assign`
+    /// traffic at the price of world-wide gathers in `mxv`.
+    pub cyclic_vectors: bool,
+}
+
+impl Default for LaccOpts {
+    fn default() -> Self {
+        LaccOpts {
+            use_sparsity: true,
+            dense_threshold: 0.5,
+            dist: DistOpts::default(),
+            permute: true,
+            permute_seed: 0xC0_FFEE,
+            max_iters: 200,
+            cyclic_vectors: false,
+        }
+    }
+}
+
+impl LaccOpts {
+    /// The dense Awerbuch–Shiloach ablation: no converged-component
+    /// tracking, always-dense vectors (what a direct translation of
+    /// Algorithm 1 to linear algebra would do).
+    pub fn dense_as() -> Self {
+        LaccOpts {
+            use_sparsity: false,
+            dense_threshold: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// LACC with the naive communication stack (pairwise all-to-all, no
+    /// hot-rank broadcast) — isolates the §V-B optimizations.
+    pub fn naive_comm() -> Self {
+        LaccOpts { dist: DistOpts::naive(), ..Default::default() }
+    }
+
+    /// LACC with cyclically distributed vectors (§VII future work).
+    pub fn cyclic() -> Self {
+        LaccOpts { cyclic_vectors: true, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_optimized() {
+        let o = LaccOpts::default();
+        assert!(o.use_sparsity);
+        assert!(o.dist.hot_bcast);
+    }
+
+    #[test]
+    fn dense_as_disables_sparsity() {
+        let o = LaccOpts::dense_as();
+        assert!(!o.use_sparsity);
+        assert_eq!(o.dense_threshold, 0.0);
+    }
+
+    #[test]
+    fn naive_comm_keeps_sparsity() {
+        let o = LaccOpts::naive_comm();
+        assert!(o.use_sparsity);
+        assert!(!o.dist.hot_bcast);
+    }
+}

@@ -1,0 +1,145 @@
+//! Label verification: the checks a downstream consumer should run on any
+//! connected-components output.
+
+use crate::Vid;
+use lacc_graph::CsrGraph;
+
+/// Errors a labeling can exhibit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LabelError {
+    /// Label vector length differs from the vertex count.
+    WrongLength {
+        /// Expected number of labels.
+        expected: usize,
+        /// Number of labels supplied.
+        got: usize,
+    },
+    /// A label is not a valid vertex id.
+    OutOfRange {
+        /// Vertex carrying the bad label.
+        vertex: Vid,
+        /// The bad label.
+        label: Vid,
+    },
+    /// The two endpoints of an edge carry different labels (a component
+    /// was split).
+    EdgeSplit {
+        /// Edge endpoint u.
+        u: Vid,
+        /// Edge endpoint v.
+        v: Vid,
+    },
+    /// Two vertices share a label without being connected (components were
+    /// merged). Reports the representative vertices of the two sets.
+    Merged {
+        /// A vertex of the first true component.
+        a: Vid,
+        /// A vertex of the second true component sharing `a`'s label.
+        b: Vid,
+    },
+}
+
+impl std::fmt::Display for LabelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabelError::WrongLength { expected, got } => {
+                write!(f, "label vector has {got} entries, graph has {expected} vertices")
+            }
+            LabelError::OutOfRange { vertex, label } => {
+                write!(f, "vertex {vertex} carries out-of-range label {label}")
+            }
+            LabelError::EdgeSplit { u, v } => {
+                write!(f, "edge ({u},{v}) spans two labels: component split")
+            }
+            LabelError::Merged { a, b } => {
+                write!(f, "vertices {a} and {b} share a label but are not connected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+/// Verifies that `labels` is exactly the connected-component partition of
+/// `g`: every edge is label-monochromatic and no two true components share
+/// a label.
+pub fn verify_labels(g: &CsrGraph, labels: &[Vid]) -> Result<(), LabelError> {
+    let n = g.num_vertices();
+    if labels.len() != n {
+        return Err(LabelError::WrongLength { expected: n, got: labels.len() });
+    }
+    for (v, &l) in labels.iter().enumerate() {
+        if l >= n {
+            return Err(LabelError::OutOfRange { vertex: v, label: l });
+        }
+    }
+    // No split components: edges are monochromatic.
+    for (u, v) in g.edges() {
+        if labels[u] != labels[v] {
+            return Err(LabelError::EdgeSplit { u, v });
+        }
+    }
+    // No merged components: within each label class, the true component of
+    // its first member must cover the whole class.
+    let truth = lacc_graph::stats::ground_truth_labels(g);
+    let mut rep_of_label: Vec<Option<Vid>> = vec![None; n];
+    for v in 0..n {
+        match rep_of_label[labels[v]] {
+            None => rep_of_label[labels[v]] = Some(v),
+            Some(rep) => {
+                if truth[rep] != truth[v] {
+                    return Err(LabelError::Merged { a: rep, b: v });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lacc_serial, LaccOpts};
+    use lacc_graph::generators::{community_graph, path_graph};
+    use lacc_graph::stats::ground_truth_labels;
+
+    #[test]
+    fn accepts_correct_labelings() {
+        let g = community_graph(600, 30, 3.0, 1.4, 3);
+        let run = lacc_serial(&g, &LaccOpts::default());
+        assert_eq!(verify_labels(&g, &run.labels), Ok(()));
+        assert_eq!(verify_labels(&g, &ground_truth_labels(&g)), Ok(()));
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_range() {
+        let g = path_graph(5);
+        assert!(matches!(
+            verify_labels(&g, &[0, 0, 0]),
+            Err(LabelError::WrongLength { expected: 5, got: 3 })
+        ));
+        assert!(matches!(
+            verify_labels(&g, &[0, 0, 0, 0, 9]),
+            Err(LabelError::OutOfRange { vertex: 4, label: 9 })
+        ));
+    }
+
+    #[test]
+    fn rejects_split_components() {
+        let g = path_graph(4);
+        // Splits the path in the middle.
+        let err = verify_labels(&g, &[0, 0, 2, 2]).unwrap_err();
+        assert!(matches!(err, LabelError::EdgeSplit { .. }));
+    }
+
+    #[test]
+    fn rejects_merged_components() {
+        // Two disjoint edges labeled identically.
+        let g = lacc_graph::CsrGraph::from_edges(lacc_graph::EdgeList::from_pairs(
+            4,
+            [(0, 1), (2, 3)],
+        ));
+        let err = verify_labels(&g, &[0, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, LabelError::Merged { .. }));
+    }
+}

@@ -1,0 +1,629 @@
+//! MPI-style collectives over rank [`Group`]s.
+//!
+//! Every collective is built from point-to-point sends, so the α-β charges
+//! accumulate automatically from the message pattern actually executed:
+//!
+//! * `barrier` — dissemination, `⌈log₂ q⌉` rounds.
+//! * `bcast` — binomial tree.
+//! * `allgatherv` — ring (bandwidth-optimal; the paper found a simple
+//!   allgather fastest for its SpMV/SpMSpV gather phase).
+//! * `reduce_scatter` — direct exchange + local fold.
+//! * `allreduce` — allgather + deterministic fold (group order).
+//! * `alltoallv` — three algorithms, selectable per call (§V-B):
+//!   [`AllToAll::Pairwise`] is MPI's pairwise-exchange with `α(q−1)`
+//!   latency; [`AllToAll::Hypercube`] is Sundar et al.'s `α·log q`
+//!   store-and-forward algorithm; [`AllToAll::Sparse`] exchanges counts
+//!   first and then contacts only nonempty partners.
+
+#![allow(clippy::needless_range_loop)] // index loops double as rank ids here
+
+use crate::comm::{words_of, Comm, Group};
+
+/// Algorithm choice for [`Comm::alltoallv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllToAll {
+    /// Every pair exchanges directly in one shot.
+    Direct,
+    /// MPI's pairwise-exchange: `q − 1` rounds, `α(q−1)` latency — the
+    /// algorithm whose poor scaling beyond 1024 ranks motivated the
+    /// paper's replacement (§V-B).
+    Pairwise,
+    /// Hypercube store-and-forward (Sundar et al.): `α·log₂ q` latency at
+    /// the price of forwarding bandwidth. Requires `q` to be a power of
+    /// two; falls back to [`AllToAll::Pairwise`] otherwise.
+    Hypercube,
+    /// Sparse all-to-all: a cheap count exchange, then only nonempty pairs
+    /// communicate. Ideal when most buckets are empty (late LACC
+    /// iterations, Figure 3's "processes 7–15 have no data").
+    Sparse,
+}
+
+impl Comm {
+    /// Dissemination barrier over the group.
+    pub fn barrier(&mut self, g: &Group) {
+        let q = g.size();
+        if q <= 1 {
+            return;
+        }
+        let me = g.my_index();
+        let mut k = 1usize;
+        while k < q {
+            let to = g.member((me + k) % q);
+            let from = g.member((me + q - k % q) % q);
+            self.send(to, ());
+            self.recv::<()>(from);
+            k <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of a vector from group index `root_idx`.
+    ///
+    /// Non-roots pass `None`; everyone returns the payload.
+    pub fn bcast_vec<T: Clone + Send + 'static>(
+        &mut self,
+        g: &Group,
+        root_idx: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let q = g.size();
+        let me = g.my_index();
+        // Virtual index with the root shifted to 0.
+        let vidx = (me + q - root_idx) % q;
+        let mut payload = if vidx == 0 {
+            Some(data.expect("root must supply the broadcast payload"))
+        } else {
+            debug_assert!(data.is_none(), "non-root supplied broadcast data");
+            None
+        };
+        // Binomial tree: a node's parent is itself with the lowest set bit
+        // cleared; its children are itself plus 2^j for j below the lowest
+        // set bit (all powers of two for the root).
+        if vidx != 0 {
+            let parent = vidx - (1 << vidx.trailing_zeros());
+            let src = g.member((parent + root_idx) % q);
+            payload = Some(self.recv::<Vec<T>>(src));
+        }
+        let data = payload.expect("broadcast payload must exist by now");
+        let mut children = Vec::new();
+        if vidx == 0 {
+            let mut k = 1usize;
+            while k < q {
+                children.push(k);
+                k <<= 1;
+            }
+        } else {
+            let tz = vidx.trailing_zeros() as usize;
+            for j in 0..tz {
+                let c = vidx + (1 << j);
+                if c < q {
+                    children.push(c);
+                }
+            }
+        }
+        // Send to larger children first (deeper subtrees) as binomial
+        // broadcast does.
+        for &c in children.iter().rev() {
+            let dest = g.member((c + root_idx) % q);
+            self.send_counted(dest, data.clone(), words_of::<T>(data.len()));
+        }
+        data
+    }
+
+    /// Broadcast of a single cloneable value.
+    pub fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        g: &Group,
+        root_idx: usize,
+        data: Option<T>,
+    ) -> T {
+        let v = self.bcast_vec(g, root_idx, data.map(|d| vec![d]));
+        v.into_iter().next().expect("bcast payload")
+    }
+
+    /// Ring allgather: every member contributes a vector; everyone returns
+    /// all contributions indexed by group index.
+    pub fn allgatherv<T: Clone + Send + 'static>(&mut self, g: &Group, mine: Vec<T>) -> Vec<Vec<T>> {
+        let q = g.size();
+        let me = g.my_index();
+        let mut result: Vec<Option<Vec<T>>> = (0..q).map(|_| None).collect();
+        let right = g.member((me + 1) % q);
+        let left = g.member((me + q - 1) % q);
+        let mut carry = mine.clone();
+        result[me] = Some(mine);
+        for step in 1..q {
+            let w = words_of::<T>(carry.len());
+            self.send_counted(right, carry, w);
+            let incoming: Vec<T> = self.recv(left);
+            let origin = (me + q - step) % q;
+            if step + 1 < q {
+                carry = incoming.clone();
+            } else {
+                carry = Vec::new();
+            }
+            result[origin] = Some(incoming);
+        }
+        result.into_iter().map(|r| r.expect("ring delivered all blocks")).collect()
+    }
+
+    /// Allreduce: recursive doubling (`(α + βw)·log₂ q`) on power-of-two
+    /// groups, gather-to-root + broadcast otherwise. Deterministic: every
+    /// pairwise combine applies `op(lower-index value, higher-index
+    /// value)`. The payload size is taken from `size_of::<T>()`; use
+    /// [`Comm::allreduce_counted`] for heap payloads like `Vec`.
+    pub fn allreduce<T, F>(&mut self, g: &Group, val: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let words = (std::mem::size_of::<T>() as u64).div_ceil(8);
+        self.allreduce_counted(g, val, words, op)
+    }
+
+    /// [`Comm::allreduce`] with an explicit per-message word count.
+    pub fn allreduce_counted<T, F>(&mut self, g: &Group, val: T, words: u64, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let q = g.size();
+        let me = g.my_index();
+        if q == 1 {
+            return val;
+        }
+        if q.is_power_of_two() {
+            let mut acc = val;
+            let mut k = 1usize;
+            while k < q {
+                let partner = me ^ k;
+                self.send_counted(g.member(partner), acc.clone(), words);
+                let theirs: T = self.recv(g.member(partner));
+                acc = if partner < me { op(theirs, acc) } else { op(acc, theirs) };
+                k <<= 1;
+            }
+            return acc;
+        }
+        // General groups (tests, odd grids): fold at the root in group
+        // order, then broadcast.
+        let gathered = self.gatherv(g, 0, vec![val]);
+        let result = match gathered {
+            Some(all) => {
+                let mut it = all.into_iter().map(|mut v| v.pop().expect("one value per rank"));
+                let first = it.next().expect("nonempty group");
+                Some(it.fold(first, op))
+            }
+            None => None,
+        };
+        self.bcast(g, 0, result)
+    }
+
+    /// Reduce-scatter: member `i` passes `parts[k]` destined for member
+    /// `k`; member `k` returns the elementwise fold (in group order) of
+    /// everyone's `parts[k]`, which must all have equal length.
+    pub fn reduce_scatter<T, F>(&mut self, g: &Group, mut parts: Vec<Vec<T>>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, T),
+    {
+        let q = g.size();
+        let me = g.my_index();
+        assert_eq!(parts.len(), q, "one part per group member");
+        // Send all foreign parts first (channels are unbounded, so
+        // send-then-receive cannot deadlock).
+        for k in 0..q {
+            if k != me {
+                let buf = std::mem::take(&mut parts[k]);
+                self.send_counted(g.member(k), buf.clone(), words_of::<T>(buf.len()));
+            }
+        }
+        let mut acc: Option<Vec<T>> = None;
+        for src_idx in 0..q {
+            let contribution = if src_idx == me {
+                std::mem::take(&mut parts[me])
+            } else {
+                self.recv::<Vec<T>>(g.member(src_idx))
+            };
+            match &mut acc {
+                None => acc = Some(contribution),
+                Some(acc) => {
+                    assert_eq!(acc.len(), contribution.len(), "reduce_scatter length mismatch");
+                    self.charge_compute(contribution.len() as u64);
+                    for (a, c) in acc.iter_mut().zip(contribution) {
+                        op(a, c);
+                    }
+                }
+            }
+        }
+        acc.expect("nonempty group")
+    }
+
+    /// All-to-all of variable-size buckets: `bufs[k]` goes to member `k`;
+    /// returns `recv[k]` = the bucket member `k` sent here.
+    pub fn alltoallv<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        bufs: Vec<Vec<T>>,
+        algo: AllToAll,
+    ) -> Vec<Vec<T>> {
+        let q = g.size();
+        assert_eq!(bufs.len(), q, "one bucket per group member");
+        if q == 1 {
+            return bufs;
+        }
+        match algo {
+            AllToAll::Direct => self.alltoallv_direct(g, bufs),
+            AllToAll::Pairwise => self.alltoallv_pairwise(g, bufs),
+            AllToAll::Hypercube => {
+                if q.is_power_of_two() {
+                    self.alltoallv_hypercube(g, bufs)
+                } else {
+                    self.alltoallv_pairwise(g, bufs)
+                }
+            }
+            AllToAll::Sparse => self.alltoallv_sparse(g, bufs),
+        }
+    }
+
+    fn alltoallv_direct<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let q = g.size();
+        let me = g.my_index();
+        for k in 0..q {
+            if k != me {
+                let buf = std::mem::take(&mut bufs[k]);
+                let w = words_of::<T>(buf.len());
+                self.send_counted(g.member(k), buf, w);
+            }
+        }
+        (0..q)
+            .map(|k| {
+                if k == me {
+                    std::mem::take(&mut bufs[me])
+                } else {
+                    self.recv::<Vec<T>>(g.member(k))
+                }
+            })
+            .collect()
+    }
+
+    fn alltoallv_pairwise<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let q = g.size();
+        let me = g.my_index();
+        let mut result: Vec<Option<Vec<T>>> = (0..q).map(|_| None).collect();
+        result[me] = Some(std::mem::take(&mut bufs[me]));
+        for round in 1..q {
+            let to = (me + round) % q;
+            let from = (me + q - round) % q;
+            let buf = std::mem::take(&mut bufs[to]);
+            let w = words_of::<T>(buf.len());
+            self.send_counted(g.member(to), buf, w);
+            result[from] = Some(self.recv::<Vec<T>>(g.member(from)));
+        }
+        result.into_iter().map(|r| r.expect("pairwise covered all")).collect()
+    }
+
+    fn alltoallv_hypercube<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let q = g.size();
+        let me = g.my_index();
+        debug_assert!(q.is_power_of_two());
+        let mut result: Vec<Option<Vec<T>>> = (0..q).map(|_| None).collect();
+        result[me] = Some(std::mem::take(&mut bufs[me]));
+        // Pool of in-flight buckets: (origin, destination, items).
+        let mut pool: Vec<(u32, u32, Vec<T>)> = bufs
+            .into_iter()
+            .enumerate()
+            .filter(|(k, _)| *k != me)
+            .map(|(k, items)| (me as u32, k as u32, items))
+            .collect();
+        let rounds = q.trailing_zeros();
+        for bit_idx in 0..rounds {
+            let bit = 1usize << bit_idx;
+            let partner = me ^ bit;
+            // Buckets whose destination differs from me in this bit travel
+            // to the partner side of the hypercube now.
+            let (send_pool, keep): (Vec<_>, Vec<_>) = pool
+                .into_iter()
+                .partition(|&(_, dest, _)| (dest as usize) & bit != me & bit);
+            let w: u64 = send_pool
+                .iter()
+                .map(|(_, _, items)| 2 + words_of::<T>(items.len()))
+                .sum();
+            self.send_counted(g.member(partner), send_pool, w);
+            pool = keep;
+            let incoming: Vec<(u32, u32, Vec<T>)> = self.recv(g.member(partner));
+            for (origin, dest, items) in incoming {
+                if dest as usize == me {
+                    debug_assert!(result[origin as usize].is_none());
+                    result[origin as usize] = Some(items);
+                } else {
+                    pool.push((origin, dest, items));
+                }
+            }
+        }
+        debug_assert!(pool.is_empty(), "all buckets routed after log q rounds");
+        result
+            .into_iter()
+            .map(|r| r.unwrap_or_default())
+            .collect()
+    }
+
+    fn alltoallv_sparse<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let q = g.size();
+        let me = g.my_index();
+        // Phase 1: exchange per-destination counts so each member learns
+        // who will contact it. The count matrix transpose is itself a tiny
+        // all-to-all; use the hypercube (or pairwise) algorithm for it.
+        let counts: Vec<Vec<u64>> = (0..q).map(|k| vec![bufs[k].len() as u64]).collect();
+        let algo = if q.is_power_of_two() { AllToAll::Hypercube } else { AllToAll::Pairwise };
+        let incoming_counts = self.alltoallv(g, counts, algo);
+        // Phase 2: only nonempty pairs exchange.
+        for k in 0..q {
+            if k != me && !bufs[k].is_empty() {
+                let buf = std::mem::take(&mut bufs[k]);
+                let w = words_of::<T>(buf.len());
+                self.send_counted(g.member(k), buf, w);
+            }
+        }
+        (0..q)
+            .map(|k| {
+                if k == me {
+                    std::mem::take(&mut bufs[me])
+                } else if incoming_counts[k].first().copied().unwrap_or(0) > 0 {
+                    self.recv::<Vec<T>>(g.member(k))
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect()
+    }
+
+    /// Gather to group index `root_idx`: root returns all contributions
+    /// (indexed by group index), others return `None`.
+    pub fn gatherv<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        root_idx: usize,
+        mine: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        let q = g.size();
+        let me = g.my_index();
+        if me != root_idx {
+            let w = words_of::<T>(mine.len());
+            self.send_counted(g.member(root_idx), mine, w);
+            return None;
+        }
+        let mut mine = Some(mine);
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(q);
+        for k in 0..q {
+            if k == me {
+                out.push(mine.take().expect("own contribution consumed once"));
+            } else {
+                out.push(self.recv::<Vec<T>>(g.member(k)));
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_spmd;
+    use crate::cost::EDISON;
+    use crate::run_spmd_with_model;
+
+    fn expected_alltoall(p: usize, me: usize) -> Vec<Vec<u64>> {
+        // Rank s sends [s*100 + d; s + 1] to rank d.
+        (0..p).map(|s| vec![(s * 100 + me) as u64; s + 1]).collect()
+    }
+
+    fn alltoall_inputs(p: usize, me: usize) -> Vec<Vec<u64>> {
+        (0..p).map(|d| vec![(me * 100 + d) as u64; me + 1]).collect()
+    }
+
+    #[test]
+    fn barrier_completes_all_sizes() {
+        for p in [1, 2, 3, 5, 8] {
+            run_spmd(p, |c| {
+                let w = c.world();
+                for _ in 0..3 {
+                    c.barrier(&w);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots_all_sizes() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            for root in 0..p {
+                let out = run_spmd(p, move |c| {
+                    let w = c.world();
+                    let data = (c.rank() == root).then(|| vec![42u64, root as u64]);
+                    c.bcast_vec(&w, root, data)
+                });
+                for v in out {
+                    assert_eq!(v, vec![42, root as u64]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_scalar() {
+        let out = run_spmd(5, |c| {
+            let w = c.world();
+            c.bcast(&w, 2, (c.rank() == 2).then_some(99u32))
+        });
+        assert!(out.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn allgatherv_various_sizes() {
+        for p in [1, 2, 3, 4, 6, 9] {
+            let out = run_spmd(p, |c| {
+                let w = c.world();
+                let mine: Vec<u64> = (0..c.rank() + 1).map(|i| (c.rank() * 10 + i) as u64).collect();
+                c.allgatherv(&w, mine)
+            });
+            for gathered in out {
+                for (src, block) in gathered.iter().enumerate() {
+                    let expect: Vec<u64> = (0..src + 1).map(|i| (src * 10 + i) as u64).collect();
+                    assert_eq!(block, &expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_empty_contributions() {
+        let out = run_spmd(4, |c| {
+            let w = c.world();
+            let mine: Vec<u64> = if c.rank() % 2 == 0 { vec![] } else { vec![c.rank() as u64] };
+            c.allgatherv(&w, mine)
+        });
+        assert_eq!(out[0], vec![vec![], vec![1], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn allreduce_sum_and_min() {
+        let out = run_spmd(7, |c| {
+            let w = c.world();
+            let sum = c.allreduce(&w, c.rank() as u64, |a, b| a + b);
+            let min = c.allreduce(&w, 100 - c.rank() as i64, |a, b| a.min(b));
+            (sum, min)
+        });
+        assert!(out.iter().all(|&(s, m)| s == 21 && m == 94));
+    }
+
+    #[test]
+    fn allreduce_counted_charges_payload_size() {
+        // A vector allreduce must cost more when declared larger.
+        let clock = |words: u64| {
+            let out = run_spmd_with_model(4, EDISON.lacc_model(), move |c| {
+                let w = c.world();
+                let v: Vec<u64> = vec![1; words as usize];
+                c.allreduce_counted(&w, v, words, |a, b| {
+                    a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                });
+                c.clock_s()
+            });
+            out.into_iter().fold(0.0f64, f64::max)
+        };
+        assert!(clock(10_000) > clock(10));
+    }
+
+    #[test]
+    fn reduce_scatter_sums_columns() {
+        let p = 4;
+        let out = run_spmd(p, |c| {
+            let w = c.world();
+            // parts[k][j] = rank * 1 (length k + 1)
+            let parts: Vec<Vec<u64>> = (0..p).map(|k| vec![c.rank() as u64; k + 1]).collect();
+            c.reduce_scatter(&w, parts, |a, b| *a += b)
+        });
+        for (k, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![0 + 1 + 2 + 3u64; k + 1]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_all_algorithms_agree() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
+                let out = run_spmd(p, move |c| {
+                    let w = c.world();
+                    c.alltoallv(&w, alltoall_inputs(p, c.rank()), algo)
+                });
+                for (me, got) in out.into_iter().enumerate() {
+                    assert_eq!(got, expected_alltoall(p, me), "p={p} algo={algo:?} me={me}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_with_empty_buckets() {
+        for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
+            let out = run_spmd(4, move |c| {
+                let w = c.world();
+                // Only rank 0 sends anything, and only to rank 3.
+                let mut bufs: Vec<Vec<u64>> = vec![vec![]; 4];
+                if c.rank() == 0 {
+                    bufs[3] = vec![7, 8, 9];
+                }
+                c.alltoallv(&w, bufs, algo)
+            });
+            assert_eq!(out[3][0], vec![7, 8, 9], "{algo:?}");
+            assert!(out[1].iter().all(|v| v.is_empty()));
+        }
+    }
+
+    #[test]
+    fn sparse_alltoall_sends_fewer_messages() {
+        // One nonempty bucket: sparse should send far fewer point-to-point
+        // messages than pairwise.
+        let count_msgs = |algo: AllToAll| {
+            let out = run_spmd_with_model(8, EDISON.lacc_model(), move |c| {
+                let w = c.world();
+                let mut bufs: Vec<Vec<u64>> = vec![vec![]; 8];
+                if c.rank() == 0 {
+                    bufs[1] = vec![1; 1000];
+                }
+                c.alltoallv(&w, bufs, algo);
+                c.snapshot().messages_sent
+            });
+            out.iter().sum::<u64>()
+        };
+        let pairwise = count_msgs(AllToAll::Pairwise);
+        let sparse = count_msgs(AllToAll::Sparse);
+        // Sparse pays the metadata exchange (hypercube: 8·3 msgs) plus one
+        // data message; pairwise sends 8·7.
+        assert!(sparse < pairwise, "sparse={sparse} pairwise={pairwise}");
+    }
+
+    #[test]
+    fn hypercube_has_lower_latency_charge() {
+        let p = 16;
+        let clock_for = |algo: AllToAll| {
+            let out = run_spmd_with_model(p, EDISON.lacc_model(), move |c| {
+                let w = c.world();
+                let bufs: Vec<Vec<u64>> = (0..p).map(|_| vec![1u64; 4]).collect();
+                c.alltoallv(&w, bufs, algo);
+                c.clock_s()
+            });
+            out.into_iter().fold(0.0f64, f64::max)
+        };
+        // With tiny buckets the α term dominates: hypercube (log p rounds)
+        // must beat pairwise (p − 1 rounds).
+        assert!(clock_for(AllToAll::Hypercube) < clock_for(AllToAll::Pairwise));
+    }
+
+    #[test]
+    fn gatherv_collects_at_root() {
+        let out = run_spmd(5, |c| {
+            let w = c.world();
+            c.gatherv(&w, 2, vec![c.rank() as u64])
+        });
+        for (r, res) in out.iter().enumerate() {
+            if r == 2 {
+                let v = res.as_ref().unwrap();
+                assert_eq!(v.len(), 5);
+                assert_eq!(v[4], vec![4]);
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_on_subgroups() {
+        let out = run_spmd(6, |c| {
+            // Two groups: evens and odds.
+            let members: Vec<usize> = (0..6).filter(|r| r % 2 == c.rank() % 2).collect();
+            let g = c.group(members);
+            let sum = c.allreduce(&g, c.rank() as u64, |a, b| a + b);
+            c.barrier(&g);
+            sum
+        });
+        assert_eq!(out, vec![6, 9, 6, 9, 6, 9]);
+    }
+}

@@ -1,0 +1,446 @@
+//! The SPMD launcher, point-to-point messaging, and rank groups.
+//!
+//! Ranks are OS threads; each rank owns a single MPMC inbox. Messages are
+//! typed (`Box<dyn Any + Send>`) and matched by *source rank* with
+//! per-source FIFO ordering, which is exactly the guarantee MPI gives for
+//! a single communicator and tag.
+//!
+//! Every envelope carries the sender's simulated clock at completion of the
+//! send, so a receive advances the receiver's simulated clock to at least
+//! the message's arrival time. This makes the final per-rank clocks a
+//! BSP-style makespan under the α-β model without any global coordination.
+
+use crate::cost::{CostSnapshot, MachineModel};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Payload = Box<dyn Any + Send>;
+
+struct Envelope {
+    src: u32,
+    /// Simulated arrival time at the receiver.
+    arrival: f64,
+    /// 8-byte words in the payload (for receiver-side accounting).
+    words: u64,
+    payload: Payload,
+}
+
+/// A subset of ranks participating in a collective (MPI communicator /
+/// group). Constructed via [`Comm::world`] or [`Comm::group`].
+#[derive(Clone, Debug)]
+pub struct Group {
+    ranks: Vec<usize>,
+    my_index: usize,
+}
+
+impl Group {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// This rank's index within the group.
+    pub fn my_index(&self) -> usize {
+        self.my_index
+    }
+
+    /// World rank of group member `i`.
+    pub fn member(&self, i: usize) -> usize {
+        self.ranks[i]
+    }
+
+    /// All member ranks.
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+}
+
+/// Per-rank handle to the simulated machine: messaging, collectives
+/// (see [`crate::collectives`]), and cost accounting.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    /// Out-of-order buffer: messages that arrived before being asked for.
+    pending: Vec<VecDeque<(f64, u64, Payload)>>,
+    model: MachineModel,
+    snap: CostSnapshot,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// The group of all ranks.
+    pub fn world(&self) -> Group {
+        Group {
+            ranks: (0..self.size).collect(),
+            my_index: self.rank,
+        }
+    }
+
+    /// A group over an explicit rank list (must contain this rank; ranks
+    /// must be distinct).
+    pub fn group(&self, ranks: Vec<usize>) -> Group {
+        let my_index = ranks
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("group must contain the calling rank");
+        debug_assert!(
+            {
+                let mut s = ranks.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1]) && s.iter().all(|&r| r < self.size)
+            },
+            "group ranks must be distinct and in range"
+        );
+        Group { ranks, my_index }
+    }
+
+    /// Charges `ops` local operations (edges scanned, vector elements
+    /// touched) against the simulated clock.
+    pub fn charge_compute(&mut self, ops: u64) {
+        let t = ops as f64 / self.model.rate;
+        self.snap.compute_s += t;
+        self.snap.clock_s += t;
+    }
+
+    /// Charges `words` of modeled communication volume (β only) without a
+    /// corresponding simulated message. Used when an algorithm being
+    /// modeled moves data the simulation represents implicitly — e.g. the
+    /// ParConnect simulation's sort-based tuple shuffles.
+    pub fn charge_comm_words(&mut self, words: u64) {
+        let t = self.model.beta * words as f64;
+        self.snap.comm_s += t;
+        self.snap.clock_s += t;
+        self.snap.words_sent += words;
+    }
+
+    /// Current accounting snapshot (clock, breakdowns, traffic counters).
+    pub fn snapshot(&self) -> CostSnapshot {
+        self.snap
+    }
+
+    /// Current simulated clock in seconds.
+    pub fn clock_s(&self) -> f64 {
+        self.snap.clock_s
+    }
+
+    /// Sends `msg` to `dest`, charging `α + β·words` to this rank.
+    ///
+    /// `words` is the payload size in 8-byte words; use
+    /// [`words_of`] for slices. Self-sends are free (local move).
+    pub fn send_counted<T: Send + 'static>(&mut self, dest: usize, msg: T, words: u64) {
+        if dest == self.rank {
+            self.pending[dest].push_back((self.snap.clock_s, 0, Box::new(msg)));
+            return;
+        }
+        let cost = self.model.alpha + self.model.beta * words as f64;
+        self.snap.comm_s += cost;
+        self.snap.clock_s += cost;
+        self.snap.messages_sent += 1;
+        self.snap.words_sent += words;
+        let env = Envelope {
+            src: self.rank as u32,
+            arrival: self.snap.clock_s,
+            words,
+            payload: Box::new(msg),
+        };
+        // Receiver threads outlive all sends within `run_spmd`, so the
+        // channel cannot be disconnected here.
+        self.senders[dest].send(env).expect("rank inbox disconnected");
+    }
+
+    /// Sends a sized value (scalars, small structs): the word count is
+    /// derived from `size_of::<T>()`.
+    pub fn send<T: Send + 'static>(&mut self, dest: usize, msg: T) {
+        let words = (std::mem::size_of::<T>() as u64).div_ceil(8);
+        self.send_counted(dest, msg, words);
+    }
+
+    /// Sends a vector, counting its element storage.
+    pub fn send_vec<T: Send + 'static>(&mut self, dest: usize, msg: Vec<T>) {
+        let words = words_of::<T>(msg.len());
+        self.send_counted(dest, msg, words);
+    }
+
+    /// Receives the next message from `src`, blocking until it arrives.
+    ///
+    /// Advances the simulated clock to at least the message arrival time,
+    /// then charges `β·words` for the receive copy.
+    ///
+    /// # Panics
+    /// If the next message from `src` has a different payload type — that
+    /// is a protocol bug in the SPMD program.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize) -> T {
+        loop {
+            if let Some((arrival, words, payload)) = self.pending[src].pop_front() {
+                self.snap.clock_s = self.snap.clock_s.max(arrival);
+                let copy = self.model.beta * words as f64;
+                self.snap.clock_s += copy;
+                self.snap.comm_s += copy;
+                self.snap.words_received += words;
+                return *payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "rank {} expected {} from rank {src}, got a different type",
+                        self.rank,
+                        std::any::type_name::<T>()
+                    )
+                });
+            }
+            let env = self.rx.recv().expect("all senders dropped while receiving");
+            self.pending[env.src as usize].push_back((env.arrival, env.words, env.payload));
+        }
+    }
+}
+
+/// Payload size in 8-byte words for a slice of `len` elements of `T`.
+pub fn words_of<T>(len: usize) -> u64 {
+    ((len * std::mem::size_of::<T>()) as u64).div_ceil(8)
+}
+
+/// Runs an SPMD program on `p` simulated ranks with the zero-cost model
+/// (useful when only results matter, e.g. unit tests).
+///
+/// Returns per-rank results indexed by rank.
+pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_spmd_with_model(p, MachineModel::free(), f)
+}
+
+/// Runs an SPMD program on `p` simulated ranks under a cost model.
+///
+/// Each rank executes `f` on its own OS thread with a 4 MiB stack (ranks
+/// are numerous; large default stacks would exhaust memory at high `p`).
+pub fn run_spmd_with_model<R, F>(p: usize, model: MachineModel, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let mut txs = Vec::with_capacity(p);
+    let mut rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Envelope>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let senders = Arc::new(txs);
+    let f = &f;
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let handle = std::thread::Builder::new()
+                .name(format!("dmsim-rank-{rank}"))
+                .stack_size(4 << 20)
+                .spawn_scoped(scope, move || {
+                    let mut comm = Comm {
+                        rank,
+                        size: p,
+                        senders,
+                        rx,
+                        pending: (0..p).map(|_| VecDeque::new()).collect(),
+                        model,
+                        snap: CostSnapshot::default(),
+                    };
+                    let r = f(&mut comm);
+                    (r, comm.snap)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            let (r, _snap) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            results[rank] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EDISON;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = run_spmd(5, |c| (c.rank(), c.size()));
+        assert_eq!(ids, (0..5).map(|r| (r, 5)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = run_spmd(4, |c| {
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            c.send(next, c.rank() as u64);
+            c.recv::<u64>(prev)
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_sources_are_buffered() {
+        let out = run_spmd(3, |c| match c.rank() {
+            0 => {
+                // Receive from 2 first even though 1's message likely
+                // arrives earlier.
+                let a = c.recv::<u32>(2);
+                let b = c.recv::<u32>(1);
+                a * 10 + b
+            }
+            r => {
+                c.send(0, r as u32);
+                0
+            }
+        });
+        assert_eq!(out[0], 21);
+    }
+
+    #[test]
+    fn fifo_per_source() {
+        let out = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10u32 {
+                    c.send(1, i);
+                }
+                0
+            } else {
+                (0..10).map(|_| c.recv::<u32>(0)).collect::<Vec<_>>().windows(2).all(|w| w[0] < w[1]) as u32
+            }
+        });
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn self_send_is_free_and_works() {
+        let out = run_spmd_with_model(1, EDISON.lacc_model(), |c| {
+            c.send_vec(0, vec![1u64, 2, 3]);
+            let v = c.recv::<Vec<u64>>(0);
+            (v, c.snapshot().messages_sent, c.clock_s())
+        });
+        assert_eq!(out[0].0, vec![1, 2, 3]);
+        assert_eq!(out[0].1, 0);
+        assert_eq!(out[0].2, 0.0);
+    }
+
+    #[test]
+    fn send_charges_alpha_beta() {
+        let model = EDISON.lacc_model();
+        let out = run_spmd_with_model(2, model, |c| {
+            if c.rank() == 0 {
+                c.send_vec(1, vec![0u64; 1000]);
+            } else {
+                let _ = c.recv::<Vec<u64>>(0);
+            }
+            c.snapshot()
+        });
+        let sender = out[0];
+        assert_eq!(sender.words_sent, 1000);
+        assert!((sender.clock_s - (model.alpha + model.beta * 1000.0)).abs() < 1e-12);
+        // Receiver clock: arrival + receive copy.
+        let recv = out[1];
+        assert_eq!(recv.words_received, 1000);
+        assert!(recv.clock_s >= sender.clock_s);
+    }
+
+    #[test]
+    fn clock_propagates_through_receives() {
+        let model = EDISON.lacc_model();
+        let out = run_spmd_with_model(3, model, |c| {
+            // 0 does heavy compute, then sends to 1, who forwards to 2.
+            match c.rank() {
+                0 => {
+                    c.charge_compute(1_000_000_000);
+                    c.send(1, ());
+                }
+                1 => {
+                    c.recv::<()>(0);
+                    c.send(2, ());
+                }
+                2 => {
+                    c.recv::<()>(1);
+                }
+                _ => unreachable!(),
+            }
+            c.clock_s()
+        });
+        // Rank 2's clock must reflect rank 0's compute time transitively.
+        assert!(out[2] >= out[0]);
+        assert!(out[0] >= 1_000_000_000.0 / model.rate);
+    }
+
+    #[test]
+    fn charge_compute_accumulates() {
+        let out = run_spmd_with_model(1, EDISON.lacc_model(), |c| {
+            c.charge_compute(100);
+            c.charge_compute(200);
+            c.snapshot()
+        });
+        assert!(out[0].compute_s > 0.0);
+        assert_eq!(out[0].clock_s, out[0].compute_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn type_mismatch_panics() {
+        run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7u32);
+            } else {
+                let _ = c.recv::<u64>(0);
+            }
+        });
+    }
+
+    #[test]
+    fn group_membership() {
+        run_spmd(6, |c| {
+            if c.rank() % 2 == 0 {
+                let g = c.group(vec![0, 2, 4]);
+                assert_eq!(g.size(), 3);
+                assert_eq!(g.member(g.my_index()), c.rank());
+            }
+        });
+    }
+
+    #[test]
+    fn charge_comm_words_adds_beta_time() {
+        let model = EDISON.lacc_model();
+        let out = run_spmd_with_model(1, model, |c| {
+            c.charge_comm_words(1_000_000);
+            c.snapshot()
+        });
+        assert!((out[0].comm_s - model.beta * 1e6).abs() < 1e-12);
+        assert_eq!(out[0].words_sent, 1_000_000);
+        assert_eq!(out[0].messages_sent, 0, "no simulated message involved");
+    }
+
+    #[test]
+    fn words_of_rounds_up() {
+        assert_eq!(words_of::<u8>(9), 2);
+        assert_eq!(words_of::<u64>(3), 3);
+        assert_eq!(words_of::<(u64, u64)>(2), 4);
+        assert_eq!(words_of::<u64>(0), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! `dmsim` — a simulated distributed-memory message-passing runtime.
+//!
+//! The LACC paper runs on MPI over a Cray XC40. This crate substitutes a
+//! faithful *simulation*: `p` ranks execute a real SPMD program on `p` OS
+//! threads, exchanging typed messages through shared-memory channels, with
+//! MPI-style collectives (barrier, broadcast, allgatherv, reduce-scatter,
+//! allreduce, and three all-to-allv algorithms) built on point-to-point
+//! sends exactly as MPI implementations build them.
+//!
+//! Two clocks run at once:
+//!
+//! * **Wall time** — the program really executes in parallel, so races,
+//!   deadlocks and algorithmic bugs are real.
+//! * **Modeled time** — every local operation and every collective is
+//!   charged to an α-β cost model ([`cost::MachineModel`]) parameterised by
+//!   the paper's Table II machines (Edison, Cori KNL). Ranks carry a
+//!   simulated clock that is synchronized through message exchanges (a
+//!   receive advances the receiver's clock to at least the sender's), so
+//!   the maximum clock at the end is a BSP-style makespan. Scaling figures
+//!   report modeled time, because a single host cannot exhibit
+//!   network-bound scaling in wall time.
+//!
+//! # Example
+//! ```
+//! use dmsim::run_spmd;
+//!
+//! let results = run_spmd(4, |comm| {
+//!     let world = comm.world();
+//!     // Everyone contributes its rank; everyone learns all ranks.
+//!     let all = comm.allgatherv(&world, vec![comm.rank()]);
+//!     all.iter().map(|v| v[0]).sum::<usize>()
+//! });
+//! assert_eq!(results, vec![6, 6, 6, 6]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod topology;
+
+pub use collectives::AllToAll;
+pub use comm::{run_spmd, run_spmd_with_model, Comm, Group};
+pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
+pub use topology::Grid2d;

@@ -1,0 +1,131 @@
+//! 2D-distributed pattern matrices.
+
+use super::dvec::block_range;
+use crate::serial::Dcsc;
+use crate::Vid;
+use dmsim::Grid2d;
+use lacc_graph::CsrGraph;
+
+/// The local view of an `n × n` symmetric pattern matrix distributed on a
+/// square process grid: rank `(i, j)` stores block `A_ij` (rows in row
+/// block `i`, columns in column block `j`) as a DCSC with block-local
+/// indices.
+#[derive(Clone, Debug)]
+pub struct DistMat {
+    n: usize,
+    grid: Grid2d,
+    row_range: (usize, usize),
+    col_range: (usize, usize),
+    local: Dcsc,
+}
+
+impl DistMat {
+    /// Extracts rank `rank`'s block from a (conceptually replicated) graph.
+    ///
+    /// In a real distributed setting the graph would arrive pre-partitioned
+    /// from disk; in the simulation every rank slices its block from the
+    /// shared input. The caller should apply a random symmetric permutation
+    /// first (`lacc_graph::permute`) for load balance, as CombBLAS does.
+    pub fn from_graph(g: &CsrGraph, grid: Grid2d, rank: usize) -> Self {
+        assert_eq!(grid.rows(), grid.cols(), "LACC requires a square grid");
+        let n = g.num_vertices();
+        let (i, j) = grid.coords_of(rank);
+        let row_range = block_range(n, grid.rows(), i);
+        let col_range = block_range(n, grid.cols(), j);
+        let mut pairs: Vec<(Vid, Vid)> = Vec::new();
+        for gc in col_range.0..col_range.1 {
+            for &gr in g.neighbors(gc) {
+                if gr >= row_range.0 && gr < row_range.1 {
+                    pairs.push((gr - row_range.0, gc - col_range.0));
+                }
+            }
+        }
+        let local = Dcsc::from_pairs(
+            row_range.1 - row_range.0,
+            col_range.1 - col_range.0,
+            pairs,
+        );
+        DistMat { n, grid, row_range, col_range, local }
+    }
+
+    /// Global matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> Grid2d {
+        self.grid
+    }
+
+    /// Global row range of the local block.
+    pub fn row_range(&self) -> (usize, usize) {
+        self.row_range
+    }
+
+    /// Global column range of the local block.
+    pub fn col_range(&self) -> (usize, usize) {
+        self.col_range
+    }
+
+    /// The local DCSC block (block-local indices).
+    pub fn local(&self) -> &Dcsc {
+        &self.local
+    }
+
+    /// Local nonzero count.
+    pub fn local_nnz(&self) -> usize {
+        self.local.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsim::run_spmd;
+    use lacc_graph::generators::{erdos_renyi_gnm, path_graph};
+
+    #[test]
+    fn blocks_partition_all_edges() {
+        let g = erdos_renyi_gnm(50, 200, 3);
+        let m = g.num_directed_edges();
+        for p in [1usize, 4, 9, 16] {
+            let grid = Grid2d::square(p);
+            let total: usize = (0..p)
+                .map(|r| DistMat::from_graph(&g, grid, r).local_nnz())
+                .sum();
+            assert_eq!(total, m, "p={p}");
+        }
+    }
+
+    #[test]
+    fn block_entries_match_global_graph() {
+        let g = path_graph(11);
+        let grid = Grid2d::square(4);
+        for r in 0..4 {
+            let blk = DistMat::from_graph(&g, grid, r);
+            let (rs, _) = blk.row_range();
+            let (cs, _) = blk.col_range();
+            for (lr, lc) in blk.local().pairs() {
+                assert!(g.has_edge(rs + lr, cs + lc));
+            }
+        }
+    }
+
+    #[test]
+    fn works_inside_spmd() {
+        let g = path_graph(9);
+        let out = run_spmd(9, |c| {
+            let blk = DistMat::from_graph(&g, Grid2d::square(9), c.rank());
+            blk.local_nnz()
+        });
+        assert_eq!(out.iter().sum::<usize>(), g.num_directed_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "square grid")]
+    fn rejects_rectangular_grid() {
+        let g = path_graph(4);
+        DistMat::from_graph(&g, Grid2d::new(2, 1), 0);
+    }
+}

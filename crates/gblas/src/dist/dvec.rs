@@ -1,0 +1,473 @@
+//! Distributed dense and sparse vectors: block or cyclic layout.
+//!
+//! The paper's CombBLAS substrate block-distributes vectors; §VII proposes
+//! **cyclic distribution** as future work to spread the hot low-id parents
+//! across ranks. Both layouts are implemented here behind [`VecLayout`]:
+//!
+//! * [`Distribution::Blocked`] — contiguous chunks in column-major grid
+//!   order, aligned with the matrix column blocks so the `mxv` gather
+//!   stays inside processor columns (CombBLAS `FullyDistVec`).
+//! * [`Distribution::Cyclic`] — element `g` lives on the rank of chunk
+//!   `g mod p`. `extract`/`assign` load-balance perfectly under skewed
+//!   access, at the price of a world-wide (instead of grid-aligned)
+//!   gather in `mxv` — the trade-off the `exp_cyclic` experiment
+//!   quantifies.
+
+use crate::serial::SparseVec;
+use crate::Vid;
+use dmsim::{Comm, Grid2d};
+
+/// Even split of `0..n` into `parts` contiguous blocks; block `k` is
+/// `[k·n/parts, (k+1)·n/parts)`.
+pub fn block_range(n: usize, parts: usize, k: usize) -> (usize, usize) {
+    (k * n / parts, (k + 1) * n / parts)
+}
+
+/// How vector elements map to ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Contiguous chunks (CombBLAS default; matrix-aligned).
+    Blocked,
+    /// Round-robin by index (the paper's §VII future-work layout).
+    Cyclic,
+}
+
+/// The common distribution of all vectors in a computation: `n` elements
+/// over the grid's `p` ranks, where the chunk of grid rank `(i, j)` has
+/// *chunk index* `j·pr + i` (column-major).
+///
+/// In the blocked layout that ordering aligns vector chunks with matrix
+/// column blocks; in the cyclic layout chunk `c` owns every index `g` with
+/// `g ≡ c (mod p)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VecLayout {
+    n: usize,
+    grid: Grid2d,
+    dist: Distribution,
+}
+
+impl VecLayout {
+    /// Blocked layout for `n` elements on `grid` (the paper's default).
+    pub fn new(n: usize, grid: Grid2d) -> Self {
+        VecLayout { n, grid, dist: Distribution::Blocked }
+    }
+
+    /// Cyclic layout for `n` elements on `grid` (§VII future work).
+    pub fn cyclic(n: usize, grid: Grid2d) -> Self {
+        VecLayout { n, grid, dist: Distribution::Cyclic }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty vector.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> Grid2d {
+        self.grid
+    }
+
+    /// The distribution kind.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Chunk index owned by `rank` (column-major grid order).
+    pub fn chunk_of_rank(&self, rank: usize) -> usize {
+        let (i, j) = self.grid.coords_of(rank);
+        j * self.grid.rows() + i
+    }
+
+    /// Rank owning chunk `c`.
+    pub fn rank_of_chunk(&self, c: usize) -> usize {
+        let (i, j) = (c % self.grid.rows(), c / self.grid.rows());
+        self.grid.rank_of(i, j)
+    }
+
+    /// Number of elements stored by `rank`.
+    pub fn local_len(&self, rank: usize) -> usize {
+        let c = self.chunk_of_rank(rank);
+        match self.dist {
+            Distribution::Blocked => {
+                let (s, e) = block_range(self.n, self.grid.size(), c);
+                e - s
+            }
+            Distribution::Cyclic => {
+                if self.n > c {
+                    (self.n - c - 1) / self.grid.size() + 1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Global index of `rank`'s element at local `offset`.
+    pub fn global_of(&self, rank: usize, offset: usize) -> Vid {
+        let c = self.chunk_of_rank(rank);
+        match self.dist {
+            Distribution::Blocked => block_range(self.n, self.grid.size(), c).0 + offset,
+            Distribution::Cyclic => c + offset * self.grid.size(),
+        }
+    }
+
+    /// Local offset of global index `g` on its owner.
+    ///
+    /// # Panics (debug)
+    /// If `g` is not owned by `rank`.
+    pub fn offset_of(&self, rank: usize, g: Vid) -> usize {
+        let c = self.chunk_of_rank(rank);
+        match self.dist {
+            Distribution::Blocked => {
+                let (s, e) = block_range(self.n, self.grid.size(), c);
+                debug_assert!(g >= s && g < e, "index {g} not owned by rank {rank}");
+                g - s
+            }
+            Distribution::Cyclic => {
+                debug_assert_eq!(g % self.grid.size(), c, "index {g} not owned by rank {rank}");
+                (g - c) / self.grid.size()
+            }
+        }
+    }
+
+    /// Global index range owned by `rank` (blocked layout only).
+    pub fn range_of_rank(&self, rank: usize) -> (usize, usize) {
+        assert_eq!(self.dist, Distribution::Blocked, "range_of_rank requires a blocked layout");
+        block_range(self.n, self.grid.size(), self.chunk_of_rank(rank))
+    }
+
+    /// Chunk index containing global index `g` (blocked layout only; used
+    /// by the grid-aligned `mxv` routing).
+    pub fn chunk_containing(&self, g: Vid) -> usize {
+        assert_eq!(self.dist, Distribution::Blocked, "chunk_containing requires a blocked layout");
+        debug_assert!(g < self.n);
+        let p = self.grid.size();
+        // First guess by proportion, then correct for flooring.
+        let mut c = (g * p) / self.n;
+        while block_range(self.n, p, c).0 > g {
+            c -= 1;
+        }
+        while block_range(self.n, p, c).1 <= g {
+            c += 1;
+        }
+        c
+    }
+
+    /// Rank owning global index `g`.
+    pub fn owner_of(&self, g: Vid) -> usize {
+        match self.dist {
+            Distribution::Blocked => self.rank_of_chunk(self.chunk_containing(g)),
+            Distribution::Cyclic => {
+                debug_assert!(g < self.n);
+                self.rank_of_chunk(g % self.grid.size())
+            }
+        }
+    }
+}
+
+/// A dense distributed vector: every rank stores its elements in local
+/// offset order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistVec<T> {
+    layout: VecLayout,
+    rank: usize,
+    local: Vec<T>,
+}
+
+impl<T: Copy + Send + 'static> DistVec<T> {
+    /// Builds this rank's elements from a function of the global index.
+    pub fn from_fn(layout: VecLayout, rank: usize, f: impl Fn(Vid) -> T) -> Self {
+        let len = layout.local_len(rank);
+        DistVec {
+            layout,
+            rank,
+            local: (0..len).map(|o| f(layout.global_of(rank, o))).collect(),
+        }
+    }
+
+    /// Slices this rank's elements out of a replicated global vector (test
+    /// and setup convenience).
+    pub fn from_global(layout: VecLayout, rank: usize, global: &[T]) -> Self {
+        assert_eq!(global.len(), layout.len());
+        Self::from_fn(layout, rank, |g| global[g])
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> VecLayout {
+        self.layout
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Global range `[start, end)` of the local chunk (blocked only).
+    pub fn range(&self) -> (usize, usize) {
+        self.layout.range_of_rank(self.rank)
+    }
+
+    /// Local elements in offset order.
+    pub fn local(&self) -> &[T] {
+        &self.local
+    }
+
+    /// Mutable local elements.
+    pub fn local_mut(&mut self) -> &mut [T] {
+        &mut self.local
+    }
+
+    /// Global index of the element at local `offset`.
+    pub fn global_of(&self, offset: usize) -> Vid {
+        self.layout.global_of(self.rank, offset)
+    }
+
+    /// Value at a locally owned global index.
+    pub fn get_local(&self, g: Vid) -> T {
+        self.local[self.layout.offset_of(self.rank, g)]
+    }
+
+    /// Sets a locally owned global index.
+    pub fn set_local(&mut self, g: Vid, v: T) {
+        self.local[self.layout.offset_of(self.rank, g)] = v;
+    }
+
+    /// True if this rank owns global index `g`.
+    pub fn owns(&self, g: Vid) -> bool {
+        g < self.layout.len() && self.layout.owner_of(g) == self.rank
+    }
+
+    /// Assembles the full vector on every rank (allgather).
+    pub fn to_global(&self, comm: &mut Comm) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let world = comm.world();
+        let by_rank = comm.allgatherv(&world, self.local.clone());
+        let n = self.layout.n;
+        let mut pairs: Vec<(Vid, T)> = Vec::with_capacity(n);
+        for (r, block) in by_rank.into_iter().enumerate() {
+            for (o, v) in block.into_iter().enumerate() {
+                pairs.push((self.layout.global_of(r, o), v));
+            }
+        }
+        debug_assert_eq!(pairs.len(), n);
+        pairs.sort_unstable_by_key(|&(g, _)| g);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// A sparse distributed vector: each rank stores the present entries that
+/// it owns, as `(global index, value)` sorted by index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistSpVec<T> {
+    layout: VecLayout,
+    rank: usize,
+    entries: Vec<(Vid, T)>,
+}
+
+impl<T: Copy + Send + 'static> DistSpVec<T> {
+    /// An empty sparse vector.
+    pub fn empty(layout: VecLayout, rank: usize) -> Self {
+        DistSpVec { layout, rank, entries: Vec::new() }
+    }
+
+    /// Builds from this rank's local entries (must be owned here; sorted
+    /// and checked).
+    pub fn from_local_entries(layout: VecLayout, rank: usize, mut entries: Vec<(Vid, T)>) -> Self {
+        entries.sort_unstable_by_key(|&(g, _)| g);
+        assert!(
+            entries.iter().all(|&(g, _)| g < layout.len() && layout.owner_of(g) == rank),
+            "entry outside local chunk"
+        );
+        debug_assert!(entries.windows(2).all(|w| w[0].0 != w[1].0), "duplicate index");
+        DistSpVec { layout, rank, entries }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> VecLayout {
+        self.layout
+    }
+
+    /// Global range of the local chunk (blocked only).
+    pub fn range(&self) -> (usize, usize) {
+        self.layout.range_of_rank(self.rank)
+    }
+
+    /// Local entries, sorted by global index.
+    pub fn entries(&self) -> &[(Vid, T)] {
+        &self.entries
+    }
+
+    /// Number of locally stored entries.
+    pub fn local_nvals(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total stored entries across all ranks (an allreduce).
+    pub fn global_nvals(&self, comm: &mut Comm) -> usize {
+        let world = comm.world();
+        comm.allreduce(&world, self.entries.len() as u64, |a, b| a + b) as usize
+    }
+
+    /// Assembles the full sparse vector on every rank.
+    pub fn to_serial(&self, comm: &mut Comm) -> SparseVec<T> {
+        let world = comm.world();
+        let by_rank = comm.allgatherv(&world, self.entries.clone());
+        let mut all: Vec<(Vid, T)> = by_rank.into_iter().flatten().collect();
+        all.sort_unstable_by_key(|&(g, _)| g);
+        SparseVec::from_entries(self.layout.n, all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsim::run_spmd;
+
+    #[test]
+    fn block_range_covers_and_partitions() {
+        for (n, parts) in [(10, 3), (7, 7), (100, 16), (5, 8), (0, 4)] {
+            let mut prev = 0;
+            for k in 0..parts {
+                let (s, e) = block_range(n, parts, k);
+                assert_eq!(s, prev);
+                assert!(e >= s);
+                prev = e;
+            }
+            assert_eq!(prev, n);
+        }
+    }
+
+    #[test]
+    fn layout_owner_matches_offsets_both_distributions() {
+        for layout in [
+            VecLayout::new(103, Grid2d::square(9)),
+            VecLayout::cyclic(103, Grid2d::square(9)),
+        ] {
+            let mut seen = 0usize;
+            for r in 0..9 {
+                for o in 0..layout.local_len(r) {
+                    let g = layout.global_of(r, o);
+                    assert!(g < 103);
+                    assert_eq!(layout.owner_of(g), r);
+                    assert_eq!(layout.offset_of(r, g), o);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, 103, "every index owned exactly once");
+        }
+    }
+
+    #[test]
+    fn cyclic_spreads_low_indices() {
+        let layout = VecLayout::cyclic(64, Grid2d::square(16));
+        // Indices 0..16 all land on distinct ranks.
+        let owners: std::collections::BTreeSet<usize> = (0..16).map(|g| layout.owner_of(g)).collect();
+        assert_eq!(owners.len(), 16);
+        // Blocked puts them all on one rank.
+        let blocked = VecLayout::new(64, Grid2d::square(16));
+        let owners_b: std::collections::BTreeSet<usize> = (0..4).map(|g| blocked.owner_of(g)).collect();
+        assert_eq!(owners_b.len(), 1);
+    }
+
+    #[test]
+    fn column_major_chunks_align_with_column_blocks() {
+        // Blocked chunks of processor column j must concatenate to the
+        // matrix column block j.
+        let grid = Grid2d::square(16);
+        let layout = VecLayout::new(97, grid);
+        for j in 0..4 {
+            let col_block = block_range(97, 4, j);
+            let first = layout.range_of_rank(grid.rank_of(0, j)).0;
+            let last = layout.range_of_rank(grid.rank_of(3, j)).1;
+            assert_eq!((first, last), col_block);
+        }
+    }
+
+    #[test]
+    fn chunk_rank_roundtrip() {
+        let layout = VecLayout::new(50, Grid2d::square(4));
+        for c in 0..4 {
+            assert_eq!(layout.chunk_of_rank(layout.rank_of_chunk(c)), c);
+        }
+    }
+
+    #[test]
+    fn distvec_to_global_roundtrip_both_layouts() {
+        let global: Vec<u64> = (0..37).map(|g| g * 3).collect();
+        for cyclic in [false, true] {
+            let gref = &global;
+            let out = run_spmd(4, move |c| {
+                let grid = Grid2d::square(4);
+                let layout = if cyclic {
+                    VecLayout::cyclic(37, grid)
+                } else {
+                    VecLayout::new(37, grid)
+                };
+                let v = DistVec::from_global(layout, c.rank(), gref);
+                v.to_global(c)
+            });
+            for got in out {
+                assert_eq!(got, global, "cyclic={cyclic}");
+            }
+        }
+    }
+
+    #[test]
+    fn distvec_local_accessors() {
+        run_spmd(4, |c| {
+            let layout = VecLayout::cyclic(20, Grid2d::square(4));
+            let mut v = DistVec::from_fn(layout, c.rank(), |g| g as u64);
+            for o in 0..v.local().len() {
+                let g = v.global_of(o);
+                assert!(v.owns(g));
+                assert_eq!(v.get_local(g), g as u64);
+            }
+            if !v.local().is_empty() {
+                let g = v.global_of(0);
+                v.set_local(g, 999);
+                assert_eq!(v.local()[0], 999);
+            }
+        });
+    }
+
+    #[test]
+    fn distspvec_global_roundtrip() {
+        let out = run_spmd(9, |c| {
+            let layout = VecLayout::new(40, Grid2d::square(9));
+            let entries: Vec<(usize, u64)> = (0..40)
+                .filter(|&g| g % 3 == 0 && layout.owner_of(g) == c.rank())
+                .map(|g| (g, g as u64 * 2))
+                .collect();
+            let v = DistSpVec::from_local_entries(layout, c.rank(), entries);
+            let total = v.global_nvals(c);
+            let serial = v.to_serial(c);
+            (total, serial)
+        });
+        let expect: Vec<(usize, u64)> = (0..40).filter(|g| g % 3 == 0).map(|g| (g, g as u64 * 2)).collect();
+        for (total, serial) in out {
+            assert_eq!(total, expect.len());
+            assert_eq!(serial.entries(), &expect[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside local chunk")]
+    fn spvec_rejects_foreign_entries() {
+        run_spmd(4, |c| {
+            let layout = VecLayout::new(16, Grid2d::square(4));
+            if c.rank() == 0 {
+                // Index 15 belongs to the last chunk, not rank 0's.
+                let _ = DistSpVec::from_local_entries(layout, 0, vec![(15usize, 1u8)]);
+            } else {
+                panic!("outside local chunk (sympathetic panic for test harness)");
+            }
+        });
+    }
+}

@@ -1,0 +1,20 @@
+//! Distributed GraphBLAS layer over [`dmsim`] — the CombBLAS role.
+//!
+//! * Matrices are 2D-partitioned on a square `√p × √p` grid
+//!   ([`DistMat`]), with each local block stored in DCSC.
+//! * Vectors ([`DistVec`], [`DistSpVec`]) are block-distributed in
+//!   *column-major chunk order* so that the chunks owned by processor
+//!   column `j` concatenate into exactly the vector segment matching the
+//!   matrix's column block `j` — the alignment CombBLAS guarantees so that
+//!   the allgather phase of `mxv` stays inside processor columns.
+//! * [`ops`] implements the distributed primitives: `mxv` (SpMV/SpMSpV),
+//!   `extract`, `assign`, each matching its serial counterpart
+//!   bit-for-bit, with the paper's §V-B communication optimizations.
+
+pub mod dmat;
+pub mod dvec;
+pub mod ops;
+
+pub use dmat::DistMat;
+pub use dvec::{DistSpVec, DistVec, Distribution, VecLayout};
+pub use ops::{dist_assign, dist_extract, dist_mxv_dense, dist_mxv_sparse, DistMask, DistOpts, ExtractStats};

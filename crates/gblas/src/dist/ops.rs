@@ -1,0 +1,736 @@
+//! Distributed GraphBLAS primitives.
+//!
+//! Each primitive reproduces CombBLAS' communication structure (§V-A):
+//!
+//! * [`dist_mxv_dense`] (SpMV) — allgather of vector chunks within
+//!   processor columns → local block multiply → reduce-scatter within
+//!   processor rows → transpose exchange to restore vector alignment.
+//! * [`dist_mxv_sparse`] (SpMSpV) — sparse allgather within columns →
+//!   local multiply → irregular all-to-all within rows + local merge
+//!   (the paper's description verbatim) → transpose exchange.
+//! * [`dist_extract`] / [`dist_assign`] — request/reply through a global
+//!   all-to-all, with the §V-B mitigations: selectable all-to-all
+//!   algorithm (pairwise / hypercube / sparse) and the hot-rank broadcast
+//!   fallback for the skewed access pattern of Figure 3.
+//!
+//! All primitives are bit-identical to their serial counterparts in
+//! [`crate::serial`]; the test module checks this across grid sizes.
+
+use super::dmat::DistMat;
+use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
+use crate::types::Monoid;
+use crate::Vid;
+use dmsim::{AllToAll, Comm};
+use std::collections::HashMap;
+
+/// Tuning knobs for the distributed primitives (the paper's §V-B levers).
+#[derive(Clone, Copy, Debug)]
+pub struct DistOpts {
+    /// All-to-all algorithm for irregular exchanges.
+    pub alltoall: AllToAll,
+    /// Enables the hot-rank broadcast fallback in [`dist_extract`].
+    pub hot_bcast: bool,
+    /// A rank broadcasts its chunk instead of answering requests when it
+    /// would receive more than `hot_threshold ×` its chunk length in
+    /// requests (the paper's system-dependent `h`).
+    pub hot_threshold: f64,
+}
+
+impl Default for DistOpts {
+    fn default() -> Self {
+        // The optimized LACC configuration: sparse all-to-all (hypercube
+        // metadata exchange) + hot-rank broadcasts.
+        DistOpts { alltoall: AllToAll::Sparse, hot_bcast: true, hot_threshold: 4.0 }
+    }
+}
+
+impl DistOpts {
+    /// The unoptimized baseline: MPI_Alltoallv-style pairwise exchange, no
+    /// broadcast fallback — what §V-B says stopped scaling past 1024 ranks.
+    pub fn naive() -> Self {
+        DistOpts { alltoall: AllToAll::Pairwise, hot_bcast: false, hot_threshold: f64::INFINITY }
+    }
+}
+
+/// A mask aligned with the output vector's distribution.
+#[derive(Clone, Copy)]
+pub enum DistMask<'a> {
+    /// No masking.
+    None,
+    /// Keep where `true`.
+    Keep(&'a DistVec<bool>),
+    /// Keep where `false` (`GrB_SCMP`).
+    Complement(&'a DistVec<bool>),
+}
+
+impl DistMask<'_> {
+    fn allows(&self, g: Vid) -> bool {
+        match self {
+            DistMask::None => true,
+            DistMask::Keep(m) => m.get_local(g),
+            DistMask::Complement(m) => !m.get_local(g),
+        }
+    }
+}
+
+/// Statistics from one [`dist_extract`] call (Figure 3's data).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Requests this rank received and answered point-to-point.
+    pub received_requests: u64,
+    /// Whether this rank took the broadcast fallback.
+    pub did_broadcast: bool,
+}
+
+/// Scatters locally produced `(global row, value)` results to their layout
+/// owners through a world-wide all-to-all, merging duplicates through the
+/// monoid and applying the mask owner-side. The reduce phase of the
+/// cyclic-layout `mxv` paths.
+fn scatter_merge_to_owners<T, M>(
+    comm: &mut Comm,
+    layout: VecLayout,
+    produced: Vec<(Vid, T)>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + 'static,
+    M: Monoid<T>,
+{
+    let p = comm.size();
+    let world = comm.world();
+    let mut buckets: Vec<Vec<(Vid, T)>> = vec![Vec::new(); p];
+    for (g, v) in produced {
+        buckets[layout.owner_of(g)].push((g, v));
+    }
+    let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
+    let mut merged: HashMap<Vid, T> = HashMap::new();
+    let mut nops = 1u64;
+    for part in incoming {
+        nops += part.len() as u64;
+        for (g, v) in part {
+            merged
+                .entry(g)
+                .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                .or_insert(v);
+        }
+    }
+    comm.charge_compute(nops);
+    let entries: Vec<(Vid, T)> = merged.into_iter().filter(|&(g, _)| mask.allows(g)).collect();
+    DistSpVec::from_local_entries(layout, comm.rank(), entries)
+}
+
+/// Cyclic-layout SpMV/SpMSpV: the vector is not grid-aligned, so the
+/// gather phase is a world-wide allgather (each rank reassembles its
+/// column block from all chunks) and the reduce phase routes results
+/// straight to their cyclic owners. This is the communication price §VII
+/// anticipates paying for the better `extract`/`assign` balance.
+fn dist_mxv_cyclic<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x_dense: Option<&DistVec<T>>,
+    x_sparse: Option<&DistSpVec<T>>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + 'static,
+    M: Monoid<T>,
+{
+    let layout = x_dense.map(|x| x.layout()).or(x_sparse.map(|x| x.layout())).expect("one input");
+    let world = comm.world();
+    let (cs, ce) = a.col_range();
+    let (rs, re) = a.row_range();
+    let h = re - rs;
+    let mut acc = vec![monoid.identity(); h];
+    let mut is_touched = vec![false; h];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut ops = 1u64;
+    match (x_dense, x_sparse) {
+        (Some(x), None) => {
+            let chunks = comm.allgatherv(&world, x.local().to_vec());
+            for g in cs..ce {
+                let o = layout.owner_of(g);
+                let xv = chunks[o][layout.offset_of(o, g)];
+                let rows = a.local().col(g - cs);
+                for &lr in rows {
+                    if !is_touched[lr] {
+                        is_touched[lr] = true;
+                        touched.push(lr);
+                    }
+                    acc[lr] = monoid.combine(acc[lr], xv);
+                }
+                ops += rows.len() as u64 + 1;
+            }
+        }
+        (None, Some(x)) => {
+            let gathered: Vec<(Vid, T)> = comm
+                .allgatherv(&world, x.entries().to_vec())
+                .into_iter()
+                .flatten()
+                .collect();
+            for (g, xv) in gathered {
+                if g < cs || g >= ce {
+                    continue;
+                }
+                let rows = a.local().col(g - cs);
+                for &lr in rows {
+                    if !is_touched[lr] {
+                        is_touched[lr] = true;
+                        touched.push(lr);
+                    }
+                    acc[lr] = monoid.combine(acc[lr], xv);
+                }
+                ops += rows.len() as u64 + 1;
+            }
+        }
+        _ => unreachable!("exactly one input"),
+    }
+    comm.charge_compute(ops);
+    touched.sort_unstable();
+    let produced: Vec<(Vid, T)> = touched.into_iter().map(|lr| (rs + lr, acc[lr])).collect();
+    scatter_merge_to_owners(comm, layout, produced, mask, monoid, opts)
+}
+
+/// Distributed SpMV: `y = A ⊕.2nd x` with dense input `x`, masked output.
+pub fn dist_mxv_dense<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x: &DistVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + 'static,
+    M: Monoid<T>,
+{
+    let grid = a.grid();
+    let layout = x.layout();
+    assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
+    if layout.distribution() == Distribution::Cyclic {
+        return dist_mxv_cyclic(comm, a, Some(x), None, mask, monoid, &DistOpts::default());
+    }
+    let me = comm.rank();
+    let (i, j) = grid.coords_of(me);
+    let (pr, pc, p) = (grid.rows(), grid.cols(), grid.size());
+
+    // Phase 1: assemble the column-block segment of x within the processor
+    // column (group index within col_group equals grid row, so blocks
+    // concatenate in global order).
+    let col_group = grid.col_group(comm);
+    let chunks = comm.allgatherv(&col_group, x.local().to_vec());
+    let x_block: Vec<T> = chunks.concat();
+    debug_assert_eq!(x_block.len(), a.col_range().1 - a.col_range().0);
+
+    // Phase 2: local block multiply into a row-block accumulator.
+    let (rs, re) = a.row_range();
+    let h = re - rs;
+    let mut acc = vec![monoid.identity(); h];
+    let mut touched = vec![false; h];
+    let mut ops: u64 = 0;
+    for (lc, rows) in a.local().nonempty_cols() {
+        let xv = x_block[lc];
+        for &lr in rows {
+            acc[lr] = monoid.combine(acc[lr], xv);
+            touched[lr] = true;
+        }
+        ops += rows.len() as u64;
+    }
+    comm.charge_compute(ops + x_block.len() as u64);
+
+    // Phase 3: reduce-scatter within the processor row. Subchunk k of this
+    // row block is global chunk i·pc + k, destined for row-group member k.
+    let row_group = grid.row_group(comm);
+    let parts: Vec<Vec<(T, bool)>> = (0..pc)
+        .map(|k| {
+            let (s, e) = block_range(a.n(), p, i * pc + k);
+            (s..e).map(|g| (acc[g - rs], touched[g - rs])).collect()
+        })
+        .collect();
+    let reduced = comm.reduce_scatter(&row_group, parts, |aa: &mut (T, bool), bb: (T, bool)| {
+        if bb.1 {
+            if aa.1 {
+                aa.0 = monoid.combine(aa.0, bb.0);
+            } else {
+                *aa = bb;
+            }
+        }
+    });
+
+    // Phase 4: transpose exchange — the reduced chunk i·pc + j belongs to
+    // rank (j, i) under the column-major vector layout.
+    let held_chunk = i * pc + j;
+    let owner = layout.rank_of_chunk(held_chunk);
+    let my_chunk = layout.chunk_of_rank(me);
+    let holder = grid.rank_of(my_chunk / pc, my_chunk % pc);
+    let mine: Vec<(T, bool)> = if owner == me {
+        debug_assert_eq!(holder, me);
+        reduced
+    } else {
+        comm.send_vec(owner, reduced);
+        comm.recv(holder)
+    };
+    let _ = pr;
+
+    // Owner-side: keep touched entries passing the mask.
+    let (s, _e) = layout.range_of_rank(me);
+    let entries: Vec<(Vid, T)> = mine
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (_, t))| *t)
+        .map(|(off, (v, _))| (s + off, v))
+        .filter(|&(g, _)| mask.allows(g))
+        .collect();
+    comm.charge_compute(entries.len() as u64);
+    DistSpVec::from_local_entries(layout, me, entries)
+}
+
+/// Distributed SpMSpV: `y = A ⊕.2nd x` with sparse input `x`.
+pub fn dist_mxv_sparse<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x: &DistSpVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + 'static,
+    M: Monoid<T>,
+{
+    let grid = a.grid();
+    let layout = x.layout();
+    assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
+    if layout.distribution() == Distribution::Cyclic {
+        return dist_mxv_cyclic(comm, a, None, Some(x), mask, monoid, opts);
+    }
+    let me = comm.rank();
+    let (i, j) = grid.coords_of(me);
+    let (pc, p) = (grid.cols(), grid.size());
+
+    // Phase 1: sparse allgather of x entries within the processor column.
+    let col_group = grid.col_group(comm);
+    let gathered: Vec<(Vid, T)> = comm
+        .allgatherv(&col_group, x.entries().to_vec())
+        .into_iter()
+        .flatten()
+        .collect();
+
+    // Phase 2: local multiply through the DCSC block.
+    let (cs, _ce) = a.col_range();
+    let (rs, re) = a.row_range();
+    let h = re - rs;
+    let mut acc = vec![monoid.identity(); h];
+    let mut is_touched = vec![false; h];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut ops: u64 = 1;
+    for &(gc, xv) in &gathered {
+        let rows = a.local().col(gc - cs);
+        for &lr in rows {
+            if !is_touched[lr] {
+                is_touched[lr] = true;
+                touched.push(lr);
+            }
+            acc[lr] = monoid.combine(acc[lr], xv);
+        }
+        ops += rows.len() as u64 + 1;
+    }
+    comm.charge_compute(ops);
+
+    // Phase 3: irregular all-to-all within the processor row, routing each
+    // partial result to the row-group member owning its subchunk, then a
+    // local merge (the paper's SpMSpV reduce phase).
+    let row_group = grid.row_group(comm);
+    let mut buckets: Vec<Vec<(Vid, T)>> = vec![Vec::new(); pc];
+    touched.sort_unstable();
+    for &lr in &touched {
+        let g = rs + lr;
+        let c = layout.chunk_containing(g);
+        debug_assert!(c >= i * pc && c < (i + 1) * pc);
+        buckets[c - i * pc].push((g, acc[lr]));
+    }
+    let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
+    let mut merged: HashMap<Vid, T> = HashMap::new();
+    let mut merge_ops = 0u64;
+    for part in incoming {
+        merge_ops += part.len() as u64;
+        for (g, v) in part {
+            merged
+                .entry(g)
+                .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                .or_insert(v);
+        }
+    }
+    comm.charge_compute(merge_ops);
+
+    // Phase 4: transpose exchange to the layout owner.
+    let held_chunk = i * pc + j;
+    let owner = layout.rank_of_chunk(held_chunk);
+    let my_chunk = layout.chunk_of_rank(me);
+    let holder = grid.rank_of(my_chunk / pc, my_chunk % pc);
+    let to_send: Vec<(Vid, T)> = merged.into_iter().collect();
+    let mine: Vec<(Vid, T)> = if owner == me {
+        to_send
+    } else {
+        comm.send_vec(owner, to_send);
+        comm.recv(holder)
+    };
+    let _ = p;
+
+    let entries: Vec<(Vid, T)> = mine.into_iter().filter(|&(g, _)| mask.allows(g)).collect();
+    comm.charge_compute(entries.len() as u64);
+    DistSpVec::from_local_entries(layout, me, entries)
+}
+
+/// Distributed gather (`GrB_extract` by index list): returns
+/// `src[requests[k]]` for each locally supplied request, in order.
+///
+/// Implements the paper's skew mitigation: per-owner request totals are
+/// allreduced; owners whose incoming load exceeds `hot_threshold ×` their
+/// chunk size broadcast their chunk instead of answering point-to-point
+/// (then drop out of the all-to-all, which the sparse algorithm exploits).
+pub fn dist_extract<T>(
+    comm: &mut Comm,
+    src: &DistVec<T>,
+    requests: &[Vid],
+    opts: &DistOpts,
+) -> (Vec<T>, ExtractStats)
+where
+    T: Copy + Send + 'static,
+{
+    let layout = src.layout();
+    let p = comm.size();
+    let me = comm.rank();
+    let world = comm.world();
+
+    let mut req_ids: Vec<Vec<Vid>> = vec![Vec::new(); p];
+    let mut req_pos: Vec<Vec<usize>> = vec![Vec::new(); p];
+    for (pos, &g) in requests.iter().enumerate() {
+        let o = layout.owner_of(g);
+        req_ids[o].push(g);
+        req_pos[o].push(pos);
+    }
+    comm.charge_compute(requests.len() as u64 + 1);
+
+    let mut results: Vec<Option<T>> = vec![None; requests.len()];
+    let mut stats = ExtractStats::default();
+
+    // Detect hot owners by global request totals.
+    let hot: Vec<bool> = if opts.hot_bcast && p > 1 {
+        let my_counts: Vec<u64> = req_ids.iter().map(|v| v.len() as u64).collect();
+        let totals = comm.allreduce_counted(&world, my_counts, p as u64, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        });
+        (0..p)
+            .map(|o| totals[o] as f64 > opts.hot_threshold * (layout.local_len(o).max(1) as f64))
+            .collect()
+    } else {
+        vec![false; p]
+    };
+
+    // Hot owners broadcast their chunk; requesters self-serve.
+    for o in 0..p {
+        if !hot[o] {
+            continue;
+        }
+        let chunk = comm.bcast_vec(&world, o, (me == o).then(|| src.local().to_vec()));
+        if me == o {
+            stats.did_broadcast = true;
+        }
+        for (&g, &pos) in req_ids[o].iter().zip(&req_pos[o]) {
+            results[pos] = Some(chunk[layout.offset_of(o, g)]);
+        }
+        comm.charge_compute(req_ids[o].len() as u64 + 1);
+    }
+
+    // Remaining requests go through the all-to-all.
+    let send: Vec<Vec<Vid>> = (0..p)
+        .map(|o| if hot[o] { Vec::new() } else { req_ids[o].clone() })
+        .collect();
+    let incoming = comm.alltoallv(&world, send, opts.alltoall);
+    stats.received_requests = incoming.iter().map(|v| v.len() as u64).sum();
+    let replies: Vec<Vec<T>> = incoming
+        .iter()
+        .map(|ids| ids.iter().map(|&g| src.get_local(g)).collect())
+        .collect();
+    comm.charge_compute(stats.received_requests + 1);
+    let reply_back = comm.alltoallv(&world, replies, opts.alltoall);
+    for o in 0..p {
+        if hot[o] {
+            continue;
+        }
+        for (k, &pos) in req_pos[o].iter().enumerate() {
+            results[pos] = Some(reply_back[o][k]);
+        }
+    }
+    (
+        results.into_iter().map(|r| r.expect("every request answered")).collect(),
+        stats,
+    )
+}
+
+/// Distributed scatter (`GrB_assign` by index list): applies
+/// `dst[g] = v` for every locally supplied update `(g, v)`. Duplicate
+/// targets (across all ranks) are resolved deterministically through the
+/// monoid, mirroring [`crate::serial::assign`].
+///
+/// Returns the number of *locally owned* elements whose value changed;
+/// callers allreduce this for the global convergence test.
+pub fn dist_assign<T, M>(
+    comm: &mut Comm,
+    dst: &mut DistVec<T>,
+    updates: &[(Vid, T)],
+    monoid: M,
+    opts: &DistOpts,
+) -> usize
+where
+    T: Copy + Send + PartialEq + 'static,
+    M: Monoid<T>,
+{
+    let layout = dst.layout();
+    let p = comm.size();
+    let world = comm.world();
+    let mut buckets: Vec<Vec<(Vid, T)>> = vec![Vec::new(); p];
+    for &(g, v) in updates {
+        buckets[layout.owner_of(g)].push((g, v));
+    }
+    comm.charge_compute(updates.len() as u64 + 1);
+    let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
+    let mut combined: HashMap<Vid, T> = HashMap::new();
+    let mut nops = 0u64;
+    for part in incoming {
+        nops += part.len() as u64;
+        for (g, v) in part {
+            combined
+                .entry(g)
+                .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                .or_insert(v);
+        }
+    }
+    comm.charge_compute(nops + 1);
+    let mut changed = 0;
+    for (g, v) in combined {
+        if dst.get_local(g) != v {
+            dst.set_local(g, v);
+            changed += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::dvec::VecLayout;
+    use crate::serial::{self, Pattern, SparseVec};
+    use crate::types::{Mask, MinUsize};
+    use dmsim::{run_spmd, Grid2d};
+    use lacc_graph::generators::{erdos_renyi_gnm, path_graph, rmat, RmatParams};
+    use lacc_graph::CsrGraph;
+    use rand::{Rng, SeedableRng};
+
+    const GRIDS: [usize; 4] = [1, 4, 9, 16];
+
+    fn random_dense(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..n.max(1))).collect()
+    }
+
+    fn check_mxv_dense(g: &CsrGraph, x_global: &[usize], mask_global: Option<&[bool]>) {
+        let a_serial = Pattern::from_graph(g);
+        let n = g.num_vertices();
+        for p in GRIDS {
+            let expected = match mask_global {
+                None => serial::mxv_dense(&a_serial, x_global, Mask::None, MinUsize),
+                Some(m) => serial::mxv_dense(&a_serial, x_global, Mask::Keep(m), MinUsize),
+            };
+            let out = run_spmd(p, |c| {
+                let grid = Grid2d::square(p);
+                let layout = VecLayout::new(n, grid);
+                let a = DistMat::from_graph(g, grid, c.rank());
+                let x = DistVec::from_global(layout, c.rank(), x_global);
+                let mv = mask_global.map(|m| DistVec::from_global(layout, c.rank(), m));
+                let mask = match &mv {
+                    None => DistMask::None,
+                    Some(m) => DistMask::Keep(m),
+                };
+                let y = dist_mxv_dense(c, &a, &x, mask, MinUsize);
+                y.to_serial(c)
+            });
+            for y in out {
+                assert_eq!(y, expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_dense_matches_serial_er() {
+        let g = erdos_renyi_gnm(60, 150, 1);
+        let x = random_dense(60, 2);
+        check_mxv_dense(&g, &x, None);
+    }
+
+    #[test]
+    fn mxv_dense_matches_serial_masked() {
+        let g = rmat(6, 4, RmatParams::graph500(), 3);
+        let n = g.num_vertices();
+        let x = random_dense(n, 5);
+        let mask: Vec<bool> = (0..n).map(|v| v % 3 != 0).collect();
+        check_mxv_dense(&g, &x, Some(&mask));
+    }
+
+    #[test]
+    fn mxv_dense_path_small_n_large_p() {
+        // n=10 with p=16 ranks: some chunks are empty.
+        let g = path_graph(10);
+        let x = random_dense(10, 7);
+        check_mxv_dense(&g, &x, None);
+    }
+
+    fn check_mxv_sparse(g: &CsrGraph, x_serial: &SparseVec<usize>, opts: DistOpts) {
+        let a_serial = Pattern::from_graph(g);
+        let n = g.num_vertices();
+        let expected = serial::mxv_sparse(&a_serial, x_serial, Mask::None, MinUsize);
+        for p in GRIDS {
+            let out = run_spmd(p, |c| {
+                let grid = Grid2d::square(p);
+                let layout = VecLayout::new(n, grid);
+                let a = DistMat::from_graph(g, grid, c.rank());
+                let (s, e) = layout.range_of_rank(c.rank());
+                let local: Vec<(usize, usize)> = x_serial
+                    .entries()
+                    .iter()
+                    .copied()
+                    .filter(|&(g, _)| g >= s && g < e)
+                    .collect();
+                let x = DistSpVec::from_local_entries(layout, c.rank(), local);
+                let y = dist_mxv_sparse(c, &a, &x, DistMask::None, MinUsize, &opts);
+                y.to_serial(c)
+            });
+            for y in out {
+                assert_eq!(y, expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_sparse_matches_serial_all_algorithms() {
+        let g = erdos_renyi_gnm(50, 120, 11);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        for i in 0..50 {
+            if rng.random_bool(0.3) {
+                entries.push((i, rng.random_range(0..50)));
+            }
+        }
+        let x = SparseVec::from_entries(50, entries);
+        for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
+            check_mxv_sparse(&g, &x, DistOpts { alltoall: algo, ..DistOpts::default() });
+        }
+    }
+
+    #[test]
+    fn mxv_sparse_empty_input() {
+        let g = path_graph(20);
+        let x = SparseVec::empty(20);
+        check_mxv_sparse(&g, &x, DistOpts::default());
+    }
+
+    #[test]
+    fn mxv_sparse_single_entry() {
+        let g = path_graph(20);
+        let x = SparseVec::from_entries(20, vec![(10, 3)]);
+        check_mxv_sparse(&g, &x, DistOpts::default());
+    }
+
+    #[test]
+    fn extract_matches_serial() {
+        let n = 80;
+        let src_global: Vec<usize> = (0..n).map(|g| g * 7 % 64).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        // Skewed request pattern: most requests hit low indices (as parent
+        // pointers do after conditional hooking).
+        let all_requests: Vec<Vec<usize>> = (0..16)
+            .map(|_| (0..30).map(|_| rng.random_range(0..n) / 3).collect())
+            .collect();
+        for p in GRIDS {
+            for opts in [DistOpts::default(), DistOpts::naive()] {
+                let out = run_spmd(p, |c| {
+                    let layout = VecLayout::new(n, Grid2d::square(p));
+                    let src = DistVec::from_global(layout, c.rank(), &src_global);
+                    let (vals, _) = dist_extract(c, &src, &all_requests[c.rank()], &opts);
+                    vals
+                });
+                for (r, vals) in out.iter().enumerate() {
+                    let expected = serial::extract(&src_global, &all_requests[r]);
+                    assert_eq!(vals, &expected, "p={p} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_hot_rank_broadcasts() {
+        let n = 64;
+        let p = 16;
+        let src_global: Vec<usize> = (0..n).collect();
+        let out = run_spmd(p, |c| {
+            let layout = VecLayout::new(n, Grid2d::square(p));
+            let src = DistVec::from_global(layout, c.rank(), &src_global);
+            // Everyone hammers index 0 — its owner becomes hot.
+            let reqs = vec![0usize; 40];
+            let opts = DistOpts { hot_threshold: 2.0, ..DistOpts::default() };
+            let (vals, stats) = dist_extract(c, &src, &reqs, &opts);
+            assert!(vals.iter().all(|&v| v == 0));
+            stats
+        });
+        let owner0 = out.iter().filter(|s| s.did_broadcast).count();
+        assert_eq!(owner0, 1, "exactly the owner of index 0 broadcasts");
+        // The broadcasting owner answers no point-to-point requests.
+        assert!(out.iter().all(|s| !s.did_broadcast || s.received_requests == 0));
+    }
+
+    #[test]
+    fn assign_matches_serial_with_duplicates() {
+        let n = 60;
+        let init: Vec<usize> = vec![usize::MAX; n];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let all_updates: Vec<Vec<(usize, usize)>> = (0..16)
+            .map(|_| {
+                (0..25)
+                    .map(|_| (rng.random_range(0..n), rng.random_range(0..1000)))
+                    .collect()
+            })
+            .collect();
+        for p in GRIDS {
+            // Serial reference: the first p ranks' updates, min-combined.
+            let mut expected = init.clone();
+            let flat: Vec<(usize, usize)> = all_updates[..p].iter().flatten().copied().collect();
+            serial::assign(&mut expected, &flat, MinUsize);
+            let out = run_spmd(p, |c| {
+                let layout = VecLayout::new(n, Grid2d::square(p));
+                let mut dst = DistVec::from_global(layout, c.rank(), &init);
+                dist_assign(c, &mut dst, &all_updates[c.rank()], MinUsize, &DistOpts::default());
+                dst.to_global(c)
+            });
+            for got in out {
+                assert_eq!(got, expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_empty_updates_is_noop() {
+        let n = 10;
+        let init: Vec<usize> = (0..n).collect();
+        let out = run_spmd(4, |c| {
+            let layout = VecLayout::new(n, Grid2d::square(4));
+            let mut dst = DistVec::from_global(layout, c.rank(), &init);
+            dist_assign(c, &mut dst, &[], MinUsize, &DistOpts::default());
+            dst.to_global(c)
+        });
+        assert_eq!(out[0], init);
+    }
+}

@@ -1,0 +1,131 @@
+//! Doubly compressed sparse columns.
+//!
+//! CombBLAS stores each local submatrix in DCSC (§V): when a matrix is
+//! 2D-partitioned among many processes, most local blocks have far fewer
+//! nonzero *columns* than total columns, so a plain CSC's `O(ncols)`
+//! column-pointer array dominates memory. DCSC stores only the nonempty
+//! columns (`jc`) plus a compressed pointer array — `O(nnz)` space
+//! regardless of dimensions.
+
+use crate::Vid;
+
+/// A pattern-only doubly compressed sparse column matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dcsc {
+    nrows: usize,
+    ncols: usize,
+    /// Nonempty column ids, ascending.
+    jc: Vec<Vid>,
+    /// `colptr[k]..colptr[k+1]` indexes `rowidx` for column `jc[k]`.
+    colptr: Vec<usize>,
+    rowidx: Vec<Vid>,
+}
+
+impl Dcsc {
+    /// Builds from (row, col) pairs; duplicates are not allowed.
+    pub fn from_pairs(nrows: usize, ncols: usize, mut pairs: Vec<(Vid, Vid)>) -> Self {
+        pairs.sort_unstable_by_key(|&(r, c)| (c, r));
+        debug_assert!(pairs.windows(2).all(|w| w[0] != w[1]), "duplicate entries");
+        let mut jc = Vec::new();
+        let mut colptr = vec![0usize];
+        let mut rowidx = Vec::with_capacity(pairs.len());
+        for (r, c) in pairs {
+            assert!(r < nrows && c < ncols, "entry ({r},{c}) out of range");
+            if jc.last() != Some(&c) {
+                jc.push(c);
+                colptr.push(rowidx.len());
+            }
+            rowidx.push(r);
+            *colptr.last_mut().expect("colptr nonempty") = rowidx.len();
+        }
+        Dcsc { nrows, ncols, jc, colptr, rowidx }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Number of nonempty columns.
+    pub fn ncols_nonempty(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// Row indices of column `c` (empty slice if the column is empty).
+    pub fn col(&self, c: Vid) -> &[Vid] {
+        match self.jc.binary_search(&c) {
+            Ok(k) => &self.rowidx[self.colptr[k]..self.colptr[k + 1]],
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates over `(column id, row indices)` for nonempty columns.
+    pub fn nonempty_cols(&self) -> impl Iterator<Item = (Vid, &[Vid])> + '_ {
+        self.jc
+            .iter()
+            .enumerate()
+            .map(move |(k, &c)| (c, &self.rowidx[self.colptr[k]..self.colptr[k + 1]]))
+    }
+
+    /// All entries as `(row, col)` pairs in column order.
+    pub fn pairs(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
+        self.nonempty_cols()
+            .flat_map(|(c, rows)| rows.iter().map(move |&r| (r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypersparse_storage() {
+        // 1M x 1M block with 3 entries: storage must be O(nnz).
+        let d = Dcsc::from_pairs(1_000_000, 1_000_000, vec![(5, 100), (7, 100), (3, 999_999)]);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.ncols_nonempty(), 2);
+        assert_eq!(d.col(100), &[5, 7]);
+        assert_eq!(d.col(999_999), &[3]);
+        assert_eq!(d.col(0), &[] as &[usize]);
+    }
+
+    #[test]
+    fn empty_block() {
+        let d = Dcsc::from_pairs(10, 10, vec![]);
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.ncols_nonempty(), 0);
+        assert_eq!(d.col(5), &[] as &[usize]);
+        assert_eq!(d.pairs().count(), 0);
+    }
+
+    #[test]
+    fn pairs_roundtrip_sorted() {
+        let input = vec![(2, 0), (1, 0), (0, 3)];
+        let d = Dcsc::from_pairs(3, 4, input);
+        let out: Vec<_> = d.pairs().collect();
+        assert_eq!(out, vec![(1, 0), (2, 0), (0, 3)]);
+    }
+
+    #[test]
+    fn nonempty_cols_iteration() {
+        let d = Dcsc::from_pairs(4, 8, vec![(0, 2), (3, 2), (1, 6)]);
+        let cols: Vec<_> = d.nonempty_cols().map(|(c, rows)| (c, rows.len())).collect();
+        assert_eq!(cols, vec![(2, 2), (6, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Dcsc::from_pairs(2, 2, vec![(2, 0)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Element-wise addition on the union of supports (`GrB_eWiseAdd`).
+
+use super::vector::SparseVec;
+use crate::types::Monoid;
+use crate::Vid;
+
+/// Union combine: positions present in both vectors combine through the
+/// monoid; positions present in exactly one keep their value.
+pub fn ewise_add<T, M>(u: &SparseVec<T>, v: &SparseVec<T>, monoid: M) -> SparseVec<T>
+where
+    T: Copy,
+    M: Monoid<T>,
+{
+    assert_eq!(u.len(), v.len(), "vector length mismatch");
+    let (ue, ve) = (u.entries(), v.entries());
+    let mut out: Vec<(Vid, T)> = Vec::with_capacity(ue.len() + ve.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ue.len() || j < ve.len() {
+        match (ue.get(i), ve.get(j)) {
+            (Some(&(iu, tu)), Some(&(iv, tv))) => match iu.cmp(&iv) {
+                std::cmp::Ordering::Less => {
+                    out.push((iu, tu));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((iv, tv));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((iu, monoid.combine(tu, tv)));
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(&(iu, tu)), None) => {
+                out.push((iu, tu));
+                i += 1;
+            }
+            (None, Some(&(iv, tv))) => {
+                out.push((iv, tv));
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    SparseVec::from_entries(u.len(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AddUsize, MinUsize};
+
+    #[test]
+    fn union_semantics() {
+        let u = SparseVec::from_entries(8, vec![(0, 1usize), (3, 5), (6, 2)]);
+        let v = SparseVec::from_entries(8, vec![(3, 2usize), (4, 9)]);
+        let w = ewise_add(&u, &v, AddUsize);
+        assert_eq!(w.entries(), &[(0, 1), (3, 7), (4, 9), (6, 2)]);
+        let m = ewise_add(&u, &v, MinUsize);
+        assert_eq!(m.get(3), Some(2));
+        assert_eq!(m.get(0), Some(1));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let u: SparseVec<usize> = SparseVec::empty(5);
+        let v = SparseVec::from_entries(5, vec![(2, 7usize)]);
+        assert_eq!(ewise_add(&u, &v, AddUsize), v);
+        assert_eq!(ewise_add(&v, &u, AddUsize), v);
+        assert_eq!(ewise_add(&u, &u, AddUsize).nvals(), 0);
+    }
+
+    #[test]
+    fn commutative_for_commutative_monoid() {
+        let u = SparseVec::from_entries(10, vec![(1, 4usize), (5, 6)]);
+        let v = SparseVec::from_entries(10, vec![(1, 2usize), (9, 8)]);
+        assert_eq!(ewise_add(&u, &v, AddUsize), ewise_add(&v, &u, AddUsize));
+    }
+}

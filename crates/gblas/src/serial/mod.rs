@@ -1,0 +1,24 @@
+//! Serial GraphBLAS layer — the correctness reference.
+//!
+//! This plays the role of the paper's SuiteSparse:GraphBLAS implementation
+//! (the "simplified unoptimized serial" LACC committed to LAGraph): every
+//! distributed primitive in [`crate::dist`] is tested for bit-identical
+//! results against these functions.
+
+mod csc;
+mod dcsc;
+mod ewise_add;
+mod matrix_ops;
+mod ops;
+mod spgemm;
+mod vector;
+
+pub use csc::{Csc, Pattern};
+pub use ewise_add::ewise_add;
+pub use matrix_ops::{column_reduce, map_values, max_abs_diff, normalize_columns, transpose};
+pub use dcsc::Dcsc;
+pub use ops::{
+    apply, assign, ewise_mult, ewise_mult_dense, extract, mxv_dense, mxv_sparse, reduce, select,
+};
+pub use spgemm::{spgemm, Prune};
+pub use vector::SparseVec;

@@ -1,0 +1,304 @@
+//! Serial GraphBLAS operations.
+//!
+//! Naming follows the paper's usage of the C API:
+//!
+//! * [`mxv_dense`] / [`mxv_sparse`] — `GrB_mxv` on the `(Select2nd, min)`
+//!   style semiring over a pattern matrix: the multiply passes the vector
+//!   value through, the monoid argument accumulates. The two entry points
+//!   mirror the SpMV / SpMSpV dispatch the paper's `GrB_mxv` performs
+//!   internally based on input sparsity.
+//! * [`ewise_mult`] — `GrB_eWiseMult` on the intersection of supports.
+//! * [`extract`] — vector-variant `GrB_extract`: gather `u[indices]`.
+//! * [`assign`] — vector-variant `GrB_assign`: scatter into `w[indices]`.
+//!   Duplicate target indices are resolved with the supplied monoid (the
+//!   PRAM original allows arbitrary CRCW winners; a monoid makes serial
+//!   and distributed runs bit-identical).
+//! * [`reduce`], [`apply`], [`select`] — the obvious GraphBLAS siblings.
+
+use super::csc::Pattern;
+use super::vector::SparseVec;
+use crate::types::{Mask, Monoid};
+use crate::Vid;
+
+/// `y = A ⊕.2nd x` with a dense input vector (SpMV). Returns the sparse
+/// result restricted by `mask`.
+///
+/// ```
+/// use gblas::serial::{mxv_dense, Pattern};
+/// use gblas::{Mask, MinUsize};
+/// use lacc_graph::generators::path_graph;
+///
+/// // On a path 0-1-2, each vertex takes the min of its neighbors' values.
+/// let a = Pattern::from_graph(&path_graph(3));
+/// let y = mxv_dense(&a, &[5usize, 0, 9], Mask::None, MinUsize);
+/// assert_eq!(y.to_dense(usize::MAX), vec![0, 5, 0]);
+/// ```
+pub fn mxv_dense<T, M>(a: &Pattern, x: &[T], mask: Mask<'_>, monoid: M) -> SparseVec<T>
+where
+    T: Copy,
+    M: Monoid<T>,
+{
+    let n = a.nrows();
+    assert_eq!(x.len(), a.ncols(), "vector length mismatch");
+    let mut acc = vec![monoid.identity(); n];
+    let mut touched = vec![false; n];
+    for (j, &xv) in x.iter().enumerate() {
+        for &i in a.col(j) {
+            acc[i] = monoid.combine(acc[i], xv);
+            touched[i] = true;
+        }
+    }
+    let entries = (0..n)
+        .filter(|&i| touched[i] && mask.allows(i))
+        .map(|i| (i, acc[i]))
+        .collect();
+    SparseVec::from_entries(n, entries)
+}
+
+/// `y = A ⊕.2nd x` with a sparse input vector (SpMSpV).
+pub fn mxv_sparse<T, M>(a: &Pattern, x: &SparseVec<T>, mask: Mask<'_>, monoid: M) -> SparseVec<T>
+where
+    T: Copy,
+    M: Monoid<T>,
+{
+    let n = a.nrows();
+    assert_eq!(x.len(), a.ncols(), "vector length mismatch");
+    let mut acc = vec![monoid.identity(); n];
+    let mut touched: Vec<Vid> = Vec::new();
+    let mut is_touched = vec![false; n];
+    for &(j, xv) in x.entries() {
+        for &i in a.col(j) {
+            if !mask.allows(i) {
+                continue;
+            }
+            if !is_touched[i] {
+                is_touched[i] = true;
+                touched.push(i);
+            }
+            acc[i] = monoid.combine(acc[i], xv);
+        }
+    }
+    touched.sort_unstable();
+    let entries = touched.into_iter().map(|i| (i, acc[i])).collect();
+    SparseVec::from_entries(n, entries)
+}
+
+/// Element-wise multiply on the intersection of two sparse supports.
+pub fn ewise_mult<T, U, W, F>(u: &SparseVec<T>, v: &SparseVec<U>, f: F) -> SparseVec<W>
+where
+    T: Copy,
+    U: Copy,
+    W: Copy,
+    F: Fn(T, U) -> W,
+{
+    assert_eq!(u.len(), v.len(), "vector length mismatch");
+    let (ue, ve) = (u.entries(), v.entries());
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ue.len() && j < ve.len() {
+        match ue[i].0.cmp(&ve[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push((ue[i].0, f(ue[i].1, ve[j].1)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    SparseVec::from_entries(u.len(), out)
+}
+
+/// Element-wise multiply of a sparse vector with a dense one: the result
+/// has the sparse operand's support.
+pub fn ewise_mult_dense<T, U, W, F>(u: &SparseVec<T>, dense: &[U], f: F) -> SparseVec<W>
+where
+    T: Copy,
+    U: Copy,
+    W: Copy,
+    F: Fn(T, U) -> W,
+{
+    assert_eq!(u.len(), dense.len(), "vector length mismatch");
+    let entries = u.entries().iter().map(|&(i, t)| (i, f(t, dense[i]))).collect();
+    SparseVec::from_entries(u.len(), entries)
+}
+
+/// Gather: `w[k] = src[indices[k]]` (`GrB_extract` with an index list).
+pub fn extract<T: Copy>(src: &[T], indices: &[Vid]) -> Vec<T> {
+    indices.iter().map(|&i| src[i]).collect()
+}
+
+/// Scatter: `w[i] ← v` for each `(i, v)` update, where duplicate target
+/// indices within the batch combine through the monoid against each other
+/// (not against the old value — the paper's assigns overwrite).
+///
+/// Returns the number of elements whose value actually changed (LACC's
+/// convergence test is "`f` remains unchanged").
+pub fn assign<T, M>(w: &mut [T], updates: &[(Vid, T)], monoid: M) -> usize
+where
+    T: Copy + PartialEq,
+    M: Monoid<T>,
+{
+    // Combine duplicates first so the result is order-independent, then
+    // overwrite.
+    let mut combined: std::collections::HashMap<Vid, T> = std::collections::HashMap::new();
+    for &(i, v) in updates {
+        combined
+            .entry(i)
+            .and_modify(|acc| *acc = monoid.combine(*acc, v))
+            .or_insert(v);
+    }
+    let mut changed = 0;
+    for (i, v) in combined {
+        if w[i] != v {
+            w[i] = v;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Reduces all stored entries of `u` through the monoid.
+pub fn reduce<T, M>(u: &SparseVec<T>, monoid: M) -> T
+where
+    T: Copy,
+    M: Monoid<T>,
+{
+    u.entries()
+        .iter()
+        .fold(monoid.identity(), |acc, &(_, v)| monoid.combine(acc, v))
+}
+
+/// Maps a function over stored values (`GrB_apply`).
+pub fn apply<T, W, F>(u: &SparseVec<T>, f: F) -> SparseVec<W>
+where
+    T: Copy,
+    W: Copy,
+    F: Fn(T) -> W,
+{
+    let entries = u.entries().iter().map(|&(i, v)| (i, f(v))).collect();
+    SparseVec::from_entries(u.len(), entries)
+}
+
+/// Keeps entries satisfying the predicate (`GrB_select`).
+pub fn select<T, F>(u: &SparseVec<T>, pred: F) -> SparseVec<T>
+where
+    T: Copy,
+    F: Fn(Vid, T) -> bool,
+{
+    let entries = u.entries().iter().copied().filter(|&(i, v)| pred(i, v)).collect();
+    SparseVec::from_entries(u.len(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AddUsize, MinUsize};
+    use lacc_graph::generators::{path_graph, star_graph};
+
+    #[test]
+    fn mxv_dense_min_neighbor() {
+        // Path 0-1-2-3; x = [10, 0, 30, 20].
+        let a = Pattern::from_graph(&path_graph(4));
+        let x = vec![10usize, 0, 30, 20];
+        let y = mxv_dense(&a, &x, Mask::None, MinUsize);
+        // y[i] = min of neighbors' x.
+        assert_eq!(y.to_dense(usize::MAX), vec![0, 10, 0, 30]);
+    }
+
+    #[test]
+    fn mxv_dense_masked() {
+        let a = Pattern::from_graph(&path_graph(4));
+        let x = vec![10usize, 0, 30, 20];
+        let mask = [true, false, true, false];
+        let y = mxv_dense(&a, &x, Mask::Keep(&mask), MinUsize);
+        assert_eq!(y.entries(), &[(0, 0), (2, 0)]);
+        let yc = mxv_dense(&a, &x, Mask::Complement(&mask), MinUsize);
+        assert_eq!(yc.entries(), &[(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn mxv_sparse_matches_dense() {
+        let a = Pattern::from_graph(&star_graph(6));
+        let dense_x = vec![9usize, 4, 2, 7, 5, 1];
+        let sparse_x = SparseVec::dense(&dense_x);
+        let yd = mxv_dense(&a, &dense_x, Mask::None, MinUsize);
+        let ys = mxv_sparse(&a, &sparse_x, Mask::None, MinUsize);
+        assert_eq!(yd, ys);
+    }
+
+    #[test]
+    fn mxv_sparse_restricted_support() {
+        let a = Pattern::from_graph(&path_graph(5));
+        // Only vertex 2 active.
+        let x = SparseVec::from_entries(5, vec![(2, 42usize)]);
+        let y = mxv_sparse(&a, &x, Mask::None, MinUsize);
+        assert_eq!(y.entries(), &[(1, 42), (3, 42)]);
+    }
+
+    #[test]
+    fn mxv_isolated_vertex_gets_no_entry() {
+        let el = lacc_graph::EdgeList::from_pairs(3, [(0, 1)]);
+        let a = Pattern::from_graph(&lacc_graph::CsrGraph::from_edges(el));
+        let y = mxv_dense(&a, &[5usize, 6, 7], Mask::None, MinUsize);
+        assert_eq!(y.get(2), None);
+        assert_eq!(y.nvals(), 2);
+    }
+
+    #[test]
+    fn ewise_mult_intersection() {
+        let u = SparseVec::from_entries(6, vec![(0, 2usize), (2, 3), (5, 4)]);
+        let v = SparseVec::from_entries(6, vec![(2, 10usize), (4, 20), (5, 30)]);
+        let w = ewise_mult(&u, &v, |a, b| a + b);
+        assert_eq!(w.entries(), &[(2, 13), (5, 34)]);
+    }
+
+    #[test]
+    fn ewise_mult_dense_keeps_sparse_support() {
+        let u = SparseVec::from_entries(4, vec![(1, 100usize), (3, 200)]);
+        let d = vec![1usize, 2, 3, 4];
+        // "second" operator: take the dense value (Algorithm 3's f_h).
+        let w = ewise_mult_dense(&u, &d, |_, b| b);
+        assert_eq!(w.entries(), &[(1, 2), (3, 4)]);
+        // "min" operator (Algorithm 3 line 5).
+        let m = ewise_mult_dense(&u, &d, |a, b| a.min(b));
+        assert_eq!(m.entries(), &[(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn extract_and_assign_roundtrip() {
+        let src = vec![10usize, 11, 12, 13];
+        assert_eq!(extract(&src, &[3, 0, 0]), vec![13, 10, 10]);
+        let mut w = vec![0usize; 4];
+        assign(&mut w, &[(1, 5), (3, 6)], MinUsize);
+        assert_eq!(w, vec![0, 5, 0, 6]);
+    }
+
+    #[test]
+    fn assign_duplicates_resolved_by_monoid() {
+        let mut w = vec![100usize; 3];
+        assign(&mut w, &[(1, 7), (1, 3), (1, 9)], MinUsize);
+        assert_eq!(w[1], 3);
+        // Overwrite semantics: old value does not participate.
+        let mut w2 = vec![0usize; 3];
+        assign(&mut w2, &[(2, 9)], MinUsize);
+        assert_eq!(w2[2], 9);
+    }
+
+    #[test]
+    fn reduce_apply_select() {
+        let u = SparseVec::from_entries(10, vec![(1, 5usize), (4, 2), (9, 8)]);
+        assert_eq!(reduce(&u, MinUsize), 2);
+        assert_eq!(reduce(&u, AddUsize), 15);
+        let doubled = apply(&u, |v| v * 2);
+        assert_eq!(doubled.get(4), Some(4));
+        let big = select(&u, |_, v| v >= 5);
+        assert_eq!(big.nvals(), 2);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let u: SparseVec<usize> = SparseVec::empty(5);
+        assert_eq!(reduce(&u, MinUsize), usize::MAX);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sparse vectors.
+//!
+//! Dense GraphBLAS vectors are plain `Vec<T>` in this workspace (every
+//! element stored). A [`SparseVec`] stores only present entries — the
+//! representation LACC's vectors collapse into after the first couple of
+//! iterations ("vectors start out dense and get sparse rapidly", §IV).
+
+use crate::Vid;
+
+/// A sparse vector: sorted, duplicate-free `(index, value)` entries over a
+/// universe of size `n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseVec<T> {
+    n: usize,
+    entries: Vec<(Vid, T)>,
+}
+
+impl<T: Copy> SparseVec<T> {
+    /// An empty vector over `0..n`.
+    pub fn empty(n: usize) -> Self {
+        SparseVec { n, entries: Vec::new() }
+    }
+
+    /// Builds from entries, sorting them; panics on duplicates or
+    /// out-of-range indices.
+    pub fn from_entries(n: usize, mut entries: Vec<(Vid, T)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        assert!(entries.iter().all(|&(i, _)| i < n), "index out of range");
+        assert!(
+            entries.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate indices in sparse vector"
+        );
+        SparseVec { n, entries }
+    }
+
+    /// A fully dense vector as a `SparseVec` (all indices present).
+    pub fn dense(values: &[T]) -> Self {
+        SparseVec {
+            n: values.len(),
+            entries: values.iter().copied().enumerate().collect(),
+        }
+    }
+
+    /// Universe size (`GrB_Vector_size`).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of stored entries (`GrB_Vector_nvals`).
+    pub fn nvals(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored entries, sorted by index (`GrB_Vector_extractTuples`).
+    pub fn entries(&self) -> &[(Vid, T)] {
+        &self.entries
+    }
+
+    /// Consumes the vector, returning its entries.
+    pub fn into_entries(self) -> Vec<(Vid, T)> {
+        self.entries
+    }
+
+    /// Value at index `i`, if present (binary search).
+    pub fn get(&self, i: Vid) -> Option<T> {
+        self.entries
+            .binary_search_by_key(&i, |&(j, _)| j)
+            .ok()
+            .map(|k| self.entries[k].1)
+    }
+
+    /// Density `nvals / n` (the `f` of the paper's SpMSpV analysis).
+    pub fn density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Scatters into a dense vector, with `fill` elsewhere.
+    pub fn to_dense(&self, fill: T) -> Vec<T> {
+        let mut out = vec![fill; self.n];
+        for &(i, v) in &self.entries {
+            out[i] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts() {
+        let v = SparseVec::from_entries(10, vec![(7, 'a'), (2, 'b')]);
+        assert_eq!(v.entries(), &[(2, 'b'), (7, 'a')]);
+        assert_eq!(v.nvals(), 2);
+        assert_eq!(v.get(7), Some('a'));
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        SparseVec::from_entries(5, vec![(1, 0u8), (1, 1u8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_checked() {
+        SparseVec::from_entries(5, vec![(5, 0u8)]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let v = SparseVec::dense(&[10, 20, 30]);
+        assert_eq!(v.nvals(), 3);
+        assert!((v.density() - 1.0).abs() < 1e-12);
+        assert_eq!(v.to_dense(0), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn to_dense_fills_gaps() {
+        let v = SparseVec::from_entries(4, vec![(1, 9)]);
+        assert_eq!(v.to_dense(-1), vec![-1, 9, -1, -1]);
+        assert!((v.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v: SparseVec<u32> = SparseVec::empty(0);
+        assert!(v.is_empty());
+        assert_eq!(v.density(), 0.0);
+    }
+}

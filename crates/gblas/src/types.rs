@@ -1,0 +1,168 @@
+//! Algebraic building blocks: monoids, the `(Select2nd, min)` semiring
+//! convention, and output masks.
+
+/// A commutative, associative combine with identity — the "add" of a
+/// GraphBLAS semiring.
+pub trait Monoid<T: Copy>: Copy + Send + Sync + 'static {
+    /// The identity element (`combine(identity(), x) == x`).
+    fn identity(&self) -> T;
+    /// Combines two values.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// `min` over `usize` — the accumulator of the paper's `(Select2nd, min)`
+/// semiring: among all neighbors' parent ids, keep the smallest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinUsize;
+
+impl Monoid<usize> for MinUsize {
+    fn identity(&self) -> usize {
+        usize::MAX
+    }
+    fn combine(&self, a: usize, b: usize) -> usize {
+        a.min(b)
+    }
+}
+
+/// `max` over `usize` (used in tests and the tie-break ablation — the
+/// paper notes any semiring "add" works for unconditional hooking).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxUsize;
+
+impl Monoid<usize> for MaxUsize {
+    fn identity(&self) -> usize {
+        0
+    }
+    fn combine(&self, a: usize, b: usize) -> usize {
+        a.max(b)
+    }
+}
+
+/// `+` over `usize` (degree counts, test oracles).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AddUsize;
+
+impl Monoid<usize> for AddUsize {
+    fn identity(&self) -> usize {
+        0
+    }
+    fn combine(&self, a: usize, b: usize) -> usize {
+        a + b
+    }
+}
+
+/// `+` over `f64` (SpGEMM in the Markov-clustering example).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AddF64;
+
+impl Monoid<f64> for AddF64 {
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Simultaneous `(min, max)` over `usize` pairs.
+///
+/// Used by LACC's convergence detector: one `mxv` on this monoid yields,
+/// per vertex, both the smallest and the largest parent id among its
+/// neighbors. A star tree whose members all see `min == max == root` has
+/// no boundary edges and is a complete, converged component. (This is the
+/// sound strengthening of the paper's Lemma 1 — see `lacc::serial` docs.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinMaxUsize;
+
+impl Monoid<(usize, usize)> for MinMaxUsize {
+    fn identity(&self) -> (usize, usize) {
+        (usize::MAX, 0)
+    }
+    fn combine(&self, a: (usize, usize), b: (usize, usize)) -> (usize, usize) {
+        (a.0.min(b.0), a.1.max(b.1))
+    }
+}
+
+/// Logical AND over `bool` (star-membership demotion in `StarCheck`:
+/// once a vertex is marked nonstar it must stay nonstar within the pass).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AndBool;
+
+impl Monoid<bool> for AndBool {
+    fn identity(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// Logical OR over `bool`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrBool;
+
+impl Monoid<bool> for OrBool {
+    fn identity(&self) -> bool {
+        false
+    }
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+/// A GraphBLAS output mask: results are written only where the mask
+/// permits.
+///
+/// `Complement` is the API's `GrB_SCMP` (structural complement), which the
+/// paper uses in unconditional hooking to select *nonstar* parents.
+#[derive(Clone, Copy, Debug)]
+pub enum Mask<'a> {
+    /// No masking: all outputs kept.
+    None,
+    /// Keep outputs at positions where the mask is `true`.
+    Keep(&'a [bool]),
+    /// Keep outputs at positions where the mask is `false`.
+    Complement(&'a [bool]),
+}
+
+impl Mask<'_> {
+    /// Whether position `i` passes the mask.
+    #[inline]
+    pub fn allows(&self, i: usize) -> bool {
+        match self {
+            Mask::None => true,
+            Mask::Keep(m) => m[i],
+            Mask::Complement(m) => !m[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_monoid_laws() {
+        let m = MinUsize;
+        assert_eq!(m.combine(m.identity(), 5), 5);
+        assert_eq!(m.combine(3, 7), 3);
+        assert_eq!(m.combine(m.combine(9, 2), 5), m.combine(9, m.combine(2, 5)));
+    }
+
+    #[test]
+    fn add_monoids() {
+        assert_eq!(AddUsize.combine(AddUsize.identity(), 4), 4);
+        assert_eq!(AddF64.combine(1.5, 2.5), 4.0);
+        assert_eq!(MaxUsize.combine(MaxUsize.identity(), 0), 0);
+    }
+
+    #[test]
+    fn mask_semantics() {
+        let m = [true, false];
+        assert!(Mask::None.allows(1));
+        assert!(Mask::Keep(&m).allows(0));
+        assert!(!Mask::Keep(&m).allows(1));
+        assert!(!Mask::Complement(&m).allows(0));
+        assert!(Mask::Complement(&m).allows(1));
+    }
+}

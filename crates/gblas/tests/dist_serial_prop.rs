@@ -1,0 +1,169 @@
+//! Property tests: every distributed primitive must be bit-identical to
+//! its serial counterpart on arbitrary inputs and grids.
+
+use gblas::dist::{
+    dist_assign, dist_extract, dist_mxv_dense, dist_mxv_sparse, DistMask, DistMat, DistOpts,
+    DistSpVec, DistVec, VecLayout,
+};
+use gblas::serial::{self, Pattern, SparseVec};
+use gblas::{Mask, MinUsize};
+use dmsim::{run_spmd, Grid2d};
+use lacc_graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..150)
+            .prop_map(move |pairs| CsrGraph::from_edges(EdgeList::from_pairs(n, pairs)))
+    })
+}
+
+fn arb_grid() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(4), Just(9), Just(16)]
+}
+
+fn arb_layout(n: usize, p: usize) -> impl Strategy<Value = VecLayout> {
+    proptest::bool::ANY.prop_map(move |cyclic| {
+        let grid = Grid2d::square(p);
+        if cyclic {
+            VecLayout::cyclic(n, grid)
+        } else {
+            VecLayout::new(n, grid)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mxv_dense_dist_eq_serial(g in arb_graph(), p in arb_grid(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let x_global: Vec<usize> = (0..n).map(|v| (v.wrapping_mul(seed as usize + 7)) % n).collect();
+        let mask_global: Vec<bool> = (0..n).map(|v| (v + seed as usize) % 3 != 0).collect();
+        let a_serial = Pattern::from_graph(&g);
+        let expect = serial::mxv_dense(&a_serial, &x_global, Mask::Keep(&mask_global), MinUsize);
+        let gref = &g;
+        let xr = &x_global;
+        let mr = &mask_global;
+        let out = run_spmd(p, move |c| {
+            let grid = Grid2d::square(p);
+            let layout = VecLayout::new(n, grid);
+            let a = DistMat::from_graph(gref, grid, c.rank());
+            let x = DistVec::from_global(layout, c.rank(), xr);
+            let m = DistVec::from_global(layout, c.rank(), mr);
+            dist_mxv_dense(c, &a, &x, DistMask::Keep(&m), MinUsize).to_serial(c)
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn mxv_sparse_dist_eq_serial(g in arb_graph(), p in arb_grid(), stride in 1usize..5) {
+        let n = g.num_vertices();
+        let entries: Vec<(usize, usize)> = (0..n).step_by(stride).map(|v| (v, v % 17)).collect();
+        let x_serial = SparseVec::from_entries(n, entries.clone());
+        let a_serial = Pattern::from_graph(&g);
+        let expect = serial::mxv_sparse(&a_serial, &x_serial, Mask::None, MinUsize);
+        let gref = &g;
+        let er = &entries;
+        let out = run_spmd(p, move |c| {
+            let grid = Grid2d::square(p);
+            let layout = VecLayout::new(n, grid);
+            let a = DistMat::from_graph(gref, grid, c.rank());
+            let (s, e) = layout.range_of_rank(c.rank());
+            let local: Vec<(usize, usize)> =
+                er.iter().copied().filter(|&(g, _)| g >= s && g < e).collect();
+            let x = DistSpVec::from_local_entries(layout, c.rank(), local);
+            dist_mxv_sparse(c, &a, &x, DistMask::None, MinUsize, &DistOpts::default()).to_serial(c)
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn extract_dist_eq_serial(
+        n in 4usize..80,
+        (p, layout) in arb_grid().prop_flat_map(|p| (Just(p), arb_layout(80, p))),
+        reqs in proptest::collection::vec(0usize..1000, 0..60),
+        hot in proptest::bool::ANY,
+    ) {
+        // Rebuild the layout at the right size (arb_layout used a cap).
+        let layout = if layout.distribution() == gblas::dist::Distribution::Cyclic {
+            VecLayout::cyclic(n, Grid2d::square(p))
+        } else {
+            VecLayout::new(n, Grid2d::square(p))
+        };
+        let src_global: Vec<usize> = (0..n).map(|v| v * 13 % n).collect();
+        let requests: Vec<usize> = reqs.iter().map(|&r| r % n).collect();
+        let expect = serial::extract(&src_global, &requests);
+        let sr = &src_global;
+        let rr = &requests;
+        let opts = DistOpts { hot_bcast: hot, hot_threshold: 1.5, ..DistOpts::default() };
+        let out = run_spmd(p, move |c| {
+            let src = DistVec::from_global(layout, c.rank(), sr);
+            // Every rank issues the same request list; all must get the
+            // same answers.
+            dist_extract(c, &src, rr, &opts).0
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn mxv_cyclic_eq_serial(g in arb_graph(), p in arb_grid(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let x_global: Vec<usize> = (0..n).map(|v| (v.wrapping_mul(seed as usize + 3)) % n).collect();
+        let a_serial = Pattern::from_graph(&g);
+        let expect = serial::mxv_dense(&a_serial, &x_global, Mask::None, MinUsize);
+        let gref = &g;
+        let xr = &x_global;
+        let out = run_spmd(p, move |c| {
+            let grid = Grid2d::square(p);
+            let layout = VecLayout::cyclic(n, grid);
+            let a = DistMat::from_graph(gref, grid, c.rank());
+            let x = DistVec::from_global(layout, c.rank(), xr);
+            let dense = dist_mxv_dense(c, &a, &x, DistMask::None, MinUsize).to_serial(c);
+            // Sparse input with the same support as the dense vector.
+            let entries: Vec<(usize, usize)> = (0..n)
+                .filter(|&g| layout.owner_of(g) == c.rank())
+                .map(|g| (g, xr[g]))
+                .collect();
+            let xs = DistSpVec::from_local_entries(layout, c.rank(), entries);
+            let sparse =
+                dist_mxv_sparse(c, &a, &xs, DistMask::None, MinUsize, &DistOpts::default())
+                    .to_serial(c);
+            (dense, sparse)
+        });
+        for (dense, sparse) in out {
+            prop_assert_eq!(&dense, &expect);
+            prop_assert_eq!(&sparse, &expect);
+        }
+    }
+
+    #[test]
+    fn assign_dist_eq_serial(
+        n in 4usize..80,
+        p in arb_grid(),
+        raw in proptest::collection::vec((0usize..1000, 0usize..1000), 0..60),
+    ) {
+        let updates: Vec<(usize, usize)> = raw.iter().map(|&(i, v)| (i % n, v)).collect();
+        let mut expect: Vec<usize> = vec![usize::MAX; n];
+        // Each of p ranks submits the same update list; serial reference
+        // combines p copies (idempotent under min).
+        serial::assign(&mut expect, &updates, MinUsize);
+        let ur = &updates;
+        let out = run_spmd(p, move |c| {
+            let layout = VecLayout::new(n, Grid2d::square(p));
+            let mut dst = DistVec::from_fn(layout, c.rank(), |_| usize::MAX);
+            dist_assign(c, &mut dst, ur, MinUsize, &DistOpts::default());
+            dst.to_global(c)
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

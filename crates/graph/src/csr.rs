@@ -1,0 +1,221 @@
+//! Compressed-sparse-row adjacency structure.
+//!
+//! [`CsrGraph`] is the canonical immutable graph representation consumed by
+//! every connected-components algorithm in the workspace. It always stores
+//! a *symmetric* simple graph: building it from an [`EdgeList`]
+//! canonicalizes (self loops removed, both directions present, no
+//! duplicates), matching the paper's storage of symmetric adjacency
+//! matrices (Table III counts directed edges for the same reason).
+
+use crate::{EdgeList, Vid};
+
+/// A symmetric graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    n: usize,
+    offsets: Vec<usize>,
+    targets: Vec<Vid>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list, canonicalizing it first.
+    pub fn from_edges(mut el: EdgeList) -> Self {
+        el.canonicalize();
+        Self::from_canonical_edges(&el)
+    }
+
+    /// Builds a CSR graph from an edge list already in canonical form
+    /// (symmetric, deduplicated, loop-free). This is cheaper than
+    /// [`from_edges`](Self::from_edges) but panics in debug builds if the
+    /// input is not canonical.
+    pub fn from_canonical_edges(el: &EdgeList) -> Self {
+        let n = el.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in el.edges() {
+            offsets[u + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0 as Vid; el.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in el.edges() {
+            debug_assert_ne!(u, v, "self loop in canonical edge list");
+            targets[cursor[u]] = v;
+            cursor[u] += 1;
+        }
+        // Sort each adjacency row for deterministic traversal and binary
+        // search support.
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let g = CsrGraph { n, offsets, targets };
+        debug_assert!(g.is_symmetric(), "edge list was not symmetric");
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored directed edges (twice the undirected edge count).
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_undirected_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    pub fn neighbors(&self, v: Vid) -> &[Vid] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Vid) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Average degree `2m/n` (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.n as f64
+        }
+    }
+
+    /// The CSR offsets array (length `n + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The CSR targets array (length = number of directed edges).
+    pub fn targets(&self) -> &[Vid] {
+        &self.targets
+    }
+
+    /// True if `{u, v}` is an edge (binary search).
+    pub fn has_edge(&self, u: Vid, v: Vid) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
+        (0..self.n).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Converts back to an edge list (directed entries).
+    pub fn to_edgelist(&self) -> EdgeList {
+        EdgeList::from_pairs(self.n, self.edges())
+    }
+
+    /// Checks structural symmetry: `(u,v)` present iff `(v,u)` present.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge(v, u))
+    }
+
+    /// Validates internal invariants (monotone offsets, in-range targets,
+    /// sorted rows, no self loops, no duplicates). Returns a description of
+    /// the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.n + 1 {
+            return Err(format!("offsets length {} != n+1 {}", self.offsets.len(), self.n + 1));
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.targets.len() {
+            return Err("offsets endpoints wrong".into());
+        }
+        for v in 0..self.n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+            let row = self.neighbors(v);
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {v} not strictly sorted"));
+                }
+            }
+            for &t in row {
+                if t >= self.n {
+                    return Err(format!("target {t} out of range in row {v}"));
+                }
+                if t == v {
+                    return Err(format!("self loop at {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(EdgeList::from_pairs(3, [(0, 1), (1, 2), (2, 0)]))
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn from_edges_canonicalizes() {
+        // Duplicates, loops, one direction only.
+        let el = EdgeList::from_pairs(4, [(0, 1), (0, 1), (2, 2), (3, 1)]);
+        let g = CsrGraph::from_edges(el);
+        assert_eq!(g.num_undirected_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 2));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(EdgeList::new(5));
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_directed_edges(), 0);
+        assert_eq!(g.neighbors(3), &[] as &[Vid]);
+        assert!(g.validate().is_ok());
+
+        let g0 = CsrGraph::from_edges(EdgeList::new(0));
+        assert_eq!(g0.num_vertices(), 0);
+        assert_eq!(g0.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn has_edge_and_iteration() {
+        let g = triangle();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 6);
+        assert!(all.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn roundtrip_through_edgelist() {
+        let g = triangle();
+        let g2 = CsrGraph::from_edges(g.to_edgelist());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = triangle();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+}

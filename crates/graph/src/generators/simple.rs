@@ -1,0 +1,130 @@
+//! Elementary graph families used as algorithmic edge cases.
+//!
+//! Paths maximize AS iteration counts (pointer jumping needs Θ(log n)
+//! rounds); stars converge in one; complete graphs stress `mxv`; forests
+//! exercise converged-component tracking without any cycles.
+
+use crate::{CsrGraph, EdgeList, Vid};
+use rand::Rng;
+
+/// A path `0 — 1 — … — n-1`.
+pub fn path_graph(n: usize) -> CsrGraph {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(v - 1, v);
+    }
+    CsrGraph::from_edges(el)
+}
+
+/// A cycle over `n ≥ 3` vertices (for smaller `n`, a path).
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(v - 1, v);
+    }
+    if n >= 3 {
+        el.push(n - 1, 0);
+    }
+    CsrGraph::from_edges(el)
+}
+
+/// A star with center 0 and `n - 1` leaves.
+pub fn star_graph(n: usize) -> CsrGraph {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(0, v);
+    }
+    CsrGraph::from_edges(el)
+}
+
+/// The complete graph on `n` vertices.
+pub fn complete_graph(n: usize) -> CsrGraph {
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            el.push(u, v);
+        }
+    }
+    CsrGraph::from_edges(el)
+}
+
+/// A random forest: each tree built by the random-attachment process, tree
+/// sizes roughly `n / num_trees`.
+pub fn random_forest(n: usize, num_trees: usize, seed: u64) -> CsrGraph {
+    assert!(num_trees >= 1 || n == 0);
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::new(n);
+    let tree_size = n.div_ceil(num_trees.max(1));
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + tree_size).min(n);
+        for v in (base + 1)..end {
+            // Attach to a uniformly random earlier vertex in this tree.
+            let parent = base + rng.random_range(0..(v - base));
+            el.push(parent as Vid, v as Vid);
+        }
+        base = end;
+    }
+    CsrGraph::from_edges(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DisjointSets;
+
+    fn num_components(g: &CsrGraph) -> usize {
+        let mut ds = DisjointSets::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            ds.union(u, v);
+        }
+        ds.num_sets()
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path_graph(10);
+        assert_eq!(g.num_undirected_edges(), 9);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 2);
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle_graph(10);
+        assert_eq!(g.num_undirected_edges(), 10);
+        assert!((0..10).all(|v| g.degree(v) == 2));
+        // Degenerate cycles fall back to paths.
+        assert_eq!(cycle_graph(2).num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star_graph(8);
+        assert_eq!(g.degree(0), 7);
+        assert!((1..8).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_undirected_edges(), 15);
+        assert!((0..6).all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn forest_component_count() {
+        let g = random_forest(1000, 25, 6);
+        assert_eq!(num_components(&g), 25);
+        // Forest: m = n - #trees.
+        assert_eq!(g.num_undirected_edges(), 1000 - 25);
+    }
+
+    #[test]
+    fn forest_single_tree_is_spanning() {
+        let g = random_forest(100, 1, 2);
+        assert_eq!(num_components(&g), 1);
+        assert_eq!(g.num_undirected_edges(), 99);
+    }
+}

@@ -1,0 +1,136 @@
+//! Social-network generators: preferential attachment and small-world.
+//!
+//! Not stand-ins for specific Table III graphs, but standard families used
+//! in the wider test matrix: Barabási–Albert gives a connected heavy-tail
+//! graph grown by preferential attachment (twitter-like without RMAT's
+//! fringe of isolated vertices), Watts–Strogatz gives a high-clustering,
+//! low-diameter ring rewiring (a stress case for hooking locality).
+
+use crate::{CsrGraph, EdgeList, Vid};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: starts from a small clique
+/// and attaches each new vertex to `m_attach` existing vertices chosen
+/// proportionally to degree.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1);
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::new(n);
+    let core = (m_attach + 1).min(n);
+    for u in 0..core {
+        for v in (u + 1)..core {
+            el.push(u, v);
+        }
+    }
+    // `targets` holds one entry per edge endpoint: sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoint_pool: Vec<Vid> = el.edges().iter().flat_map(|&(u, v)| [u, v]).collect();
+    for v in core..n {
+        let mut chosen = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while chosen.len() < m_attach && guard < 50 * m_attach {
+            guard += 1;
+            let t = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            el.push(v, t);
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    CsrGraph::from_edges(el)
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects
+/// to its `k/2` neighbors on each side, with each edge rewired to a random
+/// endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::new(n);
+    if n > k {
+        for u in 0..n {
+            for d in 1..=(k / 2) {
+                let v = (u + d) % n;
+                if rng.random_bool(beta) {
+                    // Rewire to a uniformly random non-self endpoint.
+                    let mut w = rng.random_range(0..n);
+                    if w == u {
+                        w = (w + 1) % n;
+                    }
+                    el.push(u, w);
+                } else {
+                    el.push(u, v);
+                }
+            }
+        }
+    } else if n >= 2 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                el.push(u, v);
+            }
+        }
+    }
+    CsrGraph::from_edges(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DisjointSets;
+
+    fn num_components(g: &CsrGraph) -> usize {
+        let mut ds = DisjointSets::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            ds.union(u, v);
+        }
+        ds.num_sets()
+    }
+
+    #[test]
+    fn ba_is_connected_with_heavy_tail() {
+        let g = barabasi_albert(2000, 3, 4);
+        assert_eq!(num_components(&g), 1);
+        let max_deg = (0..2000).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_deg as f64 > 5.0 * g.average_degree(),
+            "max {} avg {}",
+            max_deg,
+            g.average_degree()
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn ba_deterministic_and_tiny_cases() {
+        assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+        let tiny = barabasi_albert(3, 5, 1);
+        assert!(tiny.validate().is_ok());
+    }
+
+    #[test]
+    fn ws_no_rewiring_is_ring_lattice() {
+        let g = watts_strogatz(50, 4, 0.0, 7);
+        assert!((0..50).all(|v| g.degree(v) == 4));
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn ws_rewiring_keeps_edge_budget() {
+        let g = watts_strogatz(200, 6, 0.3, 3);
+        // Rewiring can only collide (dedup), never add.
+        assert!(g.num_undirected_edges() <= 200 * 3);
+        assert!(g.num_undirected_edges() > 500);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn ws_rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Union-find (disjoint sets) with union-by-rank and path halving.
+//!
+//! This is the serial ground truth for every connected-components algorithm
+//! in the workspace: an optimal `O(m α(n))` sequential algorithm, exactly
+//! the kind of "best serial algorithm" the PRAM algorithms in the paper are
+//! measured against for work efficiency.
+
+use crate::Vid;
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<Vid>,
+    rank: Vec<u8>,
+    /// Number of disjoint sets currently in the forest.
+    num_sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the representative of `x`, halving the path along the way.
+    pub fn find(&mut self, mut x: Vid) -> Vid {
+        while self.parent[x] != x {
+            let grandparent = self.parent[self.parent[x]];
+            self.parent[x] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets containing `x` and `y`.
+    ///
+    /// Returns `true` if the sets were distinct (a merge happened).
+    pub fn union(&mut self, x: Vid, y: Vid) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        self.num_sets -= 1;
+        match self.rank[rx].cmp(&self.rank[ry]) {
+            std::cmp::Ordering::Less => self.parent[rx] = ry,
+            std::cmp::Ordering::Greater => self.parent[ry] = rx,
+            std::cmp::Ordering::Equal => {
+                self.parent[ry] = rx;
+                self.rank[rx] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `x` and `y` are in the same set.
+    pub fn same_set(&mut self, x: Vid, y: Vid) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Returns a labeling `label[v] = min{u : u ~ v}`: every vertex labeled
+    /// with the smallest vertex id in its set.
+    ///
+    /// This canonical form is what tests compare across algorithms, since
+    /// different CC algorithms produce different (but equivalent) root
+    /// choices.
+    pub fn canonical_labels(&mut self) -> Vec<Vid> {
+        let n = self.len();
+        let mut min_of_root: Vec<Vid> = (0..n).collect();
+        for v in 0..n {
+            let r = self.find(v);
+            if v < min_of_root[r] {
+                min_of_root[r] = v;
+            }
+        }
+        // `parent[v]` after path halving may still be a non-root ancestor,
+        // so resolve through find again.
+        (0..n).map(|v| self.find(v)).map(|r| min_of_root[r]).collect()
+    }
+}
+
+/// Canonicalizes an arbitrary component labeling: relabels each vertex with
+/// the minimum vertex id sharing its label.
+///
+/// Two labelings describe the same partition iff their canonical forms are
+/// equal. Used throughout the test suites to compare algorithm outputs.
+pub fn canonicalize_labels(labels: &[Vid]) -> Vec<Vid> {
+    let n = labels.len();
+    let mut min_of_label: Vec<Vid> = vec![usize::MAX; n];
+    for (v, &l) in labels.iter().enumerate() {
+        assert!(l < n, "label {l} out of range for {n} vertices");
+        if v < min_of_label[l] {
+            min_of_label[l] = v;
+        }
+    }
+    labels.iter().map(|&l| min_of_label[l]).collect()
+}
+
+/// Counts the number of distinct labels in a component labeling.
+pub fn count_components(labels: &[Vid]) -> usize {
+    let mut seen = vec![false; labels.len()];
+    let mut count = 0;
+    for &l in labels {
+        if !seen[l] {
+            seen[l] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut ds = DisjointSets::new(5);
+        assert_eq!(ds.num_sets(), 5);
+        for v in 0..5 {
+            assert_eq!(ds.find(v), v);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut ds = DisjointSets::new(4);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        assert_eq!(ds.num_sets(), 3);
+        assert!(ds.same_set(0, 1));
+        assert!(!ds.same_set(0, 2));
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut ds = DisjointSets::new(6);
+        ds.union(0, 1);
+        ds.union(2, 3);
+        ds.union(1, 2);
+        assert!(ds.same_set(0, 3));
+        assert_eq!(ds.num_sets(), 3);
+    }
+
+    #[test]
+    fn canonical_labels_pick_minimum() {
+        let mut ds = DisjointSets::new(5);
+        ds.union(4, 2);
+        ds.union(2, 3);
+        let labels = ds.canonical_labels();
+        assert_eq!(labels, vec![0, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn canonical_labels_resolve_deep_chains() {
+        // Build a rank-3 tree so some vertices sit at depth ≥ 3; the final
+        // labeling must still resolve through the true root (regression:
+        // an earlier version read the possibly-halved parent directly).
+        let mut ds = DisjointSets::new(8);
+        ds.union(0, 1);
+        ds.union(2, 3);
+        ds.union(0, 2);
+        ds.union(4, 5);
+        ds.union(6, 7);
+        ds.union(4, 6);
+        ds.union(0, 4);
+        let labels = ds.canonical_labels();
+        assert!(labels.iter().all(|&l| l == 0), "{labels:?}");
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let labels = vec![3, 3, 0, 3, 0];
+        let canon = canonicalize_labels(&labels);
+        assert_eq!(canon, canonicalize_labels(&canon));
+        // Label 3's members are {0,1,3}; min is 0. Label 0's members are
+        // {2,4}; min is 2.
+        assert_eq!(canon, vec![0, 0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn count_components_works() {
+        assert_eq!(count_components(&[0, 0, 2, 2, 4]), 3);
+        assert_eq!(count_components(&[]), 0);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let ds = DisjointSets::new(0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.num_sets(), 0);
+    }
+
+    #[test]
+    fn chain_of_unions_single_set() {
+        let n = 1000;
+        let mut ds = DisjointSets::new(n);
+        for v in 1..n {
+            ds.union(v - 1, v);
+        }
+        assert_eq!(ds.num_sets(), 1);
+        let labels = ds.canonical_labels();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Markov clustering of a protein-similarity network (§VI-F).
+//!
+//! ```text
+//! cargo run --release --example protein_clustering
+//! ```
+//!
+//! HipMCL iterates *expansion* (sparse matrix squaring), *inflation*
+//! (Hadamard power + column rescale) and *pruning* until the matrix
+//! converges, then extracts clusters as the connected components of the
+//! converged matrix — the step LACC accelerates at scale. This example is
+//! a compact single-node HipMCL built on this workspace's SpGEMM, with
+//! LACC doing the final component extraction.
+
+use lacc_suite::gblas::serial::{
+    map_values, max_abs_diff, normalize_columns, spgemm, Csc, Prune,
+};
+use lacc_suite::graph::generators::community_graph;
+use lacc_suite::graph::{CsrGraph, EdgeList};
+use lacc_suite::lacc::{lacc_serial, LaccOpts};
+
+/// Inflation: Hadamard power then column rescale.
+fn inflate(m: &Csc<f64>, r: f64) -> Csc<f64> {
+    normalize_columns(&map_values(m, |v| v.powf(r)))
+}
+
+fn main() {
+    // A protein-similarity-like network with planted communities.
+    let n = 2_000;
+    let g = community_graph(n, 60, 6.0, 1.3, 13);
+    println!(
+        "similarity network: {} proteins, {} undirected similarities",
+        g.num_vertices(),
+        g.num_undirected_edges()
+    );
+
+    // Build the column-stochastic transition matrix (self loops added, as
+    // MCL prescribes).
+    let mut triples: Vec<(usize, usize, f64)> = g.edges().map(|(u, v)| (u, v, 1.0)).collect();
+    for v in 0..n {
+        triples.push((v, v, 1.0));
+    }
+    let mut m = normalize_columns(&Csc::from_triples(n, n, triples));
+
+    // MCL iterations: expansion, inflation, pruning.
+    let prune = Prune { threshold: 1e-4, max_per_column: 64 };
+    let inflation = 2.0;
+    for iter in 1..=40 {
+        let expanded = spgemm(&m, &m, prune);
+        let next = inflate(&expanded, inflation);
+        let delta = max_abs_diff(&m, &next);
+        m = next;
+        if iter % 5 == 0 || delta < 1e-6 {
+            println!("  MCL iteration {iter:>2}: nnz = {:>7}, max delta = {delta:.2e}", m.nnz());
+        }
+        if delta < 1e-6 {
+            break;
+        }
+    }
+
+    // Cluster extraction: symmetrize the converged matrix and find its
+    // connected components with LACC — exactly the HipMCL call path.
+    let mut el = EdgeList::new(n);
+    for (i, j, _) in m.triples() {
+        if i != j {
+            el.push(i, j);
+        }
+    }
+    let cluster_graph = CsrGraph::from_edges(el);
+    let run = lacc_serial(&cluster_graph, &LaccOpts::default());
+    println!(
+        "\nLACC on the converged matrix: {} clusters in {} iterations",
+        run.num_components(),
+        run.num_iterations()
+    );
+
+    // Cluster-size summary.
+    let mut sizes = std::collections::HashMap::new();
+    for &l in &run.labels {
+        *sizes.entry(l).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<usize> = sizes.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "largest clusters: {:?} (of {} total)",
+        &sizes[..sizes.len().min(10)],
+        sizes.len()
+    );
+}
