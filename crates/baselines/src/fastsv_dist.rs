@@ -52,7 +52,7 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, opts: &DistOpts) -> (Option<Vec<Vid>>, us
         let mut changed = 0u64;
 
         // fn[u] = min over neighbors v of gf[v].
-        let fn_vec = dist_mxv_dense(comm, &a, &gf, DistMask::None, MinUsize);
+        let fn_vec = dist_mxv_dense(comm, &a, &gf, DistMask::None, MinUsize, opts);
 
         // Stochastic hooking: f[f[u]] ← min(f[f[u]], fn[u]).
         let hooks: Vec<(Vid, Vid)> = fn_vec

@@ -84,7 +84,10 @@ mod tests {
         for threads in [1, 4] {
             // Label propagation's labels are already canonical (component
             // minima).
-            assert_eq!(label_propagation_cc_with_threads(g, threads), union_find_cc(g));
+            assert_eq!(
+                label_propagation_cc_with_threads(g, threads),
+                union_find_cc(g)
+            );
         }
     }
 

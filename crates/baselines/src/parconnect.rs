@@ -27,8 +27,8 @@
 use crate::Vid;
 use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
 use gblas::dist::{
-    dist_assign, dist_extract, dist_mxv_sparse, DistMask, DistMat, DistOpts,
-    DistSpVec, DistVec, VecLayout,
+    dist_assign, dist_extract, dist_mxv_sparse, DistMask, DistMat, DistOpts, DistSpVec, DistVec,
+    VecLayout,
 };
 use gblas::MinUsize;
 use lacc_graph::CsrGraph;
@@ -77,8 +77,9 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, seed: Vid) -> RankOut {
     // in the local vector chunk. Its sort-based BFS realizes frontier
     // expansion as a sort-merge join between the frontier and the whole
     // tuple array, so every level scans all local tuples.
-    let local_tuple_count: u64 =
-        (0..f.local().len()).map(|o| g.degree(f.global_of(o)) as u64).sum();
+    let local_tuple_count: u64 = (0..f.local().len())
+        .map(|o| g.degree(f.global_of(o)) as u64)
+        .sum();
 
     // --- Phase 1: BFS peel of the seed's component ---
     if n > 0 {
@@ -115,11 +116,7 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, seed: Vid) -> RankOut {
             );
             // Mark and label the newly discovered vertices (all owned
             // locally by construction of mxv output).
-            let entries: Vec<(Vid, Vid)> = next
-                .entries()
-                .iter()
-                .map(|&(v, _)| (v, seed))
-                .collect();
+            let entries: Vec<(Vid, Vid)> = next.entries().iter().map(|&(v, _)| (v, seed)).collect();
             for &(v, label) in &entries {
                 visited.set_local(v, true);
                 f.set_local(v, label);
@@ -151,7 +148,10 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, seed: Vid) -> RankOut {
     let max_rounds = 8 * (usize::BITS - n.leading_zeros()) as usize + 32;
     loop {
         sv_rounds += 1;
-        assert!(sv_rounds <= max_rounds, "ParConnect SV phase did not converge");
+        assert!(
+            sv_rounds <= max_rounds,
+            "ParConnect SV phase did not converge"
+        );
         let mut changed = 0u64;
 
         // The Θ(m) exchange: every tuple fetches its remote endpoint's

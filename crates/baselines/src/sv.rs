@@ -157,7 +157,11 @@ mod tests {
     fn check(g: &CsrGraph) {
         for threads in [1, 4] {
             let f = shiloach_vishkin_cc_with_threads(g, threads);
-            assert_eq!(canonicalize_labels(&f), union_find_cc(g), "threads={threads}");
+            assert_eq!(
+                canonicalize_labels(&f),
+                union_find_cc(g),
+                "threads={threads}"
+            );
         }
     }
 

@@ -37,8 +37,8 @@ mod tests {
         for (u, v) in g.edges() {
             assert_eq!(labels[u], labels[v]);
         }
-        for v in 0..100 {
-            assert!(labels[v] <= v);
+        for (v, &l) in labels.iter().enumerate() {
+            assert!(l <= v);
         }
     }
 }

@@ -11,11 +11,23 @@ fn payload(kind: &str, p: usize, me: usize) -> Vec<Vec<u64>> {
         "balanced" => (0..p).map(|_| vec![me as u64; 512]).collect(),
         // Everything converges on rank 0 (the Figure-3 pattern).
         "skewed" => (0..p)
-            .map(|d| if d == 0 { vec![me as u64; 2048] } else { Vec::new() })
+            .map(|d| {
+                if d == 0 {
+                    vec![me as u64; 2048]
+                } else {
+                    Vec::new()
+                }
+            })
             .collect(),
         // Only neighbouring ranks talk.
         "sparse" => (0..p)
-            .map(|d| if d == (me + 1) % p { vec![me as u64; 256] } else { Vec::new() })
+            .map(|d| {
+                if d == (me + 1) % p {
+                    vec![me as u64; 256]
+                } else {
+                    Vec::new()
+                }
+            })
             .collect(),
         _ => unreachable!(),
     }
@@ -31,19 +43,15 @@ fn bench_alltoall(c: &mut Criterion) {
             ("hypercube", AllToAll::Hypercube),
             ("sparse", AllToAll::Sparse),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, kind),
-                &algo,
-                |b, &algo| {
-                    b.iter(|| {
-                        run_spmd(p, move |comm| {
-                            let world = comm.world();
-                            let bufs = payload(kind, p, comm.rank());
-                            comm.alltoallv(&world, bufs, algo)
-                        })
+            group.bench_with_input(BenchmarkId::new(name, kind), &algo, |b, &algo| {
+                b.iter(|| {
+                    run_spmd(p, move |comm| {
+                        let world = comm.world();
+                        let bufs = payload(kind, p, comm.rank());
+                        comm.alltoallv(&world, bufs, algo)
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

@@ -29,9 +29,11 @@ fn bench_cc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("shiloach_vishkin", gname), &g, |bch, g| {
             bch.iter(|| b::sv::shiloach_vishkin_cc_with_threads(black_box(g), 4))
         });
-        group.bench_with_input(BenchmarkId::new("label_propagation", gname), &g, |bch, g| {
-            bch.iter(|| b::labelprop::label_propagation_cc_with_threads(black_box(g), 4))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("label_propagation", gname),
+            &g,
+            |bch, g| bch.iter(|| b::labelprop::label_propagation_cc_with_threads(black_box(g), 4)),
+        );
         group.bench_with_input(BenchmarkId::new("fastsv", gname), &g, |bch, g| {
             bch.iter(|| b::fastsv_cc(black_box(g)))
         });

@@ -15,14 +15,7 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for p in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                run_distributed(
-                    black_box(&g),
-                    p,
-                    EDISON.lacc_model(),
-                    &LaccOpts::default(),
-                )
-            })
+            b.iter(|| run_distributed(black_box(&g), p, EDISON.lacc_model(), &LaccOpts::default()))
         });
     }
     group.finish();

@@ -1,0 +1,159 @@
+//! Serial vs intra-rank-parallel local kernel timings.
+//!
+//! Measures `mxv_dense` / `mxv_sparse` against their row-split /
+//! entry-chunked parallel variants on Graph500 RMAT matrices
+//! (scales 14–16 by default), verifying in the same run that every
+//! parallel output is bit-identical to the serial one, and writes the
+//! timings to `BENCH_kernels.json` at the workspace root.
+//!
+//! The thread counts swept are 1, 2 and 4 regardless of the host — a
+//! single-core machine will (honestly) show ≈1× speedups; the JSON
+//! records `host_cores` so readers can tell. `LACC_BENCH_SCALES` (comma
+//! separated) overrides the scale list.
+
+use gblas::serial::{self, CsrMirror, Pattern, SparseVec};
+use gblas::{Mask, MinUsize};
+use lacc_graph::generators::{rmat, RmatParams};
+use std::io::Write;
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Sample {
+    scale: u32,
+    kernel: &'static str,
+    threads: usize,
+    best_s: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Best-of-`reps` wall time of `f`, which must return something cheap to
+/// compare (keeps the optimizer from deleting the work).
+fn time_best<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from(".");
+        }
+    }
+}
+
+fn scales() -> Vec<u32> {
+    match std::env::var("LACC_BENCH_SCALES") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("LACC_BENCH_SCALES: bad scale"))
+            .collect(),
+        Err(_) => vec![14, 15, 16],
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for scale in scales() {
+        let g = rmat(scale, 16, RmatParams::graph500(), 7);
+        let n = g.num_vertices();
+        let a = Pattern::from_graph(&g);
+        let mirror: CsrMirror = a.csr_mirror();
+        eprintln!("[kernels] scale {scale}: n={n} nnz={}", a.nnz());
+        let reps = if scale >= 16 { 5 } else { 9 };
+
+        // Dense input: the SpMV case (early LACC iterations).
+        let x: Vec<usize> = (0..n).map(|v| v.wrapping_mul(2654435761) % n).collect();
+        let (serial_s, y_serial) =
+            time_best(reps, || serial::mxv_dense(&a, &x, Mask::None, MinUsize));
+        for t in THREADS {
+            let (par_s, y_par) = time_best(reps, || {
+                serial::mxv_dense_par(&mirror, &x, Mask::None, MinUsize, t)
+            });
+            assert_eq!(
+                y_par, y_serial,
+                "mxv_dense_par(t={t}) diverged at scale {scale}"
+            );
+            samples.push(Sample {
+                scale,
+                kernel: "mxv_dense",
+                threads: t,
+                best_s: par_s,
+                speedup_vs_serial: serial_s / par_s,
+            });
+            eprintln!(
+                "  mxv_dense   t={t}: {:.2} ms ({:.2}x vs serial {:.2} ms)",
+                par_s * 1e3,
+                serial_s / par_s,
+                serial_s * 1e3
+            );
+        }
+
+        // Sparse input at 10% fill: the SpMSpV case (late iterations).
+        let entries: Vec<(usize, usize)> = (0..n).step_by(10).map(|v| (v, x[v])).collect();
+        let xs = SparseVec::from_entries(n, entries);
+        let (sp_serial_s, ys_serial) =
+            time_best(reps, || serial::mxv_sparse(&a, &xs, Mask::None, MinUsize));
+        for t in THREADS {
+            let (par_s, ys_par) = time_best(reps, || {
+                serial::mxv_sparse_par(&a, &xs, Mask::None, MinUsize, t)
+            });
+            assert_eq!(
+                ys_par, ys_serial,
+                "mxv_sparse_par(t={t}) diverged at scale {scale}"
+            );
+            samples.push(Sample {
+                scale,
+                kernel: "mxv_sparse",
+                threads: t,
+                best_s: par_s,
+                speedup_vs_serial: sp_serial_s / par_s,
+            });
+            eprintln!(
+                "  mxv_sparse  t={t}: {:.2} ms ({:.2}x vs serial {:.2} ms)",
+                par_s * 1e3,
+                sp_serial_s / par_s,
+                sp_serial_s * 1e3
+            );
+        }
+    }
+
+    // Hand-rolled JSON (the workspace carries no serde).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"verified_identical\": true,\n");
+    json.push_str("  \"samples\": [\n");
+    for (k, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scale\": {}, \"kernel\": \"{}\", \"threads\": {}, \
+             \"best_s\": {:.6}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            s.scale,
+            s.kernel,
+            s.threads,
+            s.best_s,
+            s.speedup_vs_serial,
+            if k + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = workspace_root().join("BENCH_kernels.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_kernels.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_kernels.json");
+    println!("wrote {}", path.display());
+}

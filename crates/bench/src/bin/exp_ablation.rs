@@ -18,8 +18,17 @@ fn main() {
     let p = if full_mode() { 256 } else { 64 };
     let model = EDISON.lacc_model();
     let prob = by_name("archaea").expect("known problem");
-    let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
-    eprintln!("[ablation] {} at p={p}: n={} m={}", prob.name, g.num_vertices(), g.num_directed_edges());
+    let g = if shrink == 1 {
+        prob.build()
+    } else {
+        prob.build_small(shrink)
+    };
+    eprintln!(
+        "[ablation] {} at p={p}: n={} m={}",
+        prob.name,
+        g.num_vertices(),
+        g.num_directed_edges()
+    );
 
     let mut rows = Vec::new();
     let mut run_cfg = |label: &str, opts: LaccOpts| {
@@ -44,7 +53,10 @@ fn main() {
         ("alltoall = sparse", AllToAll::Sparse),
     ] {
         let opts = LaccOpts {
-            dist: DistOpts { alltoall: algo, ..DistOpts::default() },
+            dist: DistOpts {
+                alltoall: algo,
+                ..DistOpts::default()
+            },
             ..LaccOpts::default()
         };
         run_cfg(name, opts);
@@ -54,13 +66,19 @@ fn main() {
     run_cfg(
         "hot-rank broadcast off",
         LaccOpts {
-            dist: DistOpts { hot_bcast: false, ..DistOpts::default() },
+            dist: DistOpts {
+                hot_bcast: false,
+                ..DistOpts::default()
+            },
             ..LaccOpts::default()
         },
     );
     for h in [1.0, 2.0, 4.0, 16.0] {
         let opts = LaccOpts {
-            dist: DistOpts { hot_threshold: h, ..DistOpts::default() },
+            dist: DistOpts {
+                hot_threshold: h,
+                ..DistOpts::default()
+            },
             ..LaccOpts::default()
         };
         run_cfg(&format!("hot threshold h = {h}"), opts);
@@ -80,6 +98,10 @@ fn main() {
     ]);
 
     let header = ["configuration", "modeled s", "iterations", "sim wall s"];
-    print_table(&format!("Ablation on {} (p = {p}, Edison model)", prob.name), &header, &rows);
+    print_table(
+        &format!("Ablation on {} (p = {p}, Edison model)", prob.name),
+        &header,
+        &rows,
+    );
     write_csv("ablation", &header, &rows);
 }

@@ -33,17 +33,37 @@ fn main() {
     let graphs: Vec<(String, CsrGraph)> = vec![
         (
             "rmat_skewed".into(),
-            rmat(if full_mode() { 15 } else { 13 }, 16, RmatParams::graph500(), 42),
+            rmat(
+                if full_mode() { 15 } else { 13 },
+                16,
+                RmatParams::graph500(),
+                42,
+            ),
         ),
         ("M3".into(), {
             let prob = by_name("M3").expect("known");
-            if shrink == 1 { prob.build() } else { prob.build_small(shrink) }
+            if shrink == 1 {
+                prob.build()
+            } else {
+                prob.build_small(shrink)
+            }
         }),
     ];
-    let header = ["graph", "layout", "hot bcast", "modeled s", "extract max/avg", "iters"];
+    let header = [
+        "graph",
+        "layout",
+        "hot bcast",
+        "modeled s",
+        "extract max/avg",
+        "iters",
+    ];
     let mut rows = Vec::new();
     for (name, g) in &graphs {
-        eprintln!("[cyclic] {name}: n={} m={}", g.num_vertices(), g.num_directed_edges());
+        eprintln!(
+            "[cyclic] {name}: n={} m={}",
+            g.num_vertices(),
+            g.num_directed_edges()
+        );
         // Permutation off so vertex ids stay adversarial (min-hooking
         // concentrates parents at low ids — the Figure 3 regime).
         let configs = [

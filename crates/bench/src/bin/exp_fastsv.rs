@@ -17,15 +17,34 @@ fn main() {
     let nodes = scaling_nodes();
     let shrink = shrink();
     let names = ["archaea", "M3", "queen_4147", "twitter7"];
-    let header = ["graph", "nodes", "ranks", "lacc modeled s", "fastsv modeled s", "lacc/fastsv", "lacc iters", "fastsv rounds"];
+    let header = [
+        "graph",
+        "nodes",
+        "ranks",
+        "lacc modeled s",
+        "fastsv modeled s",
+        "lacc/fastsv",
+        "lacc iters",
+        "fastsv rounds",
+    ];
     let mut rows = Vec::new();
     for name in names {
         let prob = by_name(name).expect("known problem");
-        let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
-        eprintln!("[fastsv] {}: n={} m={}", name, g.num_vertices(), g.num_directed_edges());
+        let g = if shrink == 1 {
+            prob.build()
+        } else {
+            prob.build_small(shrink)
+        };
+        eprintln!(
+            "[fastsv] {}: n={} m={}",
+            name,
+            g.num_vertices(),
+            g.num_directed_edges()
+        );
         for &n_nodes in &nodes {
             let (ranks, _) = lacc_ranks_for(n_nodes);
-            let lacc_run = lacc::run_distributed(&g, ranks, EDISON.lacc_model(), &LaccOpts::default());
+            let lacc_run =
+                lacc::run_distributed(&g, ranks, EDISON.lacc_model(), &LaccOpts::default());
             let fsv = fastsv_dist(&g, ranks, EDISON.lacc_model(), &DistOpts::default());
             rows.push(vec![
                 name.to_string(),
@@ -33,12 +52,19 @@ fn main() {
                 format!("{ranks}"),
                 fmt_s(lacc_run.modeled_total_s),
                 fmt_s(fsv.modeled_total_s),
-                format!("{:.2}", lacc_run.modeled_total_s / fsv.modeled_total_s.max(1e-12)),
+                format!(
+                    "{:.2}",
+                    lacc_run.modeled_total_s / fsv.modeled_total_s.max(1e-12)
+                ),
                 format!("{}", lacc_run.num_iterations()),
                 format!("{}", fsv.rounds),
             ]);
         }
     }
-    print_table("Extension: LACC vs distributed FastSV (Edison model)", &header, &rows);
+    print_table(
+        "Extension: LACC vs distributed FastSV (Edison model)",
+        &header,
+        &rows,
+    );
     write_csv("ext_fastsv", &header, &rows);
 }

@@ -11,7 +11,10 @@ use lacc_graph::{CsrGraph, EdgeList};
 
 fn show(step: &str, f: &[usize], star: &[bool]) {
     let fs: Vec<String> = f.iter().map(|x| format!("{x:>2}")).collect();
-    let ss: Vec<String> = star.iter().map(|&s| if s { " *" } else { " ." }.into()).collect();
+    let ss: Vec<String> = star
+        .iter()
+        .map(|&s| if s { " *" } else { " ." }.into())
+        .collect();
     println!("  {step:<24} f = [{}]", fs.join(" "));
     println!("  {:<24} s = [{}]", "", ss.join(" "));
 }

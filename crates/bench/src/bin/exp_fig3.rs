@@ -16,7 +16,11 @@ use lacc_graph::generators::{rmat, RmatParams};
 fn main() {
     let scale = if full_mode() { 15 } else { 13 };
     let g = rmat(scale, 16, RmatParams::graph500(), 42);
-    eprintln!("[fig3] rmat scale {scale}: n={} m={}", g.num_vertices(), g.num_directed_edges());
+    eprintln!(
+        "[fig3] rmat scale {scale}: n={} m={}",
+        g.num_vertices(),
+        g.num_directed_edges()
+    );
     let p = 16;
     // Naive communication so the imbalance is raw (the paper's Figure 3
     // shows the problem its §V-B optimizations then fix).

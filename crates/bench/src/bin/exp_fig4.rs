@@ -15,10 +15,24 @@ fn main() {
     let nodes = scaling_nodes();
     let shrink = shrink();
     let opts = LaccOpts::default();
-    let header = ["graph", "nodes", "lacc ranks", "lacc modeled s", "pc ranks", "pc modeled s", "speedup", "lacc iters", "pc rounds"];
+    let header = [
+        "graph",
+        "nodes",
+        "lacc ranks",
+        "lacc modeled s",
+        "pc ranks",
+        "pc modeled s",
+        "speedup",
+        "lacc iters",
+        "pc rounds",
+    ];
     let mut rows = Vec::new();
     for prob in suite_small() {
-        let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
+        let g = if shrink == 1 {
+            prob.build()
+        } else {
+            prob.build_small(shrink)
+        };
         eprintln!(
             "[fig4] {}: n={} m={}",
             prob.name,
@@ -41,7 +55,11 @@ fn main() {
             ]);
         }
     }
-    print_table("Figure 4: strong scaling on Edison (LACC vs ParConnect)", &header, &rows);
+    print_table(
+        "Figure 4: strong scaling on Edison (LACC vs ParConnect)",
+        &header,
+        &rows,
+    );
     write_csv("fig4_edison_scaling", &header, &rows);
     println!("  (* rank count clamped at {} simulated ranks)", rank_cap());
 }

@@ -16,12 +16,29 @@ fn main() {
     let shrink = shrink();
     let opts = LaccOpts::default();
     let names = ["archaea", "eukarya", "M3", "iso_m100"];
-    let header = ["graph", "nodes", "lacc ranks", "lacc modeled s", "pc ranks", "pc modeled s", "speedup"];
+    let header = [
+        "graph",
+        "nodes",
+        "lacc ranks",
+        "lacc modeled s",
+        "pc ranks",
+        "pc modeled s",
+        "speedup",
+    ];
     let mut rows = Vec::new();
     for name in names {
         let prob = by_name(name).expect("known problem");
-        let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
-        eprintln!("[fig5] {}: n={} m={}", name, g.num_vertices(), g.num_directed_edges());
+        let g = if shrink == 1 {
+            prob.build()
+        } else {
+            prob.build_small(shrink)
+        };
+        eprintln!(
+            "[fig5] {}: n={} m={}",
+            name,
+            g.num_vertices(),
+            g.num_directed_edges()
+        );
         let lacc_pts = lacc_scaling(&g, &CORI_KNL, &nodes, &opts);
         let pc_pts = parconnect_scaling(&g, &CORI_KNL, &nodes);
         for ((lp, _), (pp, _)) in lacc_pts.iter().zip(&pc_pts) {
@@ -36,7 +53,11 @@ fn main() {
             ]);
         }
     }
-    print_table("Figure 5: strong scaling on Cori KNL (many-component graphs)", &header, &rows);
+    print_table(
+        "Figure 5: strong scaling on Cori KNL (many-component graphs)",
+        &header,
+        &rows,
+    );
     write_csv("fig5_cori_scaling", &header, &rows);
     println!("  (* rank count clamped at {} simulated ranks)", rank_cap());
 }

@@ -20,11 +20,28 @@ fn main() {
     };
     let shrink = shrink();
     let opts = LaccOpts::default();
-    let header = ["graph", "nodes", "lacc ranks", "lacc modeled s", "pc ranks", "pc modeled s", "speedup"];
+    let header = [
+        "graph",
+        "nodes",
+        "lacc ranks",
+        "lacc modeled s",
+        "pc ranks",
+        "pc modeled s",
+        "speedup",
+    ];
     let mut rows = Vec::new();
     for prob in suite_big() {
-        let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
-        eprintln!("[fig6] {}: n={} m={}", prob.name, g.num_vertices(), g.num_directed_edges());
+        let g = if shrink == 1 {
+            prob.build()
+        } else {
+            prob.build_small(shrink)
+        };
+        eprintln!(
+            "[fig6] {}: n={} m={}",
+            prob.name,
+            g.num_vertices(),
+            g.num_directed_edges()
+        );
         let lacc_pts = lacc_scaling(&g, &CORI_KNL, &nodes, &opts);
         let pc_pts = parconnect_scaling(&g, &CORI_KNL, &nodes);
         for ((lp, _), (pp, _)) in lacc_pts.iter().zip(&pc_pts) {

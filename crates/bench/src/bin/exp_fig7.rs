@@ -19,7 +19,11 @@ fn main() {
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for name in names {
         let prob = by_name(name).expect("known problem");
-        let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
+        let g = if shrink == 1 {
+            prob.build()
+        } else {
+            prob.build_small(shrink)
+        };
         let run = lacc_serial(&g, &LaccOpts::default());
         let fr = run.converged_fractions();
         max_iters = max_iters.max(fr.len());

@@ -17,12 +17,26 @@ fn main() {
     let shrink = shrink();
     let opts = LaccOpts::default();
     let names = ["eukarya", "sk-2005", "MOLIERE_2016"];
-    let header = ["machine", "graph", "nodes", "ranks", "cond s", "uncond s", "shortcut s", "starcheck s", "total s"];
+    let header = [
+        "machine",
+        "graph",
+        "nodes",
+        "ranks",
+        "cond s",
+        "uncond s",
+        "shortcut s",
+        "starcheck s",
+        "total s",
+    ];
     let mut rows = Vec::new();
     for (machine, mname) in [(EDISON, "Edison"), (CORI_KNL, "Cori KNL")] {
         for name in names {
             let prob = by_name(name).expect("known problem");
-            let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
+            let g = if shrink == 1 {
+                prob.build()
+            } else {
+                prob.build_small(shrink)
+            };
             eprintln!("[fig8] {mname}/{name}");
             for (pt, run) in lacc_scaling(&g, &machine, &nodes, &opts) {
                 let b = run.breakdown();
@@ -40,7 +54,11 @@ fn main() {
             }
         }
     }
-    print_table("Figure 8: modeled time breakdown of LACC steps", &header, &rows);
+    print_table(
+        "Figure 8: modeled time breakdown of LACC steps",
+        &header,
+        &rows,
+    );
     write_csv("fig8_step_breakdown", &header, &rows);
     println!("\nNote: starcheck aggregates the three per-iteration star refreshes; the convergence detector's time is outside the four buckets but inside 'total'.");
 }

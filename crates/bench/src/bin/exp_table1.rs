@@ -13,7 +13,11 @@ use lacc_graph::generators::suite::by_name;
 fn main() {
     let shrink = shrink();
     let prob = by_name("eukarya").expect("known problem");
-    let g = if shrink == 1 { prob.build() } else { prob.build_small(shrink) };
+    let g = if shrink == 1 {
+        prob.build()
+    } else {
+        prob.build_small(shrink)
+    };
     let n = g.num_vertices();
     let run = lacc_serial(&g, &LaccOpts::default());
     let header = [
@@ -32,7 +36,11 @@ fn main() {
             vec![
                 format!("{}", it.iteration),
                 format!("{}", it.active_before),
-                if it.spmv_dense { "SpMV".into() } else { "SpMSpV".into() },
+                if it.spmv_dense {
+                    "SpMV".into()
+                } else {
+                    "SpMSpV".into()
+                },
                 format!("{}", it.cond_changed),
                 format!("{}", it.uncond_changed),
                 format!("{}", it.shortcut_changed),
@@ -41,7 +49,10 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Table I (quantified): per-step scope on {} (n={n})", prob.name),
+        &format!(
+            "Table I (quantified): per-step scope on {} (n={n})",
+            prob.name
+        ),
         &header,
         &rows,
     );

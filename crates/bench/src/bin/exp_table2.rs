@@ -11,7 +11,10 @@ use lacc_bench::{print_table, write_csv};
 fn main() {
     let mut rows = Vec::new();
     for machine in [EDISON, CORI_KNL] {
-        for (cfg, rpn) in [("LACC (hybrid)", 4usize), ("ParConnect (flat)", machine.cores_per_node)] {
+        for (cfg, rpn) in [
+            ("LACC (hybrid)", 4usize),
+            ("ParConnect (flat)", machine.cores_per_node),
+        ] {
             let m = machine.model(rpn);
             rows.push(vec![
                 machine.name.to_string(),

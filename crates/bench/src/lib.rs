@@ -28,7 +28,9 @@ pub fn scaling_nodes() -> Vec<usize> {
 
 /// Whether `LACC_FULL=1` is set (larger graphs, more scaling points).
 pub fn full_mode() -> bool {
-    std::env::var("LACC_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LACC_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Shrink factor for stand-in graphs: 1 in full mode, 4 otherwise.
@@ -268,14 +270,17 @@ mod tests {
         assert_eq!(largest_pow4_leq(1024), 1024);
         for nodes in [1, 4, 16, 64, 256] {
             let (p, _) = lacc_ranks_for(nodes);
-            assert!(p.is_power_of_two() && (p.trailing_zeros() % 2 == 0), "p={p}");
+            assert!(
+                p.is_power_of_two() && (p.trailing_zeros() % 2 == 0),
+                "p={p}"
+            );
         }
     }
 
     #[test]
     fn fmt_s_ranges() {
         assert_eq!(fmt_s(0.0123), "12.30ms");
-        assert_eq!(fmt_s(3.14159), "3.14");
+        assert_eq!(fmt_s(3.46159), "3.46");
         assert_eq!(fmt_s(123.4), "123");
     }
 }

@@ -13,6 +13,7 @@ pub const USAGE: &str = "usage:
   lacc stats    <graph>
   lacc cc       <graph> [--algo lacc|unionfind|bfs|sv|labelprop|fastsv|multistep] [--out labels.txt]
   lacc cc-dist  <graph> --ranks P [--machine edison|cori] [--flat]
+                [--kernel-threads T] [--spmv-threshold F]
   lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
   lacc convert  <in> <out>
 
@@ -93,7 +94,11 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 
 fn cmd_cc(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
-    let algo = args.options.get("algo").map(|s| s.as_str()).unwrap_or("lacc");
+    let algo = args
+        .options
+        .get("algo")
+        .map(|s| s.as_str())
+        .unwrap_or("lacc");
     let t = std::time::Instant::now();
     let labels = match algo {
         "lacc" => lacc_serial(&g, &LaccOpts::default()).labels,
@@ -109,12 +114,14 @@ fn cmd_cc(args: &Args) -> Result<(), String> {
     lacc::verify_labels(&g, &labels).map_err(|e| format!("internal error: {e}"))?;
     let canon = lacc_graph::unionfind::canonicalize_labels(&labels);
     let ncomp = lacc_graph::unionfind::count_components(&canon);
-    println!("{ncomp} components via {algo} in {:.1} ms (verified)", elapsed * 1e3);
+    println!(
+        "{ncomp} components via {algo} in {:.1} ms (verified)",
+        elapsed * 1e3
+    );
     if let Some(out) = args.options.get("out") {
         use std::io::Write;
-        let mut f = std::io::BufWriter::new(
-            std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?,
-        );
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?);
         for (v, l) in canon.iter().enumerate() {
             writeln!(f, "{v} {l}").map_err(|e| e.to_string())?;
         }
@@ -126,13 +133,34 @@ fn cmd_cc(args: &Args) -> Result<(), String> {
 fn cmd_cc_dist(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let ranks: usize = args.get_or("ranks", 4)?;
-    let machine = match args.options.get("machine").map(|s| s.as_str()).unwrap_or("edison") {
+    let machine = match args
+        .options
+        .get("machine")
+        .map(|s| s.as_str())
+        .unwrap_or("edison")
+    {
         "edison" => dmsim::EDISON,
         "cori" => dmsim::CORI_KNL,
         other => return Err(format!("unknown machine: {other}")),
     };
-    let model = if args.has_flag("flat") { machine.flat_model() } else { machine.lacc_model() };
-    let run = run_distributed(&g, ranks, model, &LaccOpts::default());
+    let model = if args.has_flag("flat") {
+        machine.flat_model()
+    } else {
+        machine.lacc_model()
+    };
+    let mut opts = LaccOpts::default();
+    // Intra-rank kernel threading; `run_distributed` clamps the request so
+    // ranks × threads never exceeds the host's cores.
+    opts.dist.kernel_threads = args.get_or("kernel-threads", opts.dist.kernel_threads)?;
+    // Input fill fraction above which mxv runs its SpMV-style local kernel.
+    opts.dist.spmv_threshold = args.get_or("spmv-threshold", opts.dist.spmv_threshold)?;
+    if !(0.0..=1.5).contains(&opts.dist.spmv_threshold) {
+        return Err(format!(
+            "--spmv-threshold out of range: {}",
+            opts.dist.spmv_threshold
+        ));
+    }
+    let run = run_distributed(&g, ranks, model, &opts);
     println!(
         "{} components via distributed LACC on {} ranks ({})",
         run.num_components(),
@@ -229,17 +257,46 @@ mod tests {
         let mtx = dir.join("g.mtx").display().to_string();
         let bin = dir.join("g.bin").display().to_string();
 
-        dispatch(&argv(&["generate", "community", "--n", "500", "--out", &mtx])).unwrap();
+        dispatch(&argv(&[
+            "generate",
+            "community",
+            "--n",
+            "500",
+            "--out",
+            &mtx,
+        ]))
+        .unwrap();
         dispatch(&argv(&["stats", &mtx])).unwrap();
         dispatch(&argv(&["convert", &mtx, &bin])).unwrap();
         dispatch(&argv(&["cc", &bin, "--algo", "lacc"])).unwrap();
         dispatch(&argv(&["cc", &bin, "--algo", "unionfind"])).unwrap();
         dispatch(&argv(&["cc-dist", &bin, "--ranks", "4"])).unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &bin,
+            "--ranks",
+            "4",
+            "--kernel-threads",
+            "2",
+            "--spmv-threshold",
+            "0.25",
+        ]))
+        .unwrap();
 
         // Converted graphs must describe the same structure.
         let a = CsrGraph::from_edges(load_edges(Path::new(&mtx)).unwrap());
         let b = CsrGraph::from_edges(load_edges(Path::new(&bin)).unwrap());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cc_dist_rejects_bad_threshold() {
+        let dir = std::env::temp_dir().join("lacc-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n").unwrap();
+        assert!(dispatch(&argv(&["cc-dist", &p, "--spmv-threshold", "7.0"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--kernel-threads", "zig"])).is_err());
     }
 
     #[test]

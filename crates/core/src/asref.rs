@@ -46,7 +46,10 @@ fn apply_hooks(f: &mut [Vid], hooks: &[(Vid, Vid)]) -> usize {
     // Combine duplicates by min, then overwrite.
     let mut combined: std::collections::HashMap<Vid, Vid> = std::collections::HashMap::new();
     for &(t, v) in hooks {
-        combined.entry(t).and_modify(|x| *x = (*x).min(v)).or_insert(v);
+        combined
+            .entry(t)
+            .and_modify(|x| *x = (*x).min(v))
+            .or_insert(v);
     }
     let mut changed = 0;
     for (t, v) in combined {
@@ -104,7 +107,10 @@ pub fn awerbuch_shiloach(g: &CsrGraph) -> Vec<Vid> {
         starcheck(&f, &mut star);
 
         if changed == 0 {
-            debug_assert!((0..n).all(|v| f[f[v]] == f[v]), "converged forest must be flat");
+            debug_assert!(
+                (0..n).all(|v| f[f[v]] == f[v]),
+                "converged forest must be flat"
+            );
             return f;
         }
     }

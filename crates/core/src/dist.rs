@@ -13,8 +13,8 @@ use crate::stats::{IterStats, LaccRun, StepBreakdown};
 use crate::Vid;
 use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
 use gblas::dist::{
-    dist_assign, dist_extract, dist_mxv_dense, dist_mxv_sparse, DistMask, DistMat, DistOpts,
-    DistSpVec, DistVec, VecLayout,
+    dist_assign, dist_extract, dist_mxv, dist_mxv_dense, DistMask, DistMat, DistOpts, DistSpVec,
+    DistVec, VecLayout,
 };
 use gblas::{AndBool, MinUsize};
 use lacc_graph::permute::Permutation;
@@ -116,13 +116,24 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             }
             m
         };
-        let density = if n == 0 { 0.0 } else { active_count_global as f64 / n as f64 };
+        let density = if n == 0 {
+            0.0
+        } else {
+            active_count_global as f64 / n as f64
+        };
         let use_dense = density >= opts.dense_threshold;
         rec.spmv_dense = use_dense;
         let q: DistSpVec<(Vid, Vid)> = if use_dense {
             let pairs: DistVec<(Vid, Vid)> =
                 DistVec::from_fn(layout, rank, |g| (f.get_local(g), f.get_local(g)));
-            dist_mxv_dense(comm, &a, &pairs, DistMask::Keep(&mask_vec), gblas::MinMaxUsize)
+            dist_mxv_dense(
+                comm,
+                &a,
+                &pairs,
+                DistMask::Keep(&mask_vec),
+                gblas::MinMaxUsize,
+                &opts.dist,
+            )
         } else {
             let entries: Vec<(Vid, (Vid, Vid))> = active
                 .iter()
@@ -131,7 +142,17 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
                 .map(|(o, _)| (f.global_of(o), (f.local()[o], f.local()[o])))
                 .collect();
             let x = DistSpVec::from_local_entries(layout, rank, entries);
-            dist_mxv_sparse(comm, &a, &x, DistMask::Keep(&mask_vec), gblas::MinMaxUsize, &opts.dist)
+            // Adaptive dispatch (§V-A): even when the active fraction is
+            // below `dense_threshold`, the measured fill decides whether the
+            // local multiply runs SpMV- or SpMSpV-style.
+            dist_mxv(
+                comm,
+                &a,
+                &x,
+                DistMask::Keep(&mask_vec),
+                gblas::MinMaxUsize,
+                &opts.dist,
+            )
         };
 
         // Converged-component tracking (Lemma 1, strengthened; evaluated
@@ -198,7 +219,14 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             }
             m
         };
-        let fn2 = dist_mxv_sparse(comm, &a, &x, DistMask::Keep(&mask_vec2), MinUsize, &opts.dist);
+        let fn2 = dist_mxv(
+            comm,
+            &a,
+            &x,
+            DistMask::Keep(&mask_vec2),
+            MinUsize,
+            &opts.dist,
+        );
         let updates2: Vec<(Vid, Vid)> = fn2
             .entries()
             .iter()
@@ -229,7 +257,12 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         rec.modeled.shortcut_s += comm.snapshot().clock_s - t4;
 
         // --- Global convergence test ---
-        let local = [rec.cond_changed, rec.uncond_changed, rec.shortcut_changed, newly_converged];
+        let local = [
+            rec.cond_changed,
+            rec.uncond_changed,
+            rec.shortcut_changed,
+            newly_converged,
+        ];
         let global = comm.allreduce(&world, local, |a, b| {
             [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
         });
@@ -274,6 +307,11 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
 pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccOpts) -> LaccRun {
     let n = g.num_vertices();
     let _ = Grid2d::square(p); // validate early
+                               // Clamp the per-rank kernel thread request so p ranks × T threads never
+                               // oversubscribe the host (all simulated ranks run concurrently).
+    let mut opts = *opts;
+    opts.dist.kernel_threads = opts.kernel_threads_for(p);
+    let opts = &opts;
     let (work_graph, perm) = if opts.permute && n > 1 {
         let perm = Permutation::random(n, opts.permute_seed);
         (perm.permute_graph(g), Some(perm))
@@ -296,7 +334,9 @@ pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccO
         .map(|k| {
             let r0 = &outs[0].iters[k];
             let max_over = |sel: fn(&StepBreakdown) -> f64| {
-                outs.iter().map(|o| sel(&o.iters[k].modeled)).fold(0.0f64, f64::max)
+                outs.iter()
+                    .map(|o| sel(&o.iters[k].modeled))
+                    .fold(0.0f64, f64::max)
             };
             IterStats {
                 iteration: k + 1,
@@ -317,7 +357,13 @@ pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccO
         })
         .collect();
 
-    LaccRun { labels, iters, p, modeled_total_s, wall_s }
+    LaccRun {
+        labels,
+        iters,
+        p,
+        modeled_total_s,
+        wall_s,
+    }
 }
 
 #[cfg(test)]
@@ -353,7 +399,10 @@ mod tests {
 
     #[test]
     fn bit_identical_to_serial_without_permutation() {
-        let opts = LaccOpts { permute: false, ..LaccOpts::default() };
+        let opts = LaccOpts {
+            permute: false,
+            ..LaccOpts::default()
+        };
         for seed in 0..3 {
             let g = community_graph(600, 30, 3.0, 1.4, seed);
             let serial = lacc_serial(&g, &opts);
@@ -382,7 +431,11 @@ mod tests {
     #[test]
     fn works_with_all_comm_configs() {
         let g = metagenome_graph(800, 6, 0.01, 3);
-        for opts in [LaccOpts::default(), LaccOpts::naive_comm(), LaccOpts::dense_as()] {
+        for opts in [
+            LaccOpts::default(),
+            LaccOpts::naive_comm(),
+            LaccOpts::dense_as(),
+        ] {
             check(&g, 4, &opts);
         }
     }
@@ -409,8 +462,16 @@ mod tests {
 
     #[test]
     fn single_vertex_and_empty() {
-        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(1)), 4, &LaccOpts::default());
-        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(0)), 1, &LaccOpts::default());
+        check(
+            &CsrGraph::from_edges(lacc_graph::EdgeList::new(1)),
+            4,
+            &LaccOpts::default(),
+        );
+        check(
+            &CsrGraph::from_edges(lacc_graph::EdgeList::new(0)),
+            1,
+            &LaccOpts::default(),
+        );
     }
 
     #[test]
@@ -426,8 +487,15 @@ mod tests {
         // parent vectors are bit-identical.
         for seed in 0..2 {
             let g = community_graph(700, 35, 3.0, 1.4, seed);
-            let blocked = LaccOpts { permute: false, ..LaccOpts::default() };
-            let cyclic = LaccOpts { permute: false, cyclic_vectors: true, ..LaccOpts::default() };
+            let blocked = LaccOpts {
+                permute: false,
+                ..LaccOpts::default()
+            };
+            let cyclic = LaccOpts {
+                permute: false,
+                cyclic_vectors: true,
+                ..LaccOpts::default()
+            };
             for p in [4, 9, 16] {
                 let a = run_distributed(&g, p, model(), &blocked);
                 let b = run_distributed(&g, p, model(), &cyclic);
@@ -466,8 +534,15 @@ mod tests {
         };
         // Disable the hot-rank broadcast so the raw skew is measured, and
         // the permutation so ids stay adversarial.
-        let blocked = LaccOpts { permute: false, ..LaccOpts::naive_comm() };
-        let cyclic = LaccOpts { permute: false, cyclic_vectors: true, ..LaccOpts::naive_comm() };
+        let blocked = LaccOpts {
+            permute: false,
+            ..LaccOpts::naive_comm()
+        };
+        let cyclic = LaccOpts {
+            permute: false,
+            cyclic_vectors: true,
+            ..LaccOpts::naive_comm()
+        };
         let (ib, ic) = (imbalance(&blocked), imbalance(&cyclic));
         assert!(
             ic < ib,

@@ -59,12 +59,32 @@ impl LaccOpts {
     /// LACC with the naive communication stack (pairwise all-to-all, no
     /// hot-rank broadcast) — isolates the §V-B optimizations.
     pub fn naive_comm() -> Self {
-        LaccOpts { dist: DistOpts::naive(), ..Default::default() }
+        LaccOpts {
+            dist: DistOpts::naive(),
+            ..Default::default()
+        }
     }
 
     /// LACC with cyclically distributed vectors (§VII future work).
     pub fn cyclic() -> Self {
-        LaccOpts { cyclic_vectors: true, ..Default::default() }
+        LaccOpts {
+            cyclic_vectors: true,
+            ..Default::default()
+        }
+    }
+
+    /// The per-rank kernel thread count actually granted when `p` simulated
+    /// ranks share this host: the configured
+    /// [`DistOpts::kernel_threads`] request, clamped to
+    /// `max(1, host_cores / p)` so the `p × threads` product never
+    /// oversubscribes the machine (the simulator runs every rank
+    /// concurrently).
+    pub fn kernel_threads_for(&self, p: usize) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let cap = (cores / p.max(1)).max(1);
+        self.dist.kernel_threads.max(1).min(cap)
     }
 }
 
@@ -91,5 +111,20 @@ mod tests {
         let o = LaccOpts::naive_comm();
         assert!(o.use_sparsity);
         assert!(!o.dist.hot_bcast);
+    }
+
+    #[test]
+    fn thread_budget_never_oversubscribes() {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let mut o = LaccOpts::default();
+        o.dist.kernel_threads = 1024;
+        assert!(o.kernel_threads_for(1) <= cores);
+        // With more ranks than cores every rank degrades to one thread.
+        assert_eq!(o.kernel_threads_for(cores * 2), 1);
+        // A serial request stays serial regardless of the host.
+        o.dist.kernel_threads = 1;
+        assert_eq!(o.kernel_threads_for(1), 1);
     }
 }

@@ -78,7 +78,11 @@ pub fn lacc_serial(g: &CsrGraph, opts: &LaccOpts) -> LaccRun {
         // the flag has no false positives and conditional hooking stays
         // safe; newly formed stars are picked up one iteration later.
         let mask: Vec<bool> = (0..n).map(|v| star[v] && active[v]).collect();
-        let density = if n == 0 { 0.0 } else { active_count as f64 / n as f64 };
+        let density = if n == 0 {
+            0.0
+        } else {
+            active_count as f64 / n as f64
+        };
         let use_dense = density >= opts.dense_threshold;
         let q = if use_dense {
             let pairs: Vec<(Vid, Vid)> = f.iter().map(|&x| (x, x)).collect();
@@ -86,7 +90,10 @@ pub fn lacc_serial(g: &CsrGraph, opts: &LaccOpts) -> LaccRun {
         } else {
             let x = SparseVec::from_entries(
                 n,
-                (0..n).filter(|&v| active[v]).map(|v| (v, (f[v], f[v]))).collect(),
+                (0..n)
+                    .filter(|&v| active[v])
+                    .map(|v| (v, (f[v], f[v])))
+                    .collect(),
             );
             serial::mxv_sparse(&a, &x, Mask::Keep(&mask), gblas::MinMaxUsize)
         };
@@ -143,8 +150,7 @@ pub fn lacc_serial(g: &CsrGraph, opts: &LaccOpts) -> LaccRun {
         );
         let mask2: Vec<bool> = (0..n).map(|v| star[v] && active[v]).collect();
         let fn2 = serial::mxv_sparse(&a, &x, Mask::Keep(&mask2), MinUsize);
-        let updates2: Vec<(Vid, Vid)> =
-            fn2.entries().iter().map(|&(v, m)| (f[v], m)).collect();
+        let updates2: Vec<(Vid, Vid)> = fn2.entries().iter().map(|&(v, m)| (f[v], m)).collect();
         let uncond_changed = serial::assign(&mut f, &updates2, MinUsize);
         starcheck_active(&f, &mut star, &active);
 
@@ -176,15 +182,18 @@ pub fn lacc_serial(g: &CsrGraph, opts: &LaccOpts) -> LaccRun {
         });
         // A zero-change iteration is only a proven fixpoint when it ran
         // with a fresh star vector (see the staleness note on step 1).
-        let fixpoint = cond_changed + uncond_changed + shortcut_changed == 0
-            && prev_shortcut_changed == 0;
+        let fixpoint =
+            cond_changed + uncond_changed + shortcut_changed == 0 && prev_shortcut_changed == 0;
         prev_shortcut_changed = shortcut_changed;
         if fixpoint {
             break;
         }
     }
     assert!(
-        iters.last().map(|it| it.total_changed() == 0).unwrap_or(n == 0),
+        iters
+            .last()
+            .map(|it| it.total_changed() == 0)
+            .unwrap_or(n == 0),
         "LACC did not converge within {} iterations",
         opts.max_iters
     );
@@ -324,10 +333,7 @@ mod tests {
         // split the component. Found by automated shrinking of a failing
         // community graph; kept as a regression test for the sound
         // convergence detector.
-        let el = lacc_graph::EdgeList::from_pairs(
-            82,
-            [(77, 80), (80, 79), (79, 81), (81, 78)],
-        );
+        let el = lacc_graph::EdgeList::from_pairs(82, [(77, 80), (80, 79), (79, 81), (81, 78)]);
         let g = CsrGraph::from_edges(el);
         check(&g, &LaccOpts::default());
         check(&g, &LaccOpts::dense_as());
@@ -335,7 +341,10 @@ mod tests {
 
     #[test]
     fn empty_graphs() {
-        check(&CsrGraph::from_edges(lacc_graph::EdgeList::new(0)), &LaccOpts::default());
+        check(
+            &CsrGraph::from_edges(lacc_graph::EdgeList::new(0)),
+            &LaccOpts::default(),
+        );
         let run = check(
             &CsrGraph::from_edges(lacc_graph::EdgeList::new(5)),
             &LaccOpts::default(),

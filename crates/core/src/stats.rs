@@ -110,7 +110,10 @@ impl LaccRun {
     /// series).
     pub fn converged_fractions(&self) -> Vec<f64> {
         let n = self.labels.len().max(1) as f64;
-        self.iters.iter().map(|it| it.converged_after as f64 / n).collect()
+        self.iters
+            .iter()
+            .map(|it| it.converged_after as f64 / n)
+            .collect()
     }
 }
 
@@ -120,9 +123,17 @@ mod tests {
 
     #[test]
     fn breakdown_totals() {
-        let mut b = StepBreakdown { cond_s: 1.0, uncond_s: 2.0, shortcut_s: 3.0, starcheck_s: 4.0 };
+        let mut b = StepBreakdown {
+            cond_s: 1.0,
+            uncond_s: 2.0,
+            shortcut_s: 3.0,
+            starcheck_s: 4.0,
+        };
         assert_eq!(b.total(), 10.0);
-        b.add(&StepBreakdown { cond_s: 1.0, ..Default::default() });
+        b.add(&StepBreakdown {
+            cond_s: 1.0,
+            ..Default::default()
+        });
         assert_eq!(b.cond_s, 2.0);
     }
 
@@ -131,8 +142,17 @@ mod tests {
         let run = LaccRun {
             labels: vec![0, 0, 2, 2, 2],
             iters: vec![
-                IterStats { iteration: 1, converged_after: 2, cond_changed: 3, ..Default::default() },
-                IterStats { iteration: 2, converged_after: 5, ..Default::default() },
+                IterStats {
+                    iteration: 1,
+                    converged_after: 2,
+                    cond_changed: 3,
+                    ..Default::default()
+                },
+                IterStats {
+                    iteration: 2,
+                    converged_after: 5,
+                    ..Default::default()
+                },
             ],
             p: 4,
             modeled_total_s: 1.5,

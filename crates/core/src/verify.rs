@@ -43,7 +43,10 @@ impl std::fmt::Display for LabelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LabelError::WrongLength { expected, got } => {
-                write!(f, "label vector has {got} entries, graph has {expected} vertices")
+                write!(
+                    f,
+                    "label vector has {got} entries, graph has {expected} vertices"
+                )
             }
             LabelError::OutOfRange { vertex, label } => {
                 write!(f, "vertex {vertex} carries out-of-range label {label}")
@@ -52,7 +55,10 @@ impl std::fmt::Display for LabelError {
                 write!(f, "edge ({u},{v}) spans two labels: component split")
             }
             LabelError::Merged { a, b } => {
-                write!(f, "vertices {a} and {b} share a label but are not connected")
+                write!(
+                    f,
+                    "vertices {a} and {b} share a label but are not connected"
+                )
             }
         }
     }
@@ -66,11 +72,17 @@ impl std::error::Error for LabelError {}
 pub fn verify_labels(g: &CsrGraph, labels: &[Vid]) -> Result<(), LabelError> {
     let n = g.num_vertices();
     if labels.len() != n {
-        return Err(LabelError::WrongLength { expected: n, got: labels.len() });
+        return Err(LabelError::WrongLength {
+            expected: n,
+            got: labels.len(),
+        });
     }
     for (v, &l) in labels.iter().enumerate() {
         if l >= n {
-            return Err(LabelError::OutOfRange { vertex: v, label: l });
+            return Err(LabelError::OutOfRange {
+                vertex: v,
+                label: l,
+            });
         }
     }
     // No split components: edges are monochromatic.
@@ -116,11 +128,17 @@ mod tests {
         let g = path_graph(5);
         assert!(matches!(
             verify_labels(&g, &[0, 0, 0]),
-            Err(LabelError::WrongLength { expected: 5, got: 3 })
+            Err(LabelError::WrongLength {
+                expected: 5,
+                got: 3
+            })
         ));
         assert!(matches!(
             verify_labels(&g, &[0, 0, 0, 0, 9]),
-            Err(LabelError::OutOfRange { vertex: 4, label: 9 })
+            Err(LabelError::OutOfRange {
+                vertex: 4,
+                label: 9
+            })
         ));
     }
 
@@ -135,10 +153,8 @@ mod tests {
     #[test]
     fn rejects_merged_components() {
         // Two disjoint edges labeled identically.
-        let g = lacc_graph::CsrGraph::from_edges(lacc_graph::EdgeList::from_pairs(
-            4,
-            [(0, 1), (2, 3)],
-        ));
+        let g =
+            lacc_graph::CsrGraph::from_edges(lacc_graph::EdgeList::from_pairs(4, [(0, 1), (2, 3)]));
         let err = verify_labels(&g, &[0, 0, 0, 0]).unwrap_err();
         assert!(matches!(err, LabelError::Merged { .. }));
     }

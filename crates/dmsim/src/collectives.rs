@@ -101,10 +101,13 @@ impl Comm {
             }
         }
         // Send to larger children first (deeper subtrees) as binomial
-        // broadcast does.
+        // broadcast does. Copies go out through pooled buffers so repeated
+        // broadcasts reuse capacity instead of allocating per child.
         for &c in children.iter().rev() {
             let dest = g.member((c + root_idx) % q);
-            self.send_counted(dest, data.clone(), words_of::<T>(data.len()));
+            let mut copy: Vec<T> = self.take_buf();
+            copy.extend_from_slice(&data);
+            self.send_counted(dest, copy, words_of::<T>(data.len()));
         }
         data
     }
@@ -122,27 +125,37 @@ impl Comm {
 
     /// Ring allgather: every member contributes a vector; everyone returns
     /// all contributions indexed by group index.
-    pub fn allgatherv<T: Clone + Send + 'static>(&mut self, g: &Group, mine: Vec<T>) -> Vec<Vec<T>> {
+    pub fn allgatherv<T: Clone + Send + 'static>(
+        &mut self,
+        g: &Group,
+        mine: Vec<T>,
+    ) -> Vec<Vec<T>> {
         let q = g.size();
         let me = g.my_index();
         let mut result: Vec<Option<Vec<T>>> = (0..q).map(|_| None).collect();
         let right = g.member((me + 1) % q);
         let left = g.member((me + q - 1) % q);
-        let mut carry = mine.clone();
+        // The ring forwards a copy of each incoming block; draw the copies
+        // from the buffer pool so steady-state supersteps allocate nothing.
+        let mut carry: Vec<T> = self.take_buf();
+        carry.extend_from_slice(&mine);
         result[me] = Some(mine);
         for step in 1..q {
             let w = words_of::<T>(carry.len());
             self.send_counted(right, carry, w);
             let incoming: Vec<T> = self.recv(left);
             let origin = (me + q - step) % q;
+            carry = self.take_buf();
             if step + 1 < q {
-                carry = incoming.clone();
-            } else {
-                carry = Vec::new();
+                carry.extend_from_slice(&incoming);
             }
             result[origin] = Some(incoming);
         }
-        result.into_iter().map(|r| r.expect("ring delivered all blocks")).collect()
+        self.put_buf(carry);
+        result
+            .into_iter()
+            .map(|r| r.expect("ring delivered all blocks"))
+            .collect()
     }
 
     /// Allreduce: recursive doubling (`(α + βw)·log₂ q`) on power-of-two
@@ -177,7 +190,11 @@ impl Comm {
                 let partner = me ^ k;
                 self.send_counted(g.member(partner), acc.clone(), words);
                 let theirs: T = self.recv(g.member(partner));
-                acc = if partner < me { op(theirs, acc) } else { op(acc, theirs) };
+                acc = if partner < me {
+                    op(theirs, acc)
+                } else {
+                    op(acc, theirs)
+                };
                 k <<= 1;
             }
             return acc;
@@ -187,7 +204,9 @@ impl Comm {
         let gathered = self.gatherv(g, 0, vec![val]);
         let result = match gathered {
             Some(all) => {
-                let mut it = all.into_iter().map(|mut v| v.pop().expect("one value per rank"));
+                let mut it = all
+                    .into_iter()
+                    .map(|mut v| v.pop().expect("one value per rank"));
                 let first = it.next().expect("nonempty group");
                 Some(it.fold(first, op))
             }
@@ -212,7 +231,8 @@ impl Comm {
         for k in 0..q {
             if k != me {
                 let buf = std::mem::take(&mut parts[k]);
-                self.send_counted(g.member(k), buf.clone(), words_of::<T>(buf.len()));
+                let w = words_of::<T>(buf.len());
+                self.send_counted(g.member(k), buf, w);
             }
         }
         let mut acc: Option<Vec<T>> = None;
@@ -225,11 +245,16 @@ impl Comm {
             match &mut acc {
                 None => acc = Some(contribution),
                 Some(acc) => {
-                    assert_eq!(acc.len(), contribution.len(), "reduce_scatter length mismatch");
+                    assert_eq!(
+                        acc.len(),
+                        contribution.len(),
+                        "reduce_scatter length mismatch"
+                    );
                     self.charge_compute(contribution.len() as u64);
-                    for (a, c) in acc.iter_mut().zip(contribution) {
-                        op(a, c);
+                    for (a, c) in acc.iter_mut().zip(&contribution) {
+                        op(a, c.clone());
                     }
+                    self.put_buf(contribution);
                 }
             }
         }
@@ -263,7 +288,11 @@ impl Comm {
         }
     }
 
-    fn alltoallv_direct<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_direct<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        mut bufs: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let q = g.size();
         let me = g.my_index();
         for k in 0..q {
@@ -284,7 +313,11 @@ impl Comm {
             .collect()
     }
 
-    fn alltoallv_pairwise<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_pairwise<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        mut bufs: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let q = g.size();
         let me = g.my_index();
         let mut result: Vec<Option<Vec<T>>> = (0..q).map(|_| None).collect();
@@ -297,10 +330,17 @@ impl Comm {
             self.send_counted(g.member(to), buf, w);
             result[from] = Some(self.recv::<Vec<T>>(g.member(from)));
         }
-        result.into_iter().map(|r| r.expect("pairwise covered all")).collect()
+        result
+            .into_iter()
+            .map(|r| r.expect("pairwise covered all"))
+            .collect()
     }
 
-    fn alltoallv_hypercube<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_hypercube<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        mut bufs: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let q = g.size();
         let me = g.my_index();
         debug_assert!(q.is_power_of_two());
@@ -339,20 +379,33 @@ impl Comm {
             }
         }
         debug_assert!(pool.is_empty(), "all buckets routed after log q rounds");
-        result
-            .into_iter()
-            .map(|r| r.unwrap_or_default())
-            .collect()
+        result.into_iter().map(|r| r.unwrap_or_default()).collect()
     }
 
-    fn alltoallv_sparse<T: Send + 'static>(&mut self, g: &Group, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_sparse<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        mut bufs: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
         let q = g.size();
         let me = g.my_index();
         // Phase 1: exchange per-destination counts so each member learns
         // who will contact it. The count matrix transpose is itself a tiny
         // all-to-all; use the hypercube (or pairwise) algorithm for it.
-        let counts: Vec<Vec<u64>> = (0..q).map(|k| vec![bufs[k].len() as u64]).collect();
-        let algo = if q.is_power_of_two() { AllToAll::Hypercube } else { AllToAll::Pairwise };
+        // Count vectors come from the buffer pool — this phase runs every
+        // superstep, so avoiding its `q` tiny allocations matters.
+        let counts: Vec<Vec<u64>> = (0..q)
+            .map(|k| {
+                let mut c: Vec<u64> = self.take_buf();
+                c.push(bufs[k].len() as u64);
+                c
+            })
+            .collect();
+        let algo = if q.is_power_of_two() {
+            AllToAll::Hypercube
+        } else {
+            AllToAll::Pairwise
+        };
         let incoming_counts = self.alltoallv(g, counts, algo);
         // Phase 2: only nonempty pairs exchange.
         for k in 0..q {
@@ -362,7 +415,7 @@ impl Comm {
                 self.send_counted(g.member(k), buf, w);
             }
         }
-        (0..q)
+        let out = (0..q)
             .map(|k| {
                 if k == me {
                     std::mem::take(&mut bufs[me])
@@ -372,7 +425,11 @@ impl Comm {
                     Vec::new()
                 }
             })
-            .collect()
+            .collect();
+        for c in incoming_counts {
+            self.put_buf(c);
+        }
+        out
     }
 
     /// Gather to group index `root_idx`: root returns all contributions
@@ -416,7 +473,9 @@ mod tests {
     }
 
     fn alltoall_inputs(p: usize, me: usize) -> Vec<Vec<u64>> {
-        (0..p).map(|d| vec![(me * 100 + d) as u64; me + 1]).collect()
+        (0..p)
+            .map(|d| vec![(me * 100 + d) as u64; me + 1])
+            .collect()
     }
 
     #[test]
@@ -461,7 +520,9 @@ mod tests {
         for p in [1, 2, 3, 4, 6, 9] {
             let out = run_spmd(p, |c| {
                 let w = c.world();
-                let mine: Vec<u64> = (0..c.rank() + 1).map(|i| (c.rank() * 10 + i) as u64).collect();
+                let mine: Vec<u64> = (0..c.rank() + 1)
+                    .map(|i| (c.rank() * 10 + i) as u64)
+                    .collect();
                 c.allgatherv(&w, mine)
             });
             for gathered in out {
@@ -477,7 +538,11 @@ mod tests {
     fn allgatherv_empty_contributions() {
         let out = run_spmd(4, |c| {
             let w = c.world();
-            let mine: Vec<u64> = if c.rank() % 2 == 0 { vec![] } else { vec![c.rank() as u64] };
+            let mine: Vec<u64> = if c.rank() % 2 == 0 {
+                vec![]
+            } else {
+                vec![c.rank() as u64]
+            };
             c.allgatherv(&w, mine)
         });
         assert_eq!(out[0], vec![vec![], vec![1], vec![], vec![3]]);
@@ -521,14 +586,19 @@ mod tests {
             c.reduce_scatter(&w, parts, |a, b| *a += b)
         });
         for (k, v) in out.iter().enumerate() {
-            assert_eq!(v, &vec![0 + 1 + 2 + 3u64; k + 1]);
+            assert_eq!(v, &vec![6u64; k + 1]); // ranks 0+1+2+3
         }
     }
 
     #[test]
     fn alltoallv_all_algorithms_agree() {
         for p in [1, 2, 3, 4, 5, 8] {
-            for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
+            for algo in [
+                AllToAll::Direct,
+                AllToAll::Pairwise,
+                AllToAll::Hypercube,
+                AllToAll::Sparse,
+            ] {
                 let out = run_spmd(p, move |c| {
                     let w = c.world();
                     c.alltoallv(&w, alltoall_inputs(p, c.rank()), algo)
@@ -542,7 +612,12 @@ mod tests {
 
     #[test]
     fn alltoallv_with_empty_buckets() {
-        for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
+        for algo in [
+            AllToAll::Direct,
+            AllToAll::Pairwise,
+            AllToAll::Hypercube,
+            AllToAll::Sparse,
+        ] {
             let out = run_spmd(4, move |c| {
                 let w = c.world();
                 // Only rank 0 sends anything, and only to rank 3.

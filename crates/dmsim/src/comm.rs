@@ -11,12 +11,64 @@
 //! BSP-style makespan under the α-β model without any global coordination.
 
 use crate::cost::{CostSnapshot, MachineModel};
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use std::any::Any;
-use std::collections::VecDeque;
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 type Payload = Box<dyn Any + Send>;
+
+/// Per-rank recycling pool for scratch `Vec`s.
+///
+/// Collectives and distributed kernels run the same exchange shapes every
+/// superstep; without pooling each round allocates (and drops) a fresh
+/// `Vec` per peer. The pool keeps returned buffers keyed by element type
+/// so the next round's [`BufferPool::take`] is an O(1) pop + `clear()`
+/// instead of a heap allocation. Buffers keep their capacity, so steady
+/// state reaches zero allocations per superstep.
+#[derive(Default)]
+pub struct BufferPool {
+    by_type: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+}
+
+impl BufferPool {
+    /// Takes an empty `Vec<T>` from the pool (allocating only if the pool
+    /// has none of this type). The vector is empty but retains whatever
+    /// capacity it had when returned.
+    pub fn take<T: Send + 'static>(&mut self) -> Vec<T> {
+        match self
+            .by_type
+            .get_mut(&TypeId::of::<Vec<T>>())
+            .and_then(Vec::pop)
+        {
+            Some(boxed) => {
+                let mut v = *boxed.downcast::<Vec<T>>().expect("pool keyed by TypeId");
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse by a later [`BufferPool::take`].
+    pub fn put<T: Send + 'static>(&mut self, buf: Vec<T>) {
+        // Keeping zero-capacity vectors would just grow the free list.
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.by_type
+            .entry(TypeId::of::<Vec<T>>())
+            .or_default()
+            .push(Box::new(buf));
+    }
+
+    /// Number of pooled buffers of element type `T`.
+    pub fn pooled<T: Send + 'static>(&self) -> usize {
+        self.by_type
+            .get(&TypeId::of::<Vec<T>>())
+            .map_or(0, Vec::len)
+    }
+}
 
 struct Envelope {
     src: u32,
@@ -68,6 +120,7 @@ pub struct Comm {
     pending: Vec<VecDeque<(f64, u64, Payload)>>,
     model: MachineModel,
     snap: CostSnapshot,
+    pool: BufferPool,
 }
 
 impl Comm {
@@ -131,6 +184,22 @@ impl Comm {
         self.snap.words_sent += words;
     }
 
+    /// Takes a recycled scratch `Vec<T>` (empty, capacity preserved) from
+    /// this rank's [`BufferPool`].
+    pub fn take_buf<T: Send + 'static>(&mut self) -> Vec<T> {
+        self.pool.take()
+    }
+
+    /// Returns a scratch buffer for reuse by a later [`Comm::take_buf`].
+    pub fn put_buf<T: Send + 'static>(&mut self, buf: Vec<T>) {
+        self.pool.put(buf);
+    }
+
+    /// This rank's buffer pool (for inspection in tests).
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
     /// Current accounting snapshot (clock, breakdowns, traffic counters).
     pub fn snapshot(&self) -> CostSnapshot {
         self.snap
@@ -163,7 +232,9 @@ impl Comm {
         };
         // Receiver threads outlive all sends within `run_spmd`, so the
         // channel cannot be disconnected here.
-        self.senders[dest].send(env).expect("rank inbox disconnected");
+        self.senders[dest]
+            .send(env)
+            .expect("rank inbox disconnected");
     }
 
     /// Sends a sized value (scalars, small structs): the word count is
@@ -239,7 +310,7 @@ where
     let mut txs = Vec::with_capacity(p);
     let mut rxs = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = channel::<Envelope>();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -262,6 +333,7 @@ where
                         pending: (0..p).map(|_| VecDeque::new()).collect(),
                         model,
                         snap: CostSnapshot::default(),
+                        pool: BufferPool::default(),
                     };
                     let r = f(&mut comm);
                     (r, comm.snap)
@@ -326,7 +398,11 @@ mod tests {
                 }
                 0
             } else {
-                (0..10).map(|_| c.recv::<u32>(0)).collect::<Vec<_>>().windows(2).all(|w| w[0] < w[1]) as u32
+                (0..10)
+                    .map(|_| c.recv::<u32>(0))
+                    .collect::<Vec<_>>()
+                    .windows(2)
+                    .all(|w| w[0] < w[1]) as u32
             }
         });
         assert_eq!(out[1], 1);
@@ -434,6 +510,27 @@ mod tests {
         assert!((out[0].comm_s - model.beta * 1e6).abs() < 1e-12);
         assert_eq!(out[0].words_sent, 1_000_000);
         assert_eq!(out[0].messages_sent, 0, "no simulated message involved");
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        run_spmd(1, |c| {
+            let mut v: Vec<u64> = c.take_buf();
+            assert_eq!(v.capacity(), 0, "fresh pool allocates nothing");
+            v.extend(0..100);
+            let cap = v.capacity();
+            let ptr = v.as_ptr();
+            c.put_buf(v);
+            assert_eq!(c.buffer_pool().pooled::<u64>(), 1);
+            let w: Vec<u64> = c.take_buf();
+            assert!(w.is_empty());
+            assert_eq!(w.capacity(), cap, "capacity survives recycling");
+            assert_eq!(w.as_ptr(), ptr, "same allocation handed back");
+            // Distinct element types are pooled independently.
+            c.put_buf(vec![1u32; 4]);
+            assert_eq!(c.buffer_pool().pooled::<u64>(), 0);
+            assert_eq!(c.buffer_pool().pooled::<u32>(), 1);
+        });
     }
 
     #[test]

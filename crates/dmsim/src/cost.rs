@@ -172,6 +172,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins the machine tables
     fn edison_faster_core_than_knl() {
         assert!(EDISON.core_rate > 3.0 * CORI_KNL.core_rate);
     }
@@ -186,8 +187,22 @@ mod tests {
 
     #[test]
     fn snapshot_difference() {
-        let a = CostSnapshot { clock_s: 1.0, compute_s: 0.5, comm_s: 0.5, messages_sent: 10, words_sent: 100, words_received: 50 };
-        let b = CostSnapshot { clock_s: 3.0, compute_s: 1.0, comm_s: 2.0, messages_sent: 30, words_sent: 400, words_received: 250 };
+        let a = CostSnapshot {
+            clock_s: 1.0,
+            compute_s: 0.5,
+            comm_s: 0.5,
+            messages_sent: 10,
+            words_sent: 100,
+            words_received: 50,
+        };
+        let b = CostSnapshot {
+            clock_s: 3.0,
+            compute_s: 1.0,
+            comm_s: 2.0,
+            messages_sent: 30,
+            words_sent: 400,
+            words_received: 250,
+        };
         let d = b.since(&a);
         assert_eq!(d.messages_sent, 20);
         assert!((d.clock_s - 2.0).abs() < 1e-12);

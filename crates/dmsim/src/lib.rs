@@ -41,6 +41,6 @@ pub mod cost;
 pub mod topology;
 
 pub use collectives::AllToAll;
-pub use comm::{run_spmd, run_spmd_with_model, Comm, Group};
+pub use comm::{run_spmd, run_spmd_with_model, BufferPool, Comm, Group};
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;

@@ -13,7 +13,11 @@ fn bufs_for(shape: &[Vec<usize>], src: usize) -> Vec<Vec<u64>> {
     shape[src]
         .iter()
         .enumerate()
-        .map(|(dst, &len)| (0..len).map(|k| (src * 1000 + dst * 100 + k) as u64).collect())
+        .map(|(dst, &len)| {
+            (0..len)
+                .map(|k| (src * 1000 + dst * 100 + k) as u64)
+                .collect()
+        })
         .collect()
 }
 

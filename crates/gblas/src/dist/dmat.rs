@@ -1,7 +1,7 @@
 //! 2D-distributed pattern matrices.
 
 use super::dvec::block_range;
-use crate::serial::Dcsc;
+use crate::serial::{CsrMirror, Dcsc};
 use crate::Vid;
 use dmsim::Grid2d;
 use lacc_graph::CsrGraph;
@@ -9,7 +9,9 @@ use lacc_graph::CsrGraph;
 /// The local view of an `n × n` symmetric pattern matrix distributed on a
 /// square process grid: rank `(i, j)` stores block `A_ij` (rows in row
 /// block `i`, columns in column block `j`) as a DCSC with block-local
-/// indices.
+/// indices, plus a row-major mirror of the same block for the row-split
+/// parallel local multiply (the matrix is static across iterations, so the
+/// mirror is built once).
 #[derive(Clone, Debug)]
 pub struct DistMat {
     n: usize,
@@ -17,6 +19,7 @@ pub struct DistMat {
     row_range: (usize, usize),
     col_range: (usize, usize),
     local: Dcsc,
+    row_mirror: CsrMirror,
 }
 
 impl DistMat {
@@ -40,12 +43,17 @@ impl DistMat {
                 }
             }
         }
-        let local = Dcsc::from_pairs(
-            row_range.1 - row_range.0,
-            col_range.1 - col_range.0,
-            pairs,
-        );
-        DistMat { n, grid, row_range, col_range, local }
+        let local = Dcsc::from_pairs(row_range.1 - row_range.0, col_range.1 - col_range.0, pairs);
+        let row_mirror =
+            CsrMirror::from_col_major_pairs(local.nrows(), local.ncols(), local.pairs());
+        DistMat {
+            n,
+            grid,
+            row_range,
+            col_range,
+            local,
+            row_mirror,
+        }
     }
 
     /// Global matrix dimension.
@@ -71,6 +79,13 @@ impl DistMat {
     /// The local DCSC block (block-local indices).
     pub fn local(&self) -> &Dcsc {
         &self.local
+    }
+
+    /// Row-major mirror of the local block (block-local indices); each
+    /// row's columns are ascending, matching the DCSC column-sweep combine
+    /// order.
+    pub fn row_mirror(&self) -> &CsrMirror {
+        &self.row_mirror
     }
 
     /// Local nonzero count.

@@ -49,12 +49,20 @@ pub struct VecLayout {
 impl VecLayout {
     /// Blocked layout for `n` elements on `grid` (the paper's default).
     pub fn new(n: usize, grid: Grid2d) -> Self {
-        VecLayout { n, grid, dist: Distribution::Blocked }
+        VecLayout {
+            n,
+            grid,
+            dist: Distribution::Blocked,
+        }
     }
 
     /// Cyclic layout for `n` elements on `grid` (§VII future work).
     pub fn cyclic(n: usize, grid: Grid2d) -> Self {
-        VecLayout { n, grid, dist: Distribution::Cyclic }
+        VecLayout {
+            n,
+            grid,
+            dist: Distribution::Cyclic,
+        }
     }
 
     /// Vector length.
@@ -129,7 +137,11 @@ impl VecLayout {
                 g - s
             }
             Distribution::Cyclic => {
-                debug_assert_eq!(g % self.grid.size(), c, "index {g} not owned by rank {rank}");
+                debug_assert_eq!(
+                    g % self.grid.size(),
+                    c,
+                    "index {g} not owned by rank {rank}"
+                );
                 (g - c) / self.grid.size()
             }
         }
@@ -137,14 +149,22 @@ impl VecLayout {
 
     /// Global index range owned by `rank` (blocked layout only).
     pub fn range_of_rank(&self, rank: usize) -> (usize, usize) {
-        assert_eq!(self.dist, Distribution::Blocked, "range_of_rank requires a blocked layout");
+        assert_eq!(
+            self.dist,
+            Distribution::Blocked,
+            "range_of_rank requires a blocked layout"
+        );
         block_range(self.n, self.grid.size(), self.chunk_of_rank(rank))
     }
 
     /// Chunk index containing global index `g` (blocked layout only; used
     /// by the grid-aligned `mxv` routing).
     pub fn chunk_containing(&self, g: Vid) -> usize {
-        assert_eq!(self.dist, Distribution::Blocked, "chunk_containing requires a blocked layout");
+        assert_eq!(
+            self.dist,
+            Distribution::Blocked,
+            "chunk_containing requires a blocked layout"
+        );
         debug_assert!(g < self.n);
         let p = self.grid.size();
         // First guess by proportion, then correct for flooring.
@@ -274,7 +294,11 @@ pub struct DistSpVec<T> {
 impl<T: Copy + Send + 'static> DistSpVec<T> {
     /// An empty sparse vector.
     pub fn empty(layout: VecLayout, rank: usize) -> Self {
-        DistSpVec { layout, rank, entries: Vec::new() }
+        DistSpVec {
+            layout,
+            rank,
+            entries: Vec::new(),
+        }
     }
 
     /// Builds from this rank's local entries (must be owned here; sorted
@@ -282,11 +306,20 @@ impl<T: Copy + Send + 'static> DistSpVec<T> {
     pub fn from_local_entries(layout: VecLayout, rank: usize, mut entries: Vec<(Vid, T)>) -> Self {
         entries.sort_unstable_by_key(|&(g, _)| g);
         assert!(
-            entries.iter().all(|&(g, _)| g < layout.len() && layout.owner_of(g) == rank),
+            entries
+                .iter()
+                .all(|&(g, _)| g < layout.len() && layout.owner_of(g) == rank),
             "entry outside local chunk"
         );
-        debug_assert!(entries.windows(2).all(|w| w[0].0 != w[1].0), "duplicate index");
-        DistSpVec { layout, rank, entries }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate index"
+        );
+        DistSpVec {
+            layout,
+            rank,
+            entries,
+        }
     }
 
     /// The layout.
@@ -368,11 +401,13 @@ mod tests {
     fn cyclic_spreads_low_indices() {
         let layout = VecLayout::cyclic(64, Grid2d::square(16));
         // Indices 0..16 all land on distinct ranks.
-        let owners: std::collections::BTreeSet<usize> = (0..16).map(|g| layout.owner_of(g)).collect();
+        let owners: std::collections::BTreeSet<usize> =
+            (0..16).map(|g| layout.owner_of(g)).collect();
         assert_eq!(owners.len(), 16);
         // Blocked puts them all on one rank.
         let blocked = VecLayout::new(64, Grid2d::square(16));
-        let owners_b: std::collections::BTreeSet<usize> = (0..4).map(|g| blocked.owner_of(g)).collect();
+        let owners_b: std::collections::BTreeSet<usize> =
+            (0..4).map(|g| blocked.owner_of(g)).collect();
         assert_eq!(owners_b.len(), 1);
     }
 
@@ -450,7 +485,10 @@ mod tests {
             let serial = v.to_serial(c);
             (total, serial)
         });
-        let expect: Vec<(usize, u64)> = (0..40).filter(|g| g % 3 == 0).map(|g| (g, g as u64 * 2)).collect();
+        let expect: Vec<(usize, u64)> = (0..40)
+            .filter(|g| g % 3 == 0)
+            .map(|g| (g, g as u64 * 2))
+            .collect();
         for (total, serial) in out {
             assert_eq!(total, expect.len());
             assert_eq!(serial.entries(), &expect[..]);

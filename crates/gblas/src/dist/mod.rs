@@ -17,4 +17,7 @@ pub mod ops;
 
 pub use dmat::DistMat;
 pub use dvec::{DistSpVec, DistVec, Distribution, VecLayout};
-pub use ops::{dist_assign, dist_extract, dist_mxv_dense, dist_mxv_sparse, DistMask, DistOpts, ExtractStats};
+pub use ops::{
+    dist_assign, dist_extract, dist_mxv, dist_mxv_dense, dist_mxv_sparse, DistMask, DistOpts,
+    ExtractStats,
+};

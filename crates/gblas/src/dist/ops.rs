@@ -18,12 +18,14 @@
 
 use super::dmat::DistMat;
 use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
+use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
 use dmsim::{AllToAll, Comm};
 use std::collections::HashMap;
 
-/// Tuning knobs for the distributed primitives (the paper's §V-B levers).
+/// Tuning knobs for the distributed primitives (the paper's §V-B levers
+/// plus the intra-rank threading added on top).
 #[derive(Clone, Copy, Debug)]
 pub struct DistOpts {
     /// All-to-all algorithm for irregular exchanges.
@@ -34,13 +36,30 @@ pub struct DistOpts {
     /// would receive more than `hot_threshold ×` its chunk length in
     /// requests (the paper's system-dependent `h`).
     pub hot_threshold: f64,
+    /// Worker threads for the local multiply inside the `mxv` paths
+    /// (`<= 1` runs the serial kernels). Callers should budget
+    /// `ranks × kernel_threads ≤ cores`; the shared pool in the `rayon`
+    /// shim additionally guarantees `P` ranks asking for `T` threads share
+    /// one `T`-worker pool rather than spawning `P×T` OS threads.
+    pub kernel_threads: usize,
+    /// [`dist_mxv`] takes the SpMV-style (dense, column-scan) local kernel
+    /// when the input's measured global fill `nvals/n` is at least this;
+    /// below it, the SpMSpV per-entry kernel. Mirrors the internal dispatch
+    /// of the paper's `GrB_mxv`.
+    pub spmv_threshold: f64,
 }
 
 impl Default for DistOpts {
     fn default() -> Self {
         // The optimized LACC configuration: sparse all-to-all (hypercube
         // metadata exchange) + hot-rank broadcasts.
-        DistOpts { alltoall: AllToAll::Sparse, hot_bcast: true, hot_threshold: 4.0 }
+        DistOpts {
+            alltoall: AllToAll::Sparse,
+            hot_bcast: true,
+            hot_threshold: 4.0,
+            kernel_threads: 1,
+            spmv_threshold: 0.5,
+        }
     }
 }
 
@@ -48,7 +67,12 @@ impl DistOpts {
     /// The unoptimized baseline: MPI_Alltoallv-style pairwise exchange, no
     /// broadcast fallback — what §V-B says stopped scaling past 1024 ranks.
     pub fn naive() -> Self {
-        DistOpts { alltoall: AllToAll::Pairwise, hot_bcast: false, hot_threshold: f64::INFINITY }
+        DistOpts {
+            alltoall: AllToAll::Pairwise,
+            hot_bcast: false,
+            hot_threshold: f64::INFINITY,
+            ..DistOpts::default()
+        }
     }
 }
 
@@ -100,7 +124,7 @@ where
 {
     let p = comm.size();
     let world = comm.world();
-    let mut buckets: Vec<Vec<(Vid, T)>> = vec![Vec::new(); p];
+    let mut buckets: Vec<Vec<(Vid, T)>> = (0..p).map(|_| comm.take_buf()).collect();
     for (g, v) in produced {
         buckets[layout.owner_of(g)].push((g, v));
     }
@@ -109,15 +133,19 @@ where
     let mut nops = 1u64;
     for part in incoming {
         nops += part.len() as u64;
-        for (g, v) in part {
+        for &(g, v) in &part {
             merged
                 .entry(g)
                 .and_modify(|acc| *acc = monoid.combine(*acc, v))
                 .or_insert(v);
         }
+        comm.put_buf(part);
     }
     comm.charge_compute(nops);
-    let entries: Vec<(Vid, T)> = merged.into_iter().filter(|&(g, _)| mask.allows(g)).collect();
+    let entries: Vec<(Vid, T)> = merged
+        .into_iter()
+        .filter(|&(g, _)| mask.allows(g))
+        .collect();
     DistSpVec::from_local_entries(layout, comm.rank(), entries)
 }
 
@@ -139,7 +167,10 @@ where
     T: Copy + Send + 'static,
     M: Monoid<T>,
 {
-    let layout = x_dense.map(|x| x.layout()).or(x_sparse.map(|x| x.layout())).expect("one input");
+    let layout = x_dense
+        .map(|x| x.layout())
+        .or(x_sparse.map(|x| x.layout()))
+        .expect("one input");
     let world = comm.world();
     let (cs, ce) = a.col_range();
     let (rs, re) = a.row_range();
@@ -194,6 +225,240 @@ where
     scatter_merge_to_owners(comm, layout, produced, mask, monoid, opts)
 }
 
+/// Phase-2 local multiply for the SpMV-style paths: folds `x_block[j]`
+/// into every stored row of the local block. With `threads <= 1` this is
+/// the serial DCSC column sweep; otherwise rows are split across the
+/// kernel pool via the row mirror. A mirror row's columns are ascending —
+/// the same order the column sweep combines them in — so the two are
+/// bit-identical for any associative monoid. When `present` is given,
+/// only columns flagged there contribute (the densified-sparse-input case
+/// of [`dist_mxv`]).
+fn local_multiply_block<T, M>(
+    local: &Dcsc,
+    mirror: &CsrMirror,
+    x_block: &[T],
+    present: Option<&[bool]>,
+    monoid: M,
+    threads: usize,
+) -> (Vec<T>, Vec<bool>, u64)
+where
+    T: Copy + Send + Sync,
+    M: Monoid<T>,
+{
+    let h = local.nrows();
+    let mut acc = vec![monoid.identity(); h];
+    let mut touched = vec![false; h];
+    if threads <= 1 {
+        let mut ops: u64 = 0;
+        for (lc, rows) in local.nonempty_cols() {
+            if let Some(pr) = present {
+                if !pr[lc] {
+                    continue;
+                }
+            }
+            let xv = x_block[lc];
+            for &lr in rows {
+                acc[lr] = monoid.combine(acc[lr], xv);
+                touched[lr] = true;
+            }
+            ops += rows.len() as u64;
+        }
+        return (acc, touched, ops);
+    }
+    let pool = kernel_pool(threads);
+    let chunk = h.div_ceil(pool.current_num_threads()).max(1);
+    let mut chunk_ops = vec![0u64; h.div_ceil(chunk)];
+    pool.scope(|s| {
+        for (((k, ac), tc), co) in acc
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(touched.chunks_mut(chunk))
+            .zip(chunk_ops.iter_mut())
+        {
+            let lo = k * chunk;
+            s.spawn(move || {
+                let mut ops = 0u64;
+                for (o, (a_slot, t_slot)) in ac.iter_mut().zip(tc.iter_mut()).enumerate() {
+                    for &j in mirror.row(lo + o) {
+                        if let Some(pr) = present {
+                            if !pr[j] {
+                                continue;
+                            }
+                        }
+                        *a_slot = monoid.combine(*a_slot, x_block[j]);
+                        *t_slot = true;
+                        ops += 1;
+                    }
+                }
+                *co = ops;
+            });
+        }
+    });
+    (acc, touched, chunk_ops.iter().sum())
+}
+
+/// Phase-2 local multiply for the SpMSpV-style paths: per-entry scatter of
+/// the gathered input through DCSC column lookups. With `threads > 1` the
+/// entries split into contiguous chunks, each folded into a private
+/// accumulator, and the partials merge in chunk order — the serial fold
+/// re-associated, so bit-identical for the crate's monoids (associative
+/// with strict identities). Returns `(acc, touched rows, op count)`;
+/// `touched` is in first-touch order, callers sort.
+fn local_multiply_entries<T, M>(
+    local: &Dcsc,
+    cs: usize,
+    gathered: &[(Vid, T)],
+    monoid: M,
+    threads: usize,
+) -> (Vec<T>, Vec<Vid>, u64)
+where
+    T: Copy + Send + Sync,
+    M: Monoid<T>,
+{
+    let h = local.nrows();
+    let mut ops: u64 = 1;
+    if threads <= 1 || gathered.len() < 2 {
+        let mut acc = vec![monoid.identity(); h];
+        let mut is_touched = vec![false; h];
+        let mut touched: Vec<Vid> = Vec::new();
+        for &(gc, xv) in gathered {
+            let rows = local.col(gc - cs);
+            for &lr in rows {
+                if !is_touched[lr] {
+                    is_touched[lr] = true;
+                    touched.push(lr);
+                }
+                acc[lr] = monoid.combine(acc[lr], xv);
+            }
+            ops += rows.len() as u64 + 1;
+        }
+        return (acc, touched, ops);
+    }
+    let pool = kernel_pool(threads);
+    let chunk = gathered.len().div_ceil(pool.current_num_threads()).max(1);
+    struct Part<T> {
+        acc: Vec<T>,
+        is_touched: Vec<bool>,
+        touched: Vec<Vid>,
+        ops: u64,
+    }
+    let mut parts: Vec<Option<Part<T>>> = Vec::new();
+    parts.resize_with(gathered.chunks(chunk).len(), || None);
+    pool.scope(|s| {
+        for (slot, es) in parts.iter_mut().zip(gathered.chunks(chunk)) {
+            s.spawn(move || {
+                let mut part = Part {
+                    acc: vec![monoid.identity(); h],
+                    is_touched: vec![false; h],
+                    touched: Vec::new(),
+                    ops: 0,
+                };
+                for &(gc, xv) in es {
+                    let rows = local.col(gc - cs);
+                    for &lr in rows {
+                        if !part.is_touched[lr] {
+                            part.is_touched[lr] = true;
+                            part.touched.push(lr);
+                        }
+                        part.acc[lr] = monoid.combine(part.acc[lr], xv);
+                    }
+                    part.ops += rows.len() as u64 + 1;
+                }
+                *slot = Some(part);
+            });
+        }
+    });
+    let parts: Vec<Part<T>> = parts.into_iter().map(|p| p.expect("part filled")).collect();
+    let mut acc = vec![monoid.identity(); h];
+    let mut is_touched = vec![false; h];
+    let mut touched: Vec<Vid> = Vec::new();
+    for part in &parts {
+        ops += part.ops;
+        for &lr in &part.touched {
+            if !is_touched[lr] {
+                is_touched[lr] = true;
+                touched.push(lr);
+            }
+        }
+    }
+    for &lr in &touched {
+        let mut v = monoid.identity();
+        for part in &parts {
+            if part.is_touched[lr] {
+                v = monoid.combine(v, part.acc[lr]);
+            }
+        }
+        acc[lr] = v;
+    }
+    (acc, touched, ops)
+}
+
+/// Phases 3–4 shared by the SpMSpV-style paths ([`dist_mxv_sparse`] and
+/// the dense-execution branch of [`dist_mxv`]): route the touched partial
+/// results to their subchunk owners within the processor row (irregular
+/// all-to-all + monoid merge), then the transpose exchange to the layout
+/// owner, applying the mask owner-side.
+#[allow(clippy::too_many_arguments)] // internal seam between two mxv phases
+fn spmspv_reduce_and_transpose<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    layout: VecLayout,
+    acc: &[T],
+    mut touched: Vec<Vid>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + 'static,
+    M: Monoid<T>,
+{
+    let me = comm.rank();
+    let grid = a.grid();
+    let (i, j) = grid.coords_of(me);
+    let pc = grid.cols();
+    let (rs, _re) = a.row_range();
+    let row_group = grid.row_group(comm);
+    let mut buckets: Vec<Vec<(Vid, T)>> = (0..pc).map(|_| comm.take_buf()).collect();
+    touched.sort_unstable();
+    for &lr in &touched {
+        let g = rs + lr;
+        let c = layout.chunk_containing(g);
+        debug_assert!(c >= i * pc && c < (i + 1) * pc);
+        buckets[c - i * pc].push((g, acc[lr]));
+    }
+    let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
+    let mut merged: HashMap<Vid, T> = HashMap::new();
+    let mut merge_ops = 0u64;
+    for part in incoming {
+        merge_ops += part.len() as u64;
+        for &(g, v) in &part {
+            merged
+                .entry(g)
+                .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                .or_insert(v);
+        }
+        comm.put_buf(part);
+    }
+    comm.charge_compute(merge_ops);
+
+    let held_chunk = i * pc + j;
+    let owner = layout.rank_of_chunk(held_chunk);
+    let my_chunk = layout.chunk_of_rank(me);
+    let holder = grid.rank_of(my_chunk / pc, my_chunk % pc);
+    let to_send: Vec<(Vid, T)> = merged.into_iter().collect();
+    let mine: Vec<(Vid, T)> = if owner == me {
+        to_send
+    } else {
+        comm.send_vec(owner, to_send);
+        comm.recv(holder)
+    };
+
+    let entries: Vec<(Vid, T)> = mine.into_iter().filter(|&(g, _)| mask.allows(g)).collect();
+    comm.charge_compute(entries.len() as u64);
+    DistSpVec::from_local_entries(layout, me, entries)
+}
+
 /// Distributed SpMV: `y = A ⊕.2nd x` with dense input `x`, masked output.
 pub fn dist_mxv_dense<T, M>(
     comm: &mut Comm,
@@ -201,16 +466,17 @@ pub fn dist_mxv_dense<T, M>(
     x: &DistVec<T>,
     mask: DistMask<'_>,
     monoid: M,
+    opts: &DistOpts,
 ) -> DistSpVec<T>
 where
-    T: Copy + Send + 'static,
+    T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
 {
     let grid = a.grid();
     let layout = x.layout();
     assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
     if layout.distribution() == Distribution::Cyclic {
-        return dist_mxv_cyclic(comm, a, Some(x), None, mask, monoid, &DistOpts::default());
+        return dist_mxv_cyclic(comm, a, Some(x), None, mask, monoid, opts);
     }
     let me = comm.rank();
     let (i, j) = grid.coords_of(me);
@@ -224,20 +490,17 @@ where
     let x_block: Vec<T> = chunks.concat();
     debug_assert_eq!(x_block.len(), a.col_range().1 - a.col_range().0);
 
-    // Phase 2: local block multiply into a row-block accumulator.
-    let (rs, re) = a.row_range();
-    let h = re - rs;
-    let mut acc = vec![monoid.identity(); h];
-    let mut touched = vec![false; h];
-    let mut ops: u64 = 0;
-    for (lc, rows) in a.local().nonempty_cols() {
-        let xv = x_block[lc];
-        for &lr in rows {
-            acc[lr] = monoid.combine(acc[lr], xv);
-            touched[lr] = true;
-        }
-        ops += rows.len() as u64;
-    }
+    // Phase 2: local block multiply into a row-block accumulator
+    // (row-split across the kernel pool when `opts.kernel_threads > 1`).
+    let (rs, _re) = a.row_range();
+    let (acc, touched, ops) = local_multiply_block(
+        a.local(),
+        a.row_mirror(),
+        &x_block,
+        None,
+        monoid,
+        opts.kernel_threads,
+    );
     comm.charge_compute(ops + x_block.len() as u64);
 
     // Phase 3: reduce-scatter within the processor row. Subchunk k of this
@@ -297,7 +560,7 @@ pub fn dist_mxv_sparse<T, M>(
     opts: &DistOpts,
 ) -> DistSpVec<T>
 where
-    T: Copy + Send + 'static,
+    T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
 {
     let grid = a.grid();
@@ -306,9 +569,6 @@ where
     if layout.distribution() == Distribution::Cyclic {
         return dist_mxv_cyclic(comm, a, None, Some(x), mask, monoid, opts);
     }
-    let me = comm.rank();
-    let (i, j) = grid.coords_of(me);
-    let (pc, p) = (grid.cols(), grid.size());
 
     // Phase 1: sparse allgather of x entries within the processor column.
     let col_group = grid.col_group(comm);
@@ -318,70 +578,90 @@ where
         .flatten()
         .collect();
 
-    // Phase 2: local multiply through the DCSC block.
+    // Phase 2: local multiply through the DCSC block (entry-chunked across
+    // the kernel pool when `opts.kernel_threads > 1`).
     let (cs, _ce) = a.col_range();
-    let (rs, re) = a.row_range();
-    let h = re - rs;
-    let mut acc = vec![monoid.identity(); h];
-    let mut is_touched = vec![false; h];
-    let mut touched: Vec<usize> = Vec::new();
-    let mut ops: u64 = 1;
-    for &(gc, xv) in &gathered {
-        let rows = a.local().col(gc - cs);
-        for &lr in rows {
-            if !is_touched[lr] {
-                is_touched[lr] = true;
-                touched.push(lr);
-            }
-            acc[lr] = monoid.combine(acc[lr], xv);
-        }
-        ops += rows.len() as u64 + 1;
-    }
+    let (acc, touched, ops) =
+        local_multiply_entries(a.local(), cs, &gathered, monoid, opts.kernel_threads);
     comm.charge_compute(ops);
 
-    // Phase 3: irregular all-to-all within the processor row, routing each
-    // partial result to the row-group member owning its subchunk, then a
-    // local merge (the paper's SpMSpV reduce phase).
-    let row_group = grid.row_group(comm);
-    let mut buckets: Vec<Vec<(Vid, T)>> = vec![Vec::new(); pc];
-    touched.sort_unstable();
-    for &lr in &touched {
-        let g = rs + lr;
-        let c = layout.chunk_containing(g);
-        debug_assert!(c >= i * pc && c < (i + 1) * pc);
-        buckets[c - i * pc].push((g, acc[lr]));
-    }
-    let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
-    let mut merged: HashMap<Vid, T> = HashMap::new();
-    let mut merge_ops = 0u64;
-    for part in incoming {
-        merge_ops += part.len() as u64;
-        for (g, v) in part {
-            merged
-                .entry(g)
-                .and_modify(|acc| *acc = monoid.combine(*acc, v))
-                .or_insert(v);
-        }
-    }
-    comm.charge_compute(merge_ops);
+    // Phases 3–4: row-wise reduce + transpose exchange (the paper's SpMSpV
+    // reduce phase).
+    spmspv_reduce_and_transpose(comm, a, layout, &acc, touched, mask, monoid, opts)
+}
 
-    // Phase 4: transpose exchange to the layout owner.
-    let held_chunk = i * pc + j;
-    let owner = layout.rank_of_chunk(held_chunk);
-    let my_chunk = layout.chunk_of_rank(me);
-    let holder = grid.rank_of(my_chunk / pc, my_chunk % pc);
-    let to_send: Vec<(Vid, T)> = merged.into_iter().collect();
-    let mine: Vec<(Vid, T)> = if owner == me {
-        to_send
+/// Adaptive distributed `mxv` over a sparse input: measures the input's
+/// global fill (`nvals/n`, one allreduce — every rank takes the same
+/// branch) and dispatches between SpMV-style and SpMSpV-style *execution*
+/// of the local multiply, mirroring the internal dispatch of the paper's
+/// `GrB_mxv` (§V-A).
+///
+/// * fill ≥ [`DistOpts::spmv_threshold`] — the gathered entries are
+///   densified into the column-block segment plus a presence bitmap, and
+///   the local multiply scans the block's stored columns linearly (or
+///   row-splits over the mirror when threaded) instead of binary-searching
+///   the DCSC once per input entry.
+/// * fill below the threshold — [`dist_mxv_sparse`]'s per-entry kernel.
+///
+/// Both branches produce **bit-identical** results (same gather, same
+/// per-row combine order, same reduce/transpose phases), so the dispatch
+/// is purely a performance choice; the proptests pin this down.
+pub fn dist_mxv<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x: &DistSpVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + Sync + 'static,
+    M: Monoid<T>,
+{
+    let layout = x.layout();
+    assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
+    let n = a.n();
+    let fill = if n == 0 {
+        0.0
     } else {
-        comm.send_vec(owner, to_send);
-        comm.recv(holder)
+        x.global_nvals(comm) as f64 / n as f64
     };
-    let _ = p;
+    if layout.distribution() == Distribution::Cyclic || fill < opts.spmv_threshold {
+        return dist_mxv_sparse(comm, a, x, mask, monoid, opts);
+    }
 
-    let entries: Vec<(Vid, T)> = mine.into_iter().filter(|&(g, _)| mask.allows(g)).collect();
-    comm.charge_compute(entries.len() as u64);
-    DistSpVec::from_local_entries(layout, me, entries)
+    // SpMV-style execution: same sparse allgather, then densify.
+    let grid = a.grid();
+    let col_group = grid.col_group(comm);
+    let gathered: Vec<(Vid, T)> = comm
+        .allgatherv(&col_group, x.entries().to_vec())
+        .into_iter()
+        .flatten()
+        .collect();
+    let (cs, ce) = a.col_range();
+    let w = ce - cs;
+    let mut x_block = vec![monoid.identity(); w];
+    let mut present = vec![false; w];
+    for &(g, v) in &gathered {
+        x_block[g - cs] = v;
+        present[g - cs] = true;
+    }
+    let (acc, touched_flags, ops) = local_multiply_block(
+        a.local(),
+        a.row_mirror(),
+        &x_block,
+        Some(&present),
+        monoid,
+        opts.kernel_threads,
+    );
+    comm.charge_compute(ops + w as u64 + gathered.len() as u64);
+    let touched: Vec<Vid> = touched_flags
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t)
+        .map(|(lr, _)| lr)
+        .collect();
+    spmspv_reduce_and_transpose(comm, a, layout, &acc, touched, mask, monoid, opts)
 }
 
 /// Distributed gather (`GrB_extract` by index list): returns
@@ -405,8 +685,8 @@ where
     let me = comm.rank();
     let world = comm.world();
 
-    let mut req_ids: Vec<Vec<Vid>> = vec![Vec::new(); p];
-    let mut req_pos: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut req_ids: Vec<Vec<Vid>> = (0..p).map(|_| comm.take_buf()).collect();
+    let mut req_pos: Vec<Vec<usize>> = (0..p).map(|_| comm.take_buf()).collect();
     for (pos, &g) in requests.iter().enumerate() {
         let o = layout.owner_of(g);
         req_ids[o].push(g);
@@ -447,13 +727,23 @@ where
 
     // Remaining requests go through the all-to-all.
     let send: Vec<Vec<Vid>> = (0..p)
-        .map(|o| if hot[o] { Vec::new() } else { req_ids[o].clone() })
+        .map(|o| {
+            if hot[o] {
+                Vec::new()
+            } else {
+                req_ids[o].clone()
+            }
+        })
         .collect();
     let incoming = comm.alltoallv(&world, send, opts.alltoall);
     stats.received_requests = incoming.iter().map(|v| v.len() as u64).sum();
     let replies: Vec<Vec<T>> = incoming
-        .iter()
-        .map(|ids| ids.iter().map(|&g| src.get_local(g)).collect())
+        .into_iter()
+        .map(|ids| {
+            let reply = ids.iter().map(|&g| src.get_local(g)).collect();
+            comm.put_buf(ids);
+            reply
+        })
         .collect();
     comm.charge_compute(stats.received_requests + 1);
     let reply_back = comm.alltoallv(&world, replies, opts.alltoall);
@@ -465,8 +755,17 @@ where
             results[pos] = Some(reply_back[o][k]);
         }
     }
+    for ids in req_ids {
+        comm.put_buf(ids);
+    }
+    for pos in req_pos {
+        comm.put_buf(pos);
+    }
     (
-        results.into_iter().map(|r| r.expect("every request answered")).collect(),
+        results
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect(),
         stats,
     )
 }
@@ -492,7 +791,7 @@ where
     let layout = dst.layout();
     let p = comm.size();
     let world = comm.world();
-    let mut buckets: Vec<Vec<(Vid, T)>> = vec![Vec::new(); p];
+    let mut buckets: Vec<Vec<(Vid, T)>> = (0..p).map(|_| comm.take_buf()).collect();
     for &(g, v) in updates {
         buckets[layout.owner_of(g)].push((g, v));
     }
@@ -502,12 +801,13 @@ where
     let mut nops = 0u64;
     for part in incoming {
         nops += part.len() as u64;
-        for (g, v) in part {
+        for &(g, v) in &part {
             combined
                 .entry(g)
                 .and_modify(|acc| *acc = monoid.combine(*acc, v))
                 .or_insert(v);
         }
+        comm.put_buf(part);
     }
     comm.charge_compute(nops + 1);
     let mut changed = 0;
@@ -556,7 +856,7 @@ mod tests {
                     None => DistMask::None,
                     Some(m) => DistMask::Keep(m),
                 };
-                let y = dist_mxv_dense(c, &a, &x, mask, MinUsize);
+                let y = dist_mxv_dense(c, &a, &x, mask, MinUsize, &DistOpts::default());
                 y.to_serial(c)
             });
             for y in out {
@@ -626,8 +926,68 @@ mod tests {
             }
         }
         let x = SparseVec::from_entries(50, entries);
-        for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
-            check_mxv_sparse(&g, &x, DistOpts { alltoall: algo, ..DistOpts::default() });
+        for algo in [
+            AllToAll::Direct,
+            AllToAll::Pairwise,
+            AllToAll::Hypercube,
+            AllToAll::Sparse,
+        ] {
+            check_mxv_sparse(
+                &g,
+                &x,
+                DistOpts {
+                    alltoall: algo,
+                    ..DistOpts::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_mxv_both_branches_match_sparse_bitwise() {
+        // A ~60% fill input: threshold 0.9 forces the SpMSpV branch,
+        // threshold 0.1 forces the SpMV-style branch. Both must equal the
+        // pure sparse path bit-for-bit, threaded or not.
+        let g = erdos_renyi_gnm(48, 140, 17);
+        let n = g.num_vertices();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(19);
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            if rng.random_bool(0.6) {
+                entries.push((i, rng.random_range(0..n)));
+            }
+        }
+        let x_serial = SparseVec::from_entries(n, entries);
+        let a_serial = Pattern::from_graph(&g);
+        let expected = serial::mxv_sparse(&a_serial, &x_serial, Mask::None, MinUsize);
+        for p in [1usize, 4, 9] {
+            for threshold in [0.1f64, 0.9] {
+                for threads in [1usize, 4] {
+                    let opts = DistOpts {
+                        spmv_threshold: threshold,
+                        kernel_threads: threads,
+                        ..DistOpts::default()
+                    };
+                    let out = run_spmd(p, |c| {
+                        let grid = Grid2d::square(p);
+                        let layout = VecLayout::new(n, grid);
+                        let a = DistMat::from_graph(&g, grid, c.rank());
+                        let (s, e) = layout.range_of_rank(c.rank());
+                        let local: Vec<(usize, usize)> = x_serial
+                            .entries()
+                            .iter()
+                            .copied()
+                            .filter(|&(g, _)| g >= s && g < e)
+                            .collect();
+                        let x = DistSpVec::from_local_entries(layout, c.rank(), local);
+                        let y = dist_mxv(c, &a, &x, DistMask::None, MinUsize, &opts);
+                        y.to_serial(c)
+                    });
+                    for y in out {
+                        assert_eq!(y, expected, "p={p} threshold={threshold} threads={threads}");
+                    }
+                }
+            }
         }
     }
 
@@ -681,7 +1041,10 @@ mod tests {
             let src = DistVec::from_global(layout, c.rank(), &src_global);
             // Everyone hammers index 0 — its owner becomes hot.
             let reqs = vec![0usize; 40];
-            let opts = DistOpts { hot_threshold: 2.0, ..DistOpts::default() };
+            let opts = DistOpts {
+                hot_threshold: 2.0,
+                ..DistOpts::default()
+            };
             let (vals, stats) = dist_extract(c, &src, &reqs, &opts);
             assert!(vals.iter().all(|&v| v == 0));
             stats
@@ -689,7 +1052,9 @@ mod tests {
         let owner0 = out.iter().filter(|s| s.did_broadcast).count();
         assert_eq!(owner0, 1, "exactly the owner of index 0 broadcasts");
         // The broadcasting owner answers no point-to-point requests.
-        assert!(out.iter().all(|s| !s.did_broadcast || s.received_requests == 0));
+        assert!(out
+            .iter()
+            .all(|s| !s.did_broadcast || s.received_requests == 0));
     }
 
     #[test]
@@ -712,7 +1077,13 @@ mod tests {
             let out = run_spmd(p, |c| {
                 let layout = VecLayout::new(n, Grid2d::square(p));
                 let mut dst = DistVec::from_global(layout, c.rank(), &init);
-                dist_assign(c, &mut dst, &all_updates[c.rank()], MinUsize, &DistOpts::default());
+                dist_assign(
+                    c,
+                    &mut dst,
+                    &all_updates[c.rank()],
+                    MinUsize,
+                    &DistOpts::default(),
+                );
                 dst.to_global(c)
             });
             for got in out {

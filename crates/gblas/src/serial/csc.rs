@@ -24,7 +24,9 @@ impl<T: Copy> Csc<T> {
     pub fn from_triples(nrows: usize, ncols: usize, mut triples: Vec<(Vid, Vid, T)>) -> Self {
         triples.sort_unstable_by_key(|&(r, c, _)| (c, r));
         debug_assert!(
-            triples.windows(2).all(|w| (w[0].0, w[0].1) != (w[1].0, w[1].1)),
+            triples
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) != (w[1].0, w[1].1)),
             "duplicate entries in triples"
         );
         let mut colptr = vec![0usize; ncols + 1];
@@ -43,7 +45,13 @@ impl<T: Copy> Csc<T> {
             rowidx.push(r);
             values.push(v);
         }
-        Csc { nrows, ncols, colptr, rowidx, values }
+        Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -96,6 +104,112 @@ impl Pattern {
     }
 }
 
+/// Row-major mirror of a pattern: for each row, its column indices in
+/// ascending order.
+///
+/// The parallel SpMV ([`crate::serial::mxv_dense_par`]) splits work by
+/// *rows* so each thread owns a disjoint slice of the accumulator; the
+/// CSC storage above only supports column sweeps. Iterating a mirror row
+/// visits columns in the same ascending-`j` order the serial column sweep
+/// combines them in, which is what keeps the row-split result bit-identical
+/// to [`crate::serial::mxv_dense`] for any associative monoid.
+///
+/// Build it once per matrix (`O(nnz)`) and reuse it across iterations; the
+/// matrix is static for the lifetime of a connected-components run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMirror {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<Vid>,
+}
+
+impl CsrMirror {
+    /// Transposes the index structure of `a` into row-major form.
+    pub fn from_csc<T: Copy>(a: &Csc<T>) -> CsrMirror {
+        let mut rowptr = vec![0usize; a.nrows + 1];
+        for &i in &a.rowidx {
+            rowptr[i + 1] += 1;
+        }
+        for i in 0..a.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colidx = vec![0 as Vid; a.rowidx.len()];
+        let mut cursor = rowptr.clone();
+        // Ascending-j column sweep ⇒ each row's colidx fills in ascending j.
+        for j in 0..a.ncols {
+            for &i in &a.rowidx[a.colptr[j]..a.colptr[j + 1]] {
+                colidx[cursor[i]] = j;
+                cursor[i] += 1;
+            }
+        }
+        CsrMirror {
+            nrows: a.nrows,
+            ncols: a.ncols,
+            rowptr,
+            colidx,
+        }
+    }
+
+    /// Builds a mirror from `(row, col)` pairs that arrive in **column-major
+    /// order** (ascending column, e.g. [`super::Dcsc::pairs`]), so each
+    /// row's `colidx` fills in ascending `j` — the same invariant
+    /// [`CsrMirror::from_csc`] establishes.
+    pub fn from_col_major_pairs<I>(nrows: usize, ncols: usize, pairs: I) -> CsrMirror
+    where
+        I: Iterator<Item = (Vid, Vid)> + Clone,
+    {
+        let mut rowptr = vec![0usize; nrows + 1];
+        for (r, _) in pairs.clone() {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let nnz = rowptr[nrows];
+        let mut colidx = vec![0 as Vid; nnz];
+        let mut cursor = rowptr.clone();
+        for (r, c) in pairs {
+            debug_assert!(c < ncols);
+            colidx[cursor[r]] = c;
+            cursor[r] += 1;
+        }
+        CsrMirror {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Column indices of row `i`, ascending.
+    pub fn row(&self, i: Vid) -> &[Vid] {
+        &self.colidx[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+}
+
+impl<T: Copy> Csc<T> {
+    /// Builds the row-major mirror of this matrix's pattern.
+    pub fn csr_mirror(&self) -> CsrMirror {
+        CsrMirror::from_csc(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +241,27 @@ mod tests {
         assert_eq!(a.nnz(), 6);
         assert_eq!(a.col(1), &[0, 2]);
         assert_eq!(a.col(0), &[1]);
+    }
+
+    #[test]
+    fn csr_mirror_rows_ascending() {
+        // Asymmetric pattern: rows and columns genuinely differ.
+        let m = Csc::from_triples(3, 4, vec![(0, 1, ()), (2, 1, ()), (1, 3, ()), (0, 3, ())]);
+        let r = m.csr_mirror();
+        assert_eq!((r.nrows(), r.ncols(), r.nnz()), (3, 4, 4));
+        assert_eq!(r.row(0), &[1, 3]);
+        assert_eq!(r.row(1), &[3]);
+        assert_eq!(r.row(2), &[1]);
+    }
+
+    #[test]
+    fn csr_mirror_of_symmetric_graph_matches_csc() {
+        let g = path_graph(5);
+        let a = Pattern::from_graph(&g);
+        let r = a.csr_mirror();
+        for v in 0..5 {
+            assert_eq!(r.row(v), a.col(v), "symmetric matrix: row {v} == col {v}");
+        }
     }
 
     #[test]

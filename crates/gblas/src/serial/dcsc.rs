@@ -38,7 +38,13 @@ impl Dcsc {
             rowidx.push(r);
             *colptr.last_mut().expect("colptr nonempty") = rowidx.len();
         }
-        Dcsc { nrows, ncols, jc, colptr, rowidx }
+        Dcsc {
+            nrows,
+            ncols,
+            jc,
+            colptr,
+            rowidx,
+        }
     }
 
     /// Number of rows.
@@ -70,7 +76,7 @@ impl Dcsc {
     }
 
     /// Iterates over `(column id, row indices)` for nonempty columns.
-    pub fn nonempty_cols(&self) -> impl Iterator<Item = (Vid, &[Vid])> + '_ {
+    pub fn nonempty_cols(&self) -> impl Iterator<Item = (Vid, &[Vid])> + Clone + '_ {
         self.jc
             .iter()
             .enumerate()
@@ -78,7 +84,7 @@ impl Dcsc {
     }
 
     /// All entries as `(row, col)` pairs in column order.
-    pub fn pairs(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
+    pub fn pairs(&self) -> impl Iterator<Item = (Vid, Vid)> + Clone + '_ {
         self.nonempty_cols()
             .flat_map(|(c, rows)| rows.iter().map(move |&r| (r, c)))
     }

@@ -51,7 +51,11 @@ pub fn normalize_columns(m: &Csc<f64>) -> Csc<f64> {
 /// as zero. Used as the MCL convergence test.
 pub fn max_abs_diff(a: &Csc<f64>, b: &Csc<f64>) -> f64 {
     use std::collections::HashMap;
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "shape mismatch"
+    );
     let mut map: HashMap<(Vid, Vid), f64> = a.triples().map(|(i, j, v)| ((i, j), v)).collect();
     let mut d = 0.0f64;
     for (i, j, v) in b.triples() {

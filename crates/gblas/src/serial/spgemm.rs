@@ -22,7 +22,10 @@ pub struct Prune {
 impl Prune {
     /// No pruning.
     pub fn none() -> Self {
-        Prune { threshold: 0.0, max_per_column: usize::MAX }
+        Prune {
+            threshold: 0.0,
+            max_per_column: usize::MAX,
+        }
     }
 }
 
@@ -92,7 +95,11 @@ mod tests {
 
     #[test]
     fn matches_dense_reference() {
-        let a = Csc::from_triples(3, 3, vec![(0, 0, 1.0), (1, 0, 2.0), (2, 1, 3.0), (0, 2, 4.0)]);
+        let a = Csc::from_triples(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 0, 2.0), (2, 1, 3.0), (0, 2, 4.0)],
+        );
         let b = Csc::from_triples(3, 2, vec![(0, 0, 1.0), (1, 0, 1.0), (2, 1, 2.0)]);
         let c = spgemm(&a, &b, Prune::none());
         assert_eq!(to_dense(&c), dense_mul(&a, &b));
@@ -102,7 +109,14 @@ mod tests {
     fn threshold_prunes_small_entries() {
         let a = Csc::from_triples(2, 2, vec![(0, 0, 0.001), (1, 1, 1.0)]);
         let b = Csc::from_triples(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]);
-        let c = spgemm(&a, &b, Prune { threshold: 0.01, max_per_column: usize::MAX });
+        let c = spgemm(
+            &a,
+            &b,
+            Prune {
+                threshold: 0.01,
+                max_per_column: usize::MAX,
+            },
+        );
         assert_eq!(c.nnz(), 1);
         let entries: Vec<_> = c.triples().collect();
         assert_eq!(entries, vec![(1, 1, 1.0)]);
@@ -110,13 +124,16 @@ mod tests {
 
     #[test]
     fn column_cap_keeps_largest() {
-        let a = Csc::from_triples(
-            3,
-            1,
-            vec![(0, 0, 0.1), (1, 0, 0.9), (2, 0, 0.5)],
-        );
+        let a = Csc::from_triples(3, 1, vec![(0, 0, 0.1), (1, 0, 0.9), (2, 0, 0.5)]);
         let b = Csc::from_triples(1, 1, vec![(0, 0, 1.0)]);
-        let c = spgemm(&a, &b, Prune { threshold: 0.0, max_per_column: 2 });
+        let c = spgemm(
+            &a,
+            &b,
+            Prune {
+                threshold: 0.0,
+                max_per_column: 2,
+            },
+        );
         let entries: Vec<_> = c.triples().collect();
         assert_eq!(entries, vec![(1, 0, 0.9), (2, 0, 0.5)]);
     }

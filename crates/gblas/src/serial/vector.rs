@@ -18,7 +18,10 @@ pub struct SparseVec<T> {
 impl<T: Copy> SparseVec<T> {
     /// An empty vector over `0..n`.
     pub fn empty(n: usize) -> Self {
-        SparseVec { n, entries: Vec::new() }
+        SparseVec {
+            n,
+            entries: Vec::new(),
+        }
     }
 
     /// Builds from entries, sorting them; panics on duplicates or

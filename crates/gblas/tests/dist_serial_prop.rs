@@ -1,13 +1,13 @@
 //! Property tests: every distributed primitive must be bit-identical to
 //! its serial counterpart on arbitrary inputs and grids.
 
+use dmsim::{run_spmd, Grid2d};
 use gblas::dist::{
-    dist_assign, dist_extract, dist_mxv_dense, dist_mxv_sparse, DistMask, DistMat, DistOpts,
-    DistSpVec, DistVec, VecLayout,
+    dist_assign, dist_extract, dist_mxv, dist_mxv_dense, dist_mxv_sparse, DistMask, DistMat,
+    DistOpts, DistSpVec, DistVec, VecLayout,
 };
 use gblas::serial::{self, Pattern, SparseVec};
 use gblas::{Mask, MinUsize};
-use dmsim::{run_spmd, Grid2d};
 use lacc_graph::{CsrGraph, EdgeList};
 use proptest::prelude::*;
 
@@ -40,7 +40,7 @@ proptest! {
     fn mxv_dense_dist_eq_serial(g in arb_graph(), p in arb_grid(), seed in 0u64..1000) {
         let n = g.num_vertices();
         let x_global: Vec<usize> = (0..n).map(|v| (v.wrapping_mul(seed as usize + 7)) % n).collect();
-        let mask_global: Vec<bool> = (0..n).map(|v| (v + seed as usize) % 3 != 0).collect();
+        let mask_global: Vec<bool> = (0..n).map(|v| !(v + seed as usize).is_multiple_of(3)).collect();
         let a_serial = Pattern::from_graph(&g);
         let expect = serial::mxv_dense(&a_serial, &x_global, Mask::Keep(&mask_global), MinUsize);
         let gref = &g;
@@ -52,7 +52,8 @@ proptest! {
             let a = DistMat::from_graph(gref, grid, c.rank());
             let x = DistVec::from_global(layout, c.rank(), xr);
             let m = DistVec::from_global(layout, c.rank(), mr);
-            dist_mxv_dense(c, &a, &x, DistMask::Keep(&m), MinUsize).to_serial(c)
+            dist_mxv_dense(c, &a, &x, DistMask::Keep(&m), MinUsize, &DistOpts::default())
+                .to_serial(c)
         });
         for got in out {
             prop_assert_eq!(&got, &expect);
@@ -126,7 +127,8 @@ proptest! {
             let layout = VecLayout::cyclic(n, grid);
             let a = DistMat::from_graph(gref, grid, c.rank());
             let x = DistVec::from_global(layout, c.rank(), xr);
-            let dense = dist_mxv_dense(c, &a, &x, DistMask::None, MinUsize).to_serial(c);
+            let dense = dist_mxv_dense(c, &a, &x, DistMask::None, MinUsize, &DistOpts::default())
+                .to_serial(c);
             // Sparse input with the same support as the dense vector.
             let entries: Vec<(usize, usize)> = (0..n)
                 .filter(|&g| layout.owner_of(g) == c.rank())
@@ -141,6 +143,61 @@ proptest! {
         for (dense, sparse) in out {
             prop_assert_eq!(&dense, &expect);
             prop_assert_eq!(&sparse, &expect);
+        }
+    }
+
+    #[test]
+    fn mxv_parallel_and_adaptive_eq_serial(
+        g in arb_graph(),
+        p in arb_grid(),
+        threads in prop_oneof![Just(1usize), Just(2), Just(4)],
+        threshold in prop_oneof![Just(0.0f64), Just(0.5), Just(1.1)],
+        stride in 1usize..4,
+        masked in proptest::bool::ANY,
+    ) {
+        // Dense SpMV, SpMSpV, and the adaptive dispatcher must all be
+        // bit-identical to serial for every kernel-thread count and every
+        // dispatch threshold (0.0 forces the dense-style branch, 1.1 the
+        // sparse branch).
+        let n = g.num_vertices();
+        let x_global: Vec<usize> = (0..n).map(|v| v.wrapping_mul(31) % n).collect();
+        let entries: Vec<(usize, usize)> = (0..n).step_by(stride).map(|v| (v, v % 23)).collect();
+        let mask_global: Vec<bool> = (0..n).map(|v| !masked || v % 4 != 1).collect();
+        let x_serial = SparseVec::from_entries(n, entries.clone());
+        let a_serial = Pattern::from_graph(&g);
+        let expect_dense =
+            serial::mxv_dense(&a_serial, &x_global, Mask::Keep(&mask_global), MinUsize);
+        let expect_sparse =
+            serial::mxv_sparse(&a_serial, &x_serial, Mask::Keep(&mask_global), MinUsize);
+        let opts = DistOpts {
+            kernel_threads: threads,
+            spmv_threshold: threshold,
+            ..DistOpts::default()
+        };
+        let (gref, xr, er, mr) = (&g, &x_global, &entries, &mask_global);
+        let out = run_spmd(p, move |c| {
+            let grid = Grid2d::square(p);
+            let layout = VecLayout::new(n, grid);
+            let a = DistMat::from_graph(gref, grid, c.rank());
+            let x = DistVec::from_global(layout, c.rank(), xr);
+            let m = DistVec::from_global(layout, c.rank(), mr);
+            let dense =
+                dist_mxv_dense(c, &a, &x, DistMask::Keep(&m), MinUsize, &opts).to_serial(c);
+            let (s, e) = layout.range_of_rank(c.rank());
+            let local: Vec<(usize, usize)> =
+                er.iter().copied().filter(|&(g, _)| g >= s && g < e).collect();
+            let xs = DistSpVec::from_local_entries(layout, c.rank(), local.clone());
+            let sparse =
+                dist_mxv_sparse(c, &a, &xs, DistMask::Keep(&m), MinUsize, &opts).to_serial(c);
+            let xs2 = DistSpVec::from_local_entries(layout, c.rank(), local);
+            let adaptive =
+                dist_mxv(c, &a, &xs2, DistMask::Keep(&m), MinUsize, &opts).to_serial(c);
+            (dense, sparse, adaptive)
+        });
+        for (dense, sparse, adaptive) in out {
+            prop_assert_eq!(&dense, &expect_dense);
+            prop_assert_eq!(&sparse, &expect_sparse);
+            prop_assert_eq!(&adaptive, &expect_sparse);
         }
     }
 

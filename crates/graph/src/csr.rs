@@ -49,7 +49,11 @@ impl CsrGraph {
         for v in 0..n {
             targets[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        let g = CsrGraph { n, offsets, targets };
+        let g = CsrGraph {
+            n,
+            offsets,
+            targets,
+        };
         debug_assert!(g.is_symmetric(), "edge list was not symmetric");
         g
     }
@@ -123,7 +127,11 @@ impl CsrGraph {
     /// the first violation, if any.
     pub fn validate(&self) -> Result<(), String> {
         if self.offsets.len() != self.n + 1 {
-            return Err(format!("offsets length {} != n+1 {}", self.offsets.len(), self.n + 1));
+            return Err(format!(
+                "offsets length {} != n+1 {}",
+                self.offsets.len(),
+                self.n + 1
+            ));
         }
         if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.targets.len() {
             return Err("offsets endpoints wrong".into());

@@ -21,7 +21,10 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `n` vertices.
     pub fn new(n: usize) -> Self {
-        EdgeList { n, edges: Vec::new() }
+        EdgeList {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an edge list from raw pairs, panicking on out-of-range ids.
@@ -53,7 +56,11 @@ impl EdgeList {
     /// # Panics
     /// If `u` or `v` is not in `0..n`.
     pub fn push(&mut self, u: Vid, v: Vid) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
         self.edges.push((u, v));
     }
 

@@ -39,7 +39,10 @@ pub fn community_graph(
     for w in &mut weights {
         *w = (*w / total) * n as f64;
     }
-    let mut sizes: Vec<usize> = weights.iter().map(|w| w.floor().max(1.0) as usize).collect();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| w.floor().max(1.0) as usize)
+        .collect();
     // Adjust so sizes sum exactly to n (shave from the largest or pad the
     // smallest).
     let mut sum: usize = sizes.iter().sum();
@@ -125,7 +128,12 @@ mod tests {
         let sizes = component_sizes(&g);
         // Largest community should be far bigger than the median.
         let median = sizes[sizes.len() / 2];
-        assert!(sizes[0] > 10 * median.max(1), "sizes[0]={} median={}", sizes[0], median);
+        assert!(
+            sizes[0] > 10 * median.max(1),
+            "sizes[0]={} median={}",
+            sizes[0],
+            median
+        );
     }
 
     #[test]

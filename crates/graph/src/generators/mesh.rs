@@ -97,7 +97,7 @@ mod tests {
         assert_eq!(g.num_vertices(), 64);
         assert_eq!(num_components(&g), 1);
         // Interior vertices have 26 neighbors.
-        let interior = 1 * 16 + 1 * 4 + 1; // vertex (1,1,1)
+        let interior = 16 + 4 + 1; // vertex (1,1,1)
         assert_eq!(g.degree(interior), 26);
         assert!(g.is_symmetric());
     }

@@ -18,7 +18,12 @@ use rand::Rng;
 /// * `mean_path_len` — expected length of a contig path.
 /// * `repeat_fraction` — fraction of vertices that get an extra random
 ///   edge (models shared k-mers between contigs).
-pub fn metagenome_graph(n: usize, mean_path_len: usize, repeat_fraction: f64, seed: u64) -> CsrGraph {
+pub fn metagenome_graph(
+    n: usize,
+    mean_path_len: usize,
+    repeat_fraction: f64,
+    seed: u64,
+) -> CsrGraph {
     assert!(mean_path_len >= 1);
     assert!((0.0..=1.0).contains(&repeat_fraction));
     let mut rng = super::rng(seed);
@@ -66,7 +71,11 @@ mod tests {
     fn very_sparse_many_components() {
         let g = metagenome_graph(50_000, 7, 0.01, 3);
         assert_eq!(g.num_vertices(), 50_000);
-        assert!(g.average_degree() < 3.0, "avg degree {}", g.average_degree());
+        assert!(
+            g.average_degree() < 3.0,
+            "avg degree {}",
+            g.average_degree()
+        );
         let comps = num_components(&g);
         // M3-like regime: component count is a sizable fraction of n.
         assert!(comps > 3_000, "components {comps}");
@@ -75,7 +84,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(metagenome_graph(1000, 5, 0.02, 9), metagenome_graph(1000, 5, 0.02, 9));
+        assert_eq!(
+            metagenome_graph(1000, 5, 0.02, 9),
+            metagenome_graph(1000, 5, 0.02, 9)
+        );
     }
 
     #[test]

@@ -24,17 +24,30 @@ pub struct RmatParams {
 impl RmatParams {
     /// The Graph500 reference parameters (a=0.57, b=0.19, c=0.19).
     pub fn graph500() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
     }
 
     /// Milder skew, closer to a web crawl.
     pub fn web() -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22, noise: 0.05 }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            noise: 0.05,
+        }
     }
 
     fn validate(&self) {
         let d = 1.0 - self.a - self.b - self.c;
-        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-9, "invalid RMAT quadrant probabilities");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-9,
+            "invalid RMAT quadrant probabilities"
+        );
     }
 }
 
@@ -65,7 +78,9 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Cs
             // Per-level noise keeps the distribution from being exactly
             // self-similar (standard Graph500 trick).
             if params.noise > 0.0 {
-                let jitter = |x: f64, r: f64| (x * (1.0 - params.noise) + x * 2.0 * params.noise * r).max(0.0);
+                let jitter = |x: f64, r: f64| {
+                    (x * (1.0 - params.noise) + x * 2.0 * params.noise * r).max(0.0)
+                };
                 a = jitter(a, rng.random());
                 b = jitter(b, rng.random());
                 c = jitter(c, rng.random());
@@ -116,6 +131,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid RMAT")]
     fn bad_params_panic() {
-        rmat(4, 2, RmatParams { a: 0.9, b: 0.9, c: 0.9, noise: 0.0 }, 1);
+        rmat(
+            4,
+            2,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.9,
+                noise: 0.0,
+            },
+            1,
+        );
     }
 }

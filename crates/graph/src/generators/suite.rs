@@ -75,16 +75,23 @@ impl TestProblem {
     /// Builds the stand-in graph.
     pub fn build(&self) -> CsrGraph {
         match self.recipe {
-            Recipe::Community { n, components, degree, alpha } => {
-                community_graph(n, components, degree, alpha, self.seed)
-            }
+            Recipe::Community {
+                n,
+                components,
+                degree,
+                alpha,
+            } => community_graph(n, components, degree, alpha, self.seed),
             Recipe::Mesh3d { x, y, z } => mesh_3d(x, y, z),
-            Recipe::Rmat { scale, edge_factor, params } => {
-                rmat(scale, edge_factor, params, self.seed)
-            }
-            Recipe::Metagenome { n, mean_path, repeat_fraction } => {
-                metagenome_graph(n, mean_path, repeat_fraction, self.seed)
-            }
+            Recipe::Rmat {
+                scale,
+                edge_factor,
+                params,
+            } => rmat(scale, edge_factor, params, self.seed),
+            Recipe::Metagenome {
+                n,
+                mean_path,
+                repeat_fraction,
+            } => metagenome_graph(n, mean_path, repeat_fraction, self.seed),
         }
     }
 
@@ -93,7 +100,12 @@ impl TestProblem {
     pub fn build_small(&self, shrink: usize) -> CsrGraph {
         let s = shrink.max(1);
         match self.recipe {
-            Recipe::Community { n, components, degree, alpha } => community_graph(
+            Recipe::Community {
+                n,
+                components,
+                degree,
+                alpha,
+            } => community_graph(
                 (n / s).max(16),
                 (components / s).max(1),
                 degree,
@@ -104,13 +116,24 @@ impl TestProblem {
                 let f = (s as f64).cbrt().ceil() as usize;
                 mesh_3d((x / f).max(2), (y / f).max(2), (z / f).max(2))
             }
-            Recipe::Rmat { scale, edge_factor, params } => {
+            Recipe::Rmat {
+                scale,
+                edge_factor,
+                params,
+            } => {
                 let drop = (s as f64).log2().ceil() as u32;
-                rmat(scale.saturating_sub(drop).max(4), edge_factor, params, self.seed)
+                rmat(
+                    scale.saturating_sub(drop).max(4),
+                    edge_factor,
+                    params,
+                    self.seed,
+                )
             }
-            Recipe::Metagenome { n, mean_path, repeat_fraction } => {
-                metagenome_graph((n / s).max(16), mean_path, repeat_fraction, self.seed)
-            }
+            Recipe::Metagenome {
+                n,
+                mean_path,
+                repeat_fraction,
+            } => metagenome_graph((n / s).max(16), mean_path, repeat_fraction, self.seed),
         }
     }
 }
@@ -124,7 +147,12 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 1_644_641,
             paper_edges: 204_790_000,
             paper_components: 59_794,
-            recipe: Recipe::Community { n: 50_000, components: 1_800, degree: 40.0, alpha: 1.3 },
+            recipe: Recipe::Community {
+                n: 50_000,
+                components: 1_800,
+                degree: 40.0,
+                alpha: 1.3,
+            },
             seed: 0xA2C_AEA,
         },
         TestProblem {
@@ -133,7 +161,11 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 4_147_110,
             paper_edges: 329_500_000,
             paper_components: 1,
-            recipe: Recipe::Mesh3d { x: 36, y: 36, z: 36 },
+            recipe: Recipe::Mesh3d {
+                x: 36,
+                y: 36,
+                z: 36,
+            },
             seed: 0x0EE2,
         },
         TestProblem {
@@ -142,7 +174,12 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 3_230_000,
             paper_edges: 359_740_000,
             paper_components: 164_156,
-            recipe: Recipe::Community { n: 80_000, components: 4_000, degree: 30.0, alpha: 1.25 },
+            recipe: Recipe::Community {
+                n: 80_000,
+                components: 4_000,
+                degree: 30.0,
+                alpha: 1.25,
+            },
             seed: 0xE0CA,
         },
         TestProblem {
@@ -151,7 +188,11 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 18_480_000,
             paper_edges: 529_440_000,
             paper_components: 1_990,
-            recipe: Recipe::Rmat { scale: 15, edge_factor: 14, params: RmatParams::web() },
+            recipe: Recipe::Rmat {
+                scale: 15,
+                edge_factor: 14,
+                params: RmatParams::web(),
+            },
             seed: 0x0002,
         },
         TestProblem {
@@ -160,7 +201,11 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 531_000_000,
             paper_edges: 1_047_000_000,
             paper_components: 7_600_000,
-            recipe: Recipe::Metagenome { n: 300_000, mean_path: 7, repeat_fraction: 0.004 },
+            recipe: Recipe::Metagenome {
+                n: 300_000,
+                mean_path: 7,
+                repeat_fraction: 0.004,
+            },
             seed: 0x3333,
         },
         TestProblem {
@@ -169,7 +214,11 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 41_650_000,
             paper_edges: 2_405_000_000,
             paper_components: 1,
-            recipe: Recipe::Rmat { scale: 15, edge_factor: 28, params: RmatParams::graph500() },
+            recipe: Recipe::Rmat {
+                scale: 15,
+                edge_factor: 28,
+                params: RmatParams::graph500(),
+            },
             seed: 0x7777,
         },
         TestProblem {
@@ -178,7 +227,11 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 50_640_000,
             paper_edges: 3_639_000_000,
             paper_components: 45,
-            recipe: Recipe::Rmat { scale: 15, edge_factor: 36, params: RmatParams::web() },
+            recipe: Recipe::Rmat {
+                scale: 15,
+                edge_factor: 36,
+                params: RmatParams::web(),
+            },
             seed: 0x2005,
         },
         TestProblem {
@@ -187,7 +240,11 @@ pub fn suite_small() -> Vec<TestProblem> {
             paper_vertices: 30_220_000,
             paper_edges: 6_677_000_000,
             paper_components: 4_457,
-            recipe: Recipe::Rmat { scale: 14, edge_factor: 56, params: RmatParams::graph500() },
+            recipe: Recipe::Rmat {
+                scale: 14,
+                edge_factor: 56,
+                params: RmatParams::graph500(),
+            },
             seed: 0x2016,
         },
     ]
@@ -204,7 +261,11 @@ pub fn suite_big() -> Vec<TestProblem> {
             paper_vertices: 30_220_000,
             paper_edges: 6_677_000_000,
             paper_components: 4_457,
-            recipe: Recipe::Rmat { scale: 17, edge_factor: 30, params: RmatParams::graph500() },
+            recipe: Recipe::Rmat {
+                scale: 17,
+                edge_factor: 30,
+                params: RmatParams::graph500(),
+            },
             seed: 0x0201_6B16,
         },
         TestProblem {
@@ -213,7 +274,12 @@ pub fn suite_big() -> Vec<TestProblem> {
             paper_vertices: 68_480_000,
             paper_edges: 67_160_000_000,
             paper_components: 1_350_000,
-            recipe: Recipe::Community { n: 400_000, components: 8_000, degree: 25.0, alpha: 1.3 },
+            recipe: Recipe::Community {
+                n: 400_000,
+                components: 8_000,
+                degree: 25.0,
+                alpha: 1.3,
+            },
             seed: 0x1501_0100,
         },
     ]
@@ -242,7 +308,11 @@ mod tests {
 
     #[test]
     fn all_names_unique_and_resolvable() {
-        let mut names: Vec<_> = suite_small().iter().chain(suite_big().iter()).map(|p| p.name).collect();
+        let mut names: Vec<_> = suite_small()
+            .iter()
+            .chain(suite_big().iter())
+            .map(|p| p.name)
+            .collect();
         let before = names.len();
         names.sort_unstable();
         names.dedup();

@@ -10,7 +10,6 @@
 //!   fast reload of generated stand-ins.
 
 use crate::{EdgeList, Vid};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -95,7 +94,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, IoError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(IoError::Parse(format!("expected {nnz} entries, found {seen}")));
+        return Err(IoError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
     }
     Ok(el)
 }
@@ -111,8 +112,19 @@ fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, I
 pub fn write_matrix_market<W: Write>(writer: W, el: &EdgeList) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "%%MatrixMarket matrix coordinate pattern symmetric")?;
-    let lower: Vec<(Vid, Vid)> = el.edges().iter().copied().filter(|&(u, v)| u >= v).collect();
-    writeln!(w, "{} {} {}", el.num_vertices(), el.num_vertices(), lower.len())?;
+    let lower: Vec<(Vid, Vid)> = el
+        .edges()
+        .iter()
+        .copied()
+        .filter(|&(u, v)| u >= v)
+        .collect();
+    writeln!(
+        w,
+        "{} {} {}",
+        el.num_vertices(),
+        el.num_vertices(),
+        lower.len()
+    )?;
     for (u, v) in lower {
         writeln!(w, "{} {}", u + 1, v + 1)?;
     }
@@ -157,7 +169,12 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<EdgeList, 
 /// Writes a plain edge list.
 pub fn write_edge_list<W: Write>(writer: W, el: &EdgeList) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} directed edges", el.num_vertices(), el.len())?;
+    writeln!(
+        w,
+        "# {} vertices, {} directed edges",
+        el.num_vertices(),
+        el.len()
+    )?;
     for &(u, v) in el.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -167,35 +184,45 @@ pub fn write_edge_list<W: Write>(writer: W, el: &EdgeList) -> io::Result<()> {
 const BINARY_MAGIC: u32 = 0x4C41_4343; // "LACC"
 
 /// Serializes an edge list to the compact binary format.
-pub fn to_binary(el: &EdgeList) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + el.len() * 16);
-    buf.put_u32_le(BINARY_MAGIC);
-    buf.put_u64_le(el.num_vertices() as u64);
-    buf.put_u64_le(el.len() as u64);
+pub fn to_binary(el: &EdgeList) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(20 + el.len() * 16);
+    buf.extend_from_slice(&BINARY_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(el.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(el.len() as u64).to_le_bytes());
     for &(u, v) in el.edges() {
-        buf.put_u64_le(u as u64);
-        buf.put_u64_le(v as u64);
+        buf.extend_from_slice(&(u as u64).to_le_bytes());
+        buf.extend_from_slice(&(v as u64).to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// Reads the little-endian `u64` at `*pos`, advancing the cursor.
+fn get_u64_le(bytes: &[u8], pos: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().expect("8-byte slice"));
+    *pos += 8;
+    v
 }
 
 /// Deserializes the compact binary format.
-pub fn from_binary(mut bytes: Bytes) -> Result<EdgeList, IoError> {
-    if bytes.remaining() < 20 {
+pub fn from_binary(bytes: impl AsRef<[u8]>) -> Result<EdgeList, IoError> {
+    let bytes = bytes.as_ref();
+    if bytes.len() < 20 {
         return Err(IoError::Parse("binary file too short".into()));
     }
-    if bytes.get_u32_le() != BINARY_MAGIC {
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte slice"));
+    if magic != BINARY_MAGIC {
         return Err(IoError::Parse("bad magic".into()));
     }
-    let n = bytes.get_u64_le() as usize;
-    let m = bytes.get_u64_le() as usize;
-    if bytes.remaining() < m * 16 {
+    let mut pos = 4;
+    let n = get_u64_le(bytes, &mut pos) as usize;
+    let m = get_u64_le(bytes, &mut pos) as usize;
+    if bytes.len() - pos < m * 16 {
         return Err(IoError::Parse("truncated edge section".into()));
     }
     let mut el = EdgeList::new(n);
     for _ in 0..m {
-        let u = bytes.get_u64_le() as usize;
-        let v = bytes.get_u64_le() as usize;
+        let u = get_u64_le(bytes, &mut pos) as usize;
+        let v = get_u64_le(bytes, &mut pos) as usize;
         if u >= n || v >= n {
             return Err(IoError::Parse(format!("edge ({u},{v}) out of range")));
         }
@@ -212,7 +239,7 @@ pub fn save_binary(path: &Path, el: &EdgeList) -> io::Result<()> {
 /// Convenience: reads the binary format from a file.
 pub fn load_binary(path: &Path) -> Result<EdgeList, IoError> {
     let data = std::fs::read(path)?;
-    from_binary(Bytes::from(data))
+    from_binary(data)
 }
 
 #[cfg(test)]
@@ -234,7 +261,8 @@ mod tests {
 
     #[test]
     fn matrix_market_symmetric_mirrors() {
-        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 3\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 3\n";
         let el = read_matrix_market(text.as_bytes()).unwrap();
         // (2,1) mirrored; (3,3) diagonal not mirrored.
         assert_eq!(el.edges(), &[(1, 0), (0, 1), (2, 2)]);
@@ -277,11 +305,11 @@ mod tests {
         let el = EdgeList::from_pairs(3, [(0, 1)]);
         let bytes = to_binary(&el);
         // Truncate.
-        assert!(from_binary(bytes.slice(0..bytes.len() - 4)).is_err());
+        assert!(from_binary(&bytes[..bytes.len() - 4]).is_err());
         // Bad magic.
-        let mut bad = BytesMut::from(&bytes[..]);
+        let mut bad = bytes.clone();
         bad[0] ^= 0xFF;
-        assert!(from_binary(bad.freeze()).is_err());
+        assert!(from_binary(bad).is_err());
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl Permutation {
     /// The identity permutation.
     pub fn identity(n: usize) -> Self {
         let forward: Vec<Vid> = (0..n).collect();
-        Permutation { inverse: forward.clone(), forward }
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
     }
 
     /// A uniformly random permutation (Fisher–Yates).
@@ -112,7 +115,7 @@ mod tests {
     #[test]
     fn random_is_bijection() {
         let p = Permutation::random(100, 42);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for v in 0..100 {
             let img = p.apply(v);
             assert!(!seen[img]);

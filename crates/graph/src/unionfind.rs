@@ -93,7 +93,10 @@ impl DisjointSets {
         }
         // `parent[v]` after path halving may still be a non-root ancestor,
         // so resolve through find again.
-        (0..n).map(|v| self.find(v)).map(|r| min_of_root[r]).collect()
+        (0..n)
+            .map(|v| self.find(v))
+            .map(|r| min_of_root[r])
+            .collect()
     }
 }
 

@@ -11,9 +11,7 @@
 //! a compact single-node HipMCL built on this workspace's SpGEMM, with
 //! LACC doing the final component extraction.
 
-use lacc_suite::gblas::serial::{
-    map_values, max_abs_diff, normalize_columns, spgemm, Csc, Prune,
-};
+use lacc_suite::gblas::serial::{map_values, max_abs_diff, normalize_columns, spgemm, Csc, Prune};
 use lacc_suite::graph::generators::community_graph;
 use lacc_suite::graph::{CsrGraph, EdgeList};
 use lacc_suite::lacc::{lacc_serial, LaccOpts};
@@ -42,7 +40,10 @@ fn main() {
     let mut m = normalize_columns(&Csc::from_triples(n, n, triples));
 
     // MCL iterations: expansion, inflation, pruning.
-    let prune = Prune { threshold: 1e-4, max_per_column: 64 };
+    let prune = Prune {
+        threshold: 1e-4,
+        max_per_column: 64,
+    };
     let inflation = 2.0;
     for iter in 1..=40 {
         let expanded = spgemm(&m, &m, prune);
@@ -50,7 +51,10 @@ fn main() {
         let delta = max_abs_diff(&m, &next);
         m = next;
         if iter % 5 == 0 || delta < 1e-6 {
-            println!("  MCL iteration {iter:>2}: nnz = {:>7}, max delta = {delta:.2e}", m.nnz());
+            println!(
+                "  MCL iteration {iter:>2}: nnz = {:>7}, max delta = {delta:.2e}",
+                m.nnz()
+            );
         }
         if delta < 1e-6 {
             break;

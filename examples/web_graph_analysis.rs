@@ -39,7 +39,7 @@ fn main() {
         100.0 * giant as f64 / g.num_vertices() as f64
     );
 
-    let mut check = |name: &str, labels: Vec<usize>, elapsed: f64, unit: &str| {
+    let check = |name: &str, labels: Vec<usize>, elapsed: f64, unit: &str| {
         assert_eq!(canonicalize_labels(&labels), truth, "{name} disagrees");
         println!("  {name:<34} {elapsed:>9.2} {unit}");
     };
@@ -47,31 +47,71 @@ fn main() {
     println!("serial / shared-memory (wall ms):");
     let t = Instant::now();
     let labels = b::union_find_cc(&g);
-    check("union-find (serial optimum)", labels, t.elapsed().as_secs_f64() * 1e3, "ms");
+    check(
+        "union-find (serial optimum)",
+        labels,
+        t.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
     let t = Instant::now();
     let labels = b::bfs_cc(&g);
     check("BFS", labels, t.elapsed().as_secs_f64() * 1e3, "ms");
     let t = Instant::now();
     let labels = b::shiloach_vishkin_cc(&g);
-    check("Shiloach-Vishkin (threads)", labels, t.elapsed().as_secs_f64() * 1e3, "ms");
+    check(
+        "Shiloach-Vishkin (threads)",
+        labels,
+        t.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
     let t = Instant::now();
     let labels = b::label_propagation_cc(&g);
-    check("label propagation (threads)", labels, t.elapsed().as_secs_f64() * 1e3, "ms");
+    check(
+        "label propagation (threads)",
+        labels,
+        t.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
     let t = Instant::now();
     let labels = b::multistep_cc(&g);
-    check("Multistep (BFS + label prop)", labels, t.elapsed().as_secs_f64() * 1e3, "ms");
+    check(
+        "Multistep (BFS + label prop)",
+        labels,
+        t.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
     let t = Instant::now();
     let labels = b::fastsv_cc(&g);
-    check("FastSV (serial)", labels, t.elapsed().as_secs_f64() * 1e3, "ms");
+    check(
+        "FastSV (serial)",
+        labels,
+        t.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
     let t = Instant::now();
     let run = lacc::lacc_serial(&g, &LaccOpts::default());
-    check("LACC (serial GraphBLAS)", run.labels, t.elapsed().as_secs_f64() * 1e3, "ms");
+    check(
+        "LACC (serial GraphBLAS)",
+        run.labels,
+        t.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
 
     println!("\ndistributed on 16 simulated Edison nodes (modeled ms):");
     let run = lacc::run_distributed(&g, 64, EDISON.lacc_model(), &LaccOpts::default());
-    check("LACC (p=64, 4 ranks/node)", run.labels, run.modeled_total_s * 1e3, "ms (modeled)");
+    check(
+        "LACC (p=64, 4 ranks/node)",
+        run.labels,
+        run.modeled_total_s * 1e3,
+        "ms (modeled)",
+    );
     let pc = b::parconnect_sim(&g, 361, EDISON.flat_model());
-    check("ParConnect-sim (p=361, flat)", pc.labels, pc.modeled_total_s * 1e3, "ms (modeled)");
+    check(
+        "ParConnect-sim (p=361, flat)",
+        pc.labels,
+        pc.modeled_total_s * 1e3,
+        "ms (modeled)",
+    );
 
     println!("\nall algorithms agree with union-find ground truth");
 }

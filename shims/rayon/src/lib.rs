@@ -1,0 +1,323 @@
+//! Offline stand-in for `rayon`: persistent worker pools with scoped tasks.
+//!
+//! The build environment cannot fetch the real `rayon`, and the kernels in
+//! this workspace only need one primitive: "run these K closures, which
+//! borrow the caller's stack, on T worker threads and wait". This shim
+//! provides exactly that as [`ThreadPool::scope`] /
+//! [`Scope::spawn`], mirroring rayon's scoped API.
+//!
+//! Design points that matter to callers:
+//!
+//! - Pools are **shared per thread count**: `ThreadPoolBuilder` with
+//!   `num_threads(T)` returns a handle to one global T-worker pool, so P
+//!   simulated ranks asking for T kernel threads share T OS threads in
+//!   total rather than spawning P×T. Workers are started on first use and
+//!   live for the process lifetime.
+//! - A pool built with `num_threads(1)` (or 0) runs every spawned task
+//!   **inline on the caller's thread** — no workers, no synchronization —
+//!   which keeps the sequential path allocation- and contention-free.
+//! - `scope` blocks until every task spawned inside it has finished, which
+//!   is what makes lending stack references to tasks sound.
+//! - Do **not** call `scope` from inside a worker task of the same pool:
+//!   with few workers the inner scope's tasks can wait behind the very
+//!   task that is waiting for them.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    tx: Sender<Job>,
+    threads: usize,
+}
+
+fn start_workers(threads: usize) -> PoolInner {
+    let (tx, rx) = channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    for w in 0..threads {
+        let rx = Arc::clone(&rx);
+        std::thread::Builder::new()
+            .name(format!("kernel-pool-{threads}-{w}"))
+            .spawn(move || loop {
+                // Hold the lock only while dequeuing, never while running.
+                let job = {
+                    let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    match guard.recv() {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    }
+                };
+                job();
+            })
+            .expect("spawn kernel pool worker");
+    }
+    PoolInner { tx, threads }
+}
+
+fn registry() -> &'static Mutex<HashMap<usize, &'static PoolInner>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, &'static PoolInner>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Handle to a worker pool (or to inline execution when `threads <= 1`).
+#[derive(Clone, Copy)]
+pub struct ThreadPool {
+    inner: Option<&'static PoolInner>,
+    threads: usize,
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for API parity; pool construction here cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder; without `num_threads` the pool sizes to the machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads (0 = all available cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Returns the shared pool for this thread count, starting its
+    /// workers on first use.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        if threads <= 1 {
+            return Ok(ThreadPool {
+                inner: None,
+                threads: 1,
+            });
+        }
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let inner = *reg
+            .entry(threads)
+            .or_insert_with(|| Box::leak(Box::new(start_workers(threads))));
+        Ok(ThreadPool {
+            inner: Some(inner),
+            threads: inner.threads,
+        })
+    }
+}
+
+/// Number of hardware threads on this machine.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Spawn handle passed to the closure given to [`ThreadPool::scope`];
+/// tasks may borrow anything that outlives the scope call.
+pub struct Scope<'scope> {
+    pool: Option<&'static PoolInner>,
+    state: Arc<ScopeState>,
+    // Invariant over 'scope, as in rayon.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `f` on a pool worker (inline if the pool is sequential).
+    /// The enclosing `scope` call returns only after `f` completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let Some(pool) = self.pool else {
+            f();
+            return;
+        };
+        {
+            let mut pending = self.state.pending.lock().unwrap_or_else(|e| e.into_inner());
+            *pending += 1;
+        }
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `scope` (via `WaitGuard`) blocks until `pending` drops
+        // back to zero before returning — even if the scope body panics —
+        // so the task, and every 'scope borrow inside it, cannot outlive
+        // the stack frame it borrows from.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let wrapped: Job = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                state.panicked.store(true, Ordering::Relaxed);
+            }
+            let mut pending = state.pending.lock().unwrap_or_else(|e| e.into_inner());
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        pool.tx.send(wrapped).expect("kernel pool workers exited");
+    }
+}
+
+/// Blocks until the scope's task count reaches zero; runs in `Drop` so the
+/// wait happens even when the scope body unwinds.
+struct WaitGuard<'a>(&'a ScopeState);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = self.0.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while *pending > 0 {
+            pending = self.0.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Worker count this handle dispatches to (1 = inline execution).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op`, letting it spawn borrowing tasks; returns `op`'s result
+    /// after every spawned task has finished. Panics if a task panicked.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let scope = Scope {
+            pool: self.inner,
+            state: Arc::clone(&state),
+            _marker: PhantomData,
+        };
+        let result = {
+            let _wait = WaitGuard(&state);
+            op(&scope)
+        };
+        if state.panicked.load(Ordering::Relaxed) {
+            panic!("a task spawned in ThreadPool::scope panicked");
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(threads: usize) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let p = pool(4);
+        let mut out = vec![0usize; 64];
+        p.scope(|s| {
+            for (i, chunk) in out.chunks_mut(8).enumerate() {
+                s.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 8 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let p = pool(1);
+        let caller = std::thread::current().id();
+        let mut ran_on = None;
+        p.scope(|s| {
+            s.spawn(|| ran_on = Some(std::thread::current().id()));
+        });
+        assert_eq!(ran_on, Some(caller));
+    }
+
+    #[test]
+    fn pools_are_shared_per_thread_count() {
+        let a = pool(3);
+        let b = pool(3);
+        assert!(std::ptr::eq(a.inner.unwrap(), b.inner.unwrap()));
+        assert_eq!(a.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads() {
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|ts| {
+            for _ in 0..8 {
+                let total = Arc::clone(&total);
+                ts.spawn(move || {
+                    let p = pool(2);
+                    p.scope(|s| {
+                        for _ in 0..16 {
+                            let total = Arc::clone(&total);
+                            s.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let p = pool(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&finished);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..8 {
+                    let f = Arc::clone(&f2);
+                    s.spawn(move || {
+                        f.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+    }
+}

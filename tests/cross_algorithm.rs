@@ -22,7 +22,10 @@ fn zoo() -> Vec<(String, CsrGraph)> {
         ("mesh3d".into(), mesh_3d(8, 8, 8)),
         ("barabasi_albert".into(), barabasi_albert(1000, 3, 6)),
         ("watts_strogatz".into(), watts_strogatz(500, 6, 0.2, 7)),
-        ("empty".into(), CsrGraph::from_edges(lacc_suite::graph::EdgeList::new(50))),
+        (
+            "empty".into(),
+            CsrGraph::from_edges(lacc_suite::graph::EdgeList::new(50)),
+        ),
     ]
 }
 
@@ -37,8 +40,14 @@ fn all_serial_algorithms_agree() {
             ("multistep", b::multistep_cc(&g)),
             ("fastsv", b::fastsv_cc(&g)),
             ("as_ref", lacc::asref::awerbuch_shiloach(&g)),
-            ("lacc_serial", lacc::lacc_serial(&g, &LaccOpts::default()).labels),
-            ("lacc_dense", lacc::lacc_serial(&g, &LaccOpts::dense_as()).labels),
+            (
+                "lacc_serial",
+                lacc::lacc_serial(&g, &LaccOpts::default()).labels,
+            ),
+            (
+                "lacc_dense",
+                lacc::lacc_serial(&g, &LaccOpts::dense_as()).labels,
+            ),
         ];
         for (algo, labels) in algos {
             assert_eq!(
@@ -56,10 +65,18 @@ fn distributed_algorithms_agree() {
         let truth = b::union_find_cc(&g);
         let model = lacc_suite::dmsim::EDISON.lacc_model();
         let run = lacc::run_distributed(&g, 4, model, &LaccOpts::default());
-        assert_eq!(canonicalize_labels(&run.labels), truth, "dist LACC on {name}");
+        assert_eq!(
+            canonicalize_labels(&run.labels),
+            truth,
+            "dist LACC on {name}"
+        );
         if g.num_vertices() > 0 {
             let pc = b::parconnect_sim(&g, 4, lacc_suite::dmsim::EDISON.flat_model());
-            assert_eq!(canonicalize_labels(&pc.labels), truth, "parconnect on {name}");
+            assert_eq!(
+                canonicalize_labels(&pc.labels),
+                truth,
+                "parconnect on {name}"
+            );
         }
     }
 }

@@ -14,24 +14,30 @@ use lacc_suite::lacc::{lacc_serial, run_distributed, LaccOpts};
 #[test]
 fn bit_identical_across_comm_configs() {
     let g = community_graph(900, 45, 3.0, 1.4, 21);
-    let base = LaccOpts { permute: false, ..LaccOpts::default() };
+    let base = LaccOpts {
+        permute: false,
+        ..LaccOpts::default()
+    };
     let serial = lacc_serial(&g, &base);
     for p in [1, 4, 9, 16, 25] {
-        for algo in [AllToAll::Direct, AllToAll::Pairwise, AllToAll::Hypercube, AllToAll::Sparse] {
+        for algo in [
+            AllToAll::Direct,
+            AllToAll::Pairwise,
+            AllToAll::Hypercube,
+            AllToAll::Sparse,
+        ] {
             for hot in [false, true] {
                 let opts = LaccOpts {
                     dist: DistOpts {
                         alltoall: algo,
                         hot_bcast: hot,
                         hot_threshold: 2.0,
+                        ..DistOpts::default()
                     },
                     ..base
                 };
                 let run = run_distributed(&g, p, EDISON.lacc_model(), &opts);
-                assert_eq!(
-                    run.labels, serial.labels,
-                    "p={p} algo={algo:?} hot={hot}"
-                );
+                assert_eq!(run.labels, serial.labels, "p={p} algo={algo:?} hot={hot}");
             }
         }
     }
@@ -40,7 +46,10 @@ fn bit_identical_across_comm_configs() {
 #[test]
 fn machine_model_does_not_change_results() {
     let g = rmat(8, 5, RmatParams::web(), 6);
-    let opts = LaccOpts { permute: false, ..LaccOpts::default() };
+    let opts = LaccOpts {
+        permute: false,
+        ..LaccOpts::default()
+    };
     let a = run_distributed(&g, 9, EDISON.lacc_model(), &opts);
     let b = run_distributed(&g, 9, CORI_KNL.flat_model(), &opts);
     assert_eq!(a.labels, b.labels);
@@ -56,7 +65,10 @@ fn permutation_changes_work_not_answer() {
         &g,
         16,
         EDISON.lacc_model(),
-        &LaccOpts { permute: false, ..LaccOpts::default() },
+        &LaccOpts {
+            permute: false,
+            ..LaccOpts::default()
+        },
     );
     use lacc_suite::graph::unionfind::canonicalize_labels;
     assert_eq!(
@@ -71,7 +83,10 @@ fn dense_as_and_lacc_agree_distributed() {
     let a = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::default());
     let d = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::dense_as());
     use lacc_suite::graph::unionfind::canonicalize_labels;
-    assert_eq!(canonicalize_labels(&a.labels), canonicalize_labels(&d.labels));
+    assert_eq!(
+        canonicalize_labels(&a.labels),
+        canonicalize_labels(&d.labels)
+    );
     // Sparsity must reduce modeled work on a many-component graph.
     let g = community_graph(4000, 200, 3.0, 1.4, 3);
     let a = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default());

@@ -17,7 +17,12 @@ fn matrix_market_to_lacc_pipeline() {
     let el = io::read_matrix_market(&buf[..]).expect("read");
     let g2 = CsrGraph::from_edges(el);
     assert_eq!(g, g2, "MM roundtrip must preserve the graph");
-    let run = run_distributed(&g2, 4, lacc_suite::dmsim::EDISON.lacc_model(), &LaccOpts::default());
+    let run = run_distributed(
+        &g2,
+        4,
+        lacc_suite::dmsim::EDISON.lacc_model(),
+        &LaccOpts::default(),
+    );
     assert_eq!(canonicalize_labels(&run.labels), ground_truth_labels(&g));
 }
 
@@ -36,7 +41,12 @@ fn permuted_pipeline_recovers_original_ids() {
     let perm = Permutation::random(400, 77);
     let h = perm.permute_graph(&g);
     // Solve on the permuted graph and map labels back.
-    let run = run_distributed(&h, 9, lacc_suite::dmsim::EDISON.lacc_model(), &LaccOpts::default());
+    let run = run_distributed(
+        &h,
+        9,
+        lacc_suite::dmsim::EDISON.lacc_model(),
+        &LaccOpts::default(),
+    );
     let labels_orig = perm.unpermute_labels(&run.labels);
     assert_eq!(canonicalize_labels(&labels_orig), ground_truth_labels(&g));
 }

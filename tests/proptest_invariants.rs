@@ -70,6 +70,24 @@ proptest! {
     }
 
     #[test]
+    fn threaded_and_adaptive_runs_match_serial_bitwise(
+        g in arb_graph(80, 200),
+        threads in prop_oneof![Just(1usize), Just(2), Just(4)],
+        threshold in prop_oneof![Just(0.0f64), Just(0.5), Just(1.1)],
+    ) {
+        // End-to-end: intra-rank kernel threading and the adaptive
+        // SpMV/SpMSpV dispatch threshold are pure performance knobs — the
+        // parent vector must stay bit-identical to the serial run for any
+        // setting of either.
+        let mut opts = LaccOpts { permute: false, ..LaccOpts::default() };
+        opts.dist.kernel_threads = threads;
+        opts.dist.spmv_threshold = threshold;
+        let serial = lacc::lacc_serial(&g, &opts);
+        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts);
+        prop_assert_eq!(dist.labels, serial.labels);
+    }
+
+    #[test]
     fn baselines_match_union_find(g in arb_graph(100, 250)) {
         let truth = b::union_find_cc(&g);
         prop_assert_eq!(b::bfs_cc(&g), truth.clone());
@@ -102,6 +120,7 @@ proptest! {
             }
             unreachable!("forest has a cycle");
         };
+        #[allow(clippy::needless_range_loop)] // v is a vertex id, not just an index
         for v in 0..n {
             let r = root_of(v);
             let tree: Vec<usize> = (0..n).filter(|&u| root_of(u) == r).collect();
