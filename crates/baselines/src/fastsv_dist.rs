@@ -10,7 +10,7 @@
 //! retirement), which is exactly the trade the follow-up paper discusses.
 
 use crate::Vid;
-use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
+use dmsim::{run_spmd_with_model, Comm, DmsimError, Grid2d, MachineModel};
 use gblas::dist::{
     dist_assign, dist_extract, dist_mxv_dense, DistMask, DistMat, DistOpts, DistVec, VecLayout,
 };
@@ -102,17 +102,24 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, opts: &DistOpts) -> (Option<Vec<Vid>>, us
 }
 
 /// Runs distributed FastSV on `p` simulated ranks (square grid).
-pub fn fastsv_dist(g: &CsrGraph, p: usize, model: MachineModel, opts: &DistOpts) -> FastsvRun {
+///
+/// Errs with the failing rank and panic payload if any rank panics.
+pub fn fastsv_dist(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &DistOpts,
+) -> Result<FastsvRun, DmsimError> {
     let _ = Grid2d::square(p);
     let wall = Instant::now();
-    let outs = run_spmd_with_model(p, model, |comm| spmd(comm, g, opts));
-    FastsvRun {
+    let outs = run_spmd_with_model(p, model, |comm| spmd(comm, g, opts))?;
+    Ok(FastsvRun {
         labels: outs[0].0.clone().expect("rank 0 labels"),
         p,
         rounds: outs[0].1,
         modeled_total_s: outs.iter().map(|o| o.2).fold(0.0f64, f64::max),
         wall_s: wall.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +131,7 @@ mod tests {
     use lacc_graph::unionfind::canonicalize_labels;
 
     fn check(g: &CsrGraph, p: usize) -> FastsvRun {
-        let run = fastsv_dist(g, p, EDISON.lacc_model(), &DistOpts::default());
+        let run = fastsv_dist(g, p, EDISON.lacc_model(), &DistOpts::default()).unwrap();
         assert_eq!(canonicalize_labels(&run.labels), union_find_cc(g), "p={p}");
         run
     }

@@ -25,7 +25,7 @@
 //! [`dmsim::Machine::flat_model`]), and `α(p−1)`-latency collectives.
 
 use crate::Vid;
-use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
+use dmsim::{run_spmd_with_model, Comm, DmsimError, Grid2d, MachineModel};
 use gblas::dist::{
     dist_assign, dist_extract, dist_mxv_sparse, DistMask, DistMat, DistOpts, DistSpVec, DistVec,
     VecLayout,
@@ -205,7 +205,13 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, seed: Vid) -> RankOut {
 }
 
 /// Runs the ParConnect simulation on `p` simulated ranks (square grid).
-pub fn parconnect_sim(g: &CsrGraph, p: usize, model: MachineModel) -> ParconnectRun {
+///
+/// Errs with the failing rank and panic payload if any rank panics.
+pub fn parconnect_sim(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+) -> Result<ParconnectRun, DmsimError> {
     let _ = Grid2d::square(p);
     // Seed the BFS peel at the max-degree vertex — ParConnect's heuristic
     // for finding the giant component cheaply.
@@ -213,16 +219,16 @@ pub fn parconnect_sim(g: &CsrGraph, p: usize, model: MachineModel) -> Parconnect
         .max_by_key(|&v| g.degree(v))
         .unwrap_or(0);
     let wall = Instant::now();
-    let outs = run_spmd_with_model(p, model, |comm| spmd(comm, g, seed));
+    let outs = run_spmd_with_model(p, model, |comm| spmd(comm, g, seed))?;
     let wall_s = wall.elapsed().as_secs_f64();
-    ParconnectRun {
+    Ok(ParconnectRun {
         labels: outs[0].labels.clone().expect("rank 0 labels"),
         p,
         bfs_levels: outs[0].bfs_levels,
         sv_rounds: outs[0].sv_rounds,
         modeled_total_s: outs.iter().map(|o| o.clock_s).fold(0.0f64, f64::max),
         wall_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -234,7 +240,7 @@ mod tests {
     use lacc_graph::unionfind::canonicalize_labels;
 
     fn check(g: &CsrGraph, p: usize) -> ParconnectRun {
-        let run = parconnect_sim(g, p, EDISON.flat_model());
+        let run = parconnect_sim(g, p, EDISON.flat_model()).unwrap();
         assert_eq!(canonicalize_labels(&run.labels), union_find_cc(g), "p={p}");
         run
     }

@@ -156,4 +156,21 @@ fn main() {
     f.write_all(json.as_bytes())
         .expect("write BENCH_kernels.json");
     println!("wrote {}", path.display());
+
+    // Shared tracing flag (`--trace <path>` / `LACC_TRACE`): run a small
+    // distributed LACC smoke whose kernels exercise the paths timed above
+    // and emit its span trace alongside the timings.
+    if let Some(trace) = lacc_bench::trace_config() {
+        let scale = scales().iter().copied().min().unwrap_or(12).min(12);
+        let g = rmat(scale, 16, RmatParams::graph500(), 7);
+        lacc::run_distributed_traced(
+            &g,
+            4,
+            lacc_bench::default_model(),
+            &lacc::LaccOpts::default(),
+            Some(trace.sink()),
+        )
+        .expect("distributed LACC rank panicked");
+        trace.finish();
+    }
 }

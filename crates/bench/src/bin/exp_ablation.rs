@@ -9,7 +9,7 @@
 
 use dmsim::{AllToAll, EDISON};
 use gblas::dist::DistOpts;
-use lacc::{run_distributed, LaccOpts};
+use lacc::{run_distributed_traced, LaccOpts};
 use lacc_bench::*;
 use lacc_graph::generators::suite::by_name;
 
@@ -31,8 +31,15 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let trace = trace_config();
     let mut run_cfg = |label: &str, opts: LaccOpts| {
-        let run = run_distributed(&g, p, model, &opts);
+        // Cleared per configuration: an exported trace covers the last one.
+        if let Some(t) = &trace {
+            t.clear();
+        }
+        let run =
+            run_distributed_traced(&g, p, model, &opts, trace.as_ref().map(TraceConfig::sink))
+                .expect("distributed LACC rank panicked");
         rows.push(vec![
             label.to_string(),
             fmt_s(run.modeled_total_s),
@@ -89,7 +96,8 @@ fn main() {
 
     // Extension: distributed FastSV (the LAGraph successor) on the same
     // substrate and machine model.
-    let fsv = lacc_baselines::fastsv_dist(&g, p, model, &DistOpts::default());
+    let fsv = lacc_baselines::fastsv_dist(&g, p, model, &DistOpts::default())
+        .expect("FastSV rank panicked");
     rows.push(vec![
         "FastSV (distributed, extension)".to_string(),
         fmt_s(fsv.modeled_total_s),
@@ -104,4 +112,7 @@ fn main() {
         &rows,
     );
     write_csv("ablation", &header, &rows);
+    if let Some(t) = &trace {
+        t.finish();
+    }
 }

@@ -8,7 +8,7 @@
 //! time — exposing the trade: balance improves, but `mxv` loses its
 //! grid-aligned gather and must collect vector pieces world-wide.
 
-use lacc::{run_distributed, LaccOpts, LaccRun};
+use lacc::{run_distributed_traced, LaccOpts, LaccRun};
 use lacc_bench::*;
 use lacc_graph::generators::suite::by_name;
 use lacc_graph::generators::{rmat, RmatParams};
@@ -58,6 +58,7 @@ fn main() {
         "iters",
     ];
     let mut rows = Vec::new();
+    let trace = trace_config();
     for (name, g) in &graphs {
         eprintln!(
             "[cyclic] {name}: n={} m={}",
@@ -82,7 +83,17 @@ fn main() {
                 },
                 ..LaccOpts::default()
             };
-            let run = run_distributed(g, p, default_model(), &opts);
+            if let Some(t) = &trace {
+                t.clear();
+            }
+            let run = run_distributed_traced(
+                g,
+                p,
+                default_model(),
+                &opts,
+                trace.as_ref().map(TraceConfig::sink),
+            )
+            .expect("distributed LACC rank panicked");
             rows.push(vec![
                 name.clone(),
                 layout.to_string(),
@@ -99,5 +110,8 @@ fn main() {
         &rows,
     );
     write_csv("ext_cyclic", &header, &rows);
+    if let Some(t) = &trace {
+        t.finish();
+    }
     println!("\nExpected trade: cyclic flattens the extract imbalance (and makes the hot-rank broadcast unnecessary), while mxv pays a world-wide gather.");
 }

@@ -28,6 +28,7 @@ fn main() {
         "fastsv rounds",
     ];
     let mut rows = Vec::new();
+    let trace = trace_config();
     for name in names {
         let prob = by_name(name).expect("known problem");
         let g = if shrink == 1 {
@@ -43,9 +44,19 @@ fn main() {
         );
         for &n_nodes in &nodes {
             let (ranks, _) = lacc_ranks_for(n_nodes);
-            let lacc_run =
-                lacc::run_distributed(&g, ranks, EDISON.lacc_model(), &LaccOpts::default());
-            let fsv = fastsv_dist(&g, ranks, EDISON.lacc_model(), &DistOpts::default());
+            if let Some(t) = &trace {
+                t.clear();
+            }
+            let lacc_run = lacc::run_distributed_traced(
+                &g,
+                ranks,
+                EDISON.lacc_model(),
+                &LaccOpts::default(),
+                trace.as_ref().map(TraceConfig::sink),
+            )
+            .expect("distributed LACC rank panicked");
+            let fsv = fastsv_dist(&g, ranks, EDISON.lacc_model(), &DistOpts::default())
+                .expect("FastSV rank panicked");
             rows.push(vec![
                 name.to_string(),
                 format!("{n_nodes}"),
@@ -67,4 +78,7 @@ fn main() {
         &rows,
     );
     write_csv("ext_fastsv", &header, &rows);
+    if let Some(t) = &trace {
+        t.finish();
+    }
 }

@@ -9,7 +9,7 @@
 //! counters of a p=16 run, with the hot-rank broadcast disabled so the raw
 //! skew is visible.
 
-use lacc::{run_distributed, LaccOpts};
+use lacc::{run_distributed_traced, LaccOpts};
 use lacc_bench::*;
 use lacc_graph::generators::{rmat, RmatParams};
 
@@ -25,7 +25,15 @@ fn main() {
     // Naive communication so the imbalance is raw (the paper's Figure 3
     // shows the problem its §V-B optimizations then fix).
     let opts = LaccOpts::naive_comm();
-    let run = run_distributed(&g, p, default_model(), &opts);
+    let trace = trace_config();
+    let run = run_distributed_traced(
+        &g,
+        p,
+        default_model(),
+        &opts,
+        trace.as_ref().map(TraceConfig::sink),
+    )
+    .expect("distributed LACC rank panicked");
     let niters = run.num_iterations();
     let early = 1.min(niters - 1);
     let late = niters.saturating_sub(2);
@@ -58,5 +66,8 @@ fn main() {
             k + 1,
             if avg > 0.0 { max / avg } else { 0.0 },
         );
+    }
+    if let Some(t) = &trace {
+        t.finish();
     }
 }

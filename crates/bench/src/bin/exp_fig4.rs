@@ -15,6 +15,7 @@ fn main() {
     let nodes = scaling_nodes();
     let shrink = shrink();
     let opts = LaccOpts::default();
+    let trace = trace_config();
     let header = [
         "graph",
         "nodes",
@@ -39,7 +40,13 @@ fn main() {
             g.num_vertices(),
             g.num_directed_edges()
         );
-        let lacc_pts = lacc_scaling(&g, &EDISON, &nodes, &opts);
+        let lacc_pts = lacc_scaling_traced(
+            &g,
+            &EDISON,
+            &nodes,
+            &opts,
+            trace.as_ref().map(TraceConfig::sink),
+        );
         let pc_pts = parconnect_scaling(&g, &EDISON, &nodes);
         for ((lp, _), (pp, _)) in lacc_pts.iter().zip(&pc_pts) {
             rows.push(vec![
@@ -62,4 +69,7 @@ fn main() {
     );
     write_csv("fig4_edison_scaling", &header, &rows);
     println!("  (* rank count clamped at {} simulated ranks)", rank_cap());
+    if let Some(t) = &trace {
+        t.finish();
+    }
 }

@@ -15,6 +15,7 @@ fn main() {
     let nodes = scaling_nodes();
     let shrink = shrink();
     let opts = LaccOpts::default();
+    let trace = trace_config();
     let names = ["archaea", "eukarya", "M3", "iso_m100"];
     let header = [
         "graph",
@@ -39,7 +40,13 @@ fn main() {
             g.num_vertices(),
             g.num_directed_edges()
         );
-        let lacc_pts = lacc_scaling(&g, &CORI_KNL, &nodes, &opts);
+        let lacc_pts = lacc_scaling_traced(
+            &g,
+            &CORI_KNL,
+            &nodes,
+            &opts,
+            trace.as_ref().map(TraceConfig::sink),
+        );
         let pc_pts = parconnect_scaling(&g, &CORI_KNL, &nodes);
         for ((lp, _), (pp, _)) in lacc_pts.iter().zip(&pc_pts) {
             rows.push(vec![
@@ -60,4 +67,7 @@ fn main() {
     );
     write_csv("fig5_cori_scaling", &header, &rows);
     println!("  (* rank count clamped at {} simulated ranks)", rank_cap());
+    if let Some(t) = &trace {
+        t.finish();
+    }
 }

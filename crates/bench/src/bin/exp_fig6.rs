@@ -20,6 +20,7 @@ fn main() {
     };
     let shrink = shrink();
     let opts = LaccOpts::default();
+    let trace = trace_config();
     let header = [
         "graph",
         "nodes",
@@ -42,7 +43,13 @@ fn main() {
             g.num_vertices(),
             g.num_directed_edges()
         );
-        let lacc_pts = lacc_scaling(&g, &CORI_KNL, &nodes, &opts);
+        let lacc_pts = lacc_scaling_traced(
+            &g,
+            &CORI_KNL,
+            &nodes,
+            &opts,
+            trace.as_ref().map(TraceConfig::sink),
+        );
         let pc_pts = parconnect_scaling(&g, &CORI_KNL, &nodes);
         for ((lp, _), (pp, _)) in lacc_pts.iter().zip(&pc_pts) {
             rows.push(vec![
@@ -59,4 +66,7 @@ fn main() {
     print_table("Figure 6: big graphs on Cori KNL", &header, &rows);
     write_csv("fig6_big_graphs", &header, &rows);
     println!("  (* rank count clamped at {} simulated ranks)", rank_cap());
+    if let Some(t) = &trace {
+        t.finish();
+    }
 }

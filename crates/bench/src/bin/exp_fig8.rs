@@ -16,6 +16,7 @@ fn main() {
     let nodes = scaling_nodes();
     let shrink = shrink();
     let opts = LaccOpts::default();
+    let trace = trace_config();
     let names = ["eukarya", "sk-2005", "MOLIERE_2016"];
     let header = [
         "machine",
@@ -38,7 +39,13 @@ fn main() {
                 prob.build_small(shrink)
             };
             eprintln!("[fig8] {mname}/{name}");
-            for (pt, run) in lacc_scaling(&g, &machine, &nodes, &opts) {
+            for (pt, run) in lacc_scaling_traced(
+                &g,
+                &machine,
+                &nodes,
+                &opts,
+                trace.as_ref().map(TraceConfig::sink),
+            ) {
                 let b = run.breakdown();
                 rows.push(vec![
                     mname.to_string(),
@@ -61,4 +68,7 @@ fn main() {
     );
     write_csv("fig8_step_breakdown", &header, &rows);
     println!("\nNote: starcheck aggregates the three per-iteration star refreshes; the convergence detector's time is outside the four buckets but inside 'total'.");
+    if let Some(t) = &trace {
+        t.finish();
+    }
 }

@@ -8,12 +8,13 @@
 
 #![warn(missing_docs)]
 
-use dmsim::{Machine, MachineModel};
+use dmsim::{Machine, MachineModel, TraceLevel, TraceSink};
 use lacc::{LaccOpts, LaccRun};
 use lacc_baselines::parconnect::{parconnect_sim, ParconnectRun};
 use lacc_graph::CsrGraph;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The node counts used by the strong-scaling experiments. With
 /// `LACC_FULL=1` in the environment the sweep extends to the paper's 256
@@ -125,12 +126,29 @@ pub fn lacc_scaling(
     nodes_list: &[usize],
     opts: &LaccOpts,
 ) -> Vec<(ScalePoint, LaccRun)> {
+    lacc_scaling_traced(g, machine, nodes_list, opts, None)
+}
+
+/// [`lacc_scaling`] with span tracing: when `sink` is `Some`, each point
+/// records into it, cleared between points so the exported trace covers
+/// the largest (last) node count.
+pub fn lacc_scaling_traced(
+    g: &CsrGraph,
+    machine: &Machine,
+    nodes_list: &[usize],
+    opts: &LaccOpts,
+    sink: Option<&Arc<TraceSink>>,
+) -> Vec<(ScalePoint, LaccRun)> {
     nodes_list
         .iter()
         .map(|&nodes| {
             let (ranks, clamped) = lacc_ranks_for(nodes);
             let model = machine.lacc_model();
-            let run = lacc::run_distributed(g, ranks, model, opts);
+            if let Some(s) = sink {
+                s.clear();
+            }
+            let run = lacc::run_distributed_traced(g, ranks, model, opts, sink)
+                .expect("distributed LACC rank panicked");
             (
                 ScalePoint {
                     nodes,
@@ -157,7 +175,7 @@ pub fn parconnect_scaling(
         .map(|&nodes| {
             let (ranks, clamped) = ranks_for(nodes, machine.cores_per_node);
             let model = machine.flat_model();
-            let run = parconnect_sim(g, ranks, model);
+            let run = parconnect_sim(g, ranks, model).expect("ParConnect rank panicked");
             (
                 ScalePoint {
                     nodes,
@@ -171,6 +189,67 @@ pub fn parconnect_scaling(
             )
         })
         .collect()
+}
+
+/// Trace output requested through the shared `--trace` flags (see
+/// [`trace_config`]). Thread [`TraceConfig::sink`] into the traced run
+/// entry points, then call [`TraceConfig::finish`] once at the end.
+pub struct TraceConfig {
+    path: PathBuf,
+    sink: Arc<TraceSink>,
+}
+
+impl TraceConfig {
+    /// The sink to pass to `run_distributed_traced` / `run_spmd_traced`
+    /// (as `Some(cfg.sink())`).
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+
+    /// Drops spans recorded so far. Call between runs when only the last
+    /// one should end up in the exported trace.
+    pub fn clear(&self) {
+        self.sink.clear();
+    }
+
+    /// Writes the Chrome-trace JSON to the configured path and prints the
+    /// aggregated per-rank report.
+    pub fn finish(&self) {
+        std::fs::write(&self.path, self.sink.chrome_trace_json()).expect("write trace file");
+        println!("{}", self.sink.report().render());
+        println!("  [trace written: {}]", self.path.display());
+    }
+}
+
+/// Parses the tracing flags shared by every experiment binary:
+/// `--trace <path>` (or `--trace=<path>`) selects the output file and
+/// `--trace-level {off,steps,ops,collectives}` the detail (default
+/// `collectives`). The `LACC_TRACE` / `LACC_TRACE_LEVEL` environment
+/// variables are the fallback, matching the `LACC_FULL` idiom so traces
+/// can be requested through `cargo bench` wrappers that own the argv.
+/// Returns `None` when tracing was not requested or the level is `off`.
+pub fn trace_config() -> Option<TraceConfig> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        let prefix = format!("{name}=");
+        args.iter().enumerate().find_map(|(i, a)| {
+            a.strip_prefix(&prefix)
+                .map(str::to_string)
+                .or_else(|| (a == name).then(|| args.get(i + 1).cloned()).flatten())
+        })
+    };
+    let path = flag_value("--trace").or_else(|| std::env::var("LACC_TRACE").ok())?;
+    let level = flag_value("--trace-level")
+        .or_else(|| std::env::var("LACC_TRACE_LEVEL").ok())
+        .unwrap_or_else(|| "collectives".to_string());
+    let level: TraceLevel = level.parse().expect("bad trace level");
+    if level == TraceLevel::Off {
+        return None;
+    }
+    Some(TraceConfig {
+        path: PathBuf::from(path),
+        sink: TraceSink::new(level),
+    })
 }
 
 /// Default machine model for one-off distributed runs in experiments.

@@ -1,7 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{parse, Args};
-use lacc::{lacc_serial, run_distributed, LaccOpts};
+use dmsim::{TraceLevel, TraceSink};
+use lacc::{lacc_serial, run_distributed_traced, LaccOpts};
 use lacc_baselines as baselines;
 use lacc_graph::generators::{self, suite};
 use lacc_graph::stats::graph_stats;
@@ -14,6 +15,7 @@ pub const USAGE: &str = "usage:
   lacc cc       <graph> [--algo lacc|unionfind|bfs|sv|labelprop|fastsv|multistep] [--out labels.txt]
   lacc cc-dist  <graph> --ranks P [--machine edison|cori] [--flat]
                 [--kernel-threads T] [--spmv-threshold F]
+                [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
   lacc convert  <in> <out>
 
@@ -148,19 +150,35 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
     } else {
         machine.lacc_model()
     };
-    let mut opts = LaccOpts::default();
-    // Intra-rank kernel threading; `run_distributed` clamps the request so
-    // ranks × threads never exceeds the host's cores.
-    opts.dist.kernel_threads = args.get_or("kernel-threads", opts.dist.kernel_threads)?;
-    // Input fill fraction above which mxv runs its SpMV-style local kernel.
-    opts.dist.spmv_threshold = args.get_or("spmv-threshold", opts.dist.spmv_threshold)?;
-    if !(0.0..=1.5).contains(&opts.dist.spmv_threshold) {
-        return Err(format!(
-            "--spmv-threshold out of range: {}",
-            opts.dist.spmv_threshold
-        ));
-    }
-    let run = run_distributed(&g, ranks, model, &opts);
+    let defaults = LaccOpts::default();
+    // Range validation lives in the core builder (`lacc::options`), not
+    // here: the CLI just forwards the raw values and surfaces OptsError.
+    // `run_distributed` still clamps kernel-threads so ranks × threads
+    // never exceeds the host's cores.
+    let opts = LaccOpts::builder()
+        .kernel_threads(args.get_or("kernel-threads", defaults.dist.kernel_threads)?)
+        .map_err(|e| e.to_string())?
+        // Input fill fraction above which mxv runs its SpMV-style kernel.
+        .spmv_threshold(args.get_or("spmv-threshold", defaults.dist.spmv_threshold)?)
+        .map_err(|e| e.to_string())?
+        .build();
+    // Span tracing: --trace <path> emits Chrome-trace JSON (load it in
+    // chrome://tracing or Perfetto) plus an aggregate per-rank report;
+    // --trace-level picks the detail (default collectives, the most
+    // verbose).
+    let trace_path = args.options.get("trace").cloned();
+    let level: TraceLevel = args
+        .options
+        .get("trace-level")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(TraceLevel::Collectives);
+    let sink = match (&trace_path, level) {
+        (Some(_), l) if l != TraceLevel::Off => Some(TraceSink::new(l)),
+        _ => None,
+    };
+    let run = run_distributed_traced(&g, ranks, model, &opts, sink.as_ref())
+        .map_err(|e| e.to_string())?;
     println!(
         "{} components via distributed LACC on {} ranks ({})",
         run.num_components(),
@@ -178,6 +196,11 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         b.shortcut_s * 1e3,
         b.starcheck_s * 1e3
     );
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        std::fs::write(path, sink.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("{}", sink.report().render());
+        println!("trace written to {path}");
+    }
     Ok(())
 }
 
@@ -297,6 +320,37 @@ mod tests {
         std::fs::write(&p, "0 1\n1 2\n").unwrap();
         assert!(dispatch(&argv(&["cc-dist", &p, "--spmv-threshold", "7.0"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--kernel-threads", "zig"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--kernel-threads", "0"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--trace-level", "verbose"])).is_err());
+    }
+
+    #[test]
+    fn cc_dist_writes_trace_json() {
+        let dir = std::env::temp_dir().join("lacc-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n").unwrap();
+        let out = dir.join("trace.json").display().to_string();
+        dispatch(&argv(&["cc-dist", &p, "--ranks", "4", "--trace", &out])).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for name in ["cond_hook", "uncond_hook", "shortcut", "starcheck"] {
+            assert!(json.contains(name), "trace missing {name} spans");
+        }
+        // `--trace-level off` suppresses the file entirely.
+        let out2 = dir.join("trace2.json").display().to_string();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--trace",
+            &out2,
+            "--trace-level",
+            "off",
+        ]))
+        .unwrap();
+        assert!(!std::path::Path::new(&out2).exists());
     }
 
     #[test]

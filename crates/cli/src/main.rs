@@ -4,6 +4,7 @@
 //! lacc stats    <graph>                      census: V, E, components, degrees
 //! lacc cc       <graph> [--algo A] [--out F] label components serially
 //! lacc cc-dist  <graph> --ranks P [--machine edison|cori] [--flat]
+//!               [--trace out.json] [--trace-level L]  span-trace the run
 //! lacc generate <family> --n N [--seed S] --out <graph>
 //! lacc convert  <in> <out>                   between .mtx / .el / .bin
 //! ```

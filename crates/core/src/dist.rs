@@ -11,7 +11,7 @@
 use crate::options::LaccOpts;
 use crate::stats::{IterStats, LaccRun, StepBreakdown};
 use crate::Vid;
-use dmsim::{run_spmd_with_model, Comm, Grid2d, MachineModel};
+use dmsim::{run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, SpanKind, TraceSink};
 use gblas::dist::{
     dist_assign, dist_extract, dist_mxv, dist_mxv_dense, DistMask, DistMat, DistOpts, DistSpVec,
     DistVec, VecLayout,
@@ -19,6 +19,7 @@ use gblas::dist::{
 use gblas::{AndBool, MinUsize};
 use lacc_graph::permute::Permutation;
 use lacc_graph::CsrGraph;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-rank, per-iteration record produced inside the SPMD program.
@@ -108,7 +109,9 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         };
         // --- Step 1: conditional hooking, fused with the convergence
         // detector (one (min, max)-monoid mxv; see `crate::serial`) ---
-        let t0 = comm.snapshot().clock_s;
+        // Each step opens a trace span; the close returns the modeled
+        // duration, so StepBreakdown is a thin view over span timings.
+        let span = comm.span_open(SpanKind::CondHook);
         let mask_vec: DistVec<bool> = {
             let mut m = star.clone();
             for (o, ml) in m.local_mut().iter_mut().enumerate() {
@@ -197,14 +200,14 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             })
             .collect();
         rec.cond_changed = dist_assign(comm, &mut f, &updates, MinUsize, &opts.dist) as u64;
-        rec.modeled.cond_s += comm.snapshot().clock_s - t0;
+        rec.modeled.cond_s += comm.span_close(span);
 
-        let t1 = comm.snapshot().clock_s;
+        let span = comm.span_open(SpanKind::Starcheck);
         rec.extract_received += starcheck_dist(comm, &f, &mut star, &active, &opts.dist);
-        rec.modeled.starcheck_s += comm.snapshot().clock_s - t1;
+        rec.modeled.starcheck_s += comm.span_close(span);
 
         // --- Step 2: unconditional hooking ---
-        let t2 = comm.snapshot().clock_s;
+        let span = comm.span_open(SpanKind::UncondHook);
         let entries: Vec<(Vid, Vid)> = active
             .iter()
             .enumerate()
@@ -233,14 +236,14 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             .map(|&(v, m)| (f.get_local(v), m))
             .collect();
         rec.uncond_changed = dist_assign(comm, &mut f, &updates2, MinUsize, &opts.dist) as u64;
-        rec.modeled.uncond_s += comm.snapshot().clock_s - t2;
+        rec.modeled.uncond_s += comm.span_close(span);
 
-        let t3 = comm.snapshot().clock_s;
+        let span = comm.span_open(SpanKind::Starcheck);
         rec.extract_received += starcheck_dist(comm, &f, &mut star, &active, &opts.dist);
-        rec.modeled.starcheck_s += comm.snapshot().clock_s - t3;
+        rec.modeled.starcheck_s += comm.span_close(span);
 
         // --- Step 3: shortcutting (active nonstars) ---
-        let t4 = comm.snapshot().clock_s;
+        let span = comm.span_open(SpanKind::Shortcut);
         let targets: Vec<usize> = (0..chunk_len)
             .filter(|&o| active[o] && !star.local()[o])
             .collect();
@@ -254,7 +257,7 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             }
         }
         comm.charge_compute(targets.len() as u64 + 1);
-        rec.modeled.shortcut_s += comm.snapshot().clock_s - t4;
+        rec.modeled.shortcut_s += comm.span_close(span);
 
         // --- Global convergence test ---
         let local = [
@@ -293,18 +296,41 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
 ///
 /// `p` must be a perfect square (CombBLAS' square-grid restriction,
 /// §VI-A). Returns labels in the *original* vertex numbering even when
-/// `opts.permute` applies a load-balancing relabeling internally.
+/// `opts.permute` applies a load-balancing relabeling internally. Errs
+/// with the failing rank and panic payload if any rank panics.
 ///
 /// ```
 /// use lacc::{run_distributed, LaccOpts};
 /// use lacc_graph::generators::cycle_graph;
 ///
 /// let g = cycle_graph(64);
-/// let run = run_distributed(&g, 4, dmsim::EDISON.lacc_model(), &LaccOpts::default());
+/// let run = run_distributed(&g, 4, dmsim::EDISON.lacc_model(), &LaccOpts::default())
+///     .expect("no rank panicked");
 /// assert_eq!(run.num_components(), 1);
 /// assert!(run.modeled_total_s > 0.0);
 /// ```
-pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccOpts) -> LaccRun {
+pub fn run_distributed(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+) -> Result<LaccRun, DmsimError> {
+    run_distributed_traced(g, p, model, opts, None)
+}
+
+/// [`run_distributed`] with span tracing: when `sink` is `Some`, every
+/// rank records spans (LACC steps, distributed ops, collectives — gated
+/// by the sink's [`dmsim::TraceLevel`]) into it, ready for
+/// [`dmsim::TraceSink::chrome_trace_json`] and
+/// [`dmsim::TraceSink::report`]. Tracing never perturbs results or
+/// modeled costs (tested below).
+pub fn run_distributed_traced(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+    sink: Option<&Arc<TraceSink>>,
+) -> Result<LaccRun, DmsimError> {
     let n = g.num_vertices();
     let _ = Grid2d::square(p); // validate early
                                // Clamp the per-rank kernel thread request so p ranks × T threads never
@@ -319,7 +345,7 @@ pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccO
         (g.clone(), None)
     };
     let wall_start = Instant::now();
-    let outs = run_spmd_with_model(p, model, |comm| lacc_spmd(comm, &work_graph, opts));
+    let outs = run_spmd_traced(p, model, sink, |comm| lacc_spmd(comm, &work_graph, opts))?;
     let wall_s = wall_start.elapsed().as_secs_f64();
 
     let labels_permuted = outs[0].labels.clone().expect("rank 0 returns labels");
@@ -357,13 +383,13 @@ pub fn run_distributed(g: &CsrGraph, p: usize, model: MachineModel, opts: &LaccO
         })
         .collect();
 
-    LaccRun {
+    Ok(LaccRun {
         labels,
         iters,
         p,
         modeled_total_s,
         wall_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -380,7 +406,7 @@ mod tests {
     }
 
     fn check(g: &CsrGraph, p: usize, opts: &LaccOpts) -> LaccRun {
-        let run = run_distributed(g, p, model(), opts);
+        let run = run_distributed(g, p, model(), opts).unwrap();
         assert_eq!(
             canonicalize_labels(&run.labels),
             ground_truth_labels(g),
@@ -407,7 +433,7 @@ mod tests {
             let g = community_graph(600, 30, 3.0, 1.4, seed);
             let serial = lacc_serial(&g, &opts);
             for p in [4, 9] {
-                let dist = run_distributed(&g, p, model(), &opts);
+                let dist = run_distributed(&g, p, model(), &opts).unwrap();
                 assert_eq!(dist.labels, serial.labels, "seed={seed} p={p}");
                 // Same iteration trajectory too.
                 assert_eq!(dist.num_iterations(), serial.num_iterations());
@@ -497,8 +523,8 @@ mod tests {
                 ..LaccOpts::default()
             };
             for p in [4, 9, 16] {
-                let a = run_distributed(&g, p, model(), &blocked);
-                let b = run_distributed(&g, p, model(), &cyclic);
+                let a = run_distributed(&g, p, model(), &blocked).unwrap();
+                let b = run_distributed(&g, p, model(), &cyclic).unwrap();
                 assert_eq!(a.labels, b.labels, "seed={seed} p={p}");
             }
         }
@@ -513,6 +539,56 @@ mod tests {
     }
 
     #[test]
+    fn tracing_is_observation_only() {
+        // The tentpole guarantee: turning tracing on (even at the most
+        // verbose level) changes neither the labels nor any modeled
+        // statistic, bit for bit.
+        use dmsim::TraceLevel;
+        let g = rmat(8, 4, RmatParams::graph500(), 11);
+        let opts = LaccOpts::default();
+        let off = run_distributed(&g, 4, model(), &opts).unwrap();
+        let sink = TraceSink::new(TraceLevel::Collectives);
+        let on = run_distributed_traced(&g, 4, model(), &opts, Some(&sink)).unwrap();
+        assert_eq!(off.labels, on.labels);
+        assert_eq!(off.num_iterations(), on.num_iterations());
+        assert_eq!(off.modeled_total_s, on.modeled_total_s);
+        for (a, b) in off.iters.iter().zip(&on.iters) {
+            assert_eq!(a.modeled, b.modeled);
+            assert_eq!(a.extract_received, b.extract_received);
+        }
+        // The traced run actually recorded the full hierarchy: all four
+        // LACC steps, the distributed ops, and the collectives under them.
+        let report = sink.report();
+        for name in [
+            "cond_hook",
+            "uncond_hook",
+            "shortcut",
+            "starcheck",
+            "mxv",
+            "assign",
+            "extract",
+            "allgatherv",
+        ] {
+            assert!(report.kind_time_s(name) > 0.0, "missing span kind {name}");
+        }
+        let json = sink.chrome_trace_json();
+        assert!(json.contains("\"cond_hook\""));
+        assert!(report.load_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn panicking_rank_surfaces_as_error() {
+        // p = 2 is not a perfect square; the grid assertion fires inside
+        // every rank and must come back as a typed error, not a crash.
+        let g = path_graph(10);
+        let err = std::panic::catch_unwind(|| {
+            let _ = run_distributed(&g, 2, model(), &LaccOpts::default());
+        });
+        // Grid validation happens eagerly on the caller thread.
+        assert!(err.is_err());
+    }
+
+    #[test]
     fn cyclic_balances_extract_requests() {
         // The point of the layout: after min-hooking concentrates parents
         // at low ids, the blocked layout funnels extract requests to low
@@ -521,7 +597,7 @@ mod tests {
         let g = rmat(10, 8, RmatParams::graph500(), 5);
         let p = 16;
         let imbalance = |opts: &LaccOpts| {
-            let run = run_distributed(&g, p, model(), opts);
+            let run = run_distributed(&g, p, model(), opts).unwrap();
             let mut per_rank = vec![0u64; p];
             for it in &run.iters {
                 for (r, &x) in it.extract_received.iter().enumerate() {

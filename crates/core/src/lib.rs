@@ -41,8 +41,8 @@ pub mod serial;
 pub mod stats;
 pub mod verify;
 
-pub use dist::run_distributed;
-pub use options::LaccOpts;
+pub use dist::{run_distributed, run_distributed_traced};
+pub use options::{LaccOpts, LaccOptsBuilder, OptsError};
 pub use serial::lacc_serial;
 pub use stats::{IterStats, LaccRun, StepBreakdown};
 pub use verify::{verify_labels, LabelError};

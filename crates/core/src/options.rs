@@ -1,6 +1,12 @@
 //! LACC configuration: the paper's optimizations as toggles, so the
 //! ablation experiment can turn each one off.
+//!
+//! Construct options either directly (struct literal, for the preset
+//! constructors and tests) or through [`LaccOpts::builder`], which
+//! validates every numeric knob so callers such as the CLI cannot smuggle
+//! out-of-range values into a run.
 
+use dmsim::AllToAll;
 use gblas::dist::DistOpts;
 
 /// Options controlling a LACC run.
@@ -45,6 +51,25 @@ impl Default for LaccOpts {
 }
 
 impl LaccOpts {
+    /// A validating builder seeded with [`LaccOpts::default`].
+    ///
+    /// ```
+    /// use lacc::LaccOpts;
+    ///
+    /// let opts = LaccOpts::builder()
+    ///     .spmv_threshold(0.7)?
+    ///     .kernel_threads(2)?
+    ///     .permute(false)
+    ///     .build();
+    /// assert_eq!(opts.dist.spmv_threshold, 0.7);
+    /// # Ok::<(), lacc::OptsError>(())
+    /// ```
+    pub fn builder() -> LaccOptsBuilder {
+        LaccOptsBuilder {
+            opts: LaccOpts::default(),
+        }
+    }
+
     /// The dense Awerbuch–Shiloach ablation: no converged-component
     /// tracking, always-dense vectors (what a direct translation of
     /// Algorithm 1 to linear algebra would do).
@@ -88,6 +113,149 @@ impl LaccOpts {
     }
 }
 
+/// A rejected [`LaccOpts::builder`] setting: which knob, and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptsError {
+    field: &'static str,
+    message: String,
+}
+
+impl OptsError {
+    fn new(field: &'static str, message: impl Into<String>) -> Self {
+        OptsError {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// The option name that failed validation (CLI flag spelling).
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl std::fmt::Display for OptsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for OptsError {}
+
+/// Validating builder for [`LaccOpts`] (see [`LaccOpts::builder`]).
+///
+/// Numeric setters are fallible and return [`OptsError`] on out-of-range
+/// input, so they chain with `?`; boolean and seed setters cannot fail.
+#[derive(Clone, Debug)]
+pub struct LaccOptsBuilder {
+    opts: LaccOpts,
+}
+
+impl LaccOptsBuilder {
+    /// Enables or disables the Lemma 1–2 sparsity exploitation.
+    pub fn use_sparsity(mut self, on: bool) -> Self {
+        self.opts.use_sparsity = on;
+        self
+    }
+
+    /// Active fraction at or above which conditional hooking takes the
+    /// dense-vector `mxv` path. Must be a finite value in `0.0..=1.0`
+    /// (`0.0` forces dense, anything above `1.0` could never trigger).
+    pub fn dense_threshold(mut self, t: f64) -> Result<Self, OptsError> {
+        if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+            return Err(OptsError::new(
+                "dense-threshold",
+                format!("{t} is not in 0.0..=1.0"),
+            ));
+        }
+        self.opts.dense_threshold = t;
+        Ok(self)
+    }
+
+    /// Measured-fill fraction at or above which `mxv` runs its SpMV-style
+    /// local kernel. Must be a finite value in `0.0..=1.5` (above `1.0`
+    /// means "never"; `1.5` is the conventional sentinel for that).
+    pub fn spmv_threshold(mut self, t: f64) -> Result<Self, OptsError> {
+        if !t.is_finite() || !(0.0..=1.5).contains(&t) {
+            return Err(OptsError::new(
+                "spmv-threshold",
+                format!("{t} is not in 0.0..=1.5"),
+            ));
+        }
+        self.opts.dist.spmv_threshold = t;
+        Ok(self)
+    }
+
+    /// Worker threads for the local multiply kernels. Must be at least 1
+    /// (`run_distributed` additionally clamps to the host core budget).
+    pub fn kernel_threads(mut self, t: usize) -> Result<Self, OptsError> {
+        if t == 0 {
+            return Err(OptsError::new("kernel-threads", "must be at least 1"));
+        }
+        self.opts.dist.kernel_threads = t;
+        Ok(self)
+    }
+
+    /// Safety bound on AS iterations. Must be at least 1.
+    pub fn max_iters(mut self, n: usize) -> Result<Self, OptsError> {
+        if n == 0 {
+            return Err(OptsError::new("max-iters", "must be at least 1"));
+        }
+        self.opts.max_iters = n;
+        Ok(self)
+    }
+
+    /// Hot-rank broadcast threshold `h` (requests per chunk entry above
+    /// which a rank broadcasts instead of answering point-to-point). Must
+    /// be positive and not NaN; `f64::INFINITY` disables the fallback.
+    pub fn hot_threshold(mut self, h: f64) -> Result<Self, OptsError> {
+        if h.is_nan() || h <= 0.0 {
+            return Err(OptsError::new(
+                "hot-threshold",
+                format!("{h} is not a positive threshold"),
+            ));
+        }
+        self.opts.dist.hot_threshold = h;
+        Ok(self)
+    }
+
+    /// Selects the all-to-all algorithm for irregular exchanges.
+    pub fn alltoall(mut self, algo: AllToAll) -> Self {
+        self.opts.dist.alltoall = algo;
+        self
+    }
+
+    /// Enables or disables the hot-rank broadcast fallback.
+    pub fn hot_bcast(mut self, on: bool) -> Self {
+        self.opts.dist.hot_bcast = on;
+        self
+    }
+
+    /// Applies (or skips) the load-balancing random permutation.
+    pub fn permute(mut self, on: bool) -> Self {
+        self.opts.permute = on;
+        self
+    }
+
+    /// Seed for the load-balancing permutation.
+    pub fn permute_seed(mut self, seed: u64) -> Self {
+        self.opts.permute_seed = seed;
+        self
+    }
+
+    /// Distributes vectors cyclically instead of in blocks.
+    pub fn cyclic_vectors(mut self, on: bool) -> Self {
+        self.opts.cyclic_vectors = on;
+        self
+    }
+
+    /// Finishes the builder. Infallible: every fallible setter already
+    /// validated its value.
+    pub fn build(self) -> LaccOpts {
+        self.opts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +294,57 @@ mod tests {
         // A serial request stays serial regardless of the host.
         o.dist.kernel_threads = 1;
         assert_eq!(o.kernel_threads_for(1), 1);
+    }
+
+    #[test]
+    fn builder_accepts_in_range_values() {
+        let o = LaccOpts::builder()
+            .use_sparsity(false)
+            .dense_threshold(0.25)
+            .unwrap()
+            .spmv_threshold(1.5)
+            .unwrap()
+            .kernel_threads(4)
+            .unwrap()
+            .max_iters(10)
+            .unwrap()
+            .hot_threshold(2.0)
+            .unwrap()
+            .alltoall(AllToAll::Pairwise)
+            .hot_bcast(false)
+            .permute(false)
+            .permute_seed(7)
+            .cyclic_vectors(true)
+            .build();
+        assert!(!o.use_sparsity);
+        assert_eq!(o.dense_threshold, 0.25);
+        assert_eq!(o.dist.spmv_threshold, 1.5);
+        assert_eq!(o.dist.kernel_threads, 4);
+        assert_eq!(o.max_iters, 10);
+        assert_eq!(o.dist.hot_threshold, 2.0);
+        assert_eq!(o.dist.alltoall, AllToAll::Pairwise);
+        assert!(!o.dist.hot_bcast);
+        assert!(!o.permute);
+        assert_eq!(o.permute_seed, 7);
+        assert!(o.cyclic_vectors);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        assert_eq!(
+            LaccOpts::builder().spmv_threshold(1.6).unwrap_err().field(),
+            "spmv-threshold"
+        );
+        assert!(LaccOpts::builder().spmv_threshold(-0.1).is_err());
+        assert!(LaccOpts::builder().spmv_threshold(f64::NAN).is_err());
+        assert!(LaccOpts::builder().dense_threshold(1.01).is_err());
+        assert!(LaccOpts::builder().kernel_threads(0).is_err());
+        assert!(LaccOpts::builder().max_iters(0).is_err());
+        assert!(LaccOpts::builder().hot_threshold(0.0).is_err());
+        assert!(LaccOpts::builder().hot_threshold(f64::NAN).is_err());
+        // Infinity explicitly disables the fallback, so it is accepted.
+        assert!(LaccOpts::builder().hot_threshold(f64::INFINITY).is_ok());
+        let err = LaccOpts::builder().max_iters(0).unwrap_err();
+        assert_eq!(err.to_string(), "invalid max-iters: must be at least 1");
     }
 }

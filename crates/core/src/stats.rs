@@ -4,6 +4,14 @@
 //! Figure 7 (fraction of vertices in converged components per iteration),
 //! Figure 8 (per-step time breakdown), and Figure 3 (per-rank extract
 //! request counts).
+//!
+//! Since the trace subsystem landed, [`StepBreakdown`] is a thin view
+//! over span durations: `crate::dist` opens a [`dmsim::SpanKind`] step
+//! span around each LACC step and records the modeled seconds the close
+//! returns, instead of hand-differencing clock snapshots. Full span
+//! streams (per rank, with nesting down to individual collectives) are
+//! available through [`dmsim::TraceSink`] via
+//! [`crate::run_distributed_traced`].
 
 use crate::Vid;
 

@@ -14,10 +14,18 @@
 //!   latency; [`AllToAll::Hypercube`] is Sundar et al.'s `α·log q`
 //!   store-and-forward algorithm; [`AllToAll::Sparse`] exchanges counts
 //!   first and then contacts only nonempty partners.
+//!
+//! Each collective opens a [`SpanKind`] trace span (recorded only at
+//! [`crate::trace::TraceLevel::Collectives`]); `alltoallv` spans are
+//! tagged with the algorithm actually executed, so a hypercube call that
+//! falls back to pairwise on a non-power-of-two group traces as pairwise,
+//! and a sparse exchange shows its internal count exchange as a nested
+//! span.
 
 #![allow(clippy::needless_range_loop)] // index loops double as rank ids here
 
-use crate::comm::{words_of, Comm, Group};
+use crate::comm::{words_of, Comm, Group, PooledBuf};
+use crate::trace::SpanKind;
 
 /// Algorithm choice for [`Comm::alltoallv`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +53,7 @@ impl Comm {
         if q <= 1 {
             return;
         }
+        let span = self.span_open(SpanKind::Barrier);
         let me = g.my_index();
         let mut k = 1usize;
         while k < q {
@@ -54,6 +63,7 @@ impl Comm {
             self.recv::<()>(from);
             k <<= 1;
         }
+        self.span_close(span);
     }
 
     /// Binomial-tree broadcast of a vector from group index `root_idx`.
@@ -65,6 +75,7 @@ impl Comm {
         root_idx: usize,
         data: Option<Vec<T>>,
     ) -> Vec<T> {
+        let span = self.span_open(SpanKind::Bcast);
         let q = g.size();
         let me = g.my_index();
         // Virtual index with the root shifted to 0.
@@ -105,10 +116,11 @@ impl Comm {
         // broadcasts reuse capacity instead of allocating per child.
         for &c in children.iter().rev() {
             let dest = g.member((c + root_idx) % q);
-            let mut copy: Vec<T> = self.take_buf();
+            let mut copy: PooledBuf<T> = self.pooled_buf();
             copy.extend_from_slice(&data);
-            self.send_counted(dest, copy, words_of::<T>(data.len()));
+            self.send_counted(dest, copy.detach(), words_of::<T>(data.len()));
         }
+        self.span_close(span);
         data
     }
 
@@ -130,6 +142,7 @@ impl Comm {
         g: &Group,
         mine: Vec<T>,
     ) -> Vec<Vec<T>> {
+        let span = self.span_open(SpanKind::Allgatherv);
         let q = g.size();
         let me = g.my_index();
         let mut result: Vec<Option<Vec<T>>> = (0..q).map(|_| None).collect();
@@ -137,21 +150,24 @@ impl Comm {
         let left = g.member((me + q - 1) % q);
         // The ring forwards a copy of each incoming block; draw the copies
         // from the buffer pool so steady-state supersteps allocate nothing.
-        let mut carry: Vec<T> = self.take_buf();
+        // Each pooled carry is detached when sent; the last (unsent) one
+        // returns to the pool when it drops at the end of the loop.
+        let mut carry: PooledBuf<T> = self.pooled_buf();
         carry.extend_from_slice(&mine);
         result[me] = Some(mine);
         for step in 1..q {
             let w = words_of::<T>(carry.len());
-            self.send_counted(right, carry, w);
+            self.send_counted(right, carry.detach(), w);
             let incoming: Vec<T> = self.recv(left);
             let origin = (me + q - step) % q;
-            carry = self.take_buf();
+            carry = self.pooled_buf();
             if step + 1 < q {
                 carry.extend_from_slice(&incoming);
             }
             result[origin] = Some(incoming);
         }
-        self.put_buf(carry);
+        drop(carry);
+        self.span_close(span);
         result
             .into_iter()
             .map(|r| r.expect("ring delivered all blocks"))
@@ -178,11 +194,22 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
-        let q = g.size();
-        let me = g.my_index();
-        if q == 1 {
+        if g.size() == 1 {
             return val;
         }
+        let span = self.span_open(SpanKind::Allreduce);
+        let out = self.allreduce_counted_inner(g, val, words, op);
+        self.span_close(span);
+        out
+    }
+
+    fn allreduce_counted_inner<T, F>(&mut self, g: &Group, val: T, words: u64, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let q = g.size();
+        let me = g.my_index();
         if q.is_power_of_two() {
             let mut acc = val;
             let mut k = 1usize;
@@ -223,6 +250,7 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(&mut T, T),
     {
+        let span = self.span_open(SpanKind::ReduceScatter);
         let q = g.size();
         let me = g.my_index();
         assert_eq!(parts.len(), q, "one part per group member");
@@ -237,28 +265,32 @@ impl Comm {
         }
         let mut acc: Option<Vec<T>> = None;
         for src_idx in 0..q {
-            let contribution = if src_idx == me {
+            let raw = if src_idx == me {
                 std::mem::take(&mut parts[me])
             } else {
                 self.recv::<Vec<T>>(g.member(src_idx))
             };
             match &mut acc {
-                None => acc = Some(contribution),
+                None => acc = Some(raw),
                 Some(acc) => {
+                    // Adopt the contribution so its allocation recycles
+                    // into the pool when it drops after the fold.
+                    let contribution = self.adopt_buf(raw);
                     assert_eq!(
                         acc.len(),
                         contribution.len(),
                         "reduce_scatter length mismatch"
                     );
                     self.charge_compute(contribution.len() as u64);
-                    for (a, c) in acc.iter_mut().zip(&contribution) {
+                    for (a, c) in acc.iter_mut().zip(contribution.iter()) {
                         op(a, c.clone());
                     }
-                    self.put_buf(contribution);
                 }
             }
         }
-        acc.expect("nonempty group")
+        let out = acc.expect("nonempty group");
+        self.span_close(span);
+        out
     }
 
     /// All-to-all of variable-size buckets: `bufs[k]` goes to member `k`;
@@ -274,18 +306,20 @@ impl Comm {
         if q == 1 {
             return bufs;
         }
-        match algo {
+        // Trace the algorithm actually executed, not the one requested.
+        let effective = match algo {
+            AllToAll::Hypercube if !q.is_power_of_two() => AllToAll::Pairwise,
+            other => other,
+        };
+        let span = self.span_open(SpanKind::Alltoallv(effective));
+        let out = match effective {
             AllToAll::Direct => self.alltoallv_direct(g, bufs),
             AllToAll::Pairwise => self.alltoallv_pairwise(g, bufs),
-            AllToAll::Hypercube => {
-                if q.is_power_of_two() {
-                    self.alltoallv_hypercube(g, bufs)
-                } else {
-                    self.alltoallv_pairwise(g, bufs)
-                }
-            }
+            AllToAll::Hypercube => self.alltoallv_hypercube(g, bufs),
             AllToAll::Sparse => self.alltoallv_sparse(g, bufs),
-        }
+        };
+        self.span_close(span);
+        out
     }
 
     fn alltoallv_direct<T: Send + 'static>(
@@ -396,9 +430,9 @@ impl Comm {
         // superstep, so avoiding its `q` tiny allocations matters.
         let counts: Vec<Vec<u64>> = (0..q)
             .map(|k| {
-                let mut c: Vec<u64> = self.take_buf();
+                let mut c: PooledBuf<u64> = self.pooled_buf();
                 c.push(bufs[k].len() as u64);
-                c
+                c.detach()
             })
             .collect();
         let algo = if q.is_power_of_two() {
@@ -426,8 +460,9 @@ impl Comm {
                 }
             })
             .collect();
+        // Recycle the count vectors' allocations into the pool.
         for c in incoming_counts {
-            self.put_buf(c);
+            drop(self.adopt_buf(c));
         }
         out
     }
@@ -435,6 +470,18 @@ impl Comm {
     /// Gather to group index `root_idx`: root returns all contributions
     /// (indexed by group index), others return `None`.
     pub fn gatherv<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        root_idx: usize,
+        mine: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        let span = self.span_open(SpanKind::Gatherv);
+        let out = self.gatherv_inner(g, root_idx, mine);
+        self.span_close(span);
+        out
+    }
+
+    fn gatherv_inner<T: Send + 'static>(
         &mut self,
         g: &Group,
         root_idx: usize,
@@ -486,7 +533,8 @@ mod tests {
                 for _ in 0..3 {
                     c.barrier(&w);
                 }
-            });
+            })
+            .unwrap();
         }
     }
 
@@ -498,7 +546,8 @@ mod tests {
                     let w = c.world();
                     let data = (c.rank() == root).then(|| vec![42u64, root as u64]);
                     c.bcast_vec(&w, root, data)
-                });
+                })
+                .unwrap();
                 for v in out {
                     assert_eq!(v, vec![42, root as u64]);
                 }
@@ -511,7 +560,8 @@ mod tests {
         let out = run_spmd(5, |c| {
             let w = c.world();
             c.bcast(&w, 2, (c.rank() == 2).then_some(99u32))
-        });
+        })
+        .unwrap();
         assert!(out.iter().all(|&v| v == 99));
     }
 
@@ -524,7 +574,8 @@ mod tests {
                     .map(|i| (c.rank() * 10 + i) as u64)
                     .collect();
                 c.allgatherv(&w, mine)
-            });
+            })
+            .unwrap();
             for gathered in out {
                 for (src, block) in gathered.iter().enumerate() {
                     let expect: Vec<u64> = (0..src + 1).map(|i| (src * 10 + i) as u64).collect();
@@ -544,7 +595,8 @@ mod tests {
                 vec![c.rank() as u64]
             };
             c.allgatherv(&w, mine)
-        });
+        })
+        .unwrap();
         assert_eq!(out[0], vec![vec![], vec![1], vec![], vec![3]]);
     }
 
@@ -555,7 +607,8 @@ mod tests {
             let sum = c.allreduce(&w, c.rank() as u64, |a, b| a + b);
             let min = c.allreduce(&w, 100 - c.rank() as i64, |a, b| a.min(b));
             (sum, min)
-        });
+        })
+        .unwrap();
         assert!(out.iter().all(|&(s, m)| s == 21 && m == 94));
     }
 
@@ -570,7 +623,8 @@ mod tests {
                     a.iter().zip(&b).map(|(x, y)| x + y).collect()
                 });
                 c.clock_s()
-            });
+            })
+            .unwrap();
             out.into_iter().fold(0.0f64, f64::max)
         };
         assert!(clock(10_000) > clock(10));
@@ -584,7 +638,8 @@ mod tests {
             // parts[k][j] = rank * 1 (length k + 1)
             let parts: Vec<Vec<u64>> = (0..p).map(|k| vec![c.rank() as u64; k + 1]).collect();
             c.reduce_scatter(&w, parts, |a, b| *a += b)
-        });
+        })
+        .unwrap();
         for (k, v) in out.iter().enumerate() {
             assert_eq!(v, &vec![6u64; k + 1]); // ranks 0+1+2+3
         }
@@ -602,7 +657,8 @@ mod tests {
                 let out = run_spmd(p, move |c| {
                     let w = c.world();
                     c.alltoallv(&w, alltoall_inputs(p, c.rank()), algo)
-                });
+                })
+                .unwrap();
                 for (me, got) in out.into_iter().enumerate() {
                     assert_eq!(got, expected_alltoall(p, me), "p={p} algo={algo:?} me={me}");
                 }
@@ -626,7 +682,8 @@ mod tests {
                     bufs[3] = vec![7, 8, 9];
                 }
                 c.alltoallv(&w, bufs, algo)
-            });
+            })
+            .unwrap();
             assert_eq!(out[3][0], vec![7, 8, 9], "{algo:?}");
             assert!(out[1].iter().all(|v| v.is_empty()));
         }
@@ -645,7 +702,8 @@ mod tests {
                 }
                 c.alltoallv(&w, bufs, algo);
                 c.snapshot().messages_sent
-            });
+            })
+            .unwrap();
             out.iter().sum::<u64>()
         };
         let pairwise = count_msgs(AllToAll::Pairwise);
@@ -664,7 +722,8 @@ mod tests {
                 let bufs: Vec<Vec<u64>> = (0..p).map(|_| vec![1u64; 4]).collect();
                 c.alltoallv(&w, bufs, algo);
                 c.clock_s()
-            });
+            })
+            .unwrap();
             out.into_iter().fold(0.0f64, f64::max)
         };
         // With tiny buckets the α term dominates: hypercube (log p rounds)
@@ -677,7 +736,8 @@ mod tests {
         let out = run_spmd(5, |c| {
             let w = c.world();
             c.gatherv(&w, 2, vec![c.rank() as u64])
-        });
+        })
+        .unwrap();
         for (r, res) in out.iter().enumerate() {
             if r == 2 {
                 let v = res.as_ref().unwrap();
@@ -698,7 +758,8 @@ mod tests {
             let sum = c.allreduce(&g, c.rank() as u64, |a, b| a + b);
             c.barrier(&g);
             sum
-        });
+        })
+        .unwrap();
         assert_eq!(out, vec![6, 9, 6, 9, 6, 9]);
     }
 }

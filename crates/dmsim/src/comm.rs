@@ -9,10 +9,19 @@
 //! send, so a receive advances the receiver's simulated clock to at least
 //! the message's arrival time. This makes the final per-rank clocks a
 //! BSP-style makespan under the α-β model without any global coordination.
+//!
+//! Rank panics are captured: [`run_spmd`] and friends return
+//! `Result<Vec<R>, DmsimError>` where the error carries the failing rank
+//! and its panic payload. Tracing (see [`crate::trace`]) hangs off the
+//! same launchers via [`run_spmd_traced`].
 
 use crate::cost::{CostSnapshot, MachineModel};
+use crate::trace::{RankTrace, Span, SpanKind, TraceLevel, TraceLocal, TraceSink};
 use std::any::{Any, TypeId};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
@@ -26,6 +35,9 @@ type Payload = Box<dyn Any + Send>;
 /// so the next round's [`BufferPool::take`] is an O(1) pop + `clear()`
 /// instead of a heap allocation. Buffers keep their capacity, so steady
 /// state reaches zero allocations per superstep.
+///
+/// User code does not touch the pool directly: [`Comm::pooled_buf`] hands
+/// out RAII [`PooledBuf`] guards that return themselves here on drop.
 #[derive(Default)]
 pub struct BufferPool {
     by_type: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
@@ -70,6 +82,97 @@ impl BufferPool {
     }
 }
 
+/// RAII guard over a pooled scratch `Vec<T>`: derefs to the vector and
+/// returns it to the rank's [`BufferPool`] on drop, so take/put pairing
+/// can no longer leak on early returns.
+///
+/// Obtain one via [`Comm::pooled_buf`] (empty, capacity recycled) or
+/// [`Comm::adopt_buf`] (wraps an existing vector, e.g. one received from a
+/// peer, so its allocation is recycled after use). To move the underlying
+/// vector out — typically to send it — call [`PooledBuf::detach`].
+pub struct PooledBuf<T: Send + 'static> {
+    buf: Option<Vec<T>>,
+    pool: Rc<RefCell<BufferPool>>,
+}
+
+impl<T: Send + 'static> PooledBuf<T> {
+    /// Detaches the underlying vector, consuming the guard without
+    /// returning the buffer to the pool (the receiver of the vector now
+    /// owns the allocation).
+    pub fn detach(mut self) -> Vec<T> {
+        self.buf.take().expect("buffer present until drop")
+    }
+}
+
+impl<T: Send + 'static> Deref for PooledBuf<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for PooledBuf<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl<T: Send + 'static> Drop for PooledBuf<T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.borrow_mut().put(buf);
+        }
+    }
+}
+
+impl<T: Send + 'static + std::fmt::Debug> std::fmt::Debug for PooledBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PooledBuf").field(&**self).finish()
+    }
+}
+
+/// Error returned when one or more ranks of an SPMD program panicked.
+///
+/// Carries the lowest failing rank and that rank's panic payload (the
+/// value passed to `panic!`, usually a `String` or `&str`).
+pub struct DmsimError {
+    /// The (lowest-numbered) rank that panicked.
+    pub rank: usize,
+    /// That rank's panic payload.
+    pub payload: Box<dyn Any + Send + 'static>,
+}
+
+impl DmsimError {
+    /// The panic message, if the payload was a string (the common case);
+    /// `"<non-string panic payload>"` otherwise.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "<non-string panic payload>"
+        }
+    }
+}
+
+impl std::fmt::Debug for DmsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DmsimError")
+            .field("rank", &self.rank)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for DmsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message())
+    }
+}
+
+impl std::error::Error for DmsimError {}
+
 struct Envelope {
     src: u32,
     /// Simulated arrival time at the receiver.
@@ -110,7 +213,8 @@ impl Group {
 }
 
 /// Per-rank handle to the simulated machine: messaging, collectives
-/// (see [`crate::collectives`]), and cost accounting.
+/// (see [`crate::collectives`]), cost accounting, and span tracing
+/// (see [`crate::trace`]).
 pub struct Comm {
     rank: usize,
     size: usize,
@@ -120,7 +224,12 @@ pub struct Comm {
     pending: Vec<VecDeque<(f64, u64, Payload)>>,
     model: MachineModel,
     snap: CostSnapshot,
-    pool: BufferPool,
+    /// Raw count of local operations charged (denominator-free companion
+    /// to `snap.compute_s`; reported in trace spans).
+    ops_charged: u64,
+    pool: Rc<RefCell<BufferPool>>,
+    trace: TraceLocal,
+    sink: Option<Arc<TraceSink>>,
 }
 
 impl Comm {
@@ -171,6 +280,7 @@ impl Comm {
         let t = ops as f64 / self.model.rate;
         self.snap.compute_s += t;
         self.snap.clock_s += t;
+        self.ops_charged += ops;
     }
 
     /// Charges `words` of modeled communication volume (β only) without a
@@ -184,20 +294,29 @@ impl Comm {
         self.snap.words_sent += words;
     }
 
-    /// Takes a recycled scratch `Vec<T>` (empty, capacity preserved) from
-    /// this rank's [`BufferPool`].
-    pub fn take_buf<T: Send + 'static>(&mut self) -> Vec<T> {
-        self.pool.take()
+    /// Takes a recycled scratch buffer (empty `Vec<T>`, capacity
+    /// preserved) from this rank's [`BufferPool`]. The guard returns the
+    /// buffer to the pool when dropped; [`PooledBuf::detach`] moves the
+    /// vector out instead (e.g. to send it).
+    pub fn pooled_buf<T: Send + 'static>(&self) -> PooledBuf<T> {
+        PooledBuf {
+            buf: Some(self.pool.borrow_mut().take()),
+            pool: Rc::clone(&self.pool),
+        }
     }
 
-    /// Returns a scratch buffer for reuse by a later [`Comm::take_buf`].
-    pub fn put_buf<T: Send + 'static>(&mut self, buf: Vec<T>) {
-        self.pool.put(buf);
+    /// Wraps an existing vector (typically one received from a peer) in a
+    /// [`PooledBuf`] guard so its allocation is recycled when dropped.
+    pub fn adopt_buf<T: Send + 'static>(&self, buf: Vec<T>) -> PooledBuf<T> {
+        PooledBuf {
+            buf: Some(buf),
+            pool: Rc::clone(&self.pool),
+        }
     }
 
-    /// This rank's buffer pool (for inspection in tests).
-    pub fn buffer_pool(&self) -> &BufferPool {
-        &self.pool
+    /// Number of idle pooled buffers of element type `T` (for tests).
+    pub fn pooled_count<T: Send + 'static>(&self) -> usize {
+        self.pool.borrow().pooled::<T>()
     }
 
     /// Current accounting snapshot (clock, breakdowns, traffic counters).
@@ -208,6 +327,58 @@ impl Comm {
     /// Current simulated clock in seconds.
     pub fn clock_s(&self) -> f64 {
         self.snap.clock_s
+    }
+
+    /// The trace level this rank records at ([`TraceLevel::Off`] unless
+    /// launched via [`run_spmd_traced`] with a sink).
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace.level
+    }
+
+    /// Opens a typed trace span at the current simulated clock. Cheap
+    /// (one enum compare, no allocation) when `kind` is below the active
+    /// trace level; never touches the cost accounting either way, so
+    /// traced and untraced runs stay bit-identical.
+    pub fn span_open(&mut self, kind: SpanKind) -> Span {
+        let start_clock = self.snap.clock_s;
+        if !self.trace.enabled(kind) {
+            return Span {
+                start_clock,
+                slot: None,
+            };
+        }
+        let words = self.snap.words_sent + self.snap.words_received;
+        let slot = self.trace.open(kind, start_clock, words, self.ops_charged);
+        Span {
+            start_clock,
+            slot: Some(slot),
+        }
+    }
+
+    /// Closes a span (LIFO with respect to [`Comm::span_open`]) and
+    /// returns its modeled duration in seconds — also meaningful when the
+    /// span was not recorded, which lets callers reuse the span token for
+    /// their own phase timing.
+    pub fn span_close(&mut self, span: Span) -> f64 {
+        let end = self.snap.clock_s;
+        if let Some(slot) = span.slot {
+            let words = self.snap.words_sent + self.snap.words_received;
+            self.trace.close(slot, end, words, self.ops_charged);
+        }
+        end - span.start_clock
+    }
+
+    /// Drains this rank's spans into the sink (no-op when untraced).
+    /// Called by the launcher after the SPMD body returns.
+    fn finish_trace(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            let spans = self.trace.drain(self.snap.clock_s);
+            sink.submit(RankTrace {
+                rank: self.rank,
+                spans,
+                snapshot: self.snap,
+            });
+        }
     }
 
     /// Sends `msg` to `dest`, charging `α + β·words` to this rank.
@@ -257,7 +428,8 @@ impl Comm {
     ///
     /// # Panics
     /// If the next message from `src` has a different payload type — that
-    /// is a protocol bug in the SPMD program.
+    /// is a protocol bug in the SPMD program (surfaced to the caller as a
+    /// [`DmsimError`] by the launcher).
     pub fn recv<T: Send + 'static>(&mut self, src: usize) -> T {
         loop {
             if let Some((arrival, words, payload)) = self.pending[src].pop_front() {
@@ -288,8 +460,9 @@ pub fn words_of<T>(len: usize) -> u64 {
 /// Runs an SPMD program on `p` simulated ranks with the zero-cost model
 /// (useful when only results matter, e.g. unit tests).
 ///
-/// Returns per-rank results indexed by rank.
-pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
+/// Returns per-rank results indexed by rank, or a [`DmsimError`] naming
+/// the first rank that panicked.
+pub fn run_spmd<R, F>(p: usize, f: F) -> Result<Vec<R>, DmsimError>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
@@ -298,10 +471,29 @@ where
 }
 
 /// Runs an SPMD program on `p` simulated ranks under a cost model.
+pub fn run_spmd_with_model<R, F>(p: usize, model: MachineModel, f: F) -> Result<Vec<R>, DmsimError>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_spmd_traced(p, model, None, f)
+}
+
+/// Runs an SPMD program on `p` simulated ranks under a cost model, with
+/// optional span tracing: when `sink` is `Some`, each rank records spans
+/// at the sink's [`TraceLevel`] and drains them (plus its final
+/// [`CostSnapshot`]) into the sink when its body returns.
 ///
 /// Each rank executes `f` on its own OS thread with a 4 MiB stack (ranks
 /// are numerous; large default stacks would exhaust memory at high `p`).
-pub fn run_spmd_with_model<R, F>(p: usize, model: MachineModel, f: F) -> Vec<R>
+/// If any rank panics, the lowest panicked rank and its payload are
+/// returned as a [`DmsimError`] after all ranks have been joined.
+pub fn run_spmd_traced<R, F>(
+    p: usize,
+    model: MachineModel,
+    sink: Option<&Arc<TraceSink>>,
+    f: F,
+) -> Result<Vec<R>, DmsimError>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
@@ -316,11 +508,14 @@ where
     }
     let senders = Arc::new(txs);
     let f = &f;
+    let level = sink.map_or(TraceLevel::Off, |s| s.level());
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let mut first_err: Option<DmsimError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, rx) in rxs.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
+            let sink = sink.cloned();
             let handle = std::thread::Builder::new()
                 .name(format!("dmsim-rank-{rank}"))
                 .stack_size(4 << 20)
@@ -333,20 +528,36 @@ where
                         pending: (0..p).map(|_| VecDeque::new()).collect(),
                         model,
                         snap: CostSnapshot::default(),
-                        pool: BufferPool::default(),
+                        ops_charged: 0,
+                        pool: Rc::new(RefCell::new(BufferPool::default())),
+                        trace: TraceLocal::new(level),
+                        sink,
                     };
                     let r = f(&mut comm);
-                    (r, comm.snap)
+                    comm.finish_trace();
+                    r
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
         }
         for (rank, h) in handles.into_iter().enumerate() {
-            let (r, _snap) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-            results[rank] = Some(r);
+            match h.join() {
+                Ok(r) => results[rank] = Some(r),
+                Err(payload) => {
+                    if first_err.is_none() {
+                        first_err = Some(DmsimError { rank, payload });
+                    }
+                }
+            }
         }
     });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(results
+            .into_iter()
+            .map(|r| r.expect("every rank joined without error"))
+            .collect()),
+    }
 }
 
 #[cfg(test)]
@@ -356,7 +567,7 @@ mod tests {
 
     #[test]
     fn ranks_see_their_ids() {
-        let ids = run_spmd(5, |c| (c.rank(), c.size()));
+        let ids = run_spmd(5, |c| (c.rank(), c.size())).unwrap();
         assert_eq!(ids, (0..5).map(|r| (r, 5)).collect::<Vec<_>>());
     }
 
@@ -367,7 +578,8 @@ mod tests {
             let prev = (c.rank() + 3) % 4;
             c.send(next, c.rank() as u64);
             c.recv::<u64>(prev)
-        });
+        })
+        .unwrap();
         assert_eq!(out, vec![3, 0, 1, 2]);
     }
 
@@ -385,7 +597,8 @@ mod tests {
                 c.send(0, r as u32);
                 0
             }
-        });
+        })
+        .unwrap();
         assert_eq!(out[0], 21);
     }
 
@@ -404,7 +617,8 @@ mod tests {
                     .windows(2)
                     .all(|w| w[0] < w[1]) as u32
             }
-        });
+        })
+        .unwrap();
         assert_eq!(out[1], 1);
     }
 
@@ -414,7 +628,8 @@ mod tests {
             c.send_vec(0, vec![1u64, 2, 3]);
             let v = c.recv::<Vec<u64>>(0);
             (v, c.snapshot().messages_sent, c.clock_s())
-        });
+        })
+        .unwrap();
         assert_eq!(out[0].0, vec![1, 2, 3]);
         assert_eq!(out[0].1, 0);
         assert_eq!(out[0].2, 0.0);
@@ -430,7 +645,8 @@ mod tests {
                 let _ = c.recv::<Vec<u64>>(0);
             }
             c.snapshot()
-        });
+        })
+        .unwrap();
         let sender = out[0];
         assert_eq!(sender.words_sent, 1000);
         assert!((sender.clock_s - (model.alpha + model.beta * 1000.0)).abs() < 1e-12);
@@ -460,7 +676,8 @@ mod tests {
                 _ => unreachable!(),
             }
             c.clock_s()
-        });
+        })
+        .unwrap();
         // Rank 2's clock must reflect rank 0's compute time transitively.
         assert!(out[2] >= out[0]);
         assert!(out[0] >= 1_000_000_000.0 / model.rate);
@@ -472,21 +689,37 @@ mod tests {
             c.charge_compute(100);
             c.charge_compute(200);
             c.snapshot()
-        });
+        })
+        .unwrap();
         assert!(out[0].compute_s > 0.0);
         assert_eq!(out[0].clock_s, out[0].compute_s);
     }
 
     #[test]
-    #[should_panic(expected = "expected")]
-    fn type_mismatch_panics() {
-        run_spmd(2, |c| {
+    fn type_mismatch_is_a_dmsim_error() {
+        let err = run_spmd(2, |c| {
             if c.rank() == 0 {
                 c.send(1, 7u32);
             } else {
                 let _ = c.recv::<u64>(0);
             }
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert!(err.message().contains("expected"), "got: {}", err.message());
+        assert!(err.to_string().contains("rank 1 panicked"));
+    }
+
+    #[test]
+    fn error_reports_lowest_failing_rank() {
+        let err = run_spmd(4, |c| {
+            if c.rank() >= 2 {
+                panic!("boom on rank {}", c.rank());
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 2);
+        assert_eq!(err.message(), "boom on rank 2");
     }
 
     #[test]
@@ -497,7 +730,8 @@ mod tests {
                 assert_eq!(g.size(), 3);
                 assert_eq!(g.member(g.my_index()), c.rank());
             }
-        });
+        })
+        .unwrap();
     }
 
     #[test]
@@ -506,31 +740,46 @@ mod tests {
         let out = run_spmd_with_model(1, model, |c| {
             c.charge_comm_words(1_000_000);
             c.snapshot()
-        });
+        })
+        .unwrap();
         assert!((out[0].comm_s - model.beta * 1e6).abs() < 1e-12);
         assert_eq!(out[0].words_sent, 1_000_000);
         assert_eq!(out[0].messages_sent, 0, "no simulated message involved");
     }
 
     #[test]
-    fn buffer_pool_recycles_capacity() {
+    fn pooled_buf_recycles_capacity_on_drop() {
         run_spmd(1, |c| {
-            let mut v: Vec<u64> = c.take_buf();
+            let mut v: PooledBuf<u64> = c.pooled_buf();
             assert_eq!(v.capacity(), 0, "fresh pool allocates nothing");
             v.extend(0..100);
             let cap = v.capacity();
             let ptr = v.as_ptr();
-            c.put_buf(v);
-            assert_eq!(c.buffer_pool().pooled::<u64>(), 1);
-            let w: Vec<u64> = c.take_buf();
+            drop(v);
+            assert_eq!(c.pooled_count::<u64>(), 1);
+            let w: PooledBuf<u64> = c.pooled_buf();
             assert!(w.is_empty());
             assert_eq!(w.capacity(), cap, "capacity survives recycling");
             assert_eq!(w.as_ptr(), ptr, "same allocation handed back");
+            drop(w);
             // Distinct element types are pooled independently.
-            c.put_buf(vec![1u32; 4]);
-            assert_eq!(c.buffer_pool().pooled::<u64>(), 0);
-            assert_eq!(c.buffer_pool().pooled::<u32>(), 1);
-        });
+            drop(c.adopt_buf(vec![1u32; 4]));
+            assert_eq!(c.pooled_count::<u64>(), 1);
+            assert_eq!(c.pooled_count::<u32>(), 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn detach_keeps_buffer_out_of_pool() {
+        run_spmd(1, |c| {
+            let mut v: PooledBuf<u64> = c.pooled_buf();
+            v.push(42);
+            let owned = v.detach();
+            assert_eq!(owned, vec![42]);
+            assert_eq!(c.pooled_count::<u64>(), 0, "detached buffers not pooled");
+        })
+        .unwrap();
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   report modeled time, because a single host cannot exhibit
 //!   network-bound scaling in wall time.
 //!
+//! A third layer, [`trace`], records what the simulation did: typed spans
+//! (steps, distributed ops, collectives) on the modeled clock, exported as
+//! Chrome-trace JSON or an aggregated per-rank report. See
+//! [`run_spmd_traced`].
+//!
 //! # Example
 //! ```
 //! use dmsim::run_spmd;
@@ -29,7 +34,8 @@
 //!     // Everyone contributes its rank; everyone learns all ranks.
 //!     let all = comm.allgatherv(&world, vec![comm.rank()]);
 //!     all.iter().map(|v| v[0]).sum::<usize>()
-//! });
+//! })
+//! .expect("no rank panicked");
 //! assert_eq!(results, vec![6, 6, 6, 6]);
 //! ```
 
@@ -39,8 +45,12 @@ pub mod collectives;
 pub mod comm;
 pub mod cost;
 pub mod topology;
+pub mod trace;
 
 pub use collectives::AllToAll;
-pub use comm::{run_spmd, run_spmd_with_model, BufferPool, Comm, Group};
+pub use comm::{
+    run_spmd, run_spmd_traced, run_spmd_with_model, BufferPool, Comm, DmsimError, Group, PooledBuf,
+};
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;
+pub use trace::{RankTrace, Span, SpanKind, SpanRecord, TraceLevel, TraceReport, TraceSink};

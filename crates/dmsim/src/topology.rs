@@ -119,7 +119,8 @@ mod tests {
             let s = c.allreduce(&row, c.rank() as u64, |a, b| a + b);
             let (i, _) = grid.coords_of(c.rank());
             assert_eq!(s, (3 * i * 3 + 3) as u64);
-        });
+        })
+        .unwrap();
     }
 
     #[test]
@@ -129,7 +130,8 @@ mod tests {
             let d = grid.diag_group(c);
             let (i, j) = grid.coords_of(c.rank());
             assert_eq!(d.is_some(), i == j);
-        });
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Span-based tracing of the simulated machine.
+//!
+//! Every collective, every distributed GraphBLAS op, and every LACC step
+//! opens a typed *span* on the simulated clock. A span records the rank it
+//! ran on, its modeled start/end seconds, the 8-byte words moved while it
+//! was open (sent + received, inclusive of nested spans), and the local
+//! operations charged. Spans accumulate into a per-rank buffer inside
+//! [`crate::Comm`] and drain into a shared [`TraceSink`] when the rank's
+//! SPMD body returns; the sink can then export
+//!
+//! * **Chrome trace format** JSON ([`TraceSink::chrome_trace_json`]),
+//!   loadable in `chrome://tracing` or Perfetto — one timeline row per
+//!   rank, spans nested by modeled time, and
+//! * an **aggregated report** ([`TraceSink::report`]): per-kind totals,
+//!   per-rank communication volume, and the load-imbalance ratio
+//!   (max / mean rank time).
+//!
+//! Tracing is zero-cost when disabled: with [`TraceLevel::Off`] (or no
+//! sink at all) a span open/close is a clock read and an enum compare —
+//! no allocation, and nothing that touches the cost accounting, so
+//! results and [`CostSnapshot`]s are bit-identical with tracing on or
+//! off (property-tested in `tests/trace.rs`).
+
+use crate::collectives::AllToAll;
+use crate::cost::CostSnapshot;
+use std::sync::{Arc, Mutex};
+
+/// How much detail to record. Each level includes everything the previous
+/// levels record: `Steps` ⊂ `Ops` ⊂ `Collectives`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Record nothing (the zero-cost fast path).
+    #[default]
+    Off,
+    /// Algorithm steps only (LACC's cond-hook, uncond-hook, shortcut,
+    /// starcheck).
+    Steps,
+    /// Steps plus distributed GraphBLAS ops (`mxv`, `assign`, `extract`).
+    Ops,
+    /// Everything, down to individual collectives.
+    Collectives,
+}
+
+impl std::str::FromStr for TraceLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(TraceLevel::Off),
+            "steps" => Ok(TraceLevel::Steps),
+            "ops" => Ok(TraceLevel::Ops),
+            "collectives" => Ok(TraceLevel::Collectives),
+            other => Err(format!(
+                "unknown trace level: {other} (expected off|steps|ops|collectives)"
+            )),
+        }
+    }
+}
+
+/// The typed span vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// LACC conditional hooking (step).
+    CondHook,
+    /// LACC unconditional hooking (step).
+    UncondHook,
+    /// LACC shortcutting (step).
+    Shortcut,
+    /// LACC star recomputation (step).
+    Starcheck,
+    /// Distributed matrix-vector multiply (op).
+    Mxv,
+    /// Distributed `assign` scatter (op).
+    Assign,
+    /// Distributed `extract` gather (op).
+    Extract,
+    /// Dissemination barrier (collective).
+    Barrier,
+    /// Binomial-tree broadcast (collective).
+    Bcast,
+    /// Ring allgather (collective).
+    Allgatherv,
+    /// Allreduce (collective).
+    Allreduce,
+    /// Reduce-scatter (collective).
+    ReduceScatter,
+    /// Gather to a root (collective).
+    Gatherv,
+    /// All-to-allv, tagged with the algorithm actually executed
+    /// (collective).
+    Alltoallv(AllToAll),
+}
+
+impl SpanKind {
+    /// The coarsest [`TraceLevel`] that records this kind.
+    pub fn level(self) -> TraceLevel {
+        use SpanKind::*;
+        match self {
+            CondHook | UncondHook | Shortcut | Starcheck => TraceLevel::Steps,
+            Mxv | Assign | Extract => TraceLevel::Ops,
+            _ => TraceLevel::Collectives,
+        }
+    }
+
+    /// Stable name used in exports (`chrome://tracing` event names).
+    pub fn name(self) -> &'static str {
+        use SpanKind::*;
+        match self {
+            CondHook => "cond_hook",
+            UncondHook => "uncond_hook",
+            Shortcut => "shortcut",
+            Starcheck => "starcheck",
+            Mxv => "mxv",
+            Assign => "assign",
+            Extract => "extract",
+            Barrier => "barrier",
+            Bcast => "bcast",
+            Allgatherv => "allgatherv",
+            Allreduce => "allreduce",
+            ReduceScatter => "reduce_scatter",
+            Gatherv => "gatherv",
+            Alltoallv(AllToAll::Direct) => "alltoallv(direct)",
+            Alltoallv(AllToAll::Pairwise) => "alltoallv(pairwise)",
+            Alltoallv(AllToAll::Hypercube) => "alltoallv(hypercube)",
+            Alltoallv(AllToAll::Sparse) => "alltoallv(sparse)",
+        }
+    }
+
+    /// Chrome-trace category string.
+    pub fn category(self) -> &'static str {
+        match self.level() {
+            TraceLevel::Steps => "step",
+            TraceLevel::Ops => "op",
+            _ => "collective",
+        }
+    }
+}
+
+/// One completed (or, transiently, still-open) span.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    /// What the span measured.
+    pub kind: SpanKind,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+    /// Modeled start time in seconds.
+    pub start_s: f64,
+    /// Modeled end time in seconds.
+    pub end_s: f64,
+    /// 8-byte words moved (sent + received) while the span was open,
+    /// including nested spans.
+    pub words: u64,
+    /// Local operations charged while the span was open.
+    pub ops: u64,
+}
+
+impl SpanRecord {
+    /// Modeled duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Token returned by [`crate::Comm::span_open`]; hand it back to
+/// [`crate::Comm::span_close`]. Deliberately neither `Copy` nor `Clone`,
+/// so a span cannot be closed twice.
+#[derive(Debug)]
+pub struct Span {
+    pub(crate) start_clock: f64,
+    pub(crate) slot: Option<usize>,
+}
+
+/// Per-rank span buffer living inside [`crate::Comm`] (not shared; drains
+/// into the [`TraceSink`] when the rank finishes).
+#[derive(Debug, Default)]
+pub(crate) struct TraceLocal {
+    pub(crate) level: TraceLevel,
+    spans: Vec<SpanRecord>,
+    open_stack: Vec<usize>,
+}
+
+impl TraceLocal {
+    pub(crate) fn new(level: TraceLevel) -> Self {
+        TraceLocal {
+            level,
+            spans: Vec::new(),
+            open_stack: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self, kind: SpanKind) -> bool {
+        kind.level() <= self.level
+    }
+
+    /// Opens a recorded span; `words`/`ops` are the rank's counters at
+    /// open time (the close computes deltas into them).
+    pub(crate) fn open(&mut self, kind: SpanKind, start_s: f64, words: u64, ops: u64) -> usize {
+        let slot = self.spans.len();
+        self.spans.push(SpanRecord {
+            kind,
+            depth: self.open_stack.len() as u32,
+            start_s,
+            end_s: f64::NAN,
+            words,
+            ops,
+        });
+        self.open_stack.push(slot);
+        slot
+    }
+
+    pub(crate) fn close(&mut self, slot: usize, end_s: f64, words: u64, ops: u64) {
+        debug_assert_eq!(
+            self.open_stack.last(),
+            Some(&slot),
+            "spans must close in LIFO order"
+        );
+        self.open_stack.pop();
+        let rec = &mut self.spans[slot];
+        rec.end_s = end_s;
+        rec.words = words - rec.words;
+        rec.ops = ops - rec.ops;
+    }
+
+    /// Drains the buffer, force-closing any span left open (its interval
+    /// extends to the rank's final clock; counter deltas stay as-is).
+    pub(crate) fn drain(&mut self, final_clock_s: f64) -> Vec<SpanRecord> {
+        for &slot in &self.open_stack {
+            self.spans[slot].end_s = final_clock_s;
+            self.spans[slot].words = 0;
+            self.spans[slot].ops = 0;
+        }
+        self.open_stack.clear();
+        std::mem::take(&mut self.spans)
+    }
+}
+
+/// Everything one rank contributed to a trace.
+#[derive(Clone, Debug)]
+pub struct RankTrace {
+    /// The rank's id.
+    pub rank: usize,
+    /// Its spans, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Its final cost snapshot.
+    pub snapshot: CostSnapshot,
+}
+
+/// Shared collector ranks drain their span buffers into.
+///
+/// Create one with [`TraceSink::new`], pass it to
+/// [`crate::run_spmd_traced`], then export with
+/// [`TraceSink::chrome_trace_json`] / [`TraceSink::report`]. A sink can
+/// collect multiple runs; [`TraceSink::clear`] resets it.
+#[derive(Debug)]
+pub struct TraceSink {
+    level: TraceLevel,
+    ranks: Mutex<Vec<RankTrace>>,
+}
+
+impl TraceSink {
+    /// A new sink recording at `level`.
+    pub fn new(level: TraceLevel) -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            level,
+            ranks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The level ranks will record at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    pub(crate) fn submit(&self, rt: RankTrace) {
+        self.ranks.lock().expect("trace sink poisoned").push(rt);
+    }
+
+    /// Discards everything collected so far.
+    pub fn clear(&self) {
+        self.ranks.lock().expect("trace sink poisoned").clear();
+    }
+
+    /// All collected per-rank traces, sorted by rank.
+    pub fn rank_traces(&self) -> Vec<RankTrace> {
+        let mut v = self.ranks.lock().expect("trace sink poisoned").clone();
+        v.sort_by_key(|rt| rt.rank);
+        v
+    }
+
+    /// Exports the trace in Chrome trace format (the `traceEvents` JSON
+    /// object). Timestamps are modeled **microseconds**; each rank is a
+    /// `tid` under `pid` 0.
+    pub fn chrome_trace_json(&self) -> String {
+        let ranks = self.rank_traces();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for rt in &ranks {
+            for sp in &rt.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                     \"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"words\":{},\"ops\":{},\"depth\":{}}}}}",
+                    sp.kind.name(),
+                    sp.kind.category(),
+                    sp.start_s * 1e6,
+                    sp.duration_s() * 1e6,
+                    rt.rank,
+                    sp.words,
+                    sp.ops,
+                    sp.depth
+                ));
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Aggregates the collected spans into a [`TraceReport`].
+    pub fn report(&self) -> TraceReport {
+        let ranks = self.rank_traces();
+        let p = ranks.len();
+        let mut per_kind: Vec<KindTotals> = Vec::new();
+        let mut rank_time_s = vec![0.0f64; p];
+        let mut rank_words = vec![0u64; p];
+        for (i, rt) in ranks.iter().enumerate() {
+            rank_time_s[i] = rt.snapshot.clock_s;
+            rank_words[i] = rt.snapshot.words_sent + rt.snapshot.words_received;
+            for sp in &rt.spans {
+                let name = sp.kind.name();
+                let entry = match per_kind.iter_mut().find(|k| k.name == name) {
+                    Some(e) => e,
+                    None => {
+                        per_kind.push(KindTotals {
+                            name,
+                            category: sp.kind.category(),
+                            count: 0,
+                            time_s: 0.0,
+                            words: 0,
+                            ops: 0,
+                        });
+                        per_kind.last_mut().expect("just pushed")
+                    }
+                };
+                entry.count += 1;
+                entry.time_s += sp.duration_s();
+                entry.words += sp.words;
+                entry.ops += sp.ops;
+            }
+        }
+        let max_t = rank_time_s.iter().copied().fold(0.0f64, f64::max);
+        let mean_t = if p == 0 {
+            0.0
+        } else {
+            rank_time_s.iter().sum::<f64>() / p as f64
+        };
+        TraceReport {
+            p,
+            per_kind,
+            rank_time_s,
+            rank_words,
+            load_imbalance: if mean_t > 0.0 { max_t / mean_t } else { 1.0 },
+        }
+    }
+}
+
+/// Aggregate totals for one span kind, summed over all ranks.
+#[derive(Clone, Debug)]
+pub struct KindTotals {
+    /// Span name (see [`SpanKind::name`]).
+    pub name: &'static str,
+    /// `step`, `op`, or `collective`.
+    pub category: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed modeled duration (rank-seconds; nested spans overlap their
+    /// parents, so categories are not additive across levels).
+    pub time_s: f64,
+    /// Summed words moved.
+    pub words: u64,
+    /// Summed local operations charged.
+    pub ops: u64,
+}
+
+/// The aggregated metrics view of a trace: per-kind totals, per-rank
+/// communication volume, and the load-imbalance ratio. The per-iteration
+/// `IterStats`/`StepBreakdown` records upstream are thin views over the
+/// same span durations.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Ranks that contributed.
+    pub p: usize,
+    /// Per-kind totals (first-seen order).
+    pub per_kind: Vec<KindTotals>,
+    /// Final modeled clock per rank.
+    pub rank_time_s: Vec<f64>,
+    /// Words sent + received per rank (the comm-volume histogram).
+    pub rank_words: Vec<u64>,
+    /// `max(rank time) / mean(rank time)` — 1.0 is perfectly balanced.
+    pub load_imbalance: f64,
+}
+
+impl TraceReport {
+    /// Summed span time for one kind name, 0 if absent.
+    pub fn kind_time_s(&self, name: &str) -> f64 {
+        self.per_kind
+            .iter()
+            .find(|k| k.name == name)
+            .map_or(0.0, |k| k.time_s)
+    }
+
+    /// Renders the report as a human-readable text block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let max_t = self.rank_time_s.iter().copied().fold(0.0f64, f64::max);
+        let _ = writeln!(
+            s,
+            "trace report: p={}, modeled makespan {:.3} ms, load imbalance {:.2}x (max/mean rank time)",
+            self.p,
+            max_t * 1e3,
+            self.load_imbalance
+        );
+        let mut kinds = self.per_kind.clone();
+        kinds.sort_by(|a, b| b.time_s.total_cmp(&a.time_s));
+        if !kinds.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>7} {:>12} {:>12} {:>12}",
+                "span", "count", "rank-sec", "words", "ops"
+            );
+            for k in &kinds {
+                let _ = writeln!(
+                    s,
+                    "  {:<22} {:>7} {:>12.6} {:>12} {:>12}",
+                    k.name, k.count, k.time_s, k.words, k.ops
+                );
+            }
+        }
+        let max_w = self.rank_words.iter().copied().max().unwrap_or(0).max(1);
+        let _ = writeln!(s, "  per-rank comm volume (words sent+received):");
+        for (r, &w) in self.rank_words.iter().enumerate() {
+            let bar = "#".repeat(((w as f64 / max_w as f64) * 40.0).round() as usize);
+            let _ = writeln!(s, "    rank {r:>4}: {w:>12} |{bar}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_parse() {
+        assert!(TraceLevel::Off < TraceLevel::Steps);
+        assert!(TraceLevel::Steps < TraceLevel::Ops);
+        assert!(TraceLevel::Ops < TraceLevel::Collectives);
+        assert_eq!("steps".parse::<TraceLevel>().unwrap(), TraceLevel::Steps);
+        assert_eq!(
+            "collectives".parse::<TraceLevel>().unwrap(),
+            TraceLevel::Collectives
+        );
+        assert!("verbose".parse::<TraceLevel>().is_err());
+    }
+
+    #[test]
+    fn kind_levels_gate_recording() {
+        let off = TraceLocal::new(TraceLevel::Off);
+        assert!(!off.enabled(SpanKind::CondHook));
+        assert!(!off.enabled(SpanKind::Bcast));
+        let steps = TraceLocal::new(TraceLevel::Steps);
+        assert!(steps.enabled(SpanKind::Starcheck));
+        assert!(!steps.enabled(SpanKind::Extract));
+        let all = TraceLocal::new(TraceLevel::Collectives);
+        assert!(all.enabled(SpanKind::Alltoallv(AllToAll::Sparse)));
+    }
+
+    #[test]
+    fn local_open_close_records_deltas() {
+        let mut t = TraceLocal::new(TraceLevel::Collectives);
+        let a = t.open(SpanKind::Extract, 1.0, 100, 10);
+        let b = t.open(SpanKind::Bcast, 1.5, 120, 12);
+        t.close(b, 2.0, 150, 15);
+        t.close(a, 3.0, 200, 30);
+        let spans = t.drain(3.0);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].words, 30);
+        assert_eq!(spans[0].words, 100);
+        assert_eq!(spans[0].ops, 20);
+        assert!((spans[0].duration_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates_and_imbalance() {
+        let sink = TraceSink::new(TraceLevel::Collectives);
+        for rank in 0..2 {
+            sink.submit(RankTrace {
+                rank,
+                spans: vec![SpanRecord {
+                    kind: SpanKind::Bcast,
+                    depth: 0,
+                    start_s: 0.0,
+                    end_s: 1.0 + rank as f64,
+                    words: 10,
+                    ops: 1,
+                }],
+                snapshot: CostSnapshot {
+                    clock_s: 1.0 + rank as f64,
+                    words_sent: 10,
+                    ..Default::default()
+                },
+            });
+        }
+        let rep = sink.report();
+        assert_eq!(rep.p, 2);
+        assert_eq!(rep.per_kind.len(), 1);
+        assert_eq!(rep.per_kind[0].count, 2);
+        assert!((rep.per_kind[0].time_s - 3.0).abs() < 1e-12);
+        // max 2.0 / mean 1.5
+        assert!((rep.load_imbalance - 4.0 / 3.0).abs() < 1e-12);
+        assert!(rep.render().contains("bcast"));
+        sink.clear();
+        assert!(sink.rank_traces().is_empty());
+    }
+}

@@ -35,7 +35,7 @@ proptest! {
         let out = run_spmd(p, move |c| {
             let w = c.world();
             c.alltoallv(&w, bufs_for(shape_ref, c.rank()), algo)
-        });
+        }).unwrap();
         for (me, got) in out.into_iter().enumerate() {
             let expect: Vec<Vec<u64>> = (0..p)
                 .map(|src| bufs_for(shape_ref, src)[me].clone())
@@ -52,7 +52,7 @@ proptest! {
             let mine: Vec<u64> = (0..lens_ref[c.rank()]).map(|k| (c.rank() * 100 + k) as u64).collect();
             let w = c.world();
             c.allgatherv(&w, mine)
-        });
+        }).unwrap();
         for got in out {
             for (src, block) in got.iter().enumerate() {
                 let expect: Vec<u64> = (0..lens_ref[src]).map(|k| (src * 100 + k) as u64).collect();
@@ -70,7 +70,7 @@ proptest! {
             let sum = c.allreduce(&w, vals_ref[c.rank()], |a, b| a + b);
             let min = c.allreduce(&w, vals_ref[c.rank()], |a, b| a.min(b));
             (sum, min)
-        });
+        }).unwrap();
         let sum: u64 = vals.iter().sum();
         let min: u64 = *vals.iter().min().unwrap();
         for got in out {
@@ -93,7 +93,7 @@ proptest! {
                 .map(|k| vec![(c.rank() + k) as u64; lens_ref[k % lens_ref.len()]])
                 .collect();
             c.reduce_scatter(&w, parts, |a, b| *a += b)
-        });
+        }).unwrap();
         for (k, got) in out.into_iter().enumerate() {
             let expect_val: u64 = (0..p).map(|r| (r + k) as u64).sum();
             prop_assert_eq!(got, vec![expect_val; lens_ref[k % lens_ref.len()]]);
@@ -107,7 +107,7 @@ proptest! {
             let w = c.world();
             let data = (c.rank() == root).then(|| (0..len as u64).collect::<Vec<u64>>());
             c.bcast_vec(&w, root, data)
-        });
+        }).unwrap();
         for got in out {
             prop_assert_eq!(got, (0..len as u64).collect::<Vec<u64>>());
         }
@@ -122,7 +122,7 @@ proptest! {
                 let bufs: Vec<Vec<u64>> = (0..4).map(|_| vec![1u64; w]).collect();
                 c.alltoallv(&world, bufs, AllToAll::Pairwise);
                 c.clock_s()
-            });
+            }).unwrap();
             out.into_iter().fold(0.0f64, f64::max)
         };
         prop_assert!(clock_for(words) <= clock_for(words * 2) + 1e-12);

@@ -133,7 +133,8 @@ mod tests {
         let out = run_spmd(9, |c| {
             let blk = DistMat::from_graph(&g, Grid2d::square(9), c.rank());
             blk.local_nnz()
-        });
+        })
+        .unwrap();
         assert_eq!(out.iter().sum::<usize>(), g.num_directed_edges());
     }
 

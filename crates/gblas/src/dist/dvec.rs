@@ -447,7 +447,8 @@ mod tests {
                 };
                 let v = DistVec::from_global(layout, c.rank(), gref);
                 v.to_global(c)
-            });
+            })
+            .unwrap();
             for got in out {
                 assert_eq!(got, global, "cyclic={cyclic}");
             }
@@ -469,7 +470,8 @@ mod tests {
                 v.set_local(g, 999);
                 assert_eq!(v.local()[0], 999);
             }
-        });
+        })
+        .unwrap();
     }
 
     #[test]
@@ -484,7 +486,8 @@ mod tests {
             let total = v.global_nvals(c);
             let serial = v.to_serial(c);
             (total, serial)
-        });
+        })
+        .unwrap();
         let expect: Vec<(usize, u64)> = (0..40)
             .filter(|g| g % 3 == 0)
             .map(|g| (g, g as u64 * 2))
@@ -496,16 +499,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside local chunk")]
     fn spvec_rejects_foreign_entries() {
-        run_spmd(4, |c| {
+        let err = run_spmd(4, |c| {
             let layout = VecLayout::new(16, Grid2d::square(4));
             if c.rank() == 0 {
                 // Index 15 belongs to the last chunk, not rank 0's.
                 let _ = DistSpVec::from_local_entries(layout, 0, vec![(15usize, 1u8)]);
-            } else {
-                panic!("outside local chunk (sympathetic panic for test harness)");
             }
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 0);
+        assert!(err.message().contains("outside local chunk"));
     }
 }

@@ -21,7 +21,7 @@ use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
 use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
-use dmsim::{AllToAll, Comm};
+use dmsim::{AllToAll, Comm, PooledBuf, SpanKind};
 use std::collections::HashMap;
 
 /// Tuning knobs for the distributed primitives (the paper's §V-B levers
@@ -124,22 +124,24 @@ where
 {
     let p = comm.size();
     let world = comm.world();
-    let mut buckets: Vec<Vec<(Vid, T)>> = (0..p).map(|_| comm.take_buf()).collect();
+    let mut buckets: Vec<PooledBuf<(Vid, T)>> = (0..p).map(|_| comm.pooled_buf()).collect();
     for (g, v) in produced {
         buckets[layout.owner_of(g)].push((g, v));
     }
+    let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
     let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
     let mut merged: HashMap<Vid, T> = HashMap::new();
     let mut nops = 1u64;
     for part in incoming {
+        // Adopt each incoming part so its allocation recycles on drop.
+        let part = comm.adopt_buf(part);
         nops += part.len() as u64;
-        for &(g, v) in &part {
+        for &(g, v) in part.iter() {
             merged
                 .entry(g)
                 .and_modify(|acc| *acc = monoid.combine(*acc, v))
                 .or_insert(v);
         }
-        comm.put_buf(part);
     }
     comm.charge_compute(nops);
     let entries: Vec<(Vid, T)> = merged
@@ -419,7 +421,7 @@ where
     let pc = grid.cols();
     let (rs, _re) = a.row_range();
     let row_group = grid.row_group(comm);
-    let mut buckets: Vec<Vec<(Vid, T)>> = (0..pc).map(|_| comm.take_buf()).collect();
+    let mut buckets: Vec<PooledBuf<(Vid, T)>> = (0..pc).map(|_| comm.pooled_buf()).collect();
     touched.sort_unstable();
     for &lr in &touched {
         let g = rs + lr;
@@ -427,18 +429,19 @@ where
         debug_assert!(c >= i * pc && c < (i + 1) * pc);
         buckets[c - i * pc].push((g, acc[lr]));
     }
+    let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
     let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
     let mut merged: HashMap<Vid, T> = HashMap::new();
     let mut merge_ops = 0u64;
     for part in incoming {
+        let part = comm.adopt_buf(part);
         merge_ops += part.len() as u64;
-        for &(g, v) in &part {
+        for &(g, v) in part.iter() {
             merged
                 .entry(g)
                 .and_modify(|acc| *acc = monoid.combine(*acc, v))
                 .or_insert(v);
         }
-        comm.put_buf(part);
     }
     comm.charge_compute(merge_ops);
 
@@ -461,6 +464,24 @@ where
 
 /// Distributed SpMV: `y = A ⊕.2nd x` with dense input `x`, masked output.
 pub fn dist_mxv_dense<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x: &DistVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + Sync + 'static,
+    M: Monoid<T>,
+{
+    let span = comm.span_open(SpanKind::Mxv);
+    let out = mxv_dense_impl(comm, a, x, mask, monoid, opts);
+    comm.span_close(span);
+    out
+}
+
+fn mxv_dense_impl<T, M>(
     comm: &mut Comm,
     a: &DistMat,
     x: &DistVec<T>,
@@ -563,6 +584,24 @@ where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
 {
+    let span = comm.span_open(SpanKind::Mxv);
+    let out = mxv_sparse_impl(comm, a, x, mask, monoid, opts);
+    comm.span_close(span);
+    out
+}
+
+fn mxv_sparse_impl<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x: &DistSpVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + Sync + 'static,
+    M: Monoid<T>,
+{
     let grid = a.grid();
     let layout = x.layout();
     assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
@@ -618,6 +657,27 @@ where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
 {
+    // One Mxv span covers whichever execution branch runs (the sparse
+    // branch goes through `mxv_sparse_impl` directly, not the public
+    // wrapper, so the span is never doubled).
+    let span = comm.span_open(SpanKind::Mxv);
+    let out = mxv_adaptive_impl(comm, a, x, mask, monoid, opts);
+    comm.span_close(span);
+    out
+}
+
+fn mxv_adaptive_impl<T, M>(
+    comm: &mut Comm,
+    a: &DistMat,
+    x: &DistSpVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> DistSpVec<T>
+where
+    T: Copy + Send + Sync + 'static,
+    M: Monoid<T>,
+{
     let layout = x.layout();
     assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
     let n = a.n();
@@ -627,7 +687,7 @@ where
         x.global_nvals(comm) as f64 / n as f64
     };
     if layout.distribution() == Distribution::Cyclic || fill < opts.spmv_threshold {
-        return dist_mxv_sparse(comm, a, x, mask, monoid, opts);
+        return mxv_sparse_impl(comm, a, x, mask, monoid, opts);
     }
 
     // SpMV-style execution: same sparse allgather, then densify.
@@ -680,13 +740,30 @@ pub fn dist_extract<T>(
 where
     T: Copy + Send + 'static,
 {
+    let span = comm.span_open(SpanKind::Extract);
+    let out = extract_impl(comm, src, requests, opts);
+    comm.span_close(span);
+    out
+}
+
+fn extract_impl<T>(
+    comm: &mut Comm,
+    src: &DistVec<T>,
+    requests: &[Vid],
+    opts: &DistOpts,
+) -> (Vec<T>, ExtractStats)
+where
+    T: Copy + Send + 'static,
+{
     let layout = src.layout();
     let p = comm.size();
     let me = comm.rank();
     let world = comm.world();
 
-    let mut req_ids: Vec<Vec<Vid>> = (0..p).map(|_| comm.take_buf()).collect();
-    let mut req_pos: Vec<Vec<usize>> = (0..p).map(|_| comm.take_buf()).collect();
+    // Request buckets are RAII-pooled: they return to the pool when they
+    // drop at the end of this function, early return or not.
+    let mut req_ids: Vec<PooledBuf<Vid>> = (0..p).map(|_| comm.pooled_buf()).collect();
+    let mut req_pos: Vec<PooledBuf<usize>> = (0..p).map(|_| comm.pooled_buf()).collect();
     for (pos, &g) in requests.iter().enumerate() {
         let o = layout.owner_of(g);
         req_ids[o].push(g);
@@ -719,7 +796,7 @@ where
         if me == o {
             stats.did_broadcast = true;
         }
-        for (&g, &pos) in req_ids[o].iter().zip(&req_pos[o]) {
+        for (&g, &pos) in req_ids[o].iter().zip(req_pos[o].iter()) {
             results[pos] = Some(chunk[layout.offset_of(o, g)]);
         }
         comm.charge_compute(req_ids[o].len() as u64 + 1);
@@ -731,7 +808,7 @@ where
             if hot[o] {
                 Vec::new()
             } else {
-                req_ids[o].clone()
+                req_ids[o].to_vec()
             }
         })
         .collect();
@@ -740,9 +817,10 @@ where
     let replies: Vec<Vec<T>> = incoming
         .into_iter()
         .map(|ids| {
-            let reply = ids.iter().map(|&g| src.get_local(g)).collect();
-            comm.put_buf(ids);
-            reply
+            // Adopt the id list so its allocation recycles after the reply
+            // is built.
+            let ids = comm.adopt_buf(ids);
+            ids.iter().map(|&g| src.get_local(g)).collect()
         })
         .collect();
     comm.charge_compute(stats.received_requests + 1);
@@ -754,12 +832,6 @@ where
         for (k, &pos) in req_pos[o].iter().enumerate() {
             results[pos] = Some(reply_back[o][k]);
         }
-    }
-    for ids in req_ids {
-        comm.put_buf(ids);
-    }
-    for pos in req_pos {
-        comm.put_buf(pos);
     }
     (
         results
@@ -788,26 +860,44 @@ where
     T: Copy + Send + PartialEq + 'static,
     M: Monoid<T>,
 {
+    let span = comm.span_open(SpanKind::Assign);
+    let out = assign_impl(comm, dst, updates, monoid, opts);
+    comm.span_close(span);
+    out
+}
+
+fn assign_impl<T, M>(
+    comm: &mut Comm,
+    dst: &mut DistVec<T>,
+    updates: &[(Vid, T)],
+    monoid: M,
+    opts: &DistOpts,
+) -> usize
+where
+    T: Copy + Send + PartialEq + 'static,
+    M: Monoid<T>,
+{
     let layout = dst.layout();
     let p = comm.size();
     let world = comm.world();
-    let mut buckets: Vec<Vec<(Vid, T)>> = (0..p).map(|_| comm.take_buf()).collect();
+    let mut buckets: Vec<PooledBuf<(Vid, T)>> = (0..p).map(|_| comm.pooled_buf()).collect();
     for &(g, v) in updates {
         buckets[layout.owner_of(g)].push((g, v));
     }
     comm.charge_compute(updates.len() as u64 + 1);
+    let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
     let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
     let mut combined: HashMap<Vid, T> = HashMap::new();
     let mut nops = 0u64;
     for part in incoming {
+        let part = comm.adopt_buf(part);
         nops += part.len() as u64;
-        for &(g, v) in &part {
+        for &(g, v) in part.iter() {
             combined
                 .entry(g)
                 .and_modify(|acc| *acc = monoid.combine(*acc, v))
                 .or_insert(v);
         }
-        comm.put_buf(part);
     }
     comm.charge_compute(nops + 1);
     let mut changed = 0;
@@ -858,7 +948,8 @@ mod tests {
                 };
                 let y = dist_mxv_dense(c, &a, &x, mask, MinUsize, &DistOpts::default());
                 y.to_serial(c)
-            });
+            })
+            .unwrap();
             for y in out {
                 assert_eq!(y, expected, "p={p}");
             }
@@ -908,7 +999,8 @@ mod tests {
                 let x = DistSpVec::from_local_entries(layout, c.rank(), local);
                 let y = dist_mxv_sparse(c, &a, &x, DistMask::None, MinUsize, &opts);
                 y.to_serial(c)
-            });
+            })
+            .unwrap();
             for y in out {
                 assert_eq!(y, expected, "p={p}");
             }
@@ -982,7 +1074,8 @@ mod tests {
                         let x = DistSpVec::from_local_entries(layout, c.rank(), local);
                         let y = dist_mxv(c, &a, &x, DistMask::None, MinUsize, &opts);
                         y.to_serial(c)
-                    });
+                    })
+                    .unwrap();
                     for y in out {
                         assert_eq!(y, expected, "p={p} threshold={threshold} threads={threads}");
                     }
@@ -1022,7 +1115,8 @@ mod tests {
                     let src = DistVec::from_global(layout, c.rank(), &src_global);
                     let (vals, _) = dist_extract(c, &src, &all_requests[c.rank()], &opts);
                     vals
-                });
+                })
+                .unwrap();
                 for (r, vals) in out.iter().enumerate() {
                     let expected = serial::extract(&src_global, &all_requests[r]);
                     assert_eq!(vals, &expected, "p={p} rank={r}");
@@ -1048,7 +1142,8 @@ mod tests {
             let (vals, stats) = dist_extract(c, &src, &reqs, &opts);
             assert!(vals.iter().all(|&v| v == 0));
             stats
-        });
+        })
+        .unwrap();
         let owner0 = out.iter().filter(|s| s.did_broadcast).count();
         assert_eq!(owner0, 1, "exactly the owner of index 0 broadcasts");
         // The broadcasting owner answers no point-to-point requests.
@@ -1085,7 +1180,8 @@ mod tests {
                     &DistOpts::default(),
                 );
                 dst.to_global(c)
-            });
+            })
+            .unwrap();
             for got in out {
                 assert_eq!(got, expected, "p={p}");
             }
@@ -1101,7 +1197,8 @@ mod tests {
             let mut dst = DistVec::from_global(layout, c.rank(), &init);
             dist_assign(c, &mut dst, &[], MinUsize, &DistOpts::default());
             dst.to_global(c)
-        });
+        })
+        .unwrap();
         assert_eq!(out[0], init);
     }
 }

@@ -54,7 +54,8 @@ proptest! {
             let m = DistVec::from_global(layout, c.rank(), mr);
             dist_mxv_dense(c, &a, &x, DistMask::Keep(&m), MinUsize, &DistOpts::default())
                 .to_serial(c)
-        });
+        })
+        .unwrap();
         for got in out {
             prop_assert_eq!(&got, &expect);
         }
@@ -78,7 +79,8 @@ proptest! {
                 er.iter().copied().filter(|&(g, _)| g >= s && g < e).collect();
             let x = DistSpVec::from_local_entries(layout, c.rank(), local);
             dist_mxv_sparse(c, &a, &x, DistMask::None, MinUsize, &DistOpts::default()).to_serial(c)
-        });
+        })
+        .unwrap();
         for got in out {
             prop_assert_eq!(&got, &expect);
         }
@@ -108,7 +110,8 @@ proptest! {
             // Every rank issues the same request list; all must get the
             // same answers.
             dist_extract(c, &src, rr, &opts).0
-        });
+        })
+        .unwrap();
         for got in out {
             prop_assert_eq!(&got, &expect);
         }
@@ -139,7 +142,8 @@ proptest! {
                 dist_mxv_sparse(c, &a, &xs, DistMask::None, MinUsize, &DistOpts::default())
                     .to_serial(c);
             (dense, sparse)
-        });
+        })
+        .unwrap();
         for (dense, sparse) in out {
             prop_assert_eq!(&dense, &expect);
             prop_assert_eq!(&sparse, &expect);
@@ -193,7 +197,8 @@ proptest! {
             let adaptive =
                 dist_mxv(c, &a, &xs2, DistMask::Keep(&m), MinUsize, &opts).to_serial(c);
             (dense, sparse, adaptive)
-        });
+        })
+        .unwrap();
         for (dense, sparse, adaptive) in out {
             prop_assert_eq!(&dense, &expect_dense);
             prop_assert_eq!(&sparse, &expect_sparse);
@@ -218,7 +223,8 @@ proptest! {
             let mut dst = DistVec::from_fn(layout, c.rank(), |_| usize::MAX);
             dist_assign(c, &mut dst, ur, MinUsize, &DistOpts::default());
             dst.to_global(c)
-        });
+        })
+        .unwrap();
         for got in out {
             prop_assert_eq!(&got, &expect);
         }

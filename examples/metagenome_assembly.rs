@@ -27,7 +27,7 @@ fn main() {
         stats.vertices, stats.directed_edges, stats.avg_degree
     );
 
-    let run = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default());
+    let run = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
     println!(
         "LACC (p=16): {} components in {} iterations, modeled {:.1} ms",
         run.num_components(),

@@ -33,7 +33,7 @@ fn main() {
     // 2. Distributed LACC on a simulated 2x2 process grid with the
     //    Edison machine model.
     let model = lacc_suite::dmsim::EDISON.lacc_model();
-    let dist = run_distributed(&g, 4, model, &LaccOpts::default());
+    let dist = run_distributed(&g, 4, model, &LaccOpts::default()).unwrap();
     println!(
         "distributed LACC (p=4): {} components, modeled {:.2} ms, wall {:.1} ms",
         dist.num_components(),

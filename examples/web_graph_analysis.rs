@@ -98,14 +98,14 @@ fn main() {
     );
 
     println!("\ndistributed on 16 simulated Edison nodes (modeled ms):");
-    let run = lacc::run_distributed(&g, 64, EDISON.lacc_model(), &LaccOpts::default());
+    let run = lacc::run_distributed(&g, 64, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
     check(
         "LACC (p=64, 4 ranks/node)",
         run.labels,
         run.modeled_total_s * 1e3,
         "ms (modeled)",
     );
-    let pc = b::parconnect_sim(&g, 361, EDISON.flat_model());
+    let pc = b::parconnect_sim(&g, 361, EDISON.flat_model()).unwrap();
     check(
         "ParConnect-sim (p=361, flat)",
         pc.labels,

@@ -64,14 +64,14 @@ fn distributed_algorithms_agree() {
     for (name, g) in zoo() {
         let truth = b::union_find_cc(&g);
         let model = lacc_suite::dmsim::EDISON.lacc_model();
-        let run = lacc::run_distributed(&g, 4, model, &LaccOpts::default());
+        let run = lacc::run_distributed(&g, 4, model, &LaccOpts::default()).unwrap();
         assert_eq!(
             canonicalize_labels(&run.labels),
             truth,
             "dist LACC on {name}"
         );
         if g.num_vertices() > 0 {
-            let pc = b::parconnect_sim(&g, 4, lacc_suite::dmsim::EDISON.flat_model());
+            let pc = b::parconnect_sim(&g, 4, lacc_suite::dmsim::EDISON.flat_model()).unwrap();
             assert_eq!(
                 canonicalize_labels(&pc.labels),
                 truth,

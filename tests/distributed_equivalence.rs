@@ -36,7 +36,7 @@ fn bit_identical_across_comm_configs() {
                     },
                     ..base
                 };
-                let run = run_distributed(&g, p, EDISON.lacc_model(), &opts);
+                let run = run_distributed(&g, p, EDISON.lacc_model(), &opts).unwrap();
                 assert_eq!(run.labels, serial.labels, "p={p} algo={algo:?} hot={hot}");
             }
         }
@@ -50,8 +50,8 @@ fn machine_model_does_not_change_results() {
         permute: false,
         ..LaccOpts::default()
     };
-    let a = run_distributed(&g, 9, EDISON.lacc_model(), &opts);
-    let b = run_distributed(&g, 9, CORI_KNL.flat_model(), &opts);
+    let a = run_distributed(&g, 9, EDISON.lacc_model(), &opts).unwrap();
+    let b = run_distributed(&g, 9, CORI_KNL.flat_model(), &opts).unwrap();
     assert_eq!(a.labels, b.labels);
     // Modeled time must differ (KNL flat is slower per the model).
     assert!(b.modeled_total_s > a.modeled_total_s);
@@ -60,7 +60,7 @@ fn machine_model_does_not_change_results() {
 #[test]
 fn permutation_changes_work_not_answer() {
     let g = metagenome_graph(1500, 6, 0.01, 8);
-    let with = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default());
+    let with = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
     let without = run_distributed(
         &g,
         16,
@@ -69,7 +69,8 @@ fn permutation_changes_work_not_answer() {
             permute: false,
             ..LaccOpts::default()
         },
-    );
+    )
+    .unwrap();
     use lacc_suite::graph::unionfind::canonicalize_labels;
     assert_eq!(
         canonicalize_labels(&with.labels),
@@ -80,8 +81,8 @@ fn permutation_changes_work_not_answer() {
 #[test]
 fn dense_as_and_lacc_agree_distributed() {
     let g = erdos_renyi_gnm(700, 900, 17);
-    let a = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::default());
-    let d = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::dense_as());
+    let a = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
+    let d = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::dense_as()).unwrap();
     use lacc_suite::graph::unionfind::canonicalize_labels;
     assert_eq!(
         canonicalize_labels(&a.labels),
@@ -89,8 +90,8 @@ fn dense_as_and_lacc_agree_distributed() {
     );
     // Sparsity must reduce modeled work on a many-component graph.
     let g = community_graph(4000, 200, 3.0, 1.4, 3);
-    let a = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default());
-    let d = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::dense_as());
+    let a = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
+    let d = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::dense_as()).unwrap();
     assert!(
         a.modeled_total_s < d.modeled_total_s,
         "sparsity should win: {} vs {}",

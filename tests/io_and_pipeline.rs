@@ -22,7 +22,8 @@ fn matrix_market_to_lacc_pipeline() {
         4,
         lacc_suite::dmsim::EDISON.lacc_model(),
         &LaccOpts::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(canonicalize_labels(&run.labels), ground_truth_labels(&g));
 }
 
@@ -46,7 +47,8 @@ fn permuted_pipeline_recovers_original_ids() {
         9,
         lacc_suite::dmsim::EDISON.lacc_model(),
         &LaccOpts::default(),
-    );
+    )
+    .unwrap();
     let labels_orig = perm.unpermute_labels(&run.labels);
     assert_eq!(canonicalize_labels(&labels_orig), ground_truth_labels(&g));
 }

@@ -65,7 +65,7 @@ proptest! {
     fn distributed_matches_serial_bitwise(g in arb_graph(80, 200)) {
         let opts = LaccOpts { permute: false, ..LaccOpts::default() };
         let serial = lacc::lacc_serial(&g, &opts);
-        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts);
+        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts).unwrap();
         prop_assert_eq!(dist.labels, serial.labels);
     }
 
@@ -83,7 +83,7 @@ proptest! {
         opts.dist.kernel_threads = threads;
         opts.dist.spmv_threshold = threshold;
         let serial = lacc::lacc_serial(&g, &opts);
-        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts);
+        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts).unwrap();
         prop_assert_eq!(dist.labels, serial.labels);
     }
 
