@@ -60,7 +60,7 @@ fn spmd(comm: &mut Comm, g: &CsrGraph, opts: &DistOpts) -> (Option<Vec<Vid>>, us
             .iter()
             .map(|&(u, m)| (f.get_local(u), m.min(f.get_local(u))))
             .collect();
-        changed += dist_assign(comm, &mut f, &hooks, MinUsize, opts) as u64;
+        changed += dist_assign(comm, &mut f, &hooks, MinUsize, opts).0 as u64;
 
         // Aggressive hooking: f[u] ← min(f[u], fn[u]).
         for &(u, m) in fn_vec.entries() {

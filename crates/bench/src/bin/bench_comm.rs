@@ -1,0 +1,213 @@
+//! Sender-side compaction benchmark: wire volume with and without the
+//! `DistOpts` compaction flags.
+//!
+//! Runs distributed LACC on a Graph500 RMAT graph (default scale 16 at
+//! p = 16) under a matrix of compaction configurations, all traced at
+//! collectives level, and writes `BENCH_comm.json` at the workspace root
+//! with per-configuration wire-volume metrics:
+//!
+//! * `words_sent` — 8-byte words sent over the whole run (summed final
+//!   cost snapshots).
+//! * `alltoall_words` — words moved (sent + received) inside `alltoallv`
+//!   spans only, the traffic the compaction layer targets. Under the
+//!   sparse all-to-all this includes its nested metadata exchange, which
+//!   makes the compacted numbers *conservative*.
+//! * `words_saved` — the observational counter summed over ranks.
+//!
+//! The headline ratio compares `DistOpts::naive()` against the same
+//! pairwise stack with only the three compaction flags turned on, so
+//! nothing but sender-side compaction differs. Labels are asserted
+//! bit-identical across every configuration.
+//!
+//! Environment overrides: `LACC_COMM_SCALE` (RMAT scale, default 16),
+//! `LACC_COMM_RANKS` (default 16), `LACC_COMM_EF` (edge factor, 16).
+
+use dmsim::{TraceLevel, TraceSink};
+use gblas::dist::DistOpts;
+use lacc::{run_distributed_traced, LaccOpts};
+use lacc_graph::generators::{rmat, RmatParams};
+use std::io::Write;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name}: bad value")))
+        .unwrap_or(default)
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from(".");
+        }
+    }
+}
+
+struct Row {
+    label: &'static str,
+    dedup: bool,
+    combine: bool,
+    compress: bool,
+    words_sent: u64,
+    alltoall_words: u64,
+    words_saved: u64,
+    modeled_s: f64,
+    iterations: usize,
+}
+
+fn main() {
+    let scale = env_or("LACC_COMM_SCALE", 16) as u32;
+    let ranks = env_or("LACC_COMM_RANKS", 16);
+    let ef = env_or("LACC_COMM_EF", 16);
+    let g = rmat(scale, ef, RmatParams::graph500(), 7);
+    eprintln!(
+        "[comm] RMAT scale {scale} ef {ef} at p={ranks}: n={} m={}",
+        g.num_vertices(),
+        g.num_directed_edges()
+    );
+    let model = lacc_bench::default_model();
+
+    // The naive §V-B stack, varying only the compaction flags, plus the
+    // fully optimized configuration for reference.
+    let naive = DistOpts::naive();
+    let configs: Vec<(&'static str, DistOpts)> = vec![
+        ("naive", naive),
+        (
+            "naive+dedup",
+            DistOpts {
+                dedup_requests: true,
+                ..naive
+            },
+        ),
+        (
+            "naive+combine",
+            DistOpts {
+                combine_assigns: true,
+                ..naive
+            },
+        ),
+        (
+            "naive+compress",
+            DistOpts {
+                compress_ids: true,
+                ..naive
+            },
+        ),
+        (
+            "naive+compaction",
+            DistOpts {
+                dedup_requests: true,
+                combine_assigns: true,
+                compress_ids: true,
+                ..naive
+            },
+        ),
+        ("optimized", DistOpts::optimized()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut labels: Option<Vec<usize>> = None;
+    for (label, dist) in configs {
+        let opts = LaccOpts {
+            dist,
+            ..LaccOpts::default()
+        };
+        let sink = TraceSink::new(TraceLevel::Collectives);
+        let run = run_distributed_traced(&g, ranks, model, &opts, Some(&sink))
+            .expect("distributed LACC rank panicked");
+        match &labels {
+            None => labels = Some(run.labels.clone()),
+            Some(reference) => assert_eq!(
+                reference, &run.labels,
+                "labels diverged under config {label}"
+            ),
+        }
+        let report = sink.report();
+        let words_sent: u64 = sink
+            .rank_traces()
+            .iter()
+            .map(|rt| rt.snapshot.words_sent)
+            .sum();
+        let alltoall_words: u64 = report
+            .per_kind
+            .iter()
+            .filter(|k| k.name.starts_with("alltoallv"))
+            .map(|k| k.words)
+            .sum();
+        eprintln!(
+            "  {label:>16}: words_sent={words_sent} alltoall={alltoall_words} \
+             saved={} modeled={:.2}ms",
+            report.words_saved,
+            run.modeled_total_s * 1e3
+        );
+        rows.push(Row {
+            label,
+            dedup: dist.dedup_requests,
+            combine: dist.combine_assigns,
+            compress: dist.compress_ids,
+            words_sent,
+            alltoall_words,
+            words_saved: report.words_saved,
+            modeled_s: run.modeled_total_s,
+            iterations: run.num_iterations(),
+        });
+    }
+
+    let naive_row = rows.iter().find(|r| r.label == "naive").expect("naive row");
+    let compacted = rows
+        .iter()
+        .find(|r| r.label == "naive+compaction")
+        .expect("compaction row");
+    let ratio = naive_row.alltoall_words as f64 / compacted.alltoall_words.max(1) as f64;
+    let sent_ratio = naive_row.words_sent as f64 / compacted.words_sent.max(1) as f64;
+    println!(
+        "all-to-all words: naive {} vs compacted {} ({ratio:.2}x); \
+         total sent {sent_ratio:.2}x",
+        naive_row.alltoall_words, compacted.alltoall_words
+    );
+    assert!(
+        ratio > 1.0,
+        "compaction must reduce all-to-all wire volume (got {ratio:.3}x)"
+    );
+
+    // Hand-rolled JSON (the workspace carries no serde).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"rmat_scale\": {scale},\n"));
+    json.push_str(&format!("  \"edge_factor\": {ef},\n"));
+    json.push_str(&format!("  \"ranks\": {ranks},\n"));
+    json.push_str(&format!("  \"vertices\": {},\n", g.num_vertices()));
+    json.push_str(&format!("  \"edges\": {},\n", g.num_directed_edges()));
+    json.push_str("  \"labels_identical\": true,\n");
+    json.push_str(&format!("  \"alltoall_reduction_vs_naive\": {ratio:.3},\n"));
+    json.push_str(&format!(
+        "  \"words_sent_reduction_vs_naive\": {sent_ratio:.3},\n"
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"dedup_requests\": {}, \"combine_assigns\": {}, \
+             \"compress_ids\": {}, \"words_sent\": {}, \"alltoall_words\": {}, \
+             \"words_saved\": {}, \"modeled_s\": {:.6}, \"iterations\": {}}}{}\n",
+            r.label,
+            r.dedup,
+            r.combine,
+            r.compress,
+            r.words_sent,
+            r.alltoall_words,
+            r.words_saved,
+            r.modeled_s,
+            r.iterations,
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = workspace_root().join("BENCH_comm.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_comm.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_comm.json");
+    println!("wrote {}", path.display());
+}

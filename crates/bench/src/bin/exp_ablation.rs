@@ -91,6 +91,36 @@ fn main() {
         run_cfg(&format!("hot threshold h = {h}"), opts);
     }
 
+    // 4. Sender-side compaction: all off, then each mechanism alone.
+    run_cfg(
+        "compaction off",
+        LaccOpts {
+            dist: DistOpts {
+                dedup_requests: false,
+                combine_assigns: false,
+                compress_ids: false,
+                ..DistOpts::default()
+            },
+            ..LaccOpts::default()
+        },
+    );
+    for (name, dedup, combine, compress) in [
+        ("compaction = dedup only", true, false, false),
+        ("compaction = combine only", false, true, false),
+        ("compaction = compress only", false, false, true),
+    ] {
+        let opts = LaccOpts {
+            dist: DistOpts {
+                dedup_requests: dedup,
+                combine_assigns: combine,
+                compress_ids: compress,
+                ..DistOpts::default()
+            },
+            ..LaccOpts::default()
+        };
+        run_cfg(name, opts);
+    }
+
     // Fully naive stack for reference.
     run_cfg("naive comm (pairwise, no bcast)", LaccOpts::naive_comm());
 

@@ -15,6 +15,8 @@ pub const USAGE: &str = "usage:
   lacc cc       <graph> [--algo lacc|unionfind|bfs|sv|labelprop|fastsv|multistep] [--out labels.txt]
   lacc cc-dist  <graph> --ranks P [--machine edison|cori] [--flat]
                 [--kernel-threads T] [--spmv-threshold F]
+                [--dedup-requests true|false] [--combine-assigns true|false]
+                [--compress-ids true|false] [--bitmap-density F]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
   lacc convert  <in> <out>
@@ -161,6 +163,12 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         // Input fill fraction above which mxv runs its SpMV-style kernel.
         .spmv_threshold(args.get_or("spmv-threshold", defaults.dist.spmv_threshold)?)
         .map_err(|e| e.to_string())?
+        // Sender-side compaction toggles (all on by default).
+        .dedup_requests(args.get_or("dedup-requests", defaults.dist.dedup_requests)?)
+        .combine_assigns(args.get_or("combine-assigns", defaults.dist.combine_assigns)?)
+        .compress_ids(args.get_or("compress-ids", defaults.dist.compress_ids)?)
+        .bitmap_density(args.get_or("bitmap-density", defaults.dist.compress_bitmap_density)?)
+        .map_err(|e| e.to_string())?
         .build();
     // Span tracing: --trace <path> emits Chrome-trace JSON (load it in
     // chrome://tracing or Perfetto) plus an aggregate per-rank report;
@@ -305,6 +313,28 @@ mod tests {
             "0.25",
         ]))
         .unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &bin,
+            "--ranks",
+            "4",
+            "--dedup-requests",
+            "false",
+            "--combine-assigns",
+            "false",
+            "--compress-ids",
+            "false",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &bin,
+            "--ranks",
+            "4",
+            "--bitmap-density",
+            "0.5",
+        ]))
+        .unwrap();
 
         // Converted graphs must describe the same structure.
         let a = CsrGraph::from_edges(load_edges(Path::new(&mtx)).unwrap());
@@ -322,6 +352,8 @@ mod tests {
         assert!(dispatch(&argv(&["cc-dist", &p, "--kernel-threads", "zig"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--kernel-threads", "0"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--trace-level", "verbose"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--bitmap-density", "1.5"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--dedup-requests", "maybe"])).is_err());
     }
 
     #[test]

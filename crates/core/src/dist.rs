@@ -13,8 +13,8 @@ use crate::stats::{IterStats, LaccRun, StepBreakdown};
 use crate::Vid;
 use dmsim::{run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, SpanKind, TraceSink};
 use gblas::dist::{
-    dist_assign, dist_extract, dist_mxv, dist_mxv_dense, DistMask, DistMat, DistOpts, DistSpVec,
-    DistVec, VecLayout,
+    dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, plan_requests,
+    DistMask, DistMat, DistOpts, DistSpVec, DistVec, VecLayout,
 };
 use gblas::{AndBool, MinUsize};
 use lacc_graph::permute::Permutation;
@@ -57,9 +57,12 @@ fn starcheck_dist(
         star.local_mut()[o] = true;
     }
     comm.charge_compute(local_active.len() as u64 + 1);
-    // Grandparents of active vertices: gf[v] = f[f[v]].
+    // Grandparents of active vertices: gf[v] = f[f[v]]. Both extracts
+    // below use the identical request list over same-layout vectors, so
+    // the owner bucketing (and dedup) is planned once and reused.
     let reqs: Vec<Vid> = local_active.iter().map(|&o| f.local()[o]).collect();
-    let (gfs, st1) = dist_extract(comm, f, &reqs, dist_opts);
+    let plan = plan_requests(comm, f.layout(), &reqs, dist_opts);
+    let (gfs, st1) = dist_extract_planned(comm, f, &plan, dist_opts);
     let mut demote: Vec<(Vid, bool)> = Vec::new();
     for (&o, &gf) in local_active.iter().zip(&gfs) {
         if f.local()[o] != gf {
@@ -70,7 +73,7 @@ fn starcheck_dist(
     comm.charge_compute(local_active.len() as u64 + 1);
     dist_assign(comm, star, &demote, AndBool, dist_opts);
     // star[v] ← star[v] ∧ star[f[v]].
-    let (parent_star, st2) = dist_extract(comm, star, &reqs, dist_opts);
+    let (parent_star, st2) = dist_extract_planned(comm, star, &plan, dist_opts);
     for (&o, &ps) in local_active.iter().zip(&parent_star) {
         star.local_mut()[o] = star.local_mut()[o] && ps;
     }
@@ -199,7 +202,7 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
                 (fv, lo.min(fv))
             })
             .collect();
-        rec.cond_changed = dist_assign(comm, &mut f, &updates, MinUsize, &opts.dist) as u64;
+        rec.cond_changed = dist_assign(comm, &mut f, &updates, MinUsize, &opts.dist).0 as u64;
         rec.modeled.cond_s += comm.span_close(span);
 
         let span = comm.span_open(SpanKind::Starcheck);
@@ -235,7 +238,7 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             .iter()
             .map(|&(v, m)| (f.get_local(v), m))
             .collect();
-        rec.uncond_changed = dist_assign(comm, &mut f, &updates2, MinUsize, &opts.dist) as u64;
+        rec.uncond_changed = dist_assign(comm, &mut f, &updates2, MinUsize, &opts.dist).0 as u64;
         rec.modeled.uncond_s += comm.span_close(span);
 
         let span = comm.span_open(SpanKind::Starcheck);

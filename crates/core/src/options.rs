@@ -249,6 +249,49 @@ impl LaccOptsBuilder {
         self
     }
 
+    /// Enables or disables sender-side request dedup in `extract`.
+    pub fn dedup_requests(mut self, on: bool) -> Self {
+        self.opts.dist.dedup_requests = on;
+        self
+    }
+
+    /// Enables or disables sender-side monoid pre-combining in `assign`.
+    pub fn combine_assigns(mut self, on: bool) -> Self {
+        self.opts.dist.combine_assigns = on;
+        self
+    }
+
+    /// Enables or disables delta/bitmap compression of exchanged id lists.
+    pub fn compress_ids(mut self, on: bool) -> Self {
+        self.opts.dist.compress_ids = on;
+        self
+    }
+
+    /// Unique-offsets-per-span density at or above which a compressed
+    /// bucket may use the bitmap encoding. Must be a finite value in
+    /// `0.0..=1.0` (`0.0` always allows the bitmap, `1.0` effectively
+    /// forces delta encoding except for fully contiguous buckets).
+    pub fn bitmap_density(mut self, d: f64) -> Result<Self, OptsError> {
+        if !d.is_finite() || !(0.0..=1.0).contains(&d) {
+            return Err(OptsError::new(
+                "bitmap-density",
+                format!("{d} is not in 0.0..=1.0"),
+            ));
+        }
+        self.opts.dist.compress_bitmap_density = d;
+        Ok(self)
+    }
+
+    /// Request-bucket length at or above which dedup switches from
+    /// sort-and-dedup to the hash-set path. Must be at least 1.
+    pub fn dedup_hash_threshold(mut self, k: usize) -> Result<Self, OptsError> {
+        if k == 0 {
+            return Err(OptsError::new("dedup-hash-threshold", "must be at least 1"));
+        }
+        self.opts.dist.dedup_hash_threshold = k;
+        Ok(self)
+    }
+
     /// Finishes the builder. Infallible: every fallible setter already
     /// validated its value.
     pub fn build(self) -> LaccOpts {
@@ -315,6 +358,13 @@ mod tests {
             .permute(false)
             .permute_seed(7)
             .cyclic_vectors(true)
+            .dedup_requests(false)
+            .combine_assigns(false)
+            .compress_ids(false)
+            .bitmap_density(0.125)
+            .unwrap()
+            .dedup_hash_threshold(512)
+            .unwrap()
             .build();
         assert!(!o.use_sparsity);
         assert_eq!(o.dense_threshold, 0.25);
@@ -327,6 +377,11 @@ mod tests {
         assert!(!o.permute);
         assert_eq!(o.permute_seed, 7);
         assert!(o.cyclic_vectors);
+        assert!(!o.dist.dedup_requests);
+        assert!(!o.dist.combine_assigns);
+        assert!(!o.dist.compress_ids);
+        assert_eq!(o.dist.compress_bitmap_density, 0.125);
+        assert_eq!(o.dist.dedup_hash_threshold, 512);
     }
 
     #[test]
@@ -346,5 +401,28 @@ mod tests {
         assert!(LaccOpts::builder().hot_threshold(f64::INFINITY).is_ok());
         let err = LaccOpts::builder().max_iters(0).unwrap_err();
         assert_eq!(err.to_string(), "invalid max-iters: must be at least 1");
+        assert_eq!(
+            LaccOpts::builder().bitmap_density(1.5).unwrap_err().field(),
+            "bitmap-density"
+        );
+        assert!(LaccOpts::builder().bitmap_density(-0.1).is_err());
+        assert!(LaccOpts::builder().bitmap_density(f64::NAN).is_err());
+        assert_eq!(
+            LaccOpts::builder()
+                .dedup_hash_threshold(0)
+                .unwrap_err()
+                .field(),
+            "dedup-hash-threshold"
+        );
+    }
+
+    #[test]
+    fn naive_comm_disables_compaction() {
+        let o = LaccOpts::naive_comm();
+        assert!(!o.dist.dedup_requests);
+        assert!(!o.dist.combine_assigns);
+        assert!(!o.dist.compress_ids);
+        let d = LaccOpts::default();
+        assert!(d.dist.dedup_requests && d.dist.combine_assigns && d.dist.compress_ids);
     }
 }

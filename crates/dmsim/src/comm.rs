@@ -294,6 +294,15 @@ impl Comm {
         self.snap.words_sent += words;
     }
 
+    /// Records `words` of communication volume that sender-side compaction
+    /// (request dedup, monoid pre-combining, id compression) kept off the
+    /// wire. Purely observational: it feeds [`CostSnapshot::words_saved`]
+    /// and the trace report, never the clock — the savings themselves are
+    /// already realized by the smaller payloads actually sent.
+    pub fn note_words_saved(&mut self, words: u64) {
+        self.snap.words_saved += words;
+    }
+
     /// Takes a recycled scratch buffer (empty `Vec<T>`, capacity
     /// preserved) from this rank's [`BufferPool`]. The guard returns the
     /// buffer to the pool when dropped; [`PooledBuf::detach`] moves the

@@ -137,6 +137,10 @@ pub struct CostSnapshot {
     pub words_sent: u64,
     /// 8-byte words this rank received.
     pub words_received: u64,
+    /// 8-byte words this rank *avoided* sending through sender-side
+    /// compaction (request dedup, monoid pre-combining, id compression).
+    /// Observational only — never contributes to the clock.
+    pub words_saved: u64,
 }
 
 impl CostSnapshot {
@@ -149,6 +153,7 @@ impl CostSnapshot {
             messages_sent: self.messages_sent - earlier.messages_sent,
             words_sent: self.words_sent - earlier.words_sent,
             words_received: self.words_received - earlier.words_received,
+            words_saved: self.words_saved - earlier.words_saved,
         }
     }
 }
@@ -194,6 +199,7 @@ mod tests {
             messages_sent: 10,
             words_sent: 100,
             words_received: 50,
+            words_saved: 0,
         };
         let b = CostSnapshot {
             clock_s: 3.0,
@@ -202,9 +208,11 @@ mod tests {
             messages_sent: 30,
             words_sent: 400,
             words_received: 250,
+            words_saved: 7,
         };
         let d = b.since(&a);
         assert_eq!(d.messages_sent, 20);
+        assert_eq!(d.words_saved, 7);
         assert!((d.clock_s - 2.0).abs() < 1e-12);
     }
 

@@ -49,7 +49,8 @@ pub mod trace;
 
 pub use collectives::AllToAll;
 pub use comm::{
-    run_spmd, run_spmd_traced, run_spmd_with_model, BufferPool, Comm, DmsimError, Group, PooledBuf,
+    run_spmd, run_spmd_traced, run_spmd_with_model, words_of, BufferPool, Comm, DmsimError, Group,
+    PooledBuf,
 };
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;

@@ -327,9 +327,11 @@ impl TraceSink {
         let mut per_kind: Vec<KindTotals> = Vec::new();
         let mut rank_time_s = vec![0.0f64; p];
         let mut rank_words = vec![0u64; p];
+        let mut words_saved = 0u64;
         for (i, rt) in ranks.iter().enumerate() {
             rank_time_s[i] = rt.snapshot.clock_s;
             rank_words[i] = rt.snapshot.words_sent + rt.snapshot.words_received;
+            words_saved += rt.snapshot.words_saved;
             for sp in &rt.spans {
                 let name = sp.kind.name();
                 let entry = match per_kind.iter_mut().find(|k| k.name == name) {
@@ -363,6 +365,7 @@ impl TraceSink {
             per_kind,
             rank_time_s,
             rank_words,
+            words_saved,
             load_imbalance: if mean_t > 0.0 { max_t / mean_t } else { 1.0 },
         }
     }
@@ -400,6 +403,9 @@ pub struct TraceReport {
     pub rank_time_s: Vec<f64>,
     /// Words sent + received per rank (the comm-volume histogram).
     pub rank_words: Vec<u64>,
+    /// Total words kept off the wire by sender-side compaction, summed
+    /// over all ranks (see [`CostSnapshot::words_saved`]).
+    pub words_saved: u64,
     /// `max(rank time) / mean(rank time)` — 1.0 is perfectly balanced.
     pub load_imbalance: f64,
 }
@@ -425,6 +431,13 @@ impl TraceReport {
             max_t * 1e3,
             self.load_imbalance
         );
+        if self.words_saved > 0 {
+            let _ = writeln!(
+                s,
+                "  sender-side compaction kept {} words off the wire",
+                self.words_saved
+            );
+        }
         let mut kinds = self.per_kind.clone();
         kinds.sort_by(|a, b| b.time_s.total_cmp(&a.time_s));
         if !kinds.is_empty() {

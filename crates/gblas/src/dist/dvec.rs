@@ -15,7 +15,7 @@
 
 use crate::serial::SparseVec;
 use crate::Vid;
-use dmsim::{Comm, Grid2d};
+use dmsim::{Comm, Grid2d, PooledBuf};
 
 /// Even split of `0..n` into `parts` contiguous blocks; block `k` is
 /// `[k·n/parts, (k+1)·n/parts)`.
@@ -187,6 +187,23 @@ impl VecLayout {
                 self.rank_of_chunk(g % self.grid.size())
             }
         }
+    }
+
+    /// Buckets `(global id, payload)` items by owning rank in one pass,
+    /// into RAII-pooled buffers (they recycle on drop). The shared first
+    /// step of extract request planning, `dist_assign` routing, and the
+    /// `mxv` reduce scatter.
+    pub fn bucket_by_owner<P: Copy + Send + 'static>(
+        &self,
+        comm: &Comm,
+        items: impl Iterator<Item = (Vid, P)>,
+    ) -> Vec<PooledBuf<(Vid, P)>> {
+        let mut buckets: Vec<PooledBuf<(Vid, P)>> =
+            (0..self.grid.size()).map(|_| comm.pooled_buf()).collect();
+        for (g, it) in items {
+            buckets[self.owner_of(g)].push((g, it));
+        }
+        buckets
     }
 }
 

@@ -11,6 +11,7 @@
 //!   `extract`, `assign`, each matching its serial counterpart
 //!   bit-for-bit, with the paper's §V-B communication optimizations.
 
+pub mod compact;
 pub mod dmat;
 pub mod dvec;
 pub mod ops;
@@ -18,6 +19,6 @@ pub mod ops;
 pub use dmat::DistMat;
 pub use dvec::{DistSpVec, DistVec, Distribution, VecLayout};
 pub use ops::{
-    dist_assign, dist_extract, dist_mxv, dist_mxv_dense, dist_mxv_sparse, DistMask, DistOpts,
-    ExtractStats,
+    dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, dist_mxv_sparse,
+    plan_requests, AssignStats, DistMask, DistOpts, ExtractStats, RequestPlan,
 };

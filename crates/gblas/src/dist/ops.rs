@@ -16,12 +16,13 @@
 //! All primitives are bit-identical to their serial counterparts in
 //! [`crate::serial`]; the test module checks this across grid sizes.
 
+use super::compact;
 use super::dmat::DistMat;
 use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
 use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
-use dmsim::{AllToAll, Comm, PooledBuf, SpanKind};
+use dmsim::{words_of, AllToAll, Comm, PooledBuf, SpanKind};
 use std::collections::HashMap;
 
 /// Tuning knobs for the distributed primitives (the paper's §V-B levers
@@ -47,32 +48,75 @@ pub struct DistOpts {
     /// below it, the SpMSpV per-entry kernel. Mirrors the internal dispatch
     /// of the paper's `GrB_mxv`.
     pub spmv_threshold: f64,
+    /// Sender-side request dedup in [`dist_extract`]: each per-destination
+    /// bucket carries every unique id once, and each unique reply is
+    /// scattered back to all originating request positions. Bit-identical
+    /// to the naive exchange (grandparent lookups `f[f[v]]` repeat the
+    /// same parent once per child, so this collapses most of LACC's
+    /// extract traffic).
+    pub dedup_requests: bool,
+    /// Sender-side pre-combining in [`dist_assign`]: per-destination
+    /// `(id, value)` updates folded through the op's monoid before the
+    /// exchange, so each target index crosses the wire at most once.
+    /// Bit-identical for associative monoids (pre-combining one sender's
+    /// bucket only re-associates — never reorders — the receiver's fold).
+    pub combine_assigns: bool,
+    /// Compressed id streams: sorted per-bucket id lists cross the wire
+    /// delta-varint- or bitmap-encoded ([`super::compact`]) as local
+    /// offsets on the destination rank. The exchange sends the encoded
+    /// bytes themselves, so modeled time reflects the compressed size.
+    pub compress_ids: bool,
+    /// Unique-offsets-per-span density at or above which a compressed
+    /// bucket may switch from delta-varint to bitmap encoding (the encoder
+    /// still requires the bitmap to actually be smaller).
+    pub compress_bitmap_density: f64,
+    /// Request buckets at least this long dedup through a hash set (one
+    /// linear pass plus a sort of the unique ids); shorter buckets
+    /// sort-and-dedup in place.
+    pub dedup_hash_threshold: usize,
 }
 
 impl Default for DistOpts {
     fn default() -> Self {
         // The optimized LACC configuration: sparse all-to-all (hypercube
-        // metadata exchange) + hot-rank broadcasts.
+        // metadata exchange), hot-rank broadcasts, and the full
+        // sender-side compaction stack.
         DistOpts {
             alltoall: AllToAll::Sparse,
             hot_bcast: true,
             hot_threshold: 4.0,
             kernel_threads: 1,
             spmv_threshold: 0.5,
+            dedup_requests: true,
+            combine_assigns: true,
+            compress_ids: true,
+            compress_bitmap_density: 1.0 / 16.0,
+            dedup_hash_threshold: 2048,
         }
     }
 }
 
 impl DistOpts {
     /// The unoptimized baseline: MPI_Alltoallv-style pairwise exchange, no
-    /// broadcast fallback — what §V-B says stopped scaling past 1024 ranks.
+    /// broadcast fallback — what §V-B says stopped scaling past 1024
+    /// ranks — and no sender-side compaction.
     pub fn naive() -> Self {
         DistOpts {
             alltoall: AllToAll::Pairwise,
             hot_bcast: false,
             hot_threshold: f64::INFINITY,
+            dedup_requests: false,
+            combine_assigns: false,
+            compress_ids: false,
             ..DistOpts::default()
         }
+    }
+
+    /// The fully optimized configuration (an explicit alias of `Default`):
+    /// sparse all-to-all, hot-rank broadcasts, and all sender-side
+    /// compaction flags on.
+    pub fn optimized() -> Self {
+        DistOpts::default()
     }
 }
 
@@ -100,10 +144,32 @@ impl DistMask<'_> {
 /// Statistics from one [`dist_extract`] call (Figure 3's data).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExtractStats {
-    /// Requests this rank received and answered point-to-point.
+    /// Requests this rank received and answered point-to-point (after
+    /// senders deduped, when [`DistOpts::dedup_requests`] is on).
     pub received_requests: u64,
     /// Whether this rank took the broadcast fallback.
     pub did_broadcast: bool,
+    /// 8-byte words this rank kept off the wire by request dedup (ids out
+    /// plus replies back, relative to the naive all-to-all; hot-broadcast
+    /// buckets excluded). Zero when `dedup_requests` is off.
+    pub dedup_saved_words: u64,
+    /// Words saved by delta/bitmap encoding of the request id streams.
+    /// Zero when `compress_ids` is off.
+    pub compress_saved_words: u64,
+}
+
+/// Statistics from one [`dist_assign`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Updates this rank received (after senders pre-combined, when
+    /// [`DistOpts::combine_assigns`] is on).
+    pub received_updates: u64,
+    /// 8-byte words this rank kept off the wire by monoid pre-combining.
+    /// Zero when `combine_assigns` is off.
+    pub combine_saved_words: u64,
+    /// Words saved by id compression of the update exchange. Zero when
+    /// `compress_ids` is off.
+    pub compress_saved_words: u64,
 }
 
 /// Scatters locally produced `(global row, value)` results to their layout
@@ -122,12 +188,8 @@ where
     T: Copy + Send + 'static,
     M: Monoid<T>,
 {
-    let p = comm.size();
     let world = comm.world();
-    let mut buckets: Vec<PooledBuf<(Vid, T)>> = (0..p).map(|_| comm.pooled_buf()).collect();
-    for (g, v) in produced {
-        buckets[layout.owner_of(g)].push((g, v));
-    }
+    let buckets = layout.bucket_by_owner(comm, produced.into_iter());
     let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
     let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
     let mut merged: HashMap<Vid, T> = HashMap::new();
@@ -724,6 +786,137 @@ where
     spmspv_reduce_and_transpose(comm, a, layout, &acc, touched, mask, monoid, opts)
 }
 
+/// The owner-bucketing of one extract request list, computed once by
+/// [`plan_requests`] and reusable across several [`dist_extract_planned`]
+/// calls over vectors sharing the layout (LACC's starcheck issues two
+/// back-to-back extracts with the identical grandparent request slice, so
+/// the plan is built once).
+///
+/// With [`DistOpts::dedup_requests`] each per-owner wire list carries
+/// every unique id once (sorted); `scatter` routes each reply back to all
+/// of its originating request positions. With only
+/// [`DistOpts::compress_ids`] the lists are sorted but keep duplicates;
+/// with neither flag they preserve request order — every combination is
+/// bit-identical to the unplanned exchange.
+pub struct RequestPlan {
+    layout: VecLayout,
+    n_requests: usize,
+    /// Per-owner ids as they will cross the wire.
+    wire_ids: Vec<Vec<Vid>>,
+    /// Per-owner `(index into wire_ids[o], original request position)`.
+    scatter: Vec<Vec<(u32, u32)>>,
+    /// Wire lists are sorted (dedup or compression was requested).
+    sorted: bool,
+    /// Wire lists are duplicate-free.
+    deduped: bool,
+}
+
+impl RequestPlan {
+    /// The layout the plan was built against.
+    pub fn layout(&self) -> VecLayout {
+        self.layout
+    }
+
+    /// Number of local requests the plan answers.
+    pub fn n_requests(&self) -> usize {
+        self.n_requests
+    }
+
+    /// Duplicate request ids this rank will *not* send, per owner.
+    fn removed(&self, o: usize) -> usize {
+        self.scatter[o].len() - self.wire_ids[o].len()
+    }
+
+    /// Total duplicate request ids collapsed by dedup on this rank.
+    pub fn duplicates_removed(&self) -> usize {
+        (0..self.wire_ids.len()).map(|o| self.removed(o)).sum()
+    }
+}
+
+/// Buckets `requests` by owning rank under `layout` and (per
+/// [`DistOpts::dedup_requests`] / [`DistOpts::compress_ids`]) sorts and
+/// dedups each bucket, recording the reply scatter. Charged as local
+/// compute; no communication happens here.
+pub fn plan_requests(
+    comm: &mut Comm,
+    layout: VecLayout,
+    requests: &[Vid],
+    opts: &DistOpts,
+) -> RequestPlan {
+    let p = comm.size();
+    assert!(
+        requests.len() < u32::MAX as usize,
+        "request list too long for the plan's u32 positions"
+    );
+    let sorted = opts.dedup_requests || opts.compress_ids;
+    let mut pairs = layout.bucket_by_owner(
+        comm,
+        requests.iter().enumerate().map(|(pos, &g)| (g, pos as u32)),
+    );
+    let mut wire_ids: Vec<Vec<Vid>> = Vec::with_capacity(p);
+    let mut scatter: Vec<Vec<(u32, u32)>> = Vec::with_capacity(p);
+    let mut ops = requests.len() as u64 + 1;
+    for bucket in pairs.iter_mut() {
+        let k = bucket.len();
+        if !sorted {
+            // Naive path: request order on the wire, sequential scatter.
+            wire_ids.push(bucket.iter().map(|&(g, _)| g).collect());
+            scatter.push(
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &(_, pos))| (w as u32, pos))
+                    .collect(),
+            );
+            continue;
+        }
+        if opts.dedup_requests && k >= opts.dedup_hash_threshold {
+            // Hash path: one linear pass collects unique ids, then only
+            // those are sorted — wins when duplication is heavy.
+            let mut uniq: HashMap<Vid, u32> = HashMap::with_capacity(k / 4);
+            for &(g, _) in bucket.iter() {
+                uniq.entry(g).or_insert(0);
+            }
+            let mut ids: Vec<Vid> = uniq.keys().copied().collect();
+            ids.sort_unstable();
+            for (w, &g) in ids.iter().enumerate() {
+                *uniq.get_mut(&g).expect("id just inserted") = w as u32;
+            }
+            let sc: Vec<(u32, u32)> = bucket.iter().map(|&(g, pos)| (uniq[&g], pos)).collect();
+            ops += 2 * k as u64 + ids.len() as u64;
+            wire_ids.push(ids);
+            scatter.push(sc);
+        } else {
+            // Sort path: sort the (id, position) pairs and walk the runs,
+            // collapsing equal ids only when dedup is on (compression
+            // alone needs sorted order but keeps duplicates).
+            let mut b: Vec<(Vid, u32)> = bucket.to_vec();
+            b.sort_unstable_by_key(|&(g, _)| g);
+            let mut ids: Vec<Vid> = Vec::with_capacity(k);
+            let mut sc: Vec<(u32, u32)> = Vec::with_capacity(k);
+            for (g, pos) in b {
+                let collapse = opts.dedup_requests && ids.last() == Some(&g);
+                if !collapse {
+                    ids.push(g);
+                }
+                sc.push((ids.len() as u32 - 1, pos));
+            }
+            ops += 2 * k as u64;
+            wire_ids.push(ids);
+            scatter.push(sc);
+        }
+    }
+    comm.charge_compute(ops);
+    RequestPlan {
+        layout,
+        n_requests: requests.len(),
+        wire_ids,
+        scatter,
+        sorted,
+        deduped: opts.dedup_requests,
+    }
+}
+
 /// Distributed gather (`GrB_extract` by index list): returns
 /// `src[requests[k]]` for each locally supplied request, in order.
 ///
@@ -731,6 +924,8 @@ where
 /// allreduced; owners whose incoming load exceeds `hot_threshold ×` their
 /// chunk size broadcast their chunk instead of answering point-to-point
 /// (then drop out of the all-to-all, which the sparse algorithm exploits).
+/// On top of that, the sender-side compaction flags in [`DistOpts`] dedup
+/// and compress what the all-to-all carries.
 pub fn dist_extract<T>(
     comm: &mut Comm,
     src: &DistVec<T>,
@@ -741,7 +936,26 @@ where
     T: Copy + Send + 'static,
 {
     let span = comm.span_open(SpanKind::Extract);
-    let out = extract_impl(comm, src, requests, opts);
+    let plan = plan_requests(comm, src.layout(), requests, opts);
+    let out = extract_impl(comm, src, &plan, opts);
+    comm.span_close(span);
+    out
+}
+
+/// [`dist_extract`] against a request plan built once with
+/// [`plan_requests`] — callers issuing several extracts with the same
+/// request list over same-layout vectors skip the repeated bucketing.
+pub fn dist_extract_planned<T>(
+    comm: &mut Comm,
+    src: &DistVec<T>,
+    plan: &RequestPlan,
+    opts: &DistOpts,
+) -> (Vec<T>, ExtractStats)
+where
+    T: Copy + Send + 'static,
+{
+    let span = comm.span_open(SpanKind::Extract);
+    let out = extract_impl(comm, src, plan, opts);
     comm.span_close(span);
     out
 }
@@ -749,34 +963,25 @@ where
 fn extract_impl<T>(
     comm: &mut Comm,
     src: &DistVec<T>,
-    requests: &[Vid],
+    plan: &RequestPlan,
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + 'static,
 {
     let layout = src.layout();
+    assert_eq!(layout, plan.layout, "plan built for a different layout");
     let p = comm.size();
     let me = comm.rank();
     let world = comm.world();
 
-    // Request buckets are RAII-pooled: they return to the pool when they
-    // drop at the end of this function, early return or not.
-    let mut req_ids: Vec<PooledBuf<Vid>> = (0..p).map(|_| comm.pooled_buf()).collect();
-    let mut req_pos: Vec<PooledBuf<usize>> = (0..p).map(|_| comm.pooled_buf()).collect();
-    for (pos, &g) in requests.iter().enumerate() {
-        let o = layout.owner_of(g);
-        req_ids[o].push(g);
-        req_pos[o].push(pos);
-    }
-    comm.charge_compute(requests.len() as u64 + 1);
-
-    let mut results: Vec<Option<T>> = vec![None; requests.len()];
+    let mut results: Vec<Option<T>> = vec![None; plan.n_requests];
     let mut stats = ExtractStats::default();
 
-    // Detect hot owners by global request totals.
+    // Detect hot owners by global request totals — counted post-dedup,
+    // i.e. by the traffic actually offered to each owner.
     let hot: Vec<bool> = if opts.hot_bcast && p > 1 {
-        let my_counts: Vec<u64> = req_ids.iter().map(|v| v.len() as u64).collect();
+        let my_counts: Vec<u64> = plan.wire_ids.iter().map(|v| v.len() as u64).collect();
         let totals = comm.allreduce_counted(&world, my_counts, p as u64, |a, b| {
             a.iter().zip(&b).map(|(x, y)| x + y).collect()
         });
@@ -796,41 +1001,85 @@ where
         if me == o {
             stats.did_broadcast = true;
         }
-        for (&g, &pos) in req_ids[o].iter().zip(req_pos[o].iter()) {
-            results[pos] = Some(chunk[layout.offset_of(o, g)]);
+        for &(w, pos) in &plan.scatter[o] {
+            results[pos as usize] = Some(chunk[layout.offset_of(o, plan.wire_ids[o][w as usize])]);
         }
-        comm.charge_compute(req_ids[o].len() as u64 + 1);
+        comm.charge_compute(plan.scatter[o].len() as u64 + 1);
     }
 
-    // Remaining requests go through the all-to-all.
-    let send: Vec<Vec<Vid>> = (0..p)
-        .map(|o| {
-            if hot[o] {
-                Vec::new()
-            } else {
-                req_ids[o].to_vec()
+    // Dedup savings relative to the naive exchange: every collapsed
+    // duplicate would have crossed the wire twice (id out, reply back).
+    for (o, &is_hot) in hot.iter().enumerate() {
+        if is_hot {
+            continue;
+        }
+        let removed = plan.removed(o);
+        stats.dedup_saved_words += words_of::<Vid>(removed) + words_of::<T>(removed);
+    }
+
+    // Remaining requests go through the all-to-all — as raw id words, or
+    // as delta/bitmap-encoded local offsets when compression is on (the
+    // owner's offsets are monotone in the global id under both layouts,
+    // and serving replies indexes the local slice directly).
+    let compress = opts.compress_ids && plan.sorted;
+    let replies: Vec<Vec<T>> = if compress {
+        let mut send: Vec<Vec<u8>> = Vec::with_capacity(p);
+        for (o, &is_hot) in hot.iter().enumerate() {
+            if is_hot || plan.wire_ids[o].is_empty() {
+                send.push(Vec::new());
+                continue;
             }
-        })
-        .collect();
-    let incoming = comm.alltoallv(&world, send, opts.alltoall);
-    stats.received_requests = incoming.iter().map(|v| v.len() as u64).sum();
-    let replies: Vec<Vec<T>> = incoming
-        .into_iter()
-        .map(|ids| {
-            // Adopt the id list so its allocation recycles after the reply
-            // is built.
-            let ids = comm.adopt_buf(ids);
-            ids.iter().map(|&g| src.get_local(g)).collect()
-        })
-        .collect();
+            let offs: Vec<usize> = plan.wire_ids[o]
+                .iter()
+                .map(|&g| layout.offset_of(o, g))
+                .collect();
+            let enc = compact::encode_offsets(&offs, plan.deduped, opts.compress_bitmap_density);
+            stats.compress_saved_words +=
+                words_of::<Vid>(offs.len()).saturating_sub(words_of::<u8>(enc.len()));
+            send.push(enc);
+        }
+        comm.charge_compute(plan.wire_ids.iter().map(|v| v.len() as u64).sum::<u64>() + 1);
+        let incoming = comm.alltoallv(&world, send, opts.alltoall);
+        incoming
+            .into_iter()
+            .map(|bytes| {
+                let bytes = comm.adopt_buf(bytes);
+                let offs = compact::decode_offsets(&bytes);
+                stats.received_requests += offs.len() as u64;
+                offs.iter().map(|&off| src.local()[off]).collect()
+            })
+            .collect()
+    } else {
+        let send: Vec<Vec<Vid>> = (0..p)
+            .map(|o| {
+                if hot[o] {
+                    Vec::new()
+                } else {
+                    plan.wire_ids[o].clone()
+                }
+            })
+            .collect();
+        let incoming = comm.alltoallv(&world, send, opts.alltoall);
+        incoming
+            .into_iter()
+            .map(|ids| {
+                // Adopt the id list so its allocation recycles after the
+                // reply is built.
+                let ids = comm.adopt_buf(ids);
+                stats.received_requests += ids.len() as u64;
+                ids.iter().map(|&g| src.get_local(g)).collect()
+            })
+            .collect()
+    };
     comm.charge_compute(stats.received_requests + 1);
+    comm.note_words_saved(stats.dedup_saved_words + stats.compress_saved_words);
     let reply_back = comm.alltoallv(&world, replies, opts.alltoall);
     for o in 0..p {
         if hot[o] {
             continue;
         }
-        for (k, &pos) in req_pos[o].iter().enumerate() {
-            results[pos] = Some(reply_back[o][k]);
+        for &(w, pos) in &plan.scatter[o] {
+            results[pos as usize] = Some(reply_back[o][w as usize]);
         }
     }
     (
@@ -847,15 +1096,16 @@ where
 /// targets (across all ranks) are resolved deterministically through the
 /// monoid, mirroring [`crate::serial::assign`].
 ///
-/// Returns the number of *locally owned* elements whose value changed;
-/// callers allreduce this for the global convergence test.
+/// Returns the number of *locally owned* elements whose value changed
+/// (callers allreduce this for the global convergence test) and the
+/// per-rank [`AssignStats`].
 pub fn dist_assign<T, M>(
     comm: &mut Comm,
     dst: &mut DistVec<T>,
     updates: &[(Vid, T)],
     monoid: M,
     opts: &DistOpts,
-) -> usize
+) -> (usize, AssignStats)
 where
     T: Copy + Send + PartialEq + 'static,
     M: Monoid<T>,
@@ -872,34 +1122,102 @@ fn assign_impl<T, M>(
     updates: &[(Vid, T)],
     monoid: M,
     opts: &DistOpts,
-) -> usize
+) -> (usize, AssignStats)
 where
     T: Copy + Send + PartialEq + 'static,
     M: Monoid<T>,
 {
     let layout = dst.layout();
-    let p = comm.size();
+    let me = comm.rank();
     let world = comm.world();
-    let mut buckets: Vec<PooledBuf<(Vid, T)>> = (0..p).map(|_| comm.pooled_buf()).collect();
-    for &(g, v) in updates {
-        buckets[layout.owner_of(g)].push((g, v));
-    }
+    let mut stats = AssignStats::default();
+    let raw = layout.bucket_by_owner(comm, updates.iter().copied());
     comm.charge_compute(updates.len() as u64 + 1);
-    let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
-    let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
+
+    // Sender-side pre-combining: fold duplicate targets through the
+    // monoid in arrival order — re-associating, never reordering, the
+    // receiver's fold, so the result is bit-identical for associative
+    // monoids — then sort by id. Compression alone sorts *stably*
+    // (preserving per-target arrival order) so the offset stream is
+    // monotone without changing what the receiver folds.
+    let mut ops = 1u64;
+    let buckets: Vec<Vec<(Vid, T)>> = raw
+        .into_iter()
+        .map(|b| {
+            let b = b.detach();
+            if opts.combine_assigns {
+                let before = b.len();
+                let mut m: HashMap<Vid, T> = HashMap::with_capacity(before.min(1024));
+                for (g, v) in b {
+                    m.entry(g)
+                        .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                        .or_insert(v);
+                }
+                let mut c: Vec<(Vid, T)> = m.into_iter().collect();
+                c.sort_unstable_by_key(|&(g, _)| g);
+                ops += before as u64 + c.len() as u64;
+                stats.combine_saved_words += words_of::<(Vid, T)>(before - c.len());
+                c
+            } else if opts.compress_ids {
+                let mut b = b;
+                b.sort_by_key(|&(g, _)| g);
+                ops += b.len() as u64;
+                b
+            } else {
+                b
+            }
+        })
+        .collect();
+    comm.charge_compute(ops);
+
     let mut combined: HashMap<Vid, T> = HashMap::new();
     let mut nops = 0u64;
-    for part in incoming {
-        let part = comm.adopt_buf(part);
-        nops += part.len() as u64;
-        for &(g, v) in part.iter() {
-            combined
-                .entry(g)
-                .and_modify(|acc| *acc = monoid.combine(*acc, v))
-                .or_insert(v);
+    if opts.compress_ids {
+        // Ids cross the wire as encoded local offsets; values ride in a
+        // parallel (position-aligned) exchange.
+        let mut id_bufs: Vec<Vec<u8>> = Vec::with_capacity(buckets.len());
+        let mut val_bufs: Vec<Vec<T>> = Vec::with_capacity(buckets.len());
+        for (o, b) in buckets.iter().enumerate() {
+            let offs: Vec<usize> = b.iter().map(|&(g, _)| layout.offset_of(o, g)).collect();
+            let enc =
+                compact::encode_offsets(&offs, opts.combine_assigns, opts.compress_bitmap_density);
+            let raw_words = words_of::<(Vid, T)>(b.len());
+            let sent_words = words_of::<u8>(enc.len()) + words_of::<T>(b.len());
+            stats.compress_saved_words += raw_words.saturating_sub(sent_words);
+            id_bufs.push(enc);
+            val_bufs.push(b.iter().map(|&(_, v)| v).collect());
+        }
+        let in_ids = comm.alltoallv(&world, id_bufs, opts.alltoall);
+        let in_vals = comm.alltoallv(&world, val_bufs, opts.alltoall);
+        for (bytes, vals) in in_ids.into_iter().zip(in_vals) {
+            let bytes = comm.adopt_buf(bytes);
+            let vals = comm.adopt_buf(vals);
+            let offs = compact::decode_offsets(&bytes);
+            debug_assert_eq!(offs.len(), vals.len(), "id/value streams misaligned");
+            nops += offs.len() as u64;
+            for (&off, &v) in offs.iter().zip(vals.iter()) {
+                combined
+                    .entry(layout.global_of(me, off))
+                    .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                    .or_insert(v);
+            }
+        }
+    } else {
+        let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
+        for part in incoming {
+            let part = comm.adopt_buf(part);
+            nops += part.len() as u64;
+            for &(g, v) in part.iter() {
+                combined
+                    .entry(g)
+                    .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                    .or_insert(v);
+            }
         }
     }
+    stats.received_updates = nops;
     comm.charge_compute(nops + 1);
+    comm.note_words_saved(stats.combine_saved_words + stats.compress_saved_words);
     let mut changed = 0;
     for (g, v) in combined {
         if dst.get_local(g) != v {
@@ -907,7 +1225,7 @@ where
             changed += 1;
         }
     }
-    changed
+    (changed, stats)
 }
 
 #[cfg(test)]
@@ -1200,5 +1518,102 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out[0], init);
+    }
+
+    /// Issues `copies` duplicates of every request/update on each rank and
+    /// returns the per-rank (extract stats, assign stats, snapshot
+    /// words_saved) under the given options.
+    fn compaction_savings(copies: usize, opts: DistOpts) -> Vec<(ExtractStats, AssignStats, u64)> {
+        let n = 64;
+        let p = 4;
+        run_spmd(p, move |c| {
+            let layout = VecLayout::new(n, Grid2d::square(p));
+            let src = DistVec::from_fn(layout, c.rank(), |g| g * 3 % n);
+            let mut reqs = Vec::new();
+            let mut upds = Vec::new();
+            for g in (0..n).step_by(2) {
+                for _ in 0..copies {
+                    reqs.push(g);
+                    upds.push((g, g + c.rank()));
+                }
+            }
+            let opts = DistOpts {
+                hot_bcast: false,
+                ..opts
+            };
+            let (_, es) = dist_extract(c, &src, &reqs, &opts);
+            let mut dst = DistVec::from_fn(layout, c.rank(), |_| usize::MAX);
+            let (_, asgn) = dist_assign(c, &mut dst, &upds, MinUsize, &opts);
+            (es, asgn, c.snapshot().words_saved)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn savings_counters_zero_when_flags_off() {
+        for (es, asgn, noted) in compaction_savings(4, DistOpts::naive()) {
+            assert_eq!(es.dedup_saved_words, 0);
+            assert_eq!(es.compress_saved_words, 0);
+            assert_eq!(asgn.combine_saved_words, 0);
+            assert_eq!(asgn.compress_saved_words, 0);
+            assert_eq!(noted, 0);
+        }
+    }
+
+    #[test]
+    fn savings_counters_positive_and_monotone_in_duplication() {
+        // With duplicated traffic and all flags on, every mechanism must
+        // report savings, and quadrupling the duplication can only save
+        // more words.
+        let twice = compaction_savings(2, DistOpts::optimized());
+        let eight = compaction_savings(8, DistOpts::optimized());
+        for ((es2, as2, noted2), (es8, as8, noted8)) in twice.iter().zip(&eight) {
+            assert!(es2.dedup_saved_words > 0, "dedup saves on duplicates");
+            assert!(es2.compress_saved_words > 0, "ids compress");
+            assert!(as2.combine_saved_words > 0, "combine collapses updates");
+            assert_eq!(
+                *noted2,
+                es2.dedup_saved_words
+                    + es2.compress_saved_words
+                    + as2.combine_saved_words
+                    + as2.compress_saved_words,
+                "comm counter matches the per-op stats"
+            );
+            assert!(es8.dedup_saved_words >= es2.dedup_saved_words);
+            assert!(as8.combine_saved_words >= as2.combine_saved_words);
+            assert!(noted8 >= noted2, "savings are monotone in duplication");
+        }
+    }
+
+    #[test]
+    fn planned_extract_matches_unplanned() {
+        // starcheck reuses one request plan for two extracts; both must
+        // match independent dist_extract calls on the same requests.
+        let n = 72;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(47);
+        let all_requests: Vec<Vec<usize>> = (0..16)
+            .map(|_| (0..40).map(|_| rng.random_range(0..n) / 2).collect())
+            .collect();
+        for p in GRIDS {
+            for opts in [DistOpts::optimized(), DistOpts::naive()] {
+                let out = run_spmd(p, |c| {
+                    let layout = VecLayout::new(n, Grid2d::square(p));
+                    let a = DistVec::from_fn(layout, c.rank(), |g| g * 5 % n);
+                    let b = DistVec::from_fn(layout, c.rank(), |g| (g % 7 == 0) as usize);
+                    let reqs = &all_requests[c.rank()];
+                    let plan = plan_requests(c, a.layout(), reqs, &opts);
+                    let (pa, _) = dist_extract_planned(c, &a, &plan, &opts);
+                    let (pb, _) = dist_extract_planned(c, &b, &plan, &opts);
+                    let (ua, _) = dist_extract(c, &a, reqs, &opts);
+                    let (ub, _) = dist_extract(c, &b, reqs, &opts);
+                    (pa, pb, ua, ub)
+                })
+                .unwrap();
+                for (r, (pa, pb, ua, ub)) in out.into_iter().enumerate() {
+                    assert_eq!(pa, ua, "p={p} rank={r}");
+                    assert_eq!(pb, ub, "p={p} rank={r}");
+                }
+            }
+        }
     }
 }
