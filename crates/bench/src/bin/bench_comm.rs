@@ -14,10 +14,16 @@
 //!   makes the compacted numbers *conservative*.
 //! * `words_saved` — the observational counter summed over ranks.
 //!
+//! * `combined_words` — raw-word equivalent of entries merged *in
+//!   flight* at combining-hypercube hops (cross-sender duplicates the
+//!   sender-side flags cannot see).
+//!
 //! The headline ratio compares `DistOpts::naive()` against the same
 //! pairwise stack with only the three compaction flags turned on, so
-//! nothing but sender-side compaction differs. Labels are asserted
-//! bit-identical across every configuration.
+//! nothing but sender-side compaction differs; a second ratio stacks
+//! the in-flight combining collectives (+ fused starcheck + value RLE)
+//! on top, which must strictly beat sender-only compaction. Labels are
+//! asserted bit-identical across every configuration.
 //!
 //! Environment overrides: `LACC_COMM_SCALE` (RMAT scale, default 16),
 //! `LACC_COMM_RANKS` (default 16), `LACC_COMM_EF` (edge factor, 16).
@@ -52,9 +58,11 @@ struct Row {
     dedup: bool,
     combine: bool,
     compress: bool,
+    in_flight: bool,
     words_sent: u64,
     alltoall_words: u64,
     words_saved: u64,
+    combined_words: u64,
     modeled_s: f64,
     iterations: usize,
 }
@@ -106,6 +114,25 @@ fn main() {
                 ..naive
             },
         ),
+        (
+            "naive+combining",
+            DistOpts {
+                combine_in_flight: true,
+                ..naive
+            },
+        ),
+        (
+            "naive+compaction+combining",
+            DistOpts {
+                dedup_requests: true,
+                combine_assigns: true,
+                compress_ids: true,
+                combine_in_flight: true,
+                fuse_starcheck: true,
+                compress_values: true,
+                ..naive
+            },
+        ),
         ("optimized", DistOpts::optimized()),
     ];
 
@@ -132,6 +159,11 @@ fn main() {
             .iter()
             .map(|rt| rt.snapshot.words_sent)
             .sum();
+        let combined_words: u64 = sink
+            .rank_traces()
+            .iter()
+            .map(|rt| rt.snapshot.combined_words)
+            .sum();
         let alltoall_words: u64 = report
             .per_kind
             .iter()
@@ -139,8 +171,8 @@ fn main() {
             .map(|k| k.words)
             .sum();
         eprintln!(
-            "  {label:>16}: words_sent={words_sent} alltoall={alltoall_words} \
-             saved={} modeled={:.2}ms",
+            "  {label:>26}: words_sent={words_sent} alltoall={alltoall_words} \
+             saved={} combined={combined_words} modeled={:.2}ms",
             report.words_saved,
             run.modeled_total_s * 1e3
         );
@@ -149,9 +181,11 @@ fn main() {
             dedup: dist.dedup_requests,
             combine: dist.combine_assigns,
             compress: dist.compress_ids,
+            in_flight: dist.combine_in_flight,
             words_sent,
             alltoall_words,
             words_saved: report.words_saved,
+            combined_words,
             modeled_s: run.modeled_total_s,
             iterations: run.num_iterations(),
         });
@@ -173,6 +207,27 @@ fn main() {
         ratio > 1.0,
         "compaction must reduce all-to-all wire volume (got {ratio:.3}x)"
     );
+    let combining = rows
+        .iter()
+        .find(|r| r.label == "naive+compaction+combining")
+        .expect("combining row");
+    let combining_ratio = compacted.alltoall_words as f64 / combining.alltoall_words.max(1) as f64;
+    println!(
+        "combining + fused starcheck: {} words vs sender-only {} \
+         ({combining_ratio:.2}x further reduction, {} words merged in flight)",
+        combining.alltoall_words, compacted.alltoall_words, combining.combined_words
+    );
+    assert!(
+        combining.alltoall_words < compacted.alltoall_words,
+        "in-flight combining must strictly beat sender-only compaction \
+         ({} vs {})",
+        combining.alltoall_words,
+        compacted.alltoall_words
+    );
+    assert!(
+        combining.combined_words > 0,
+        "cross-sender duplicates must merge at the hypercube hops"
+    );
 
     // Hand-rolled JSON (the workspace carries no serde).
     let mut json = String::from("{\n");
@@ -186,19 +241,25 @@ fn main() {
     json.push_str(&format!(
         "  \"words_sent_reduction_vs_naive\": {sent_ratio:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"alltoall_reduction_combining_vs_sender_only\": {combining_ratio:.3},\n"
+    ));
     json.push_str("  \"configs\": [\n");
     for (k, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"label\": \"{}\", \"dedup_requests\": {}, \"combine_assigns\": {}, \
-             \"compress_ids\": {}, \"words_sent\": {}, \"alltoall_words\": {}, \
-             \"words_saved\": {}, \"modeled_s\": {:.6}, \"iterations\": {}}}{}\n",
+             \"compress_ids\": {}, \"combine_in_flight\": {}, \"words_sent\": {}, \
+             \"alltoall_words\": {}, \"words_saved\": {}, \"combined_words\": {}, \
+             \"modeled_s\": {:.6}, \"iterations\": {}}}{}\n",
             r.label,
             r.dedup,
             r.combine,
             r.compress,
+            r.in_flight,
             r.words_sent,
             r.alltoall_words,
             r.words_saved,
+            r.combined_words,
             r.modeled_s,
             r.iterations,
             if k + 1 < rows.len() { "," } else { "" }

@@ -6,6 +6,10 @@
 //! 1. **Vector sparsity** (Lemmas 1–2): LACC vs the dense-AS translation.
 //! 2. **All-to-all algorithm**: pairwise-exchange vs hypercube vs sparse.
 //! 3. **Hot-rank broadcast**: on vs off, plus a sweep of the threshold h.
+//!
+//! Two comm-layer extensions are ablated the same way: sender-side
+//! compaction (dedup / combine / compress, each alone) and the in-flight
+//! combining stack (combining hypercube, fused starcheck, value RLE).
 
 use dmsim::{AllToAll, EDISON};
 use gblas::dist::DistOpts;
@@ -114,6 +118,28 @@ fn main() {
                 dedup_requests: dedup,
                 combine_assigns: combine,
                 compress_ids: compress,
+                ..DistOpts::default()
+            },
+            ..LaccOpts::default()
+        };
+        run_cfg(name, opts);
+    }
+
+    // 5. In-flight combining: all off (sender-side compaction retained),
+    // then the combining stack layered back in. Fused starcheck rides on
+    // the combining route, so it only exists with `combine_in_flight`;
+    // value RLE also applies to the plain reply path and is ablated alone.
+    for (name, in_flight, fuse, rle) in [
+        ("combining off (sender-side only)", false, false, false),
+        ("combining = in-flight only", true, false, false),
+        ("combining = fused starcheck", true, true, false),
+        ("combining = value RLE only", false, false, true),
+    ] {
+        let opts = LaccOpts {
+            dist: DistOpts {
+                combine_in_flight: in_flight,
+                fuse_starcheck: fuse,
+                compress_values: rle,
                 ..DistOpts::default()
             },
             ..LaccOpts::default()

@@ -17,6 +17,8 @@ pub const USAGE: &str = "usage:
                 [--kernel-threads T] [--spmv-threshold F]
                 [--dedup-requests true|false] [--combine-assigns true|false]
                 [--compress-ids true|false] [--bitmap-density F]
+                [--combine-in-flight true|false] [--fuse-starcheck true|false]
+                [--compress-values true|false] [--out labels.txt]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
   lacc convert  <in> <out>
@@ -169,6 +171,10 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         .compress_ids(args.get_or("compress-ids", defaults.dist.compress_ids)?)
         .bitmap_density(args.get_or("bitmap-density", defaults.dist.compress_bitmap_density)?)
         .map_err(|e| e.to_string())?
+        // In-flight combining stack (all on by default).
+        .combine_in_flight(args.get_or("combine-in-flight", defaults.dist.combine_in_flight)?)
+        .fuse_starcheck(args.get_or("fuse-starcheck", defaults.dist.fuse_starcheck)?)
+        .compress_values(args.get_or("compress-values", defaults.dist.compress_values)?)
         .build();
     // Span tracing: --trace <path> emits Chrome-trace JSON (load it in
     // chrome://tracing or Perfetto) plus an aggregate per-rank report;
@@ -208,6 +214,17 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         std::fs::write(path, sink.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
         println!("{}", sink.report().render());
         println!("trace written to {path}");
+    }
+    if let Some(out) = args.options.get("out") {
+        // Raw parent labels, one `vertex label` line each — the CI smoke
+        // step byte-diffs these across flag configurations.
+        use std::io::Write;
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?);
+        for (v, l) in run.labels.iter().enumerate() {
+            writeln!(f, "{v} {l}").map_err(|e| e.to_string())?;
+        }
+        println!("labels written to {out}");
     }
     Ok(())
 }
@@ -335,6 +352,19 @@ mod tests {
             "0.5",
         ]))
         .unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &bin,
+            "--ranks",
+            "4",
+            "--combine-in-flight",
+            "false",
+            "--fuse-starcheck",
+            "false",
+            "--compress-values",
+            "false",
+        ]))
+        .unwrap();
 
         // Converted graphs must describe the same structure.
         let a = CsrGraph::from_edges(load_edges(Path::new(&mtx)).unwrap());
@@ -354,6 +384,40 @@ mod tests {
         assert!(dispatch(&argv(&["cc-dist", &p, "--trace-level", "verbose"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--bitmap-density", "1.5"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--dedup-requests", "maybe"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--combine-in-flight", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn cc_dist_labels_identical_with_combining_on_and_off() {
+        // The CI smoke check in miniature: the combining stack must not
+        // change a single output byte.
+        let dir = std::env::temp_dir().join("lacc-cli-test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n5 6\n6 7\n").unwrap();
+        let on = dir.join("on.txt").display().to_string();
+        let off = dir.join("off.txt").display().to_string();
+        dispatch(&argv(&["cc-dist", &p, "--ranks", "4", "--out", &on])).unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--combine-in-flight",
+            "false",
+            "--fuse-starcheck",
+            "false",
+            "--compress-values",
+            "false",
+            "--out",
+            &off,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&on).unwrap(),
+            std::fs::read(&off).unwrap(),
+            "combining changed the labels"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::Vid;
 use dmsim::{run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, SpanKind, TraceSink};
 use gblas::dist::{
     dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, plan_requests,
-    DistMask, DistMat, DistOpts, DistSpVec, DistVec, VecLayout,
+    DistMask, DistMat, DistOpts, DistSpVec, DistVec, FusedExtract, VecLayout,
 };
 use gblas::{AndBool, MinUsize};
 use lacc_graph::permute::Permutation;
@@ -62,6 +62,29 @@ fn starcheck_dist(
     // the owner bucketing (and dedup) is planned once and reused.
     let reqs: Vec<Vid> = local_active.iter().map(|&o| f.local()[o]).collect();
     let plan = plan_requests(comm, f.layout(), &reqs, dist_opts);
+    if dist_opts.combine_in_flight && dist_opts.fuse_starcheck {
+        // Fused: one combining request exchange serves both reply phases
+        // (the route is replayed). The parent-star phase reads `star`
+        // *after* the demote assign, exactly as the unfused pair does.
+        let fx = FusedExtract::begin(comm, &plan);
+        let gfs = fx.extract(comm, f, &plan, dist_opts);
+        let mut demote: Vec<(Vid, bool)> = Vec::new();
+        for (&o, &gf) in local_active.iter().zip(&gfs) {
+            if f.local()[o] != gf {
+                star.local_mut()[o] = false;
+                demote.push((gf, false));
+            }
+        }
+        comm.charge_compute(local_active.len() as u64 + 1);
+        dist_assign(comm, star, &demote, AndBool, dist_opts);
+        let parent_star = fx.extract(comm, star, &plan, dist_opts);
+        for (&o, &ps) in local_active.iter().zip(&parent_star) {
+            star.local_mut()[o] = star.local_mut()[o] && ps;
+        }
+        comm.charge_compute(local_active.len() as u64 + 1);
+        // Requests arrive once on this path; count them once.
+        return fx.received();
+    }
     let (gfs, st1) = dist_extract_planned(comm, f, &plan, dist_opts);
     let mut demote: Vec<(Vid, bool)> = Vec::new();
     for (&o, &gf) in local_active.iter().zip(&gfs) {

@@ -267,6 +267,26 @@ impl LaccOptsBuilder {
         self
     }
 
+    /// Enables or disables in-flight combining: `extract`/`assign`
+    /// traffic merges cross-rank duplicates at the hypercube hops.
+    pub fn combine_in_flight(mut self, on: bool) -> Self {
+        self.opts.dist.combine_in_flight = on;
+        self
+    }
+
+    /// Enables or disables fusing starcheck's two extracts into one
+    /// combining exchange (effective only with `combine_in_flight`).
+    pub fn fuse_starcheck(mut self, on: bool) -> Self {
+        self.opts.dist.fuse_starcheck = on;
+        self
+    }
+
+    /// Enables or disables run-length encoding of exchanged value streams.
+    pub fn compress_values(mut self, on: bool) -> Self {
+        self.opts.dist.compress_values = on;
+        self
+    }
+
     /// Unique-offsets-per-span density at or above which a compressed
     /// bucket may use the bitmap encoding. Must be a finite value in
     /// `0.0..=1.0` (`0.0` always allows the bitmap, `1.0` effectively
@@ -361,6 +381,9 @@ mod tests {
             .dedup_requests(false)
             .combine_assigns(false)
             .compress_ids(false)
+            .combine_in_flight(false)
+            .fuse_starcheck(false)
+            .compress_values(false)
             .bitmap_density(0.125)
             .unwrap()
             .dedup_hash_threshold(512)
@@ -380,6 +403,9 @@ mod tests {
         assert!(!o.dist.dedup_requests);
         assert!(!o.dist.combine_assigns);
         assert!(!o.dist.compress_ids);
+        assert!(!o.dist.combine_in_flight);
+        assert!(!o.dist.fuse_starcheck);
+        assert!(!o.dist.compress_values);
         assert_eq!(o.dist.compress_bitmap_density, 0.125);
         assert_eq!(o.dist.dedup_hash_threshold, 512);
     }
@@ -422,7 +448,11 @@ mod tests {
         assert!(!o.dist.dedup_requests);
         assert!(!o.dist.combine_assigns);
         assert!(!o.dist.compress_ids);
+        assert!(!o.dist.combine_in_flight);
+        assert!(!o.dist.fuse_starcheck);
+        assert!(!o.dist.compress_values);
         let d = LaccOpts::default();
         assert!(d.dist.dedup_requests && d.dist.combine_assigns && d.dist.compress_ids);
+        assert!(d.dist.combine_in_flight && d.dist.fuse_starcheck && d.dist.compress_values);
     }
 }

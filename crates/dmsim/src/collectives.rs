@@ -26,6 +26,7 @@
 
 use crate::comm::{words_of, Comm, Group, PooledBuf};
 use crate::trace::SpanKind;
+use crate::wire::{self, WireWord};
 
 /// Algorithm choice for [`Comm::alltoallv`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -316,7 +317,18 @@ impl Comm {
             AllToAll::Direct => self.alltoallv_direct(g, bufs),
             AllToAll::Pairwise => self.alltoallv_pairwise(g, bufs),
             AllToAll::Hypercube => self.alltoallv_hypercube(g, bufs),
-            AllToAll::Sparse => self.alltoallv_sparse(g, bufs),
+            AllToAll::Sparse => {
+                // The count-phase algorithm is chosen here, not inside the
+                // sparse body, so the nested count-exchange span tags what
+                // actually runs (hypercube, or pairwise on non-power-of-two
+                // groups) instead of hiding the fallback.
+                let count_algo = if q.is_power_of_two() {
+                    AllToAll::Hypercube
+                } else {
+                    AllToAll::Pairwise
+                };
+                self.alltoallv_sparse(g, bufs, count_algo)
+            }
         };
         self.span_close(span);
         out
@@ -420,13 +432,14 @@ impl Comm {
         &mut self,
         g: &Group,
         mut bufs: Vec<Vec<T>>,
+        count_algo: AllToAll,
     ) -> Vec<Vec<T>> {
         let q = g.size();
         let me = g.my_index();
         // Phase 1: exchange per-destination counts so each member learns
         // who will contact it. The count matrix transpose is itself a tiny
-        // all-to-all; use the hypercube (or pairwise) algorithm for it.
-        // Count vectors come from the buffer pool — this phase runs every
+        // all-to-all, run with the caller-chosen `count_algo`. Count
+        // vectors come from the buffer pool — this phase runs every
         // superstep, so avoiding its `q` tiny allocations matters.
         let counts: Vec<Vec<u64>> = (0..q)
             .map(|k| {
@@ -435,12 +448,7 @@ impl Comm {
                 c.detach()
             })
             .collect();
-        let algo = if q.is_power_of_two() {
-            AllToAll::Hypercube
-        } else {
-            AllToAll::Pairwise
-        };
-        let incoming_counts = self.alltoallv(g, counts, algo);
+        let incoming_counts = self.alltoallv(g, counts, count_algo);
         // Phase 2: only nonempty pairs exchange.
         for k in 0..q {
             if k != me && !bufs[k].is_empty() {
@@ -504,6 +512,558 @@ impl Comm {
             }
         }
         Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combining collectives: reduce-by-key in flight.
+//
+// The hypercube all-to-all store-and-forwards buckets through log₂ q
+// hops, which makes every hop a natural merge point: entries from
+// different origins heading to the same (destination, key) meet on some
+// intermediate rank — origins differing first in bit j meet after round
+// j — and an associative merge there collapses them to one wire entry
+// for the rest of the route. Sender-side compaction cannot see these
+// duplicates; this is where cross-sender redundancy dies.
+
+/// Origin flag: the entry was already held here before the round.
+const FROM_SELF: u8 = 1;
+/// Origin flag: the entry arrived from the round's hypercube partner.
+const FROM_PARTNER: u8 = 2;
+
+/// One forward round of a recorded [`Comm::combining_requests`] route.
+struct CombineHop {
+    /// In-flight entries held here after the round, sorted by
+    /// (destination, key) and flagged with where each copy came from.
+    /// Both flags set marks a merge fork: the reply duplicates there.
+    table: Vec<(u32, u64, u8)>,
+    /// Sorted (destination, key) entries forwarded to the partner this
+    /// round; the partner's reply stream aligns with this list.
+    sent: Vec<(u32, u64)>,
+    /// Keys that reached their destination (this rank) this round. The
+    /// same key can arrive in several rounds via unmerged branches; each
+    /// arrival gets its own reply.
+    delivered: Vec<u64>,
+}
+
+/// Recorded forward route of a [`Comm::combining_requests`] exchange.
+///
+/// The forward pass merges requests from different origins, so the
+/// destination no longer knows who asked; replies instead retrace the
+/// route in reverse ([`Comm::combining_replies`]), duplicating at every
+/// merge fork, until each origin holds the answers to exactly its own
+/// requests. The route can be replayed for any number of reply phases —
+/// that is what fuses starcheck's two extracts into one exchange.
+pub struct CombineRoute {
+    q: usize,
+    /// Power-of-two groups route through the hypercube; otherwise the
+    /// exchange fell back to pairwise and `incoming` drives replies.
+    hypercube: bool,
+    hops: Vec<CombineHop>,
+    /// Keys this rank requested of itself (never wired).
+    self_keys: Vec<u64>,
+    /// Per-destination sorted unique keys this rank requested.
+    my_keys: Vec<Vec<u64>>,
+    /// Sorted unique keys delivered to this rank (it owns the answers).
+    delivered_keys: Vec<u64>,
+    /// Pairwise fallback only: per-source sorted unique keys received.
+    incoming: Vec<Vec<u64>>,
+}
+
+impl CombineRoute {
+    /// Sorted unique keys delivered to this rank; `values[i]` passed to
+    /// [`Comm::combining_replies`] must answer `delivered_keys()[i]`.
+    pub fn delivered_keys(&self) -> &[u64] {
+        &self.delivered_keys
+    }
+
+    /// Per-destination sorted unique keys this rank requested; replies
+    /// come back aligned with these lists.
+    pub fn my_keys(&self) -> &[Vec<u64>] {
+        &self.my_keys
+    }
+}
+
+/// Sorts a `(key, payload)` bucket by key (stable, so earlier entries
+/// fold first) and merges adjacent equal keys. Returns entries removed.
+fn merge_bucket<P, M: FnMut(&mut P, P)>(b: &mut Vec<(u64, P)>, merge: &mut M) -> usize {
+    if b.len() <= 1 {
+        return 0;
+    }
+    b.sort_by_key(|&(k, _)| k);
+    let before = b.len();
+    let mut out: Vec<(u64, P)> = Vec::with_capacity(b.len());
+    for (k, p) in b.drain(..) {
+        match out.last_mut() {
+            Some(last) if last.0 == k => merge(&mut last.1, p),
+            _ => out.push((k, p)),
+        }
+    }
+    *b = out;
+    before - b.len()
+}
+
+/// [`merge_bucket`] over an in-flight pool keyed by (destination, key).
+fn merge_pool<P, M: FnMut(&mut P, P)>(pool: &mut Vec<(u32, u64, P)>, merge: &mut M) -> usize {
+    if pool.len() <= 1 {
+        return 0;
+    }
+    pool.sort_by_key(|&(d, k, _)| (d, k));
+    let before = pool.len();
+    let mut out: Vec<(u32, u64, P)> = Vec::with_capacity(pool.len());
+    for (d, k, p) in pool.drain(..) {
+        match out.last_mut() {
+            Some(last) if last.0 == d && last.1 == k => merge(&mut last.2, p),
+            _ => out.push((d, k, p)),
+        }
+    }
+    *pool = out;
+    before - pool.len()
+}
+
+impl Comm {
+    /// All-to-all with in-flight reduce-by-key: `bufs[k]` goes to member
+    /// `k`, and at every hypercube hop entries sharing (destination,
+    /// `key_of`) merge through `merge` before being forwarded — q senders
+    /// shipping the same key to the same destination pay one wire entry
+    /// past their meeting hop instead of q.
+    ///
+    /// Returns the entries destined to this rank, fully merged, sorted by
+    /// key. With a commutative, associative `merge` the result is
+    /// bit-identical to exchanging everything and folding at the
+    /// destination; when no two entries share a key, no merge fires and
+    /// the result is exactly the plain all-to-all payload multiset
+    /// (sorted by key). Non-power-of-two groups fall back to a pairwise
+    /// exchange with a destination-side fold — same result, no in-flight
+    /// savings.
+    ///
+    /// Words merged away after the first receive are credited to
+    /// [`crate::cost::CostSnapshot::combined_words`] (observational: the
+    /// clock already reflects the smaller forwarded payloads).
+    pub fn alltoallv_combining<T, K, M>(
+        &mut self,
+        g: &Group,
+        bufs: Vec<Vec<T>>,
+        key_of: K,
+        mut merge: M,
+    ) -> Vec<T>
+    where
+        T: Send + 'static,
+        K: Fn(&T) -> u64,
+        M: FnMut(&mut T, T),
+    {
+        let keyed: Vec<Vec<(u64, T)>> = bufs
+            .into_iter()
+            .map(|b| b.into_iter().map(|t| (key_of(&t), t)).collect())
+            .collect();
+        let span = self.span_open(SpanKind::AlltoallvCombining);
+        let out = self.combining_exchange(g, keyed, &mut merge);
+        self.span_close(span);
+        out.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Reduce-scatter over explicit (key, value) pairs: member `k`
+    /// receives every pair whose bucket index is `k`, with values sharing
+    /// a key merged through `merge` — in flight on power-of-two groups
+    /// (see [`Comm::alltoallv_combining`]). Returns the merged pairs
+    /// sorted by key.
+    pub fn reduce_scatter_by_key<T, M>(
+        &mut self,
+        g: &Group,
+        bufs: Vec<Vec<(u64, T)>>,
+        mut merge: M,
+    ) -> Vec<(u64, T)>
+    where
+        T: Send + 'static,
+        M: FnMut(&mut T, T),
+    {
+        let span = self.span_open(SpanKind::AlltoallvCombining);
+        let out = self.combining_exchange(g, bufs, &mut merge);
+        self.span_close(span);
+        out
+    }
+
+    fn combining_exchange<P, M>(
+        &mut self,
+        g: &Group,
+        mut bufs: Vec<Vec<(u64, P)>>,
+        merge: &mut M,
+    ) -> Vec<(u64, P)>
+    where
+        P: Send + 'static,
+        M: FnMut(&mut P, P),
+    {
+        let q = g.size();
+        assert_eq!(bufs.len(), q, "one bucket per group member");
+        let me = g.my_index();
+        let mut mine: Vec<(u64, P)> = std::mem::take(&mut bufs[me]);
+        if q > 1 && q.is_power_of_two() {
+            let mut pool: Vec<(u32, u64, P)> = bufs
+                .into_iter()
+                .enumerate()
+                .filter(|(k, _)| *k != me)
+                .flat_map(|(k, b)| b.into_iter().map(move |(key, p)| (k as u32, key, p)))
+                .collect();
+            // Sender-side pre-merge (same-origin duplicates; not credited
+            // to combined_words, which counts cross-origin merges only).
+            merge_pool(&mut pool, merge);
+            self.charge_compute(pool.len() as u64 + 1);
+            let mut saved = 0u64;
+            let rounds = q.trailing_zeros();
+            for bit_idx in 0..rounds {
+                let bit = 1usize << bit_idx;
+                let partner = g.member(me ^ bit);
+                let (send_pool, keep): (Vec<_>, Vec<_>) = pool
+                    .into_iter()
+                    .partition(|&(dest, _, _)| (dest as usize) & bit != me & bit);
+                // Per-destination wire buckets: delta-varint key stream +
+                // the payloads aligned with it.
+                let mut buckets: Vec<(u32, Vec<u64>, Vec<P>)> = Vec::new();
+                for (dest, key, p) in send_pool {
+                    match buckets.last_mut() {
+                        Some(b) if b.0 == dest => {
+                            b.1.push(key);
+                            b.2.push(p);
+                        }
+                        _ => buckets.push((dest, vec![key], vec![p])),
+                    }
+                }
+                let mut w = 0u64;
+                let wire_msg: Vec<(u32, Vec<u8>, Vec<P>)> = buckets
+                    .into_iter()
+                    .map(|(dest, keys, ps)| {
+                        let bytes = wire::encode_keys(&keys);
+                        w += 2 + words_of::<u8>(bytes.len()) + words_of::<P>(ps.len());
+                        (dest, bytes, ps)
+                    })
+                    .collect();
+                self.send_counted(partner, wire_msg, w);
+                pool = keep;
+                let incoming: Vec<(u32, Vec<u8>, Vec<P>)> = self.recv(partner);
+                for (dest, bytes, ps) in incoming {
+                    let keys = wire::decode_keys(&bytes);
+                    debug_assert_eq!(keys.len(), ps.len());
+                    if dest as usize == me {
+                        mine.extend(keys.into_iter().zip(ps));
+                    } else {
+                        pool.extend(keys.into_iter().zip(ps).map(|(k, p)| (dest, k, p)));
+                    }
+                }
+                let removed = merge_pool(&mut pool, merge);
+                saved += removed as u64 + words_of::<P>(removed);
+                self.charge_compute(pool.len() as u64 + 1);
+            }
+            debug_assert!(pool.is_empty(), "all entries routed after log q rounds");
+            self.note_combined_words(saved);
+        } else if q > 1 {
+            // Non-power-of-two fallback: merge each bucket sender-side,
+            // exchange pairwise, fold at the destination. Cross-sender
+            // merging only happens on arrival — nothing saved in flight.
+            for b in bufs.iter_mut() {
+                merge_bucket(b, merge);
+                self.charge_compute(b.len() as u64 + 1);
+            }
+            let incoming = self.alltoallv(g, bufs, AllToAll::Pairwise);
+            for b in incoming {
+                mine.extend(b);
+            }
+        }
+        // Destination-side fold (stable: earlier arrivals fold first).
+        merge_bucket(&mut mine, merge);
+        self.charge_compute(mine.len() as u64 + 1);
+        mine
+    }
+
+    /// Forward half of a combining *request* exchange: `bufs[k]` holds
+    /// the keys this rank wants answered by member `k`. Requests merge in
+    /// flight like [`Comm::alltoallv_combining`] entries (with unit
+    /// payloads — merging is pure dedup), and every hop records which
+    /// branches each surviving entry came from. Returns the route; this
+    /// rank must answer `route.delivered_keys()` and can then scatter any
+    /// number of reply phases back over the same route with
+    /// [`Comm::combining_replies`].
+    pub fn combining_requests(&mut self, g: &Group, mut bufs: Vec<Vec<u64>>) -> CombineRoute {
+        let q = g.size();
+        assert_eq!(bufs.len(), q, "one key bucket per group member");
+        let me = g.my_index();
+        let span = self.span_open(SpanKind::AlltoallvCombining);
+        for b in bufs.iter_mut() {
+            self.charge_compute(b.len() as u64 + 1);
+            b.sort_unstable();
+            b.dedup();
+        }
+        let my_keys = bufs;
+        let self_keys = my_keys[me].clone();
+        let mut delivered_keys = self_keys.clone();
+        let mut hops: Vec<CombineHop> = Vec::new();
+        let mut incoming_lists: Vec<Vec<u64>> = Vec::new();
+        let hypercube = q > 1 && q.is_power_of_two();
+        if hypercube {
+            // Built in destination order from sorted buckets, so the pool
+            // starts (and stays) sorted by (destination, key).
+            let mut pool: Vec<(u32, u64)> = my_keys
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != me)
+                .flat_map(|(k, keys)| keys.iter().map(move |&key| (k as u32, key)))
+                .collect();
+            let mut saved = 0u64;
+            let rounds = q.trailing_zeros();
+            for bit_idx in 0..rounds {
+                let bit = 1usize << bit_idx;
+                let partner = g.member(me ^ bit);
+                let (sent, keep): (Vec<(u32, u64)>, Vec<_>) = pool
+                    .into_iter()
+                    .partition(|&(dest, _)| (dest as usize) & bit != me & bit);
+                let mut buckets: Vec<(u32, Vec<u64>)> = Vec::new();
+                for &(dest, key) in &sent {
+                    match buckets.last_mut() {
+                        Some(b) if b.0 == dest => b.1.push(key),
+                        _ => buckets.push((dest, vec![key])),
+                    }
+                }
+                let mut w = 0u64;
+                let wire_msg: Vec<(u32, Vec<u8>)> = buckets
+                    .into_iter()
+                    .map(|(dest, keys)| {
+                        let bytes = wire::encode_keys(&keys);
+                        w += 2 + words_of::<u8>(bytes.len());
+                        (dest, bytes)
+                    })
+                    .collect();
+                self.send_counted(partner, wire_msg, w);
+                let incoming: Vec<(u32, Vec<u8>)> = self.recv(partner);
+                let mut delivered_round: Vec<u64> = Vec::new();
+                let mut merged: Vec<(u32, u64, u8)> =
+                    keep.iter().map(|&(d, k)| (d, k, FROM_SELF)).collect();
+                for (dest, bytes) in incoming {
+                    let keys = wire::decode_keys(&bytes);
+                    if dest as usize == me {
+                        delivered_round = keys;
+                    } else {
+                        merged.extend(keys.into_iter().map(|k| (dest, k, FROM_PARTNER)));
+                    }
+                }
+                merged.sort_unstable_by_key(|&(d, k, _)| (d, k));
+                let before = merged.len();
+                let mut table: Vec<(u32, u64, u8)> = Vec::with_capacity(merged.len());
+                for (d, k, f) in merged {
+                    match table.last_mut() {
+                        Some(last) if last.0 == d && last.1 == k => last.2 |= f,
+                        _ => table.push((d, k, f)),
+                    }
+                }
+                saved += (before - table.len()) as u64;
+                self.charge_compute(before as u64 + 1);
+                pool = table.iter().map(|&(d, k, _)| (d, k)).collect();
+                delivered_keys.extend_from_slice(&delivered_round);
+                hops.push(CombineHop {
+                    table,
+                    sent,
+                    delivered: delivered_round,
+                });
+            }
+            debug_assert!(pool.is_empty(), "all requests routed after log q rounds");
+            self.note_combined_words(saved);
+        } else if q > 1 {
+            let incoming = self.alltoallv(g, my_keys.clone(), AllToAll::Pairwise);
+            for keys in &incoming {
+                delivered_keys.extend_from_slice(keys);
+            }
+            incoming_lists = incoming;
+        }
+        delivered_keys.sort_unstable();
+        delivered_keys.dedup();
+        self.charge_compute(delivered_keys.len() as u64 + 1);
+        self.span_close(span);
+        CombineRoute {
+            q,
+            hypercube,
+            hops,
+            self_keys,
+            my_keys,
+            delivered_keys,
+            incoming: incoming_lists,
+        }
+    }
+
+    /// Reply half of a combining request exchange: `values[i]` answers
+    /// `route.delivered_keys()[i]`. Replies retrace the forward route in
+    /// reverse — at every recorded merge fork the value is duplicated to
+    /// both branches, and reply streams travel as bare value vectors
+    /// because both endpoints can reconstruct the (destination, key)
+    /// order from the route. With `compress` the streams are additionally
+    /// run-length encoded ([`crate::wire::encode_words`]).
+    ///
+    /// Returns, per destination `k`, the pairs `(key, value)` answering
+    /// exactly this rank's original `bufs[k]` keys (sorted, deduped). Can
+    /// be called repeatedly on one route — later phases reuse the paid-for
+    /// forward exchange, which is how the fused starcheck serves two
+    /// vectors for one request scatter.
+    pub fn combining_replies<T>(
+        &mut self,
+        g: &Group,
+        route: &CombineRoute,
+        values: &[T],
+        compress: bool,
+    ) -> Vec<Vec<(u64, T)>>
+    where
+        T: WireWord + Send + 'static,
+    {
+        let q = g.size();
+        assert_eq!(q, route.q, "route belongs to a different group");
+        assert_eq!(
+            values.len(),
+            route.delivered_keys.len(),
+            "one value per delivered key"
+        );
+        let me = g.my_index();
+        let span = self.span_open(SpanKind::AlltoallvCombining);
+        let value_of = |k: u64| -> T {
+            let i = route
+                .delivered_keys
+                .binary_search(&k)
+                .expect("replied key was delivered here");
+            values[i]
+        };
+        let mut out: Vec<Vec<(u64, T)>> = (0..q).map(|_| Vec::new()).collect();
+        if route.hypercube {
+            // Invariant: entering reverse round i, `cur` holds the replies
+            // for exactly the entries this rank held in flight after
+            // forward round i (hops[i].table) — empty at the last round,
+            // since every request had reached its destination by then.
+            let mut output: Vec<(u32, u64, T)> = Vec::new();
+            let mut cur: Vec<(u32, u64, T)> = Vec::new();
+            for (i, hop) in route.hops.iter().enumerate().rev() {
+                let bit = 1usize << i;
+                let partner = g.member(me ^ bit);
+                let mut send: Vec<(u32, u64, T)> = Vec::new();
+                let mut next: Vec<(u32, u64, T)> = Vec::new();
+                for &(d, k, v) in &cur {
+                    let idx = hop
+                        .table
+                        .binary_search_by_key(&(d, k), |&(td, tk, _)| (td, tk))
+                        .expect("in-flight reply matches the forward route");
+                    let flags = hop.table[idx].2;
+                    if flags & FROM_PARTNER != 0 {
+                        send.push((d, k, v));
+                    }
+                    if flags & FROM_SELF != 0 {
+                        if i == 0 {
+                            output.push((d, k, v));
+                        } else {
+                            next.push((d, k, v));
+                        }
+                    }
+                }
+                // Requests delivered here in forward round i start their
+                // reply journey now.
+                for &k in &hop.delivered {
+                    send.push((me as u32, k, value_of(k)));
+                }
+                // The partner expects values for exactly its forward-round
+                // `sent` list, which is sorted by (destination, key) — the
+                // shared order that lets keys stay off the reply wire.
+                send.sort_unstable_by_key(|&(d, k, _)| (d, k));
+                let vals: Vec<T> = send.into_iter().map(|(_, _, v)| v).collect();
+                self.send_values(partner, vals, compress);
+                let incoming: Vec<T> = self.recv_values(partner, compress);
+                assert_eq!(
+                    incoming.len(),
+                    hop.sent.len(),
+                    "reply stream aligns with the forward route"
+                );
+                for (&(d, k), v) in hop.sent.iter().zip(incoming) {
+                    if i == 0 {
+                        output.push((d, k, v));
+                    } else {
+                        next.push((d, k, v));
+                    }
+                }
+                next.sort_unstable_by_key(|&(d, k, _)| (d, k));
+                self.charge_compute(next.len() as u64 + 1);
+                cur = next;
+            }
+            for &k in &route.self_keys {
+                output.push((me as u32, k, value_of(k)));
+            }
+            output.sort_unstable_by_key(|&(d, k, _)| (d, k));
+            for (d, k, v) in output {
+                out[d as usize].push((k, v));
+            }
+        } else if q > 1 {
+            let bufs: Vec<Vec<T>> = route
+                .incoming
+                .iter()
+                .map(|keys| keys.iter().map(|&k| value_of(k)).collect())
+                .collect();
+            let replies: Vec<Vec<T>> = if compress {
+                let enc: Vec<Vec<u8>> = bufs
+                    .iter()
+                    .map(|vals| {
+                        let words: Vec<u64> = vals.iter().map(|v| v.to_word()).collect();
+                        wire::encode_words(&words)
+                    })
+                    .collect();
+                self.alltoallv(g, enc, AllToAll::Pairwise)
+                    .into_iter()
+                    .map(|bytes| {
+                        wire::decode_words(&bytes)
+                            .into_iter()
+                            .map(T::from_word)
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                self.alltoallv(g, bufs, AllToAll::Pairwise)
+            };
+            for (d, vals) in replies.into_iter().enumerate() {
+                debug_assert_eq!(vals.len(), route.my_keys[d].len());
+                out[d] = route.my_keys[d].iter().copied().zip(vals).collect();
+            }
+        } else {
+            out[0] = route.self_keys.iter().map(|&k| (k, value_of(k))).collect();
+        }
+        self.span_close(span);
+        for (d, pairs) in out.iter().enumerate() {
+            debug_assert!(
+                pairs
+                    .iter()
+                    .map(|&(k, _)| k)
+                    .eq(route.my_keys[d].iter().copied()),
+                "replies cover exactly the original requests"
+            );
+        }
+        out
+    }
+
+    fn send_values<T: WireWord + Send + 'static>(
+        &mut self,
+        dest: usize,
+        vals: Vec<T>,
+        compress: bool,
+    ) {
+        if compress {
+            let words: Vec<u64> = vals.iter().map(|v| v.to_word()).collect();
+            let bytes = wire::encode_words(&words);
+            let w = words_of::<u8>(bytes.len());
+            self.send_counted(dest, bytes, w);
+        } else {
+            let w = words_of::<T>(vals.len());
+            self.send_counted(dest, vals, w);
+        }
+    }
+
+    fn recv_values<T: WireWord + Send + 'static>(&mut self, src: usize, compress: bool) -> Vec<T> {
+        if compress {
+            let bytes: Vec<u8> = self.recv(src);
+            wire::decode_words(&bytes)
+                .into_iter()
+                .map(T::from_word)
+                .collect()
+        } else {
+            self.recv(src)
+        }
     }
 }
 
@@ -746,6 +1306,276 @@ mod tests {
             } else {
                 assert!(res.is_none());
             }
+        }
+    }
+
+    #[test]
+    fn combining_with_unique_keys_matches_plain_multiset() {
+        // No two entries share (dest, key): no merge fires and the result
+        // must be the plain all-to-all payload multiset.
+        for p in [1, 2, 3, 4, 8] {
+            let inputs = move |me: usize| -> Vec<Vec<(u64, u64)>> {
+                (0..p)
+                    .map(|d| {
+                        (0..3)
+                            .map(|j| {
+                                let key = (me * 1000 + d * 10 + j) as u64;
+                                (key, key * 2 + 1)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let combined = run_spmd(p, move |c| {
+                let w = c.world();
+                let merged = c.alltoallv_combining(
+                    &w,
+                    inputs(c.rank()),
+                    |e: &(u64, u64)| e.0,
+                    |_, _| panic!("no merge may fire on unique keys"),
+                );
+                (merged, c.snapshot().combined_words)
+            })
+            .unwrap();
+            let plain = run_spmd(p, move |c| {
+                let w = c.world();
+                let mut all: Vec<(u64, u64)> = c
+                    .alltoallv(&w, inputs(c.rank()), AllToAll::Pairwise)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                all.sort_unstable();
+                all
+            })
+            .unwrap();
+            for (me, ((got, combined_words), want)) in combined.into_iter().zip(plain).enumerate() {
+                assert_eq!(got, want, "p={p} me={me}");
+                assert_eq!(combined_words, 0, "unique keys must not combine");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_by_key_matches_destination_fold() {
+        // Heavy cross-sender overlap: every rank updates the same keys at
+        // every destination. Min-merge in flight must equal exchanging
+        // everything and folding at the destination.
+        for p in [1, 2, 3, 4, 8, 16] {
+            let inputs = move |me: usize| -> Vec<Vec<(u64, u64)>> {
+                (0..p)
+                    .map(|d| {
+                        (0..8)
+                            .map(|j| ((d * 100 + j) as u64, (me * 37 + j * 5) as u64 % 101))
+                            .collect()
+                    })
+                    .collect()
+            };
+            let combined = run_spmd(p, move |c| {
+                let w = c.world();
+                c.reduce_scatter_by_key(&w, inputs(c.rank()), |a: &mut u64, b| *a = (*a).min(b))
+            })
+            .unwrap();
+            let folded = run_spmd(p, move |c| {
+                let w = c.world();
+                let mut all: Vec<(u64, u64)> = c
+                    .alltoallv(&w, inputs(c.rank()), AllToAll::Pairwise)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                all.sort_by_key(|&(k, _)| k);
+                let mut out: Vec<(u64, u64)> = Vec::new();
+                for (k, v) in all {
+                    match out.last_mut() {
+                        Some(last) if last.0 == k => last.1 = last.1.min(v),
+                        _ => out.push((k, v)),
+                    }
+                }
+                out
+            })
+            .unwrap();
+            for (me, (got, want)) in combined.into_iter().zip(folded).enumerate() {
+                assert_eq!(got, want, "p={p} me={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn combining_requests_replies_roundtrip() {
+        // Every rank requests an overlapping window of keys from every
+        // destination; the destination answers key*7 + dest. Replies must
+        // come back aligned with each origin's own (deduped) requests,
+        // compressed or not, for hypercube and fallback group sizes.
+        for p in [1, 2, 3, 4, 8, 16] {
+            for compress in [false, true] {
+                let out = run_spmd(p, move |c| {
+                    let w = c.world();
+                    let me = c.rank();
+                    // Duplicates within a bucket exercise the dedup; the
+                    // shared low keys exercise cross-sender merging.
+                    let bufs: Vec<Vec<u64>> = (0..p)
+                        .map(|d| {
+                            (0..=me + 2)
+                                .map(|j| (d * 100 + j % (me + 2)) as u64)
+                                .collect()
+                        })
+                        .collect();
+                    let route = c.combining_requests(&w, bufs);
+                    let values: Vec<u64> = route
+                        .delivered_keys()
+                        .iter()
+                        .map(|&k| k * 7 + me as u64)
+                        .collect();
+                    c.combining_replies(&w, &route, &values, compress)
+                })
+                .unwrap();
+                for (me, replies) in out.into_iter().enumerate() {
+                    for (d, pairs) in replies.into_iter().enumerate() {
+                        let mut want: Vec<u64> = (0..=me + 2)
+                            .map(|j| (d * 100 + j % (me + 2)) as u64)
+                            .collect();
+                        want.sort_unstable();
+                        want.dedup();
+                        let want: Vec<(u64, u64)> =
+                            want.into_iter().map(|k| (k, k * 7 + d as u64)).collect();
+                        assert_eq!(pairs, want, "p={p} me={me} d={d} compress={compress}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replayed_route_serves_a_second_reply_phase() {
+        // The fused-starcheck mechanism: one forward exchange, two reply
+        // scatters over the same route (different value types, and the
+        // second phase sees owner-side state mutated in between).
+        let out = run_spmd(8, |c| {
+            let w = c.world();
+            let me = c.rank();
+            let bufs: Vec<Vec<u64>> = (0..8)
+                .map(|d| vec![(d * 10) as u64, (d * 10 + 1) as u64])
+                .collect();
+            let route = c.combining_requests(&w, bufs);
+            let first: Vec<u64> = route.delivered_keys().iter().map(|&k| k + 1).collect();
+            let r1 = c.combining_replies(&w, &route, &first, false);
+            // "Mutate" owner state between the phases.
+            let second: Vec<bool> = route
+                .delivered_keys()
+                .iter()
+                .map(|&k| k % 20 == 0)
+                .collect();
+            let r2 = c.combining_replies(&w, &route, &second, true);
+            (me, r1, r2)
+        })
+        .unwrap();
+        for (me, r1, r2) in out {
+            for d in 0..8 {
+                let base = (d * 10) as u64;
+                assert_eq!(
+                    r1[d],
+                    vec![(base, base + 1), (base + 1, base + 2)],
+                    "me={me}"
+                );
+                assert_eq!(
+                    r2[d],
+                    vec![(base, base.is_multiple_of(20)), (base + 1, false)],
+                    "me={me}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combined_words_monotone_in_cross_sender_duplication() {
+        // All ranks request the same `overlap` keys of rank 0 plus
+        // per-rank-unique filler: more overlap must combine more words.
+        let combined_for = |overlap: usize| {
+            let out = run_spmd(8, move |c| {
+                let w = c.world();
+                let me = c.rank();
+                let mut bufs: Vec<Vec<u64>> = vec![vec![]; 8];
+                bufs[0] = (0..overlap as u64)
+                    .chain((0..32).map(|j| 1000 + (me * 100 + j) as u64))
+                    .collect();
+                let route = c.combining_requests(&w, bufs);
+                let values: Vec<u64> = route.delivered_keys().to_vec();
+                c.combining_replies(&w, &route, &values, false);
+                c.snapshot().combined_words
+            })
+            .unwrap();
+            out.iter().sum::<u64>()
+        };
+        let none = combined_for(0);
+        let some = combined_for(16);
+        let more = combined_for(64);
+        assert_eq!(none, 0, "disjoint requests must not combine");
+        assert!(some > 0, "shared requests must combine in flight");
+        assert!(
+            more > some,
+            "more overlap must combine more: {more} vs {some}"
+        );
+    }
+
+    #[test]
+    fn combining_beats_plain_hypercube_words_under_duplication() {
+        // With every rank requesting the same keys, in-flight merging must
+        // move strictly fewer words than plain hypercube request routing.
+        let words_sent = |combining: bool| {
+            let out = run_spmd_with_model(16, EDISON.lacc_model(), move |c| {
+                let w = c.world();
+                let bufs: Vec<Vec<u64>> = (0..16)
+                    .map(|d| (0..64).map(|j| (d * 1000 + j) as u64).collect())
+                    .collect();
+                if combining {
+                    let route = c.combining_requests(&w, bufs);
+                    let values: Vec<u64> = route.delivered_keys().to_vec();
+                    c.combining_replies(&w, &route, &values, false);
+                } else {
+                    let sent = c.alltoallv(&w, bufs, AllToAll::Hypercube);
+                    // Direct replies, one word per request.
+                    let replies: Vec<Vec<u64>> = sent;
+                    c.alltoallv(&w, replies, AllToAll::Hypercube);
+                }
+                c.snapshot().words_sent
+            })
+            .unwrap();
+            out.iter().sum::<u64>()
+        };
+        let plain = words_sent(false);
+        let combining = words_sent(true);
+        assert!(combining < plain, "combining={combining} plain={plain}");
+    }
+
+    #[test]
+    fn sparse_count_phase_tags_effective_algorithm() {
+        use crate::comm::run_spmd_traced;
+        use crate::cost::MachineModel;
+        use crate::trace::{TraceLevel, TraceSink};
+        // The count exchange nested under a sparse all-to-all must trace
+        // the algorithm that actually ran: hypercube on power-of-two
+        // groups, pairwise otherwise.
+        for (p, nested) in [(4usize, AllToAll::Hypercube), (3, AllToAll::Pairwise)] {
+            let sink = TraceSink::new(TraceLevel::Collectives);
+            run_spmd_traced(p, MachineModel::free(), Some(&sink), move |c| {
+                let w = c.world();
+                let bufs: Vec<Vec<u64>> = (0..p).map(|d| vec![d as u64]).collect();
+                c.alltoallv(&w, bufs, AllToAll::Sparse);
+            })
+            .unwrap();
+            let traces = sink.rank_traces();
+            let spans = &traces[0].spans;
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.kind == SpanKind::Alltoallv(AllToAll::Sparse)),
+                "p={p}: sparse span missing"
+            );
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.kind == SpanKind::Alltoallv(nested) && s.depth > 0),
+                "p={p}: nested count-phase span should tag {nested:?}"
+            );
         }
     }
 

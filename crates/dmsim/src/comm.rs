@@ -303,6 +303,16 @@ impl Comm {
         self.snap.words_saved += words;
     }
 
+    /// Records `words` of communication volume eliminated *in flight* by a
+    /// combining collective: entries from different origins that merged at
+    /// a store-and-forward hop on this rank before being forwarded. Like
+    /// [`Comm::note_words_saved`], purely observational — it feeds
+    /// [`CostSnapshot::combined_words`] and the trace report, never the
+    /// clock, which already reflects the smaller forwarded payloads.
+    pub fn note_combined_words(&mut self, words: u64) {
+        self.snap.combined_words += words;
+    }
+
     /// Takes a recycled scratch buffer (empty `Vec<T>`, capacity
     /// preserved) from this rank's [`BufferPool`]. The guard returns the
     /// buffer to the pool when dropped; [`PooledBuf::detach`] moves the

@@ -141,6 +141,11 @@ pub struct CostSnapshot {
     /// compaction (request dedup, monoid pre-combining, id compression).
     /// Observational only — never contributes to the clock.
     pub words_saved: u64,
+    /// 8-byte words eliminated *in flight* by combining collectives:
+    /// entries from different origins that merged at a hypercube hop on
+    /// this rank before being forwarded. Observational only — the clock
+    /// already reflects the smaller forwarded payloads.
+    pub combined_words: u64,
 }
 
 impl CostSnapshot {
@@ -154,6 +159,7 @@ impl CostSnapshot {
             words_sent: self.words_sent - earlier.words_sent,
             words_received: self.words_received - earlier.words_received,
             words_saved: self.words_saved - earlier.words_saved,
+            combined_words: self.combined_words - earlier.combined_words,
         }
     }
 }
@@ -200,6 +206,7 @@ mod tests {
             words_sent: 100,
             words_received: 50,
             words_saved: 0,
+            combined_words: 1,
         };
         let b = CostSnapshot {
             clock_s: 3.0,
@@ -209,10 +216,12 @@ mod tests {
             words_sent: 400,
             words_received: 250,
             words_saved: 7,
+            combined_words: 4,
         };
         let d = b.since(&a);
         assert_eq!(d.messages_sent, 20);
         assert_eq!(d.words_saved, 7);
+        assert_eq!(d.combined_words, 3);
         assert!((d.clock_s - 2.0).abs() < 1e-12);
     }
 

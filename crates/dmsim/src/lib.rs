@@ -46,8 +46,9 @@ pub mod comm;
 pub mod cost;
 pub mod topology;
 pub mod trace;
+pub mod wire;
 
-pub use collectives::AllToAll;
+pub use collectives::{AllToAll, CombineRoute};
 pub use comm::{
     run_spmd, run_spmd_traced, run_spmd_with_model, words_of, BufferPool, Comm, DmsimError, Group,
     PooledBuf,
@@ -55,3 +56,4 @@ pub use comm::{
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;
 pub use trace::{RankTrace, Span, SpanKind, SpanRecord, TraceLevel, TraceReport, TraceSink};
+pub use wire::WireWord;

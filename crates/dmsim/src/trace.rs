@@ -88,6 +88,9 @@ pub enum SpanKind {
     /// All-to-allv, tagged with the algorithm actually executed
     /// (collective).
     Alltoallv(AllToAll),
+    /// Combining all-to-allv: hypercube store-and-forward with in-flight
+    /// reduce-by-key merging at every hop (collective).
+    AlltoallvCombining,
 }
 
 impl SpanKind {
@@ -122,6 +125,7 @@ impl SpanKind {
             Alltoallv(AllToAll::Pairwise) => "alltoallv(pairwise)",
             Alltoallv(AllToAll::Hypercube) => "alltoallv(hypercube)",
             Alltoallv(AllToAll::Sparse) => "alltoallv(sparse)",
+            AlltoallvCombining => "alltoallv(combining)",
         }
     }
 
@@ -328,10 +332,12 @@ impl TraceSink {
         let mut rank_time_s = vec![0.0f64; p];
         let mut rank_words = vec![0u64; p];
         let mut words_saved = 0u64;
+        let mut combined_words = 0u64;
         for (i, rt) in ranks.iter().enumerate() {
             rank_time_s[i] = rt.snapshot.clock_s;
             rank_words[i] = rt.snapshot.words_sent + rt.snapshot.words_received;
             words_saved += rt.snapshot.words_saved;
+            combined_words += rt.snapshot.combined_words;
             for sp in &rt.spans {
                 let name = sp.kind.name();
                 let entry = match per_kind.iter_mut().find(|k| k.name == name) {
@@ -366,6 +372,7 @@ impl TraceSink {
             rank_time_s,
             rank_words,
             words_saved,
+            combined_words,
             load_imbalance: if mean_t > 0.0 { max_t / mean_t } else { 1.0 },
         }
     }
@@ -406,6 +413,9 @@ pub struct TraceReport {
     /// Total words kept off the wire by sender-side compaction, summed
     /// over all ranks (see [`CostSnapshot::words_saved`]).
     pub words_saved: u64,
+    /// Total words eliminated in flight by combining collectives, summed
+    /// over all ranks (see [`CostSnapshot::combined_words`]).
+    pub combined_words: u64,
     /// `max(rank time) / mean(rank time)` — 1.0 is perfectly balanced.
     pub load_imbalance: f64,
 }
@@ -436,6 +446,13 @@ impl TraceReport {
                 s,
                 "  sender-side compaction kept {} words off the wire",
                 self.words_saved
+            );
+        }
+        if self.combined_words > 0 {
+            let _ = writeln!(
+                s,
+                "  in-flight combining merged {} words at hypercube hops",
+                self.combined_words
             );
         }
         let mut kinds = self.per_kind.clone();
@@ -527,6 +544,7 @@ mod tests {
                 snapshot: CostSnapshot {
                     clock_s: 1.0 + rank as f64,
                     words_sent: 10,
+                    combined_words: 5,
                     ..Default::default()
                 },
             });
@@ -538,7 +556,9 @@ mod tests {
         assert!((rep.per_kind[0].time_s - 3.0).abs() < 1e-12);
         // max 2.0 / mean 1.5
         assert!((rep.load_imbalance - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rep.combined_words, 10);
         assert!(rep.render().contains("bcast"));
+        assert!(rep.render().contains("in-flight combining merged 10 words"));
         sink.clear();
         assert!(sink.rank_traces().is_empty());
     }

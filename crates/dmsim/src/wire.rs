@@ -1,0 +1,270 @@
+//! Wire-format helpers shared by the combining collectives and (via
+//! re-export) the gblas sender-side compaction layer.
+//!
+//! Everything the simulator puts "on the wire" in compressed form goes
+//! through these encoders, so the α-β cost model charges the *encoded*
+//! byte counts with no special-casing:
+//!
+//! * **LEB128 varints** ([`push_varint`] / [`read_varint`]) — the base
+//!   machinery, also reused by `gblas`'s id-list compaction.
+//! * **delta key streams** ([`encode_keys`] / [`decode_keys`]) — a sorted
+//!   `u64` key list as LEB128 of the first key then consecutive deltas;
+//!   the per-hop request format of the combining hypercube.
+//! * **word-stream RLE** ([`encode_words`] / [`decode_words`]) — value
+//!   payloads as `(value, run-length)` varint pairs with a raw fallback,
+//!   effective when labels near convergence are heavily repeated.
+//! * [`WireWord`] — the fixed word representation a value type must have
+//!   to ride an encoded value stream.
+
+/// Appends `x` to `out` as a LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+pub fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads the varint at `bytes[*pos]`, advancing `pos` past it.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// Encoded length of `x` as a varint, in bytes.
+pub fn varint_len(x: u64) -> usize {
+    let bits = (64 - x.leading_zeros()).max(1);
+    bits.div_ceil(7) as usize
+}
+
+/// Encodes a sorted (non-decreasing) `u64` key list as count + first key
+/// + consecutive deltas, all varints.
+pub fn encode_keys(keys: &[u64]) -> Vec<u8> {
+    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    let mut out = Vec::with_capacity(keys.len() + 4);
+    push_varint(&mut out, keys.len() as u64);
+    let mut prev = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        push_varint(&mut out, if i == 0 { k } else { k - prev });
+        prev = k;
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode_keys`].
+pub fn decode_keys(bytes: &[u8]) -> Vec<u64> {
+    let mut pos = 0usize;
+    let n = read_varint(bytes, &mut pos) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut cur = 0u64;
+    for i in 0..n {
+        let d = read_varint(bytes, &mut pos);
+        cur = if i == 0 { d } else { cur + d };
+        out.push(cur);
+    }
+    debug_assert_eq!(pos, bytes.len(), "trailing bytes in key stream");
+    out
+}
+
+const MODE_RAW: u8 = 0;
+const MODE_RLE: u8 = 1;
+
+/// Encodes a word stream as run-length `(value, run)` varint pairs, or
+/// raw little-endian words when that would be smaller (adversarial
+/// values cost at most one mode byte over raw).
+pub fn encode_words(words: &[u64]) -> Vec<u8> {
+    let mut rle = Vec::with_capacity(words.len() + 4);
+    rle.push(MODE_RLE);
+    push_varint(&mut rle, words.len() as u64);
+    let mut i = 0usize;
+    while i < words.len() {
+        let v = words[i];
+        let mut run = 1usize;
+        while i + run < words.len() && words[i + run] == v {
+            run += 1;
+        }
+        push_varint(&mut rle, v);
+        push_varint(&mut rle, run as u64);
+        i += run;
+    }
+    let raw_len = 1 + 8 * words.len();
+    if rle.len() <= raw_len {
+        return rle;
+    }
+    let mut raw = Vec::with_capacity(raw_len);
+    raw.push(MODE_RAW);
+    for &w in words {
+        raw.extend_from_slice(&w.to_le_bytes());
+    }
+    raw
+}
+
+/// Decodes a stream produced by [`encode_words`].
+pub fn decode_words(bytes: &[u8]) -> Vec<u64> {
+    match bytes[0] {
+        MODE_RAW => bytes[1..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect(),
+        MODE_RLE => {
+            let mut pos = 1usize;
+            let n = read_varint(bytes, &mut pos) as usize;
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let v = read_varint(bytes, &mut pos);
+                let run = read_varint(bytes, &mut pos) as usize;
+                out.extend(std::iter::repeat_n(v, run));
+            }
+            debug_assert_eq!(pos, bytes.len(), "trailing bytes in word stream");
+            out
+        }
+        other => panic!("bad word-stream mode {other}"),
+    }
+}
+
+/// A value type with a fixed 64-bit word representation, required to ride
+/// an encoded value stream ([`encode_words`]) or a combining reply.
+pub trait WireWord: Copy {
+    /// This value as a wire word.
+    fn to_word(self) -> u64;
+    /// Reconstructs the value from its wire word.
+    fn from_word(w: u64) -> Self;
+}
+
+impl WireWord for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl WireWord for usize {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as usize
+    }
+}
+
+impl WireWord for u32 {
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl WireWord for bool {
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for x in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, x);
+            assert_eq!(buf.len(), varint_len(x));
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), x);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn key_stream_roundtrips() {
+        for keys in [
+            vec![],
+            vec![0u64],
+            vec![5, 5, 5],
+            vec![0, 1, 2, 3, 1_000_000],
+            (0..500).map(|k| k * 7).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(decode_keys(&encode_keys(&keys)), keys);
+        }
+    }
+
+    #[test]
+    fn dense_sorted_keys_compress_well() {
+        let keys: Vec<u64> = (1000..2000).collect();
+        let enc = encode_keys(&keys);
+        assert!(enc.len() < keys.len() * 2, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn word_stream_roundtrips() {
+        for words in [
+            vec![0u64],
+            vec![7; 100],
+            vec![1, 2, 3, 4, 5],
+            vec![u64::MAX; 3],
+            (0..64).map(|k| k % 4).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(decode_words(&encode_words(&words)), words);
+        }
+    }
+
+    #[test]
+    fn repeated_words_take_rle() {
+        let words = vec![42u64; 1000];
+        let enc = encode_words(&words);
+        assert!(
+            enc.len() < 16,
+            "RLE should collapse the run, got {}",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn adversarial_words_fall_back_to_raw() {
+        // Large distinct values: varints would expand past raw.
+        let words: Vec<u64> = (0..100).map(|k| u64::MAX - k * 12345).collect();
+        let enc = encode_words(&words);
+        assert!(enc.len() <= 1 + 8 * words.len());
+        assert_eq!(decode_words(&enc), words);
+    }
+
+    #[test]
+    fn wire_word_roundtrip() {
+        assert_eq!(u64::from_word(9u64.to_word()), 9);
+        assert_eq!(usize::from_word(17usize.to_word()), 17);
+        assert_eq!(u32::from_word(5u32.to_word()), 5);
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
+    }
+}

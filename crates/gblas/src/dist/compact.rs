@@ -16,40 +16,16 @@
 //! The simulated exchange sends the encoded bytes themselves, so the
 //! dmsim cost model charges the *compressed* word counts with no
 //! special-casing — modeled time honestly reflects the savings.
+//!
+//! The varint machinery lives in [`dmsim::wire`], shared with the
+//! combining collectives; this module adds the offset-list modes on top
+//! plus the [`encode_values`] value-stream wrappers.
+
+use dmsim::wire::{push_varint, read_varint, varint_len};
+use dmsim::WireWord;
 
 const MODE_DELTA: u8 = 0;
 const MODE_BITMAP: u8 = 1;
-
-fn push_varint(out: &mut Vec<u8>, mut x: u64) {
-    loop {
-        let b = (x & 0x7f) as u8;
-        x >>= 7;
-        if x == 0 {
-            out.push(b);
-            return;
-        }
-        out.push(b | 0x80);
-    }
-}
-
-fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
-    let mut x = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let b = bytes[*pos];
-        *pos += 1;
-        x |= u64::from(b & 0x7f) << shift;
-        if b & 0x80 == 0 {
-            return x;
-        }
-        shift += 7;
-    }
-}
-
-fn varint_len(x: u64) -> usize {
-    let bits = (64 - x.leading_zeros()).max(1);
-    bits.div_ceil(7) as usize
-}
 
 /// Encodes a sorted (non-decreasing) offset list. `unique` asserts the
 /// list is duplicate-free, unlocking the bitmap representation; the
@@ -130,6 +106,28 @@ pub fn decode_offsets(bytes: &[u8]) -> Vec<usize> {
     }
 }
 
+/// Encodes a value stream (the non-id half of an extract reply or assign
+/// payload) with run-length encoding and a raw fallback
+/// ([`dmsim::wire::encode_words`]). Empty streams encode to zero bytes.
+pub fn encode_values<T: WireWord>(vals: &[T]) -> Vec<u8> {
+    if vals.is_empty() {
+        return Vec::new();
+    }
+    let words: Vec<u64> = vals.iter().map(|v| v.to_word()).collect();
+    dmsim::wire::encode_words(&words)
+}
+
+/// Decodes a stream produced by [`encode_values`].
+pub fn decode_values<T: WireWord>(bytes: &[u8]) -> Vec<T> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    dmsim::wire::decode_words(bytes)
+        .into_iter()
+        .map(T::from_word)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,24 +138,21 @@ mod tests {
     }
 
     #[test]
-    fn varint_roundtrip_boundaries() {
-        for x in [
-            0u64,
-            1,
-            127,
-            128,
-            16383,
-            16384,
-            u64::from(u32::MAX),
-            u64::MAX,
-        ] {
-            let mut buf = Vec::new();
-            push_varint(&mut buf, x);
-            assert_eq!(buf.len(), varint_len(x));
-            let mut pos = 0;
-            assert_eq!(read_varint(&buf, &mut pos), x);
-            assert_eq!(pos, buf.len());
-        }
+    fn value_stream_roundtrips() {
+        let labels: Vec<usize> = vec![3, 3, 3, 3, 9, 9, 3, 3];
+        assert_eq!(decode_values::<usize>(&encode_values(&labels)), labels);
+        let flags = vec![true, true, false, true];
+        assert_eq!(decode_values::<bool>(&encode_values(&flags)), flags);
+        assert!(encode_values::<usize>(&[]).is_empty());
+        assert!(decode_values::<usize>(&[]).is_empty());
+    }
+
+    #[test]
+    fn repeated_labels_collapse() {
+        // Near convergence most replies carry the same label.
+        let labels = vec![7usize; 4096];
+        let enc = encode_values(&labels);
+        assert!(enc.len() < 16, "got {} bytes", enc.len());
     }
 
     #[test]

@@ -20,5 +20,5 @@ pub use dmat::DistMat;
 pub use dvec::{DistSpVec, DistVec, Distribution, VecLayout};
 pub use ops::{
     dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, dist_mxv_sparse,
-    plan_requests, AssignStats, DistMask, DistOpts, ExtractStats, RequestPlan,
+    plan_requests, AssignStats, DistMask, DistOpts, ExtractStats, FusedExtract, RequestPlan,
 };

@@ -22,7 +22,7 @@ use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
 use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
-use dmsim::{words_of, AllToAll, Comm, PooledBuf, SpanKind};
+use dmsim::{words_of, AllToAll, CombineRoute, Comm, PooledBuf, SpanKind, WireWord};
 use std::collections::HashMap;
 
 /// Tuning knobs for the distributed primitives (the paper's §V-B levers
@@ -74,6 +74,25 @@ pub struct DistOpts {
     /// linear pass plus a sort of the unique ids); shorter buckets
     /// sort-and-dedup in place.
     pub dedup_hash_threshold: usize,
+    /// In-flight combining: [`dist_extract`] routes request ids through
+    /// [`Comm::combining_requests`] (replies scattered back along the
+    /// recorded reverse route) and [`dist_assign`] merges updates through
+    /// [`Comm::reduce_scatter_by_key`], so duplicates issued by
+    /// *different* ranks collapse at the hypercube hop where their routes
+    /// meet — traffic sender-side compaction cannot see. Bit-identical
+    /// for the commutative monoids LACC uses (in-flight merging may
+    /// reorder the fold across origins).
+    pub combine_in_flight: bool,
+    /// Fuses starcheck's two planned extracts (grandparent, then parent
+    /// starness) into one combining exchange: the request route is paid
+    /// for once and replayed for both reply phases. Requires
+    /// `combine_in_flight`; ignored without it.
+    pub fuse_starcheck: bool,
+    /// Run-length encoding for the *value* halves of extract replies and
+    /// assign payloads ([`super::compact::encode_values`]) — labels near
+    /// convergence are heavily repeated, so reply streams collapse to a
+    /// few runs. Applies to both the plain and the combining reply paths.
+    pub compress_values: bool,
 }
 
 impl Default for DistOpts {
@@ -92,6 +111,9 @@ impl Default for DistOpts {
             compress_ids: true,
             compress_bitmap_density: 1.0 / 16.0,
             dedup_hash_threshold: 2048,
+            combine_in_flight: true,
+            fuse_starcheck: true,
+            compress_values: true,
         }
     }
 }
@@ -108,6 +130,9 @@ impl DistOpts {
             dedup_requests: false,
             combine_assigns: false,
             compress_ids: false,
+            combine_in_flight: false,
+            fuse_starcheck: false,
+            compress_values: false,
             ..DistOpts::default()
         }
     }
@@ -156,6 +181,9 @@ pub struct ExtractStats {
     /// Words saved by delta/bitmap encoding of the request id streams.
     /// Zero when `compress_ids` is off.
     pub compress_saved_words: u64,
+    /// Words saved by run-length encoding the reply value streams. Zero
+    /// when `compress_values` is off.
+    pub value_saved_words: u64,
 }
 
 /// Statistics from one [`dist_assign`] call.
@@ -170,6 +198,9 @@ pub struct AssignStats {
     /// Words saved by id compression of the update exchange. Zero when
     /// `compress_ids` is off.
     pub compress_saved_words: u64,
+    /// Words saved by run-length encoding the update value streams. Zero
+    /// when `compress_values` is off.
+    pub value_saved_words: u64,
 }
 
 /// Scatters locally produced `(global row, value)` results to their layout
@@ -933,7 +964,7 @@ pub fn dist_extract<T>(
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
-    T: Copy + Send + 'static,
+    T: Copy + Send + WireWord + 'static,
 {
     let span = comm.span_open(SpanKind::Extract);
     let plan = plan_requests(comm, src.layout(), requests, opts);
@@ -952,7 +983,7 @@ pub fn dist_extract_planned<T>(
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
-    T: Copy + Send + 'static,
+    T: Copy + Send + WireWord + 'static,
 {
     let span = comm.span_open(SpanKind::Extract);
     let out = extract_impl(comm, src, plan, opts);
@@ -967,7 +998,7 @@ fn extract_impl<T>(
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
-    T: Copy + Send + 'static,
+    T: Copy + Send + WireWord + 'static,
 {
     let layout = src.layout();
     assert_eq!(layout, plan.layout, "plan built for a different layout");
@@ -1015,6 +1046,53 @@ where
         }
         let removed = plan.removed(o);
         stats.dedup_saved_words += words_of::<Vid>(removed) + words_of::<T>(removed);
+    }
+
+    // In-flight combining: request ids ride the combining hypercube as
+    // delta-encoded key streams, merging cross-rank duplicates at the hop
+    // where their routes first meet; replies scatter back along the
+    // recorded reverse route. Hot owners keep the broadcast fallback and
+    // contribute empty key buckets.
+    if opts.combine_in_flight {
+        let key_bufs: Vec<Vec<u64>> = (0..p)
+            .map(|o| {
+                if hot[o] {
+                    Vec::new()
+                } else {
+                    plan.wire_ids[o].iter().map(|&g| g as u64).collect()
+                }
+            })
+            .collect();
+        let route = comm.combining_requests(&world, key_bufs);
+        stats.received_requests = route.delivered_keys().len() as u64;
+        let values: Vec<T> = route
+            .delivered_keys()
+            .iter()
+            .map(|&k| src.get_local(k as Vid))
+            .collect();
+        comm.charge_compute(stats.received_requests + 1);
+        comm.note_words_saved(stats.dedup_saved_words);
+        let reply = comm.combining_replies(&world, &route, &values, opts.compress_values);
+        for (o, pairs) in reply.iter().enumerate() {
+            if hot[o] {
+                continue;
+            }
+            for &(w, pos) in &plan.scatter[o] {
+                let key = plan.wire_ids[o][w as usize] as u64;
+                let i = pairs
+                    .binary_search_by_key(&key, |&(k, _)| k)
+                    .expect("reply for every requested id");
+                results[pos as usize] = Some(pairs[i].1);
+            }
+            comm.charge_compute(plan.scatter[o].len() as u64 + 1);
+        }
+        return (
+            results
+                .into_iter()
+                .map(|r| r.expect("every request answered"))
+                .collect(),
+            stats,
+        );
     }
 
     // Remaining requests go through the all-to-all — as raw id words, or
@@ -1072,8 +1150,31 @@ where
             .collect()
     };
     comm.charge_compute(stats.received_requests + 1);
-    comm.note_words_saved(stats.dedup_saved_words + stats.compress_saved_words);
-    let reply_back = comm.alltoallv(&world, replies, opts.alltoall);
+    // Reply values go back raw, or run-length encoded when value
+    // compression is on (near convergence most replies repeat the same
+    // few labels, so the streams collapse to a handful of runs).
+    let reply_back: Vec<Vec<T>> = if opts.compress_values {
+        let mut enc: Vec<Vec<u8>> = Vec::with_capacity(p);
+        for r in &replies {
+            let e = compact::encode_values(r);
+            stats.value_saved_words +=
+                words_of::<T>(r.len()).saturating_sub(words_of::<u8>(e.len()));
+            enc.push(e);
+        }
+        comm.note_words_saved(
+            stats.dedup_saved_words + stats.compress_saved_words + stats.value_saved_words,
+        );
+        let back = comm.alltoallv(&world, enc, opts.alltoall);
+        back.into_iter()
+            .map(|bytes| {
+                let bytes = comm.adopt_buf(bytes);
+                compact::decode_values(&bytes)
+            })
+            .collect()
+    } else {
+        comm.note_words_saved(stats.dedup_saved_words + stats.compress_saved_words);
+        comm.alltoallv(&world, replies, opts.alltoall)
+    };
     for o in 0..p {
         if hot[o] {
             continue;
@@ -1089,6 +1190,88 @@ where
             .collect(),
         stats,
     )
+}
+
+/// A combining request route paid for once and replayed for several
+/// extract phases against the same request list.
+///
+/// Starcheck issues two extracts with identical requests (grandparent,
+/// then parent starness) separated by an assign. `FusedExtract` sends the
+/// ids through the combining hypercube once ([`FusedExtract::begin`]) and
+/// scatters each phase's replies back along the recorded reverse route
+/// ([`FusedExtract::extract`]). Values are read at reply time, so a phase
+/// observes assigns applied after `begin` — exactly the ordering the
+/// unfused pair of extracts had. This path never takes the hot-rank
+/// broadcast: the combining tree already collapses the duplicate traffic
+/// that made owners hot.
+pub struct FusedExtract {
+    route: CombineRoute,
+}
+
+impl FusedExtract {
+    /// Sends the plan's per-owner request ids through the combining
+    /// hypercube and records the route for later reply phases.
+    pub fn begin(comm: &mut Comm, plan: &RequestPlan) -> FusedExtract {
+        let world = comm.world();
+        let key_bufs: Vec<Vec<u64>> = plan
+            .wire_ids
+            .iter()
+            .map(|ids| ids.iter().map(|&g| g as u64).collect())
+            .collect();
+        let route = comm.combining_requests(&world, key_bufs);
+        FusedExtract { route }
+    }
+
+    /// Unique request ids the route delivered to this rank — what this
+    /// rank serves per reply phase.
+    pub fn received(&self) -> u64 {
+        self.route.delivered_keys().len() as u64
+    }
+
+    /// One reply phase: serves the delivered ids from `src` as of *now*
+    /// and returns `src[requests[k]]` for each planned request, in order.
+    pub fn extract<T>(
+        &self,
+        comm: &mut Comm,
+        src: &DistVec<T>,
+        plan: &RequestPlan,
+        opts: &DistOpts,
+    ) -> Vec<T>
+    where
+        T: Copy + Send + WireWord + 'static,
+    {
+        let span = comm.span_open(SpanKind::Extract);
+        let world = comm.world();
+        assert_eq!(
+            src.layout(),
+            plan.layout,
+            "plan built for a different layout"
+        );
+        let values: Vec<T> = self
+            .route
+            .delivered_keys()
+            .iter()
+            .map(|&k| src.get_local(k as Vid))
+            .collect();
+        comm.charge_compute(values.len() as u64 + 1);
+        let reply = comm.combining_replies(&world, &self.route, &values, opts.compress_values);
+        let mut results: Vec<Option<T>> = vec![None; plan.n_requests];
+        for (o, pairs) in reply.iter().enumerate() {
+            for &(w, pos) in &plan.scatter[o] {
+                let key = plan.wire_ids[o][w as usize] as u64;
+                let i = pairs
+                    .binary_search_by_key(&key, |&(k, _)| k)
+                    .expect("reply for every requested id");
+                results[pos as usize] = Some(pairs[i].1);
+            }
+        }
+        comm.charge_compute(plan.n_requests as u64 + 1);
+        comm.span_close(span);
+        results
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
 }
 
 /// Distributed scatter (`GrB_assign` by index list): applies
@@ -1107,7 +1290,7 @@ pub fn dist_assign<T, M>(
     opts: &DistOpts,
 ) -> (usize, AssignStats)
 where
-    T: Copy + Send + PartialEq + 'static,
+    T: Copy + Send + PartialEq + WireWord + 'static,
     M: Monoid<T>,
 {
     let span = comm.span_open(SpanKind::Assign);
@@ -1124,7 +1307,7 @@ fn assign_impl<T, M>(
     opts: &DistOpts,
 ) -> (usize, AssignStats)
 where
-    T: Copy + Send + PartialEq + 'static,
+    T: Copy + Send + PartialEq + WireWord + 'static,
     M: Monoid<T>,
 {
     let layout = dst.layout();
@@ -1170,6 +1353,33 @@ where
         .collect();
     comm.charge_compute(ops);
 
+    // In-flight combining: updates ride the combining hypercube keyed by
+    // target id, folding through the monoid wherever two origins' routes
+    // meet — each target reaches its owner at most once per arrival
+    // branch instead of once per sender. LACC's monoids (min-hook,
+    // and-fold) are commutative, so the merge-tree order is immaterial.
+    if opts.combine_in_flight {
+        let entries: Vec<Vec<(u64, T)>> = buckets
+            .iter()
+            .map(|b| b.iter().map(|&(g, v)| (g as u64, v)).collect())
+            .collect();
+        let merged = comm.reduce_scatter_by_key(&world, entries, |acc: &mut T, v| {
+            *acc = monoid.combine(*acc, v)
+        });
+        stats.received_updates = merged.len() as u64;
+        comm.charge_compute(stats.received_updates + 1);
+        comm.note_words_saved(stats.combine_saved_words);
+        let mut changed = 0;
+        for (k, v) in merged {
+            let g = k as Vid;
+            if dst.get_local(g) != v {
+                dst.set_local(g, v);
+                changed += 1;
+            }
+        }
+        return (changed, stats);
+    }
+
     let mut combined: HashMap<Vid, T> = HashMap::new();
     let mut nops = 0u64;
     if opts.compress_ids {
@@ -1188,10 +1398,27 @@ where
             val_bufs.push(b.iter().map(|&(_, v)| v).collect());
         }
         let in_ids = comm.alltoallv(&world, id_bufs, opts.alltoall);
-        let in_vals = comm.alltoallv(&world, val_bufs, opts.alltoall);
+        // Values ride raw or run-length encoded per compress_values.
+        let in_vals: Vec<Vec<T>> = if opts.compress_values {
+            let mut enc_vals: Vec<Vec<u8>> = Vec::with_capacity(val_bufs.len());
+            for v in &val_bufs {
+                let e = compact::encode_values(v);
+                stats.value_saved_words +=
+                    words_of::<T>(v.len()).saturating_sub(words_of::<u8>(e.len()));
+                enc_vals.push(e);
+            }
+            comm.alltoallv(&world, enc_vals, opts.alltoall)
+                .into_iter()
+                .map(|bytes| {
+                    let bytes = comm.adopt_buf(bytes);
+                    compact::decode_values(&bytes)
+                })
+                .collect()
+        } else {
+            comm.alltoallv(&world, val_bufs, opts.alltoall)
+        };
         for (bytes, vals) in in_ids.into_iter().zip(in_vals) {
             let bytes = comm.adopt_buf(bytes);
-            let vals = comm.adopt_buf(vals);
             let offs = compact::decode_offsets(&bytes);
             debug_assert_eq!(offs.len(), vals.len(), "id/value streams misaligned");
             nops += offs.len() as u64;
@@ -1217,7 +1444,9 @@ where
     }
     stats.received_updates = nops;
     comm.charge_compute(nops + 1);
-    comm.note_words_saved(stats.combine_saved_words + stats.compress_saved_words);
+    comm.note_words_saved(
+        stats.combine_saved_words + stats.compress_saved_words + stats.value_saved_words,
+    );
     let mut changed = 0;
     for (g, v) in combined {
         if dst.get_local(g) != v {
@@ -1562,11 +1791,17 @@ mod tests {
 
     #[test]
     fn savings_counters_positive_and_monotone_in_duplication() {
-        // With duplicated traffic and all flags on, every mechanism must
+        // With duplicated traffic and the sender-side stack on (combining
+        // disabled so the classic exchange runs), every mechanism must
         // report savings, and quadrupling the duplication can only save
         // more words.
-        let twice = compaction_savings(2, DistOpts::optimized());
-        let eight = compaction_savings(8, DistOpts::optimized());
+        let sender_side = DistOpts {
+            combine_in_flight: false,
+            fuse_starcheck: false,
+            ..DistOpts::optimized()
+        };
+        let twice = compaction_savings(2, sender_side);
+        let eight = compaction_savings(8, sender_side);
         for ((es2, as2, noted2), (es8, as8, noted8)) in twice.iter().zip(&eight) {
             assert!(es2.dedup_saved_words > 0, "dedup saves on duplicates");
             assert!(es2.compress_saved_words > 0, "ids compress");
@@ -1575,13 +1810,59 @@ mod tests {
                 *noted2,
                 es2.dedup_saved_words
                     + es2.compress_saved_words
+                    + es2.value_saved_words
                     + as2.combine_saved_words
-                    + as2.compress_saved_words,
+                    + as2.compress_saved_words
+                    + as2.value_saved_words,
                 "comm counter matches the per-op stats"
             );
             assert!(es8.dedup_saved_words >= es2.dedup_saved_words);
             assert!(as8.combine_saved_words >= as2.combine_saved_words);
             assert!(noted8 >= noted2, "savings are monotone in duplication");
+        }
+    }
+
+    #[test]
+    fn combined_words_zero_when_off_and_monotone_when_on() {
+        // The in-flight counter stays zero on every non-combining path
+        // and grows with cross-rank duplication when combining is on:
+        // every rank requesting the same ids gives the hypercube hops
+        // more to merge.
+        let combined = |copies: usize, opts: DistOpts| -> Vec<u64> {
+            let n = 64;
+            let p = 4;
+            run_spmd(p, move |c| {
+                let layout = VecLayout::new(n, Grid2d::square(p));
+                let src = DistVec::from_fn(layout, c.rank(), |g| g * 3 % n);
+                let reqs: Vec<usize> = (0..n)
+                    .step_by(2)
+                    .flat_map(|g| std::iter::repeat_n(g, copies))
+                    .collect();
+                let opts = DistOpts {
+                    hot_bcast: false,
+                    ..opts
+                };
+                let _ = dist_extract(c, &src, &reqs, &opts);
+                let mut dst = DistVec::from_fn(layout, c.rank(), |_| usize::MAX);
+                let upds: Vec<(usize, usize)> = reqs.iter().map(|&g| (g, g + c.rank())).collect();
+                dist_assign(c, &mut dst, &upds, MinUsize, &opts);
+                c.snapshot().combined_words
+            })
+            .unwrap()
+        };
+        for w in combined(4, DistOpts::naive()) {
+            assert_eq!(w, 0, "naive path never combines");
+        }
+        let off = DistOpts {
+            combine_in_flight: false,
+            ..DistOpts::optimized()
+        };
+        for w in combined(4, off) {
+            assert_eq!(w, 0, "flag off pins the counter at zero");
+        }
+        let once = combined(1, DistOpts::optimized());
+        for (rank, &w) in once.iter().enumerate() {
+            assert!(w > 0, "rank {rank}: identical cross-rank requests merge");
         }
     }
 

@@ -89,13 +89,17 @@ fn dense_as_and_lacc_agree_distributed() {
         canonicalize_labels(&d.labels)
     );
     // Sparsity must reduce modeled work on a many-component graph. The
-    // comparison runs with sender-side compaction off: the dense active
-    // set's extra traffic is so redundant that dedup/compression erases
-    // most of the gap, and this assertion is about active-set sparsity.
+    // comparison runs with sender-side compaction and in-flight combining
+    // off: the dense active set's extra traffic is so redundant that
+    // dedup/compression/combining erases most of the gap, and this
+    // assertion is about active-set sparsity.
     let no_compaction = DistOpts {
         dedup_requests: false,
         combine_assigns: false,
         compress_ids: false,
+        combine_in_flight: false,
+        fuse_starcheck: false,
+        compress_values: false,
         ..DistOpts::default()
     };
     let g = community_graph(4000, 200, 3.0, 1.4, 3);
