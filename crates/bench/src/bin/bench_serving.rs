@@ -1,0 +1,163 @@
+//! Serving-tier benchmark: sustained update and query throughput of the
+//! incremental connected-components service.
+//!
+//! Bootstraps a [`lacc_serving::CcService`] from a Graph500 RMAT graph,
+//! then drives a mixed workload: batches of uniform-random edge
+//! insertions — spiked with periodic deletions that force full LACC
+//! rebuilds — each followed by a burst of `find` / `same_component` /
+//! `component_size` queries against the freshly published epoch. Writes
+//! `BENCH_serving.json` at the workspace root with:
+//!
+//! * `updates_per_s`, `queries_per_s` — host wall-clock throughput of
+//!   the label-store data structures.
+//! * `modeled_query_p50_s`, `modeled_query_p99_s` — α-β modeled query
+//!   latency percentiles (messages to the owner shard plus one per
+//!   cross-shard pointer chase, compute at the model rate).
+//! * `reruns` (+ per-cause splits) and `rerun_modeled_s` — how often and
+//!   how expensively the service fell back to full LACC.
+//! * `answers_consistent` — final epoch checked component-equivalent to
+//!   the brute-force oracle over the surviving edge multiset, *and* the
+//!   canonical labels checked bit-identical to a from-scratch
+//!   `run_distributed` on the same edges under the optimized stack.
+//!
+//! Environment overrides: `LACC_SERVE_SCALE` (RMAT scale, default 13),
+//! `LACC_SERVE_RANKS` (default 4), `LACC_SERVE_BATCHES` (default 24),
+//! `LACC_SERVE_BATCH` (batch size, default 256), `LACC_SERVE_QUERIES`
+//! (queries per batch, default 512), `LACC_SERVE_DELETE_EVERY`
+//! (default 8).
+
+use lacc_graph::generators::{rmat, RmatParams};
+use lacc_graph::unionfind::canonicalize_labels;
+use lacc_serving::{run_workload, CcService, ServeOpts, WorkloadCfg};
+use std::io::Write;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name}: bad value")))
+        .unwrap_or(default)
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from(".");
+        }
+    }
+}
+
+fn main() {
+    let scale = env_or("LACC_SERVE_SCALE", 13) as u32;
+    let ranks = env_or("LACC_SERVE_RANKS", 4);
+    let cfg = WorkloadCfg {
+        batches: env_or("LACC_SERVE_BATCHES", 24),
+        batch_size: env_or("LACC_SERVE_BATCH", 256),
+        queries_per_batch: env_or("LACC_SERVE_QUERIES", 512),
+        delete_every: env_or("LACC_SERVE_DELETE_EVERY", 8),
+        seed: 1,
+    };
+    let opts = ServeOpts {
+        ranks,
+        model: lacc_bench::default_model(),
+        ..Default::default()
+    };
+
+    // Bootstrap from a thinned RMAT graph (edge factor 4 leaves room for
+    // the insertion stream to keep merging components).
+    let g = rmat(scale, 4, RmatParams::graph500(), 42);
+    println!(
+        "bootstrapping service: 2^{scale} vertices, {} edges, {} ranks",
+        g.num_undirected_edges(),
+        ranks
+    );
+    let mut svc = CcService::from_graph(&g, opts).expect("bootstrap");
+    println!(
+        "bootstrap epoch {}: {} components",
+        svc.epoch(),
+        svc.num_components()
+    );
+
+    let rep = run_workload(&mut svc, &cfg).expect("workload");
+    let s = rep.stats;
+
+    // Bit-identical check: canonical labels of the served epoch vs a
+    // from-scratch optimized run over the same surviving edge multiset.
+    let el = lacc_graph::EdgeList::from_pairs(svc.num_vertices(), svc.edges().iter().copied());
+    let fresh = lacc::run_distributed(
+        &lacc_graph::CsrGraph::from_edges(el),
+        ranks,
+        opts.model,
+        &opts.lacc,
+    )
+    .expect("from-scratch rerun");
+    let labels_bit_identical =
+        canonicalize_labels(&svc.snapshot().labels()) == canonicalize_labels(&fresh.labels);
+    let consistent = rep.answers_consistent && labels_bit_identical;
+
+    println!(
+        "{} batches: {} inserts ({} no-op), {} deletes, {} hooks",
+        s.batches, s.inserts, s.noop_inserts, s.deletes, s.hooks
+    );
+    println!(
+        "reruns: {} ({} deletion, {} staleness), {:.1} ms modeled",
+        s.reruns,
+        s.deletion_reruns,
+        s.staleness_reruns,
+        s.rerun_modeled_s * 1e3
+    );
+    println!(
+        "throughput: {:.0} updates/s, {:.0} queries/s",
+        rep.updates_per_s(),
+        rep.queries_per_s()
+    );
+    println!(
+        "modeled query latency: p50 {:.2} us, p99 {:.2} us",
+        rep.latency_percentile_s(50.0) * 1e6,
+        rep.latency_percentile_s(99.0) * 1e6
+    );
+    println!("answers consistent: {consistent} (labels bit-identical: {labels_bit_identical})");
+
+    let out = workspace_root().join("BENCH_serving.json");
+    let mut f = std::fs::File::create(&out).expect("create BENCH_serving.json");
+    writeln!(
+        f,
+        "{{\n  \"scale\": {scale},\n  \"ranks\": {ranks},\n  \"vertices\": {},\n  \
+         \"batches\": {},\n  \"batch_size\": {},\n  \"queries_per_batch\": {},\n  \
+         \"delete_every\": {},\n  \"final_epoch\": {},\n  \"components\": {},\n  \
+         \"edges\": {},\n  \"inserts\": {},\n  \"noop_inserts\": {},\n  \"deletes\": {},\n  \
+         \"hooks\": {},\n  \"reruns\": {},\n  \"deletion_reruns\": {},\n  \
+         \"staleness_reruns\": {},\n  \"rerun_modeled_s\": {:.6},\n  \
+         \"updates_per_s\": {:.1},\n  \"queries\": {},\n  \"queries_per_s\": {:.1},\n  \
+         \"modeled_query_p50_s\": {:.9},\n  \"modeled_query_p99_s\": {:.9},\n  \
+         \"labels_bit_identical\": {labels_bit_identical},\n  \
+         \"answers_consistent\": {consistent}\n}}",
+        svc.num_vertices(),
+        cfg.batches,
+        cfg.batch_size,
+        cfg.queries_per_batch,
+        cfg.delete_every,
+        rep.final_epoch,
+        rep.final_components,
+        rep.final_edges,
+        s.inserts,
+        s.noop_inserts,
+        s.deletes,
+        s.hooks,
+        s.reruns,
+        s.deletion_reruns,
+        s.staleness_reruns,
+        s.rerun_modeled_s,
+        rep.updates_per_s(),
+        rep.queries,
+        rep.queries_per_s(),
+        rep.latency_percentile_s(50.0),
+        rep.latency_percentile_s(99.0),
+    )
+    .expect("write BENCH_serving.json");
+    println!("wrote {}", out.display());
+    assert!(consistent, "serving answers diverged from ground truth");
+}

@@ -20,6 +20,10 @@ pub const USAGE: &str = "usage:
                 [--combine-in-flight true|false] [--fuse-starcheck true|false]
                 [--compress-values true|false] [--out labels.txt]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
+  lacc serve    <graph> [--ranks P] [--machine edison|cori] [--batches B]
+                [--batch-size K] [--queries-per-batch Q] [--delete-every D]
+                [--staleness F] [--seed S] [--report out.json]
+                [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
   lacc convert  <in> <out>
 
@@ -36,6 +40,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&args),
         "cc" => cmd_cc(&args),
         "cc-dist" => cmd_cc_dist(&args),
+        "serve" => cmd_serve(&args),
         "generate" => cmd_generate(&args),
         "convert" => cmd_convert(&args),
         other => Err(format!("unknown subcommand: {other}")),
@@ -225,6 +230,153 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
             writeln!(f, "{v} {l}").map_err(|e| e.to_string())?;
         }
         println!("labels written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use lacc_serving::{CcService, RerunPolicy, ServeOpts, WorkloadCfg};
+
+    let g = load_graph(args)?;
+    let ranks: usize = args.get_or("ranks", 4)?;
+    let machine = match args
+        .options
+        .get("machine")
+        .map(|s| s.as_str())
+        .unwrap_or("edison")
+    {
+        "edison" => dmsim::EDISON,
+        "cori" => dmsim::CORI_KNL,
+        other => return Err(format!("unknown machine: {other}")),
+    };
+    let staleness: f64 = args.get_or("staleness", 0.25)?;
+    if staleness < 0.0 || staleness.is_nan() {
+        return Err(format!("staleness must be nonnegative, got {staleness}"));
+    }
+    let cfg = WorkloadCfg {
+        batches: args.get_or("batches", 20)?,
+        batch_size: args.get_or("batch-size", 64)?,
+        queries_per_batch: args.get_or("queries-per-batch", 128)?,
+        delete_every: args.get_or("delete-every", 0)?,
+        seed: args.get_or("seed", 1)?,
+    };
+    let opts = ServeOpts {
+        ranks,
+        model: machine.lacc_model(),
+        policy: RerunPolicy::staleness(staleness),
+        ..Default::default()
+    };
+    let trace_path = args.options.get("trace").cloned();
+    let level: TraceLevel = args
+        .options
+        .get("trace-level")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(TraceLevel::Steps);
+    let sink = match (&trace_path, level) {
+        (Some(_), l) if l != TraceLevel::Off => Some(TraceSink::new(l)),
+        _ => None,
+    };
+
+    let mut svc =
+        CcService::from_graph_traced(&g, opts, sink.clone()).map_err(|e| e.to_string())?;
+    let rep = lacc_serving::run_workload(&mut svc, &cfg).map_err(|e| e.to_string())?;
+    let s = &rep.stats;
+
+    println!(
+        "served {} batches over {} vertices on {} label shards ({})",
+        cfg.batches,
+        svc.num_vertices(),
+        ranks,
+        machine.name
+    );
+    println!("final epoch         {}", rep.final_epoch);
+    println!("components          {}", rep.final_components);
+    println!(
+        "updates             {} inserts ({} no-op) + {} deletes, {} hooks",
+        s.inserts, s.noop_inserts, s.deletes, s.hooks
+    );
+    println!(
+        "reruns              {} ({} deletion, {} staleness), {:.3} ms modeled",
+        s.reruns,
+        s.deletion_reruns,
+        s.staleness_reruns,
+        s.rerun_modeled_s * 1e3
+    );
+    println!(
+        "update throughput   {:.0} updates/s ({:.1} ms wall)",
+        rep.updates_per_s(),
+        rep.update_wall_s * 1e3
+    );
+    println!(
+        "query throughput    {:.0} queries/s ({} queries)",
+        rep.queries_per_s(),
+        rep.queries
+    );
+    println!(
+        "modeled query lat.  p50 {:.2} us | p99 {:.2} us",
+        rep.latency_percentile_s(50.0) * 1e6,
+        rep.latency_percentile_s(99.0) * 1e6
+    );
+    println!(
+        "answers consistent  {}",
+        if rep.answers_consistent { "yes" } else { "NO" }
+    );
+    if !rep.answers_consistent {
+        return Err("serving answers diverged from the brute-force oracle".into());
+    }
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        std::fs::write(path, sink.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("{}", sink.report().render());
+        println!("trace written to {path}");
+    }
+    if let Some(out) = args.options.get("report") {
+        // `--staleness inf` (never rebuild) must stay valid JSON.
+        let staleness_json = if staleness.is_finite() {
+            format!("{staleness}")
+        } else {
+            "null".to_string()
+        };
+        let json = format!(
+            "{{\n  \"vertices\": {},\n  \"ranks\": {},\n  \"machine\": \"{}\",\n  \
+             \"batches\": {},\n  \"batch_size\": {},\n  \"queries_per_batch\": {},\n  \
+             \"delete_every\": {},\n  \"staleness_threshold\": {},\n  \"seed\": {},\n  \
+             \"final_epoch\": {},\n  \"components\": {},\n  \"edges\": {},\n  \
+             \"inserts\": {},\n  \"noop_inserts\": {},\n  \"deletes\": {},\n  \
+             \"hooks\": {},\n  \"reruns\": {},\n  \"deletion_reruns\": {},\n  \
+             \"staleness_reruns\": {},\n  \"rerun_modeled_s\": {:.6},\n  \
+             \"updates_per_s\": {:.1},\n  \"queries\": {},\n  \"queries_per_s\": {:.1},\n  \
+             \"modeled_query_p50_s\": {:.9},\n  \"modeled_query_p99_s\": {:.9},\n  \
+             \"answers_consistent\": {}\n}}\n",
+            svc.num_vertices(),
+            ranks,
+            machine.name,
+            cfg.batches,
+            cfg.batch_size,
+            cfg.queries_per_batch,
+            cfg.delete_every,
+            staleness_json,
+            cfg.seed,
+            rep.final_epoch,
+            rep.final_components,
+            rep.final_edges,
+            s.inserts,
+            s.noop_inserts,
+            s.deletes,
+            s.hooks,
+            s.reruns,
+            s.deletion_reruns,
+            s.staleness_reruns,
+            s.rerun_modeled_s,
+            rep.updates_per_s(),
+            rep.queries,
+            rep.queries_per_s(),
+            rep.latency_percentile_s(50.0),
+            rep.latency_percentile_s(99.0),
+            rep.answers_consistent
+        );
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("report written to {out}");
     }
     Ok(())
 }
@@ -447,6 +599,53 @@ mod tests {
         ]))
         .unwrap();
         assert!(!std::path::Path::new(&out2).exists());
+    }
+
+    #[test]
+    fn serve_runs_and_writes_report() {
+        let dir = std::env::temp_dir().join("lacc-cli-test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n5 6\n6 7\n").unwrap();
+        let report = dir.join("serve.json").display().to_string();
+        let trace = dir.join("serve-trace.json").display().to_string();
+        dispatch(&argv(&[
+            "serve",
+            &p,
+            "--ranks",
+            "4",
+            "--batches",
+            "6",
+            "--batch-size",
+            "4",
+            "--queries-per-batch",
+            "9",
+            "--delete-every",
+            "3",
+            "--report",
+            &report,
+            "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"answers_consistent\": true"));
+        assert!(json.contains("\"modeled_query_p99_s\""));
+        // The bootstrap and the deletion rebuilds appear as tagged spans.
+        let tr = std::fs::read_to_string(&trace).unwrap();
+        assert!(tr.contains("rerun(bootstrap)"));
+        assert!(tr.contains("rerun(deletion)"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_options() {
+        let dir = std::env::temp_dir().join("lacc-cli-test8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n").unwrap();
+        assert!(dispatch(&argv(&["serve", &p, "--staleness", "-1"])).is_err());
+        assert!(dispatch(&argv(&["serve", &p, "--batches", "many"])).is_err());
+        assert!(dispatch(&argv(&["serve", &p, "--machine", "summit"])).is_err());
     }
 
     #[test]

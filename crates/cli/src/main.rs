@@ -5,6 +5,8 @@
 //! lacc cc       <graph> [--algo A] [--out F] label components serially
 //! lacc cc-dist  <graph> --ranks P [--machine edison|cori] [--flat]
 //!               [--trace out.json] [--trace-level L]  span-trace the run
+//! lacc serve    <graph> [--ranks P] [--batches B] [--batch-size K]
+//!               [--delete-every D] [--staleness F]   incremental serving
 //! lacc generate <family> --n N [--seed S] --out <graph>
 //! lacc convert  <in> <out>                   between .mtx / .el / .bin
 //! ```

@@ -11,7 +11,9 @@
 use crate::options::LaccOpts;
 use crate::stats::{IterStats, LaccRun, StepBreakdown};
 use crate::Vid;
-use dmsim::{run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, SpanKind, TraceSink};
+use dmsim::{
+    run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, RerunReason, SpanKind, TraceSink,
+};
 use gblas::dist::{
     dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, plan_requests,
     DistMask, DistMat, DistOpts, DistSpVec, DistVec, FusedExtract, VecLayout,
@@ -357,6 +359,35 @@ pub fn run_distributed_traced(
     opts: &LaccOpts,
     sink: Option<&Arc<TraceSink>>,
 ) -> Result<LaccRun, DmsimError> {
+    run_distributed_inner(g, p, model, opts, sink, None)
+}
+
+/// [`run_distributed_traced`] invoked as a serving-layer **epoch rebuild**:
+/// identical computation, but every rank wraps the whole run in a
+/// [`dmsim::SpanKind::Rerun`] span tagged with the triggering `reason`
+/// (deletion vs staleness threshold vs bootstrap) and notes the rerun in
+/// its [`dmsim::CostSnapshot`], so rebuild causes and counts surface in
+/// the aggregate trace report. Labels and modeled costs are bit-identical
+/// to a plain [`run_distributed_traced`] call (tested below).
+pub fn run_distributed_rerun(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+    sink: Option<&Arc<TraceSink>>,
+    reason: RerunReason,
+) -> Result<LaccRun, DmsimError> {
+    run_distributed_inner(g, p, model, opts, sink, Some(reason))
+}
+
+fn run_distributed_inner(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+    sink: Option<&Arc<TraceSink>>,
+    rerun: Option<RerunReason>,
+) -> Result<LaccRun, DmsimError> {
     let n = g.num_vertices();
     let _ = Grid2d::square(p); // validate early
                                // Clamp the per-rank kernel thread request so p ranks × T threads never
@@ -371,7 +402,22 @@ pub fn run_distributed_traced(
         (g.clone(), None)
     };
     let wall_start = Instant::now();
-    let outs = run_spmd_traced(p, model, sink, |comm| lacc_spmd(comm, &work_graph, opts))?;
+    let outs = run_spmd_traced(p, model, sink, |comm| {
+        // An epoch rebuild counts itself (on rank 0, so sums over
+        // snapshots count each rebuild once) and wraps the whole SPMD
+        // body in a reason-tagged span; both are observational.
+        let span = rerun.map(|reason| {
+            if comm.rank() == 0 {
+                comm.note_rerun();
+            }
+            comm.span_open(SpanKind::Rerun(reason))
+        });
+        let out = lacc_spmd(comm, &work_graph, opts);
+        if let Some(span) = span {
+            comm.span_close(span);
+        }
+        out
+    })?;
     let wall_s = wall_start.elapsed().as_secs_f64();
 
     let labels_permuted = outs[0].labels.clone().expect("rank 0 returns labels");
@@ -600,6 +646,31 @@ mod tests {
         let json = sink.chrome_trace_json();
         assert!(json.contains("\"cond_hook\""));
         assert!(report.load_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn rerun_entry_is_bit_identical_and_tagged() {
+        use dmsim::TraceLevel;
+        let g = rmat(8, 4, RmatParams::graph500(), 13);
+        let opts = LaccOpts::default();
+        let plain = run_distributed(&g, 4, model(), &opts).unwrap();
+        let sink = TraceSink::new(TraceLevel::Steps);
+        let rerun =
+            run_distributed_rerun(&g, 4, model(), &opts, Some(&sink), RerunReason::Deletion)
+                .unwrap();
+        // The rerun wrapper is observational: same labels, same clock.
+        assert_eq!(plain.labels, rerun.labels);
+        assert_eq!(plain.modeled_total_s, rerun.modeled_total_s);
+        let report = sink.report();
+        assert_eq!(report.reruns, 1);
+        assert!(report.kind_time_s("rerun(deletion)") > 0.0);
+        assert_eq!(report.kind_time_s("rerun(staleness)"), 0.0);
+        // Two reruns into the same sink accumulate, and the max-over-ranks
+        // aggregation counts each p-rank rebuild once.
+        run_distributed_rerun(&g, 4, model(), &opts, Some(&sink), RerunReason::Staleness).unwrap();
+        let report = sink.report();
+        assert_eq!(report.reruns, 2);
+        assert!(report.kind_time_s("rerun(staleness)") > 0.0);
     }
 
     #[test]

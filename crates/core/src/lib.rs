@@ -41,11 +41,11 @@ pub mod serial;
 pub mod stats;
 pub mod verify;
 
-pub use dist::{run_distributed, run_distributed_traced};
+pub use dist::{run_distributed, run_distributed_rerun, run_distributed_traced};
 pub use options::{LaccOpts, LaccOptsBuilder, OptsError};
 pub use serial::lacc_serial;
 pub use stats::{IterStats, LaccRun, StepBreakdown};
-pub use verify::{verify_labels, LabelError};
+pub use verify::{verify_labels, CcOracle, LabelError};
 
 /// Vertex id type, shared with the rest of the workspace.
 pub type Vid = lacc_graph::Vid;

@@ -313,6 +313,15 @@ impl Comm {
         self.snap.combined_words += words;
     }
 
+    /// Records a full LACC recompute (a serving-layer epoch rebuild).
+    /// Purely observational — it feeds [`CostSnapshot::reruns`] and the
+    /// trace report, never the clock. Callers note each rebuild on one
+    /// rank only (rank 0), so summing snapshots counts each p-rank rerun
+    /// exactly once.
+    pub fn note_rerun(&mut self) {
+        self.snap.reruns += 1;
+    }
+
     /// Takes a recycled scratch buffer (empty `Vec<T>`, capacity
     /// preserved) from this rank's [`BufferPool`]. The guard returns the
     /// buffer to the pool when dropped; [`PooledBuf::detach`] moves the

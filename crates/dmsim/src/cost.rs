@@ -146,6 +146,12 @@ pub struct CostSnapshot {
     /// this rank before being forwarded. Observational only — the clock
     /// already reflects the smaller forwarded payloads.
     pub combined_words: u64,
+    /// Full LACC recomputes noted on this rank (the serving layer's epoch
+    /// rebuilds; see [`crate::trace::RerunReason`]). The rerun entry point
+    /// notes each rebuild on rank 0 only, so summing snapshots over ranks
+    /// — and over multiple runs collected in one sink — counts each
+    /// p-rank rebuild exactly once. Observational only.
+    pub reruns: u64,
 }
 
 impl CostSnapshot {
@@ -160,6 +166,7 @@ impl CostSnapshot {
             words_received: self.words_received - earlier.words_received,
             words_saved: self.words_saved - earlier.words_saved,
             combined_words: self.combined_words - earlier.combined_words,
+            reruns: self.reruns - earlier.reruns,
         }
     }
 }
@@ -207,6 +214,7 @@ mod tests {
             words_received: 50,
             words_saved: 0,
             combined_words: 1,
+            reruns: 1,
         };
         let b = CostSnapshot {
             clock_s: 3.0,
@@ -217,11 +225,13 @@ mod tests {
             words_received: 250,
             words_saved: 7,
             combined_words: 4,
+            reruns: 3,
         };
         let d = b.since(&a);
         assert_eq!(d.messages_sent, 20);
         assert_eq!(d.words_saved, 7);
         assert_eq!(d.combined_words, 3);
+        assert_eq!(d.reruns, 2);
         assert!((d.clock_s - 2.0).abs() < 1e-12);
     }
 

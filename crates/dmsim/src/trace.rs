@@ -56,9 +56,26 @@ impl std::str::FromStr for TraceLevel {
     }
 }
 
+/// Why a serving-layer epoch rebuild ran a full LACC recompute. Tags the
+/// [`SpanKind::Rerun`] span so the aggregate report separates rebuild
+/// causes (the rerun-policy invariant: deletions *always* rebuild,
+/// staleness rebuilds are tunable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RerunReason {
+    /// Initial full build when a service is constructed over a graph.
+    Bootstrap,
+    /// An edge deletion invalidated the incremental forest.
+    Deletion,
+    /// The incremental-hook staleness threshold was crossed.
+    Staleness,
+}
+
 /// The typed span vocabulary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SpanKind {
+    /// Full LACC recompute triggered by the serving layer, tagged with
+    /// its cause (step-level, wraps a whole epoch rebuild).
+    Rerun(RerunReason),
     /// LACC conditional hooking (step).
     CondHook,
     /// LACC unconditional hooking (step).
@@ -98,7 +115,7 @@ impl SpanKind {
     pub fn level(self) -> TraceLevel {
         use SpanKind::*;
         match self {
-            CondHook | UncondHook | Shortcut | Starcheck => TraceLevel::Steps,
+            Rerun(_) | CondHook | UncondHook | Shortcut | Starcheck => TraceLevel::Steps,
             Mxv | Assign | Extract => TraceLevel::Ops,
             _ => TraceLevel::Collectives,
         }
@@ -108,6 +125,9 @@ impl SpanKind {
     pub fn name(self) -> &'static str {
         use SpanKind::*;
         match self {
+            Rerun(RerunReason::Bootstrap) => "rerun(bootstrap)",
+            Rerun(RerunReason::Deletion) => "rerun(deletion)",
+            Rerun(RerunReason::Staleness) => "rerun(staleness)",
             CondHook => "cond_hook",
             UncondHook => "uncond_hook",
             Shortcut => "shortcut",
@@ -333,11 +353,13 @@ impl TraceSink {
         let mut rank_words = vec![0u64; p];
         let mut words_saved = 0u64;
         let mut combined_words = 0u64;
+        let mut reruns = 0u64;
         for (i, rt) in ranks.iter().enumerate() {
             rank_time_s[i] = rt.snapshot.clock_s;
             rank_words[i] = rt.snapshot.words_sent + rt.snapshot.words_received;
             words_saved += rt.snapshot.words_saved;
             combined_words += rt.snapshot.combined_words;
+            reruns += rt.snapshot.reruns;
             for sp in &rt.spans {
                 let name = sp.kind.name();
                 let entry = match per_kind.iter_mut().find(|k| k.name == name) {
@@ -373,6 +395,7 @@ impl TraceSink {
             rank_words,
             words_saved,
             combined_words,
+            reruns,
             load_imbalance: if mean_t > 0.0 { max_t / mean_t } else { 1.0 },
         }
     }
@@ -416,6 +439,11 @@ pub struct TraceReport {
     /// Total words eliminated in flight by combining collectives, summed
     /// over all ranks (see [`CostSnapshot::combined_words`]).
     pub combined_words: u64,
+    /// Full LACC recomputes observed (summed over snapshots; each rebuild
+    /// is noted on rank 0 only, so a p-rank rebuild counts once — see
+    /// [`CostSnapshot::reruns`]). The per-cause split is visible in the
+    /// `rerun(...)` span kinds.
+    pub reruns: u64,
     /// `max(rank time) / mean(rank time)` — 1.0 is perfectly balanced.
     pub load_imbalance: f64,
 }
@@ -453,6 +481,13 @@ impl TraceReport {
                 s,
                 "  in-flight combining merged {} words at hypercube hops",
                 self.combined_words
+            );
+        }
+        if self.reruns > 0 {
+            let _ = writeln!(
+                s,
+                "  full LACC reruns: {} (causes in the rerun(...) span rows)",
+                self.reruns
             );
         }
         let mut kinds = self.per_kind.clone();
@@ -505,6 +540,7 @@ mod tests {
         assert!(!off.enabled(SpanKind::Bcast));
         let steps = TraceLocal::new(TraceLevel::Steps);
         assert!(steps.enabled(SpanKind::Starcheck));
+        assert!(steps.enabled(SpanKind::Rerun(RerunReason::Deletion)));
         assert!(!steps.enabled(SpanKind::Extract));
         let all = TraceLocal::new(TraceLevel::Collectives);
         assert!(all.enabled(SpanKind::Alltoallv(AllToAll::Sparse)));
@@ -545,6 +581,9 @@ mod tests {
                     clock_s: 1.0 + rank as f64,
                     words_sent: 10,
                     combined_words: 5,
+                    // Rebuilds are noted on rank 0 only; the sum still
+                    // reports both of them.
+                    reruns: if rank == 0 { 2 } else { 0 },
                     ..Default::default()
                 },
             });
@@ -557,8 +596,10 @@ mod tests {
         // max 2.0 / mean 1.5
         assert!((rep.load_imbalance - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(rep.combined_words, 10);
+        assert_eq!(rep.reruns, 2);
         assert!(rep.render().contains("bcast"));
         assert!(rep.render().contains("in-flight combining merged 10 words"));
+        assert!(rep.render().contains("full LACC reruns: 2"));
         sink.clear();
         assert!(sink.rank_traces().is_empty());
     }

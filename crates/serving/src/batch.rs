@@ -1,0 +1,136 @@
+//! Update batching: the unit of work a [`crate::CcService`] applies.
+//!
+//! Queries answer against the last *published* epoch, so batching is the
+//! consistency knob: updates inside one batch become visible together,
+//! and a batch is also the granularity at which the rerun policy is
+//! evaluated.
+
+use crate::Vid;
+
+/// One graph mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert the undirected edge `(u, v)`.
+    Insert(Vid, Vid),
+    /// Delete one occurrence of the undirected edge `(u, v)` (a no-op if
+    /// the edge is not present).
+    Delete(Vid, Vid),
+}
+
+/// An ordered group of updates applied (and published) atomically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Appends an edge insertion.
+    pub fn insert(&mut self, u: Vid, v: Vid) -> &mut Self {
+        self.updates.push(Update::Insert(u, v));
+        self
+    }
+
+    /// Appends an edge deletion.
+    pub fn delete(&mut self, u: Vid, v: Vid) -> &mut Self {
+        self.updates.push(Update::Delete(u, v));
+        self
+    }
+
+    /// Appends an arbitrary update.
+    pub fn push(&mut self, up: Update) -> &mut Self {
+        self.updates.push(up);
+        self
+    }
+
+    /// The updates, in application order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True when the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// Accumulates updates and emits a full [`UpdateBatch`] every `capacity`
+/// pushes — the ingestion front end of a serving deployment.
+#[derive(Clone, Debug)]
+pub struct UpdateBatcher {
+    capacity: usize,
+    pending: UpdateBatch,
+}
+
+impl UpdateBatcher {
+    /// A batcher emitting batches of `capacity` updates (must be > 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        UpdateBatcher {
+            capacity,
+            pending: UpdateBatch::new(),
+        }
+    }
+
+    /// Queues an update; returns the completed batch once `capacity`
+    /// updates have accumulated.
+    pub fn push(&mut self, up: Update) -> Option<UpdateBatch> {
+        self.pending.push(up);
+        if self.pending.len() >= self.capacity {
+            Some(std::mem::take(&mut self.pending))
+        } else {
+            None
+        }
+    }
+
+    /// Emits whatever is queued (possibly short), or `None` when empty.
+    pub fn flush(&mut self) -> Option<UpdateBatch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.pending))
+        }
+    }
+
+    /// Updates currently queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batcher_emits_at_capacity_and_flushes_remainder() {
+        let mut b = UpdateBatcher::new(3);
+        assert_eq!(b.push(Update::Insert(0, 1)), None);
+        assert_eq!(b.push(Update::Delete(0, 1)), None);
+        let full = b.push(Update::Insert(2, 3)).expect("third push fills");
+        assert_eq!(full.len(), 3);
+        assert_eq!(full.updates()[1], Update::Delete(0, 1));
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.flush(), None);
+
+        b.push(Update::Insert(4, 5));
+        let short = b.flush().expect("flush emits the partial batch");
+        assert_eq!(short.len(), 1);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        UpdateBatcher::new(0);
+    }
+}
