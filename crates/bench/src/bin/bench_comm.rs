@@ -17,6 +17,18 @@
 //! * `combined_words` — raw-word equivalent of entries merged *in
 //!   flight* at combining-hypercube hops (cross-sender duplicates the
 //!   sender-side flags cannot see).
+//! * `bytes_sent` — exact payload bytes on the wire, which (unlike the
+//!   word counters) see the narrow index layout; an extra
+//!   `optimized+u32` row runs the optimized stack at 32-bit indices so
+//!   `bytes_reduction_u32_vs_u64` reports what the narrow word saves.
+//!
+//! The §V-B comparison matrix is pinned at `u64` — the width PR 4/5's
+//! compaction and combining claims were established at, and the width
+//! the combining route's per-entry word charging models (its key
+//! streams are u64; at u32 the plain compacted path's raw payloads
+//! halve while combining's do not, so the strict combining-beats-
+//! sender-only ordering holds at u64 only). The width delta is instead
+//! measured at the fully optimized point.
 //!
 //! The headline ratio compares `DistOpts::naive()` against the same
 //! pairwise stack with only the three compaction flags turned on, so
@@ -30,7 +42,7 @@
 
 use dmsim::{TraceLevel, TraceSink};
 use gblas::dist::DistOpts;
-use lacc::{run_distributed_traced, LaccOpts};
+use lacc::{run_distributed_traced, IndexWidth, LaccOpts};
 use lacc_graph::generators::{rmat, RmatParams};
 use std::io::Write;
 
@@ -55,11 +67,13 @@ fn workspace_root() -> std::path::PathBuf {
 
 struct Row {
     label: &'static str,
+    width: IndexWidth,
     dedup: bool,
     combine: bool,
     compress: bool,
     in_flight: bool,
     words_sent: u64,
+    bytes_sent: u64,
     alltoall_words: u64,
     words_saved: u64,
     combined_words: u64,
@@ -82,14 +96,15 @@ fn main() {
     // The naive §V-B stack, varying only the compaction flags, plus the
     // fully optimized configuration for reference.
     let naive = DistOpts::naive();
-    let configs: Vec<(&'static str, DistOpts)> = vec![
-        ("naive", naive),
+    let configs: Vec<(&'static str, DistOpts, IndexWidth)> = vec![
+        ("naive", naive, IndexWidth::U64),
         (
             "naive+dedup",
             DistOpts {
                 dedup_requests: true,
                 ..naive
             },
+            IndexWidth::U64,
         ),
         (
             "naive+combine",
@@ -97,6 +112,7 @@ fn main() {
                 combine_assigns: true,
                 ..naive
             },
+            IndexWidth::U64,
         ),
         (
             "naive+compress",
@@ -104,6 +120,7 @@ fn main() {
                 compress_ids: true,
                 ..naive
             },
+            IndexWidth::U64,
         ),
         (
             "naive+compaction",
@@ -113,6 +130,7 @@ fn main() {
                 compress_ids: true,
                 ..naive
             },
+            IndexWidth::U64,
         ),
         (
             "naive+combining",
@@ -120,6 +138,7 @@ fn main() {
                 combine_in_flight: true,
                 ..naive
             },
+            IndexWidth::U64,
         ),
         (
             "naive+compaction+combining",
@@ -132,15 +151,20 @@ fn main() {
                 compress_values: true,
                 ..naive
             },
+            IndexWidth::U64,
         ),
-        ("optimized", DistOpts::optimized()),
+        ("optimized", DistOpts::optimized(), IndexWidth::U64),
+        // Same optimized stack at the narrow word: the bytes delta between
+        // this row and "optimized" is what the narrow layout saves.
+        ("optimized+u32", DistOpts::optimized(), IndexWidth::U32),
     ];
 
     let mut rows: Vec<Row> = Vec::new();
     let mut labels: Option<Vec<usize>> = None;
-    for (label, dist) in configs {
+    for (label, dist, width) in configs {
         let opts = LaccOpts {
             dist,
+            index_width: width,
             ..LaccOpts::default()
         };
         let sink = TraceSink::new(TraceLevel::Collectives);
@@ -159,6 +183,11 @@ fn main() {
             .iter()
             .map(|rt| rt.snapshot.words_sent)
             .sum();
+        let bytes_sent: u64 = sink
+            .rank_traces()
+            .iter()
+            .map(|rt| rt.snapshot.bytes_sent)
+            .sum();
         let combined_words: u64 = sink
             .rank_traces()
             .iter()
@@ -171,18 +200,20 @@ fn main() {
             .map(|k| k.words)
             .sum();
         eprintln!(
-            "  {label:>26}: words_sent={words_sent} alltoall={alltoall_words} \
-             saved={} combined={combined_words} modeled={:.2}ms",
+            "  {label:>26} [{width}]: words_sent={words_sent} bytes_sent={bytes_sent} \
+             alltoall={alltoall_words} saved={} combined={combined_words} modeled={:.2}ms",
             report.words_saved,
             run.modeled_total_s * 1e3
         );
         rows.push(Row {
             label,
+            width,
             dedup: dist.dedup_requests,
             combine: dist.combine_assigns,
             compress: dist.compress_ids,
             in_flight: dist.combine_in_flight,
             words_sent,
+            bytes_sent,
             alltoall_words,
             words_saved: report.words_saved,
             combined_words,
@@ -229,6 +260,27 @@ fn main() {
         "cross-sender duplicates must merge at the hypercube hops"
     );
 
+    // Narrow-word payoff: the same optimized run at u32 indices must
+    // put strictly fewer bytes on the wire than at u64 (word counts and
+    // labels are identical by construction).
+    let opt64 = rows
+        .iter()
+        .find(|r| r.label == "optimized")
+        .expect("optimized row");
+    let opt32 = rows
+        .iter()
+        .find(|r| r.label == "optimized+u32")
+        .expect("optimized+u32 row");
+    let bytes_ratio = opt64.bytes_sent as f64 / opt32.bytes_sent.max(1) as f64;
+    println!(
+        "index width: u64 {} bytes vs u32 {} bytes ({bytes_ratio:.2}x reduction)",
+        opt64.bytes_sent, opt32.bytes_sent
+    );
+    assert!(
+        bytes_ratio > 1.0,
+        "narrow indices must reduce bytes on the wire (got {bytes_ratio:.3}x)"
+    );
+
     // Hand-rolled JSON (the workspace carries no serde).
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"rmat_scale\": {scale},\n"));
@@ -244,19 +296,26 @@ fn main() {
     json.push_str(&format!(
         "  \"alltoall_reduction_combining_vs_sender_only\": {combining_ratio:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"bytes_reduction_u32_vs_u64\": {bytes_ratio:.3},\n"
+    ));
     json.push_str("  \"configs\": [\n");
     for (k, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"label\": \"{}\", \"dedup_requests\": {}, \"combine_assigns\": {}, \
+            "    {{\"label\": \"{}\", \"width\": \"{}\", \"dedup_requests\": {}, \
+             \"combine_assigns\": {}, \
              \"compress_ids\": {}, \"combine_in_flight\": {}, \"words_sent\": {}, \
+             \"bytes_sent\": {}, \
              \"alltoall_words\": {}, \"words_saved\": {}, \"combined_words\": {}, \
              \"modeled_s\": {:.6}, \"iterations\": {}}}{}\n",
             r.label,
+            r.width,
             r.dedup,
             r.combine,
             r.compress,
             r.in_flight,
             r.words_sent,
+            r.bytes_sent,
             r.alltoall_words,
             r.words_saved,
             r.combined_words,

@@ -1,19 +1,28 @@
 //! Serial vs intra-rank-parallel local kernel timings.
 //!
 //! Measures `mxv_dense` / `mxv_sparse` against their row-split /
-//! entry-chunked parallel variants on Graph500 RMAT matrices
-//! (scales 14–16 by default), verifying in the same run that every
-//! parallel output is bit-identical to the serial one, and writes the
-//! timings to `BENCH_kernels.json` at the workspace root.
+//! owner-partitioned parallel variants on Graph500 RMAT matrices
+//! (scales 14–16 by default), at both index widths (`u32` and the
+//! default machine-word width, reported as `u64`), verifying in the
+//! same run that every parallel output is bit-identical to the serial
+//! one and that the narrow-width outputs match the wide-width outputs.
+//! Timings go to `BENCH_kernels.json` at the workspace root.
+//!
+//! Each sample also records `bytes_processed`: the index bytes the
+//! kernel scans (touched nonzeros × index size), which is the quantity
+//! the narrow layout halves.
 //!
 //! The thread counts swept are 1, 2 and 4 regardless of the host — a
 //! single-core machine will (honestly) show ≈1× speedups; the JSON
 //! records `host_cores` so readers can tell. `LACC_BENCH_SCALES` (comma
-//! separated) overrides the scale list.
+//! separated) overrides the scale list, and `LACC_BENCH_ASSERT=1`
+//! turns the ≥0.9× parallel-speedup floor into a hard assert on
+//! multi-core hosts.
 
 use gblas::serial::{self, CsrMirror, Pattern, SparseVec};
 use gblas::{Mask, MinUsize};
 use lacc_graph::generators::{rmat, RmatParams};
+use lacc_graph::{CsrGraph, Idx};
 use std::io::Write;
 use std::time::Instant;
 
@@ -22,8 +31,10 @@ const THREADS: [usize; 3] = [1, 2, 4];
 struct Sample {
     scale: u32,
     kernel: &'static str,
+    width: &'static str,
     threads: usize,
     best_s: f64,
+    bytes_processed: u64,
     speedup_vs_serial: f64,
 }
 
@@ -62,6 +73,101 @@ fn scales() -> Vec<u32> {
     }
 }
 
+/// Width-erased sparse output, for cross-width identity asserts.
+type WideEntries = Vec<(usize, usize)>;
+
+fn widened<I: Idx>(v: &SparseVec<usize, I>) -> WideEntries {
+    v.entries().iter().map(|&(i, t)| (i.idx(), t)).collect()
+}
+
+/// Times every kernel × thread-count combination at one index width and
+/// returns the (widened) serial dense and sparse outputs so the caller
+/// can assert they agree across widths.
+fn bench_width<I: Idx>(
+    scale: u32,
+    reps: usize,
+    g: &CsrGraph<I>,
+    width: &'static str,
+    samples: &mut Vec<Sample>,
+) -> (WideEntries, WideEntries) {
+    let n = g.num_vertices();
+    let a = Pattern::from_graph(g);
+    let mirror: CsrMirror<I> = a.csr_mirror();
+    let idx_bytes = I::BYTES as u64;
+
+    // Dense input: the SpMV case (early LACC iterations). Every stored
+    // index is read exactly once.
+    let x: Vec<usize> = (0..n).map(|v| v.wrapping_mul(2654435761) % n).collect();
+    let dense_bytes = a.nnz() as u64 * idx_bytes;
+    let (serial_s, y_serial) = time_best(reps, || serial::mxv_dense(&a, &x, Mask::None, MinUsize));
+    for t in THREADS {
+        let (par_s, y_par) = time_best(reps, || {
+            serial::mxv_dense_par(&mirror, &x, Mask::None, MinUsize, t)
+        });
+        assert_eq!(
+            y_par, y_serial,
+            "mxv_dense_par(t={t}, {width}) diverged at scale {scale}"
+        );
+        samples.push(Sample {
+            scale,
+            kernel: "mxv_dense",
+            width,
+            threads: t,
+            best_s: par_s,
+            bytes_processed: dense_bytes,
+            speedup_vs_serial: serial_s / par_s,
+        });
+        eprintln!(
+            "  mxv_dense   {width} t={t}: {:.2} ms ({:.2}x vs serial {:.2} ms)",
+            par_s * 1e3,
+            serial_s / par_s,
+            serial_s * 1e3
+        );
+    }
+
+    // Sparse input at 10% fill: the SpMSpV case (late iterations). Only
+    // the columns selected by the input vector are scanned.
+    let entries: Vec<(I, usize)> = (0..n)
+        .step_by(10)
+        .map(|v| (I::from_usize(v), x[v]))
+        .collect();
+    let xs = SparseVec::from_entries(n, entries);
+    let sparse_bytes = xs
+        .entries()
+        .iter()
+        .map(|&(c, _)| a.col(c.idx()).len() as u64)
+        .sum::<u64>()
+        * idx_bytes;
+    let (sp_serial_s, ys_serial) =
+        time_best(reps, || serial::mxv_sparse(&a, &xs, Mask::None, MinUsize));
+    for t in THREADS {
+        let (par_s, ys_par) = time_best(reps, || {
+            serial::mxv_sparse_par(&a, &xs, Mask::None, MinUsize, t)
+        });
+        assert_eq!(
+            ys_par, ys_serial,
+            "mxv_sparse_par(t={t}, {width}) diverged at scale {scale}"
+        );
+        samples.push(Sample {
+            scale,
+            kernel: "mxv_sparse",
+            width,
+            threads: t,
+            best_s: par_s,
+            bytes_processed: sparse_bytes,
+            speedup_vs_serial: sp_serial_s / par_s,
+        });
+        eprintln!(
+            "  mxv_sparse  {width} t={t}: {:.2} ms ({:.2}x vs serial {:.2} ms)",
+            par_s * 1e3,
+            sp_serial_s / par_s,
+            sp_serial_s * 1e3
+        );
+    }
+
+    (widened(&y_serial), widened(&ys_serial))
+}
+
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
@@ -70,66 +176,43 @@ fn main() {
 
     for scale in scales() {
         let g = rmat(scale, 16, RmatParams::graph500(), 7);
-        let n = g.num_vertices();
-        let a = Pattern::from_graph(&g);
-        let mirror: CsrMirror = a.csr_mirror();
-        eprintln!("[kernels] scale {scale}: n={n} nnz={}", a.nnz());
+        eprintln!(
+            "[kernels] scale {scale}: n={} nnz={}",
+            g.num_vertices(),
+            g.num_directed_edges()
+        );
         let reps = if scale >= 16 { 5 } else { 9 };
 
-        // Dense input: the SpMV case (early LACC iterations).
-        let x: Vec<usize> = (0..n).map(|v| v.wrapping_mul(2654435761) % n).collect();
-        let (serial_s, y_serial) =
-            time_best(reps, || serial::mxv_dense(&a, &x, Mask::None, MinUsize));
-        for t in THREADS {
-            let (par_s, y_par) = time_best(reps, || {
-                serial::mxv_dense_par(&mirror, &x, Mask::None, MinUsize, t)
-            });
-            assert_eq!(
-                y_par, y_serial,
-                "mxv_dense_par(t={t}) diverged at scale {scale}"
-            );
-            samples.push(Sample {
-                scale,
-                kernel: "mxv_dense",
-                threads: t,
-                best_s: par_s,
-                speedup_vs_serial: serial_s / par_s,
-            });
-            eprintln!(
-                "  mxv_dense   t={t}: {:.2} ms ({:.2}x vs serial {:.2} ms)",
-                par_s * 1e3,
-                serial_s / par_s,
-                serial_s * 1e3
-            );
-        }
+        let (yd_wide, ys_wide) = bench_width(scale, reps, &g, "u64", &mut samples);
+        let g32: CsrGraph<u32> = g.try_narrow().expect("bench scales fit in u32");
+        let (yd_narrow, ys_narrow) = bench_width(scale, reps, &g32, "u32", &mut samples);
+        assert_eq!(
+            yd_narrow, yd_wide,
+            "u32 mxv_dense output diverged from u64 at scale {scale}"
+        );
+        assert_eq!(
+            ys_narrow, ys_wide,
+            "u32 mxv_sparse output diverged from u64 at scale {scale}"
+        );
+    }
 
-        // Sparse input at 10% fill: the SpMSpV case (late iterations).
-        let entries: Vec<(usize, usize)> = (0..n).step_by(10).map(|v| (v, x[v])).collect();
-        let xs = SparseVec::from_entries(n, entries);
-        let (sp_serial_s, ys_serial) =
-            time_best(reps, || serial::mxv_sparse(&a, &xs, Mask::None, MinUsize));
-        for t in THREADS {
-            let (par_s, ys_par) = time_best(reps, || {
-                serial::mxv_sparse_par(&a, &xs, Mask::None, MinUsize, t)
-            });
-            assert_eq!(
-                ys_par, ys_serial,
-                "mxv_sparse_par(t={t}) diverged at scale {scale}"
-            );
-            samples.push(Sample {
-                scale,
-                kernel: "mxv_sparse",
-                threads: t,
-                best_s: par_s,
-                speedup_vs_serial: sp_serial_s / par_s,
-            });
-            eprintln!(
-                "  mxv_sparse  t={t}: {:.2} ms ({:.2}x vs serial {:.2} ms)",
-                par_s * 1e3,
-                sp_serial_s / par_s,
-                sp_serial_s * 1e3
-            );
+    // Regression floor: on a multi-core host the owner-partitioned
+    // parallel SpMSpV must not be slower than ~serial. Opt-in so that
+    // noisy CI machines can still regenerate the JSON without it.
+    if std::env::var("LACC_BENCH_ASSERT").ok().as_deref() == Some("1") && cores >= 2 {
+        for s in &samples {
+            if s.kernel == "mxv_sparse" && s.threads >= 2 {
+                assert!(
+                    s.speedup_vs_serial >= 0.9,
+                    "mxv_sparse regression: {} t={} width={} speedup {:.3} < 0.9",
+                    s.scale,
+                    s.threads,
+                    s.width,
+                    s.speedup_vs_serial
+                );
+            }
         }
+        eprintln!("[kernels] speedup floor assert passed (cores={cores})");
     }
 
     // Hand-rolled JSON (the workspace carries no serde).
@@ -139,12 +222,14 @@ fn main() {
     json.push_str("  \"samples\": [\n");
     for (k, s) in samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"scale\": {}, \"kernel\": \"{}\", \"threads\": {}, \
-             \"best_s\": {:.6}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            "    {{\"scale\": {}, \"kernel\": \"{}\", \"width\": \"{}\", \"threads\": {}, \
+             \"best_s\": {:.6}, \"bytes_processed\": {}, \"speedup_vs_serial\": {:.3}}}{}\n",
             s.scale,
             s.kernel,
+            s.width,
             s.threads,
             s.best_s,
+            s.bytes_processed,
             s.speedup_vs_serial,
             if k + 1 < samples.len() { "," } else { "" }
         ));

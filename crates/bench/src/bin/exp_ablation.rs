@@ -147,6 +147,20 @@ fn main() {
         run_cfg(name, opts);
     }
 
+    // 6. Index width at the fully optimized point: the modeled time is
+    // word-based and so identical; the rows make the iteration/label
+    // equivalence visible next to every other knob.
+    for (name, width) in [
+        ("index width = u32", lacc::IndexWidth::U32),
+        ("index width = u64", lacc::IndexWidth::U64),
+    ] {
+        let opts = LaccOpts {
+            index_width: width,
+            ..LaccOpts::default()
+        };
+        run_cfg(name, opts);
+    }
+
     // Fully naive stack for reference.
     run_cfg("naive comm (pairwise, no bcast)", LaccOpts::naive_comm());
 

@@ -41,7 +41,7 @@ fn main() {
             (8, 10),
         ],
     );
-    let g = CsrGraph::from_edges(el);
+    let g: CsrGraph = CsrGraph::from_edges(el);
     let n = g.num_vertices();
     let mut f: Vec<usize> = (0..n).collect();
     let mut star = vec![true; n];

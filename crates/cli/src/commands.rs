@@ -18,7 +18,8 @@ pub const USAGE: &str = "usage:
                 [--dedup-requests true|false] [--combine-assigns true|false]
                 [--compress-ids true|false] [--bitmap-density F]
                 [--combine-in-flight true|false] [--fuse-starcheck true|false]
-                [--compress-values true|false] [--out labels.txt]
+                [--compress-values true|false] [--index-width u32|u64]
+                [--out labels.txt]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc serve    <graph> [--ranks P] [--machine edison|cori] [--batches B]
                 [--batch-size K] [--queries-per-batch Q] [--delete-every D]
@@ -180,6 +181,16 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         .combine_in_flight(args.get_or("combine-in-flight", defaults.dist.combine_in_flight)?)
         .fuse_starcheck(args.get_or("fuse-starcheck", defaults.dist.fuse_starcheck)?)
         .compress_values(args.get_or("compress-values", defaults.dist.compress_values)?)
+        // Index/label storage width: u32 (default) halves index memory and
+        // wire bytes, u64 lifts the 2^32-vertex limit.
+        .index_width(
+            args.options
+                .get("index-width")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|e: lacc::OptsError| e.to_string())?
+                .unwrap_or(defaults.index_width),
+        )
         .build();
     // Span tracing: --trace <path> emits Chrome-trace JSON (load it in
     // chrome://tracing or Perfetto) plus an aggregate per-rank report;
@@ -519,8 +530,8 @@ mod tests {
         .unwrap();
 
         // Converted graphs must describe the same structure.
-        let a = CsrGraph::from_edges(load_edges(Path::new(&mtx)).unwrap());
-        let b = CsrGraph::from_edges(load_edges(Path::new(&bin)).unwrap());
+        let a: CsrGraph = CsrGraph::from_edges(load_edges(Path::new(&mtx)).unwrap());
+        let b: CsrGraph = CsrGraph::from_edges(load_edges(Path::new(&bin)).unwrap());
         assert_eq!(a, b);
     }
 
@@ -537,6 +548,44 @@ mod tests {
         assert!(dispatch(&argv(&["cc-dist", &p, "--bitmap-density", "1.5"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--dedup-requests", "maybe"])).is_err());
         assert!(dispatch(&argv(&["cc-dist", &p, "--combine-in-flight", "maybe"])).is_err());
+        assert!(dispatch(&argv(&["cc-dist", &p, "--index-width", "u16"])).is_err());
+    }
+
+    #[test]
+    fn cc_dist_labels_identical_across_index_widths() {
+        let dir = std::env::temp_dir().join("lacc-cli-test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n5 6\n6 7\n").unwrap();
+        let narrow = dir.join("narrow.txt").display().to_string();
+        let wide = dir.join("wide.txt").display().to_string();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--index-width",
+            "u32",
+            "--out",
+            &narrow,
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--index-width",
+            "u64",
+            "--out",
+            &wide,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&narrow).unwrap(),
+            std::fs::read(&wide).unwrap(),
+            "index width changed the labels"
+        );
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! the serial run (tested below) — the strongest possible correctness
 //! statement for the communication layer.
 
-use crate::options::LaccOpts;
+use crate::options::{IndexWidth, LaccOpts};
 use crate::stats::{IterStats, LaccRun, StepBreakdown};
 use crate::Vid;
 use dmsim::{
     run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, RerunReason, SpanKind, TraceSink,
+    WireWord,
 };
 use gblas::dist::{
     dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, plan_requests,
@@ -20,7 +21,7 @@ use gblas::dist::{
 };
 use gblas::{AndBool, MinUsize};
 use lacc_graph::permute::Permutation;
-use lacc_graph::CsrGraph;
+use lacc_graph::{ensure_fits, CsrGraph, Idx};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,9 +48,9 @@ struct RankOutput {
 /// Star recomputation (Algorithm 6) over distributed vectors.
 ///
 /// Returns the number of extract requests this rank received (Figure 3).
-fn starcheck_dist(
+fn starcheck_dist<I: Idx + WireWord>(
     comm: &mut Comm,
-    f: &DistVec<Vid>,
+    f: &DistVec<I>,
     star: &mut DistVec<bool>,
     active: &[bool],
     dist_opts: &DistOpts,
@@ -62,7 +63,7 @@ fn starcheck_dist(
     // Grandparents of active vertices: gf[v] = f[f[v]]. Both extracts
     // below use the identical request list over same-layout vectors, so
     // the owner bucketing (and dedup) is planned once and reused.
-    let reqs: Vec<Vid> = local_active.iter().map(|&o| f.local()[o]).collect();
+    let reqs: Vec<I> = local_active.iter().map(|&o| f.local()[o]).collect();
     let plan = plan_requests(comm, f.layout(), &reqs, dist_opts);
     if dist_opts.combine_in_flight && dist_opts.fuse_starcheck {
         // Fused: one combining request exchange serves both reply phases
@@ -70,7 +71,7 @@ fn starcheck_dist(
         // *after* the demote assign, exactly as the unfused pair does.
         let fx = FusedExtract::begin(comm, &plan);
         let gfs = fx.extract(comm, f, &plan, dist_opts);
-        let mut demote: Vec<(Vid, bool)> = Vec::new();
+        let mut demote: Vec<(I, bool)> = Vec::new();
         for (&o, &gf) in local_active.iter().zip(&gfs) {
             if f.local()[o] != gf {
                 star.local_mut()[o] = false;
@@ -88,7 +89,7 @@ fn starcheck_dist(
         return fx.received();
     }
     let (gfs, st1) = dist_extract_planned(comm, f, &plan, dist_opts);
-    let mut demote: Vec<(Vid, bool)> = Vec::new();
+    let mut demote: Vec<(I, bool)> = Vec::new();
     for (&o, &gf) in local_active.iter().zip(&gfs) {
         if f.local()[o] != gf {
             star.local_mut()[o] = false;
@@ -107,7 +108,11 @@ fn starcheck_dist(
 }
 
 /// The SPMD body: one rank's share of a LACC run.
-fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
+///
+/// Generic over the index/label width `I`: parents, the matrix block, and
+/// every exchanged id or label are stored (and charged on the wire) at
+/// `I`'s width. The caller has already checked `ensure_fits::<I>(n)`.
+fn lacc_spmd<I: Idx + WireWord>(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
     let n = g.num_vertices();
     let p = comm.size();
     let grid = Grid2d::square(p);
@@ -117,8 +122,8 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         VecLayout::new(n, grid)
     };
     let rank = comm.rank();
-    let a = DistMat::from_graph(g, grid, rank);
-    let mut f: DistVec<Vid> = DistVec::from_fn(layout, rank, |g| g);
+    let a = DistMat::<I>::from_graph(g, grid, rank);
+    let mut f: DistVec<I> = DistVec::from_fn(layout, rank, I::from_usize);
     let mut star: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
     let chunk_len = f.local().len();
     let mut active = vec![true; chunk_len];
@@ -154,8 +159,8 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         };
         let use_dense = density >= opts.dense_threshold;
         rec.spmv_dense = use_dense;
-        let q: DistSpVec<(Vid, Vid)> = if use_dense {
-            let pairs: DistVec<(Vid, Vid)> =
+        let q: DistSpVec<(I, I), I> = if use_dense {
+            let pairs: DistVec<(I, I)> =
                 DistVec::from_fn(layout, rank, |g| (f.get_local(g), f.get_local(g)));
             dist_mxv_dense(
                 comm,
@@ -166,11 +171,11 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
                 &opts.dist,
             )
         } else {
-            let entries: Vec<(Vid, (Vid, Vid))> = active
+            let entries: Vec<(I, (I, I))> = active
                 .iter()
                 .enumerate()
                 .filter(|&(_, &act)| act)
-                .map(|(o, _)| (f.global_of(o), (f.local()[o], f.local()[o])))
+                .map(|(o, _)| (I::from_usize(f.global_of(o)), (f.local()[o], f.local()[o])))
                 .collect();
             let x = DistSpVec::from_local_entries(layout, rank, entries);
             // Adaptive dispatch (§V-A): even when the active fraction is
@@ -191,20 +196,20 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         let mut newly_converged = 0u64;
         if opts.use_sparsity {
             let mut root_quiet: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
-            let demote: Vec<(Vid, bool)> = q
+            let demote: Vec<(I, bool)> = q
                 .entries()
                 .iter()
                 .filter(|&&(v, (lo, hi))| {
-                    let fv = f.get_local(v);
+                    let fv = f.get_local(v.idx());
                     !(lo == fv && hi == fv)
                 })
-                .map(|&(v, _)| (f.get_local(v), false))
+                .map(|&(v, _)| (f.get_local(v.idx()), false))
                 .collect();
             dist_assign(comm, &mut root_quiet, &demote, AndBool, &opts.dist);
             let candidates: Vec<usize> = (0..chunk_len)
                 .filter(|&o| active[o] && star.local()[o])
                 .collect();
-            let reqs: Vec<Vid> = candidates.iter().map(|&o| f.local()[o]).collect();
+            let reqs: Vec<I> = candidates.iter().map(|&o| f.local()[o]).collect();
             let (flags, st) = dist_extract(comm, &root_quiet, &reqs, &opts.dist);
             rec.extract_received += st.received_requests;
             for (&o, &quiet) in candidates.iter().zip(&flags) {
@@ -218,12 +223,12 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
 
         // Conditional hooks from the fused sweep (skip just-deactivated
         // vertices; their hooks are no-ops).
-        let updates: Vec<(Vid, Vid)> = q
+        let updates: Vec<(I, I)> = q
             .entries()
             .iter()
-            .filter(|&&(v, _)| active[layout.offset_of(rank, v)])
+            .filter(|&&(v, _)| active[layout.offset_of(rank, v.idx())])
             .map(|&(v, (lo, _))| {
-                let fv = f.get_local(v);
+                let fv = f.get_local(v.idx());
                 (fv, lo.min(fv))
             })
             .collect();
@@ -236,11 +241,11 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
 
         // --- Step 2: unconditional hooking ---
         let span = comm.span_open(SpanKind::UncondHook);
-        let entries: Vec<(Vid, Vid)> = active
+        let entries: Vec<(I, I)> = active
             .iter()
             .enumerate()
             .filter(|&(o, &act)| act && !star.local()[o])
-            .map(|(o, _)| (f.global_of(o), f.local()[o]))
+            .map(|(o, _)| (I::from_usize(f.global_of(o)), f.local()[o]))
             .collect();
         let x = DistSpVec::from_local_entries(layout, rank, entries);
         let mask_vec2: DistVec<bool> = {
@@ -258,10 +263,10 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
             MinUsize,
             &opts.dist,
         );
-        let updates2: Vec<(Vid, Vid)> = fn2
+        let updates2: Vec<(I, I)> = fn2
             .entries()
             .iter()
-            .map(|&(v, m)| (f.get_local(v), m))
+            .map(|&(v, m)| (f.get_local(v.idx()), m))
             .collect();
         rec.uncond_changed = dist_assign(comm, &mut f, &updates2, MinUsize, &opts.dist).0 as u64;
         rec.modeled.uncond_s += comm.span_close(span);
@@ -275,7 +280,7 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         let targets: Vec<usize> = (0..chunk_len)
             .filter(|&o| active[o] && !star.local()[o])
             .collect();
-        let reqs: Vec<Vid> = targets.iter().map(|&o| f.local()[o]).collect();
+        let reqs: Vec<I> = targets.iter().map(|&o| f.local()[o]).collect();
         let (gfs, st) = dist_extract(comm, &f, &reqs, &opts.dist);
         rec.extract_received += st.received_requests;
         for (&o, &gf) in targets.iter().zip(&gfs) {
@@ -312,7 +317,9 @@ fn lacc_spmd(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
         }
     }
 
-    let labels = f.to_global(comm);
+    // Widen back to `Vid` at the boundary: callers always see full-width
+    // labels regardless of the in-run storage width.
+    let labels: Vec<Vid> = f.to_global(comm).into_iter().map(|l| l.idx()).collect();
     RankOutput {
         labels: (rank == 0).then_some(labels),
         iters,
@@ -401,8 +408,19 @@ fn run_distributed_inner(
     } else {
         (g.clone(), None)
     };
+    // The narrow layout is validated up front against the actual graph:
+    // a too-large graph is a descriptive error on the caller thread, never
+    // a silent truncation inside the SPMD body.
+    if opts.index_width == IndexWidth::U32 {
+        if let Err(e) = ensure_fits::<u32>(n, "vertices") {
+            return Err(DmsimError {
+                rank: 0,
+                payload: Box::new(e.to_string()),
+            });
+        }
+    }
     let wall_start = Instant::now();
-    let outs = run_spmd_traced(p, model, sink, |comm| {
+    let spmd = |comm: &mut Comm| {
         // An epoch rebuild counts itself (on rank 0, so sums over
         // snapshots count each rebuild once) and wraps the whole SPMD
         // body in a reason-tagged span; both are observational.
@@ -412,12 +430,16 @@ fn run_distributed_inner(
             }
             comm.span_open(SpanKind::Rerun(reason))
         });
-        let out = lacc_spmd(comm, &work_graph, opts);
+        let out = match opts.index_width {
+            IndexWidth::U32 => lacc_spmd::<u32>(comm, &work_graph, opts),
+            IndexWidth::U64 => lacc_spmd::<usize>(comm, &work_graph, opts),
+        };
         if let Some(span) = span {
             comm.span_close(span);
         }
         out
-    })?;
+    };
+    let outs = run_spmd_traced(p, model, sink, spmd)?;
     let wall_s = wall_start.elapsed().as_secs_f64();
 
     let labels_permuted = outs[0].labels.clone().expect("rank 0 returns labels");
@@ -608,6 +630,49 @@ mod tests {
         check(&path_graph(300), 4, &opts);
         check(&rmat(7, 4, RmatParams::graph500(), 2), 9, &opts);
         check(&metagenome_graph(600, 6, 0.01, 3), 16, &opts);
+    }
+
+    #[test]
+    fn index_widths_produce_identical_labels() {
+        // The tentpole guarantee of the narrow layout: storage width is
+        // invisible in the results — u32 and u64 runs agree bit for bit
+        // (after widening) on every comm config and vector layout.
+        for seed in 0..2 {
+            let g = community_graph(500, 25, 3.0, 1.4, seed);
+            for base in [
+                LaccOpts::default(),
+                LaccOpts::naive_comm(),
+                LaccOpts::cyclic(),
+            ] {
+                let narrow = LaccOpts {
+                    index_width: IndexWidth::U32,
+                    ..base
+                };
+                let wide = LaccOpts {
+                    index_width: IndexWidth::U64,
+                    ..base
+                };
+                for p in [4, 9] {
+                    let a = run_distributed(&g, p, model(), &narrow).unwrap();
+                    let b = run_distributed(&g, p, model(), &wide).unwrap();
+                    assert_eq!(a.labels, b.labels, "seed={seed} p={p}");
+                    assert_eq!(a.num_iterations(), b.num_iterations(), "seed={seed} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_width_matches_serial_bitwise() {
+        let opts = LaccOpts {
+            permute: false,
+            index_width: IndexWidth::U32,
+            ..LaccOpts::default()
+        };
+        let g = community_graph(600, 30, 3.0, 1.4, 1);
+        let serial = lacc_serial(&g, &opts);
+        let dist = run_distributed(&g, 4, model(), &opts).unwrap();
+        assert_eq!(dist.labels, serial.labels);
     }
 
     #[test]

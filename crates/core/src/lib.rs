@@ -42,7 +42,7 @@ pub mod stats;
 pub mod verify;
 
 pub use dist::{run_distributed, run_distributed_rerun, run_distributed_traced};
-pub use options::{LaccOpts, LaccOptsBuilder, OptsError};
+pub use options::{IndexWidth, LaccOpts, LaccOptsBuilder, OptsError};
 pub use serial::lacc_serial;
 pub use stats::{IterStats, LaccRun, StepBreakdown};
 pub use verify::{verify_labels, CcOracle, LabelError};

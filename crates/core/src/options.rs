@@ -9,6 +9,58 @@
 use dmsim::AllToAll;
 use gblas::dist::DistOpts;
 
+/// Storage width for vertex indices and parent labels across the
+/// distributed stack: graph blocks, parent/star vectors, and every wire
+/// payload that carries an id or a label.
+///
+/// The narrow layout halves index memory traffic and wire bytes; it
+/// requires the graph to fit in `u32` (checked up front — a too-large
+/// graph is a descriptive error, never a silent truncation). The default
+/// is `U32` unless the `wide-index` Cargo feature is enabled, which
+/// flips the default to `U64` for deployments that routinely exceed
+/// 4.29 billion vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexWidth {
+    /// 32-bit indices and labels (graphs up to `u32::MAX` vertices).
+    U32,
+    /// 64-bit indices and labels (no practical size limit).
+    U64,
+}
+
+impl Default for IndexWidth {
+    fn default() -> Self {
+        if cfg!(feature = "wide-index") {
+            IndexWidth::U64
+        } else {
+            IndexWidth::U32
+        }
+    }
+}
+
+impl std::fmt::Display for IndexWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IndexWidth::U32 => "u32",
+            IndexWidth::U64 => "u64",
+        })
+    }
+}
+
+impl std::str::FromStr for IndexWidth {
+    type Err = OptsError;
+
+    fn from_str(s: &str) -> Result<Self, OptsError> {
+        match s {
+            "u32" | "32" => Ok(IndexWidth::U32),
+            "u64" | "64" => Ok(IndexWidth::U64),
+            other => Err(OptsError::new(
+                "index-width",
+                format!("{other:?} is not one of u32, u64"),
+            )),
+        }
+    }
+}
+
 /// Options controlling a LACC run.
 #[derive(Clone, Copy, Debug)]
 pub struct LaccOpts {
@@ -34,6 +86,8 @@ pub struct LaccOpts {
     /// §VII future-work layout. Balances the skewed `extract`/`assign`
     /// traffic at the price of world-wide gathers in `mxv`.
     pub cyclic_vectors: bool,
+    /// Storage width of indices and labels (see [`IndexWidth`]).
+    pub index_width: IndexWidth,
 }
 
 impl Default for LaccOpts {
@@ -46,6 +100,7 @@ impl Default for LaccOpts {
             permute_seed: 0xC0_FFEE,
             max_iters: 200,
             cyclic_vectors: false,
+            index_width: IndexWidth::default(),
         }
     }
 }
@@ -249,6 +304,14 @@ impl LaccOptsBuilder {
         self
     }
 
+    /// Selects the index/label storage width. Width validation happens at
+    /// run time against the actual graph (`u32` rejects graphs with more
+    /// than `u32::MAX` vertices with a descriptive error).
+    pub fn index_width(mut self, w: IndexWidth) -> Self {
+        self.opts.index_width = w;
+        self
+    }
+
     /// Enables or disables sender-side request dedup in `extract`.
     pub fn dedup_requests(mut self, on: bool) -> Self {
         self.opts.dist.dedup_requests = on;
@@ -440,6 +503,25 @@ mod tests {
                 .field(),
             "dedup-hash-threshold"
         );
+    }
+
+    #[test]
+    fn index_width_parses_and_displays() {
+        assert_eq!("u32".parse::<IndexWidth>().unwrap(), IndexWidth::U32);
+        assert_eq!("64".parse::<IndexWidth>().unwrap(), IndexWidth::U64);
+        assert_eq!(IndexWidth::U32.to_string(), "u32");
+        assert_eq!(IndexWidth::U64.to_string(), "u64");
+        let err = "u16".parse::<IndexWidth>().unwrap_err();
+        assert_eq!(err.field(), "index-width");
+        // The default follows the `wide-index` feature.
+        let expect = if cfg!(feature = "wide-index") {
+            IndexWidth::U64
+        } else {
+            IndexWidth::U32
+        };
+        assert_eq!(LaccOpts::default().index_width, expect);
+        let o = LaccOpts::builder().index_width(IndexWidth::U64).build();
+        assert_eq!(o.index_width, IndexWidth::U64);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops double as rank ids here
 
-use crate::comm::{words_of, Comm, Group, PooledBuf};
+use crate::comm::{bytes_of, words_of, Comm, Group, PooledBuf};
 use crate::trace::SpanKind;
 use crate::wire::{self, WireWord};
 
@@ -119,7 +119,12 @@ impl Comm {
             let dest = g.member((c + root_idx) % q);
             let mut copy: PooledBuf<T> = self.pooled_buf();
             copy.extend_from_slice(&data);
-            self.send_counted(dest, copy.detach(), words_of::<T>(data.len()));
+            self.send_counted_bytes(
+                dest,
+                copy.detach(),
+                words_of::<T>(data.len()),
+                bytes_of::<T>(data.len()),
+            );
         }
         self.span_close(span);
         data
@@ -158,7 +163,8 @@ impl Comm {
         result[me] = Some(mine);
         for step in 1..q {
             let w = words_of::<T>(carry.len());
-            self.send_counted(right, carry.detach(), w);
+            let b = bytes_of::<T>(carry.len());
+            self.send_counted_bytes(right, carry.detach(), w, b);
             let incoming: Vec<T> = self.recv(left);
             let origin = (me + q - step) % q;
             carry = self.pooled_buf();
@@ -261,7 +267,8 @@ impl Comm {
             if k != me {
                 let buf = std::mem::take(&mut parts[k]);
                 let w = words_of::<T>(buf.len());
-                self.send_counted(g.member(k), buf, w);
+                let b = bytes_of::<T>(buf.len());
+                self.send_counted_bytes(g.member(k), buf, w, b);
             }
         }
         let mut acc: Option<Vec<T>> = None;
@@ -345,7 +352,8 @@ impl Comm {
             if k != me {
                 let buf = std::mem::take(&mut bufs[k]);
                 let w = words_of::<T>(buf.len());
-                self.send_counted(g.member(k), buf, w);
+                let b = bytes_of::<T>(buf.len());
+                self.send_counted_bytes(g.member(k), buf, w, b);
             }
         }
         (0..q)
@@ -373,7 +381,8 @@ impl Comm {
             let from = (me + q - round) % q;
             let buf = std::mem::take(&mut bufs[to]);
             let w = words_of::<T>(buf.len());
-            self.send_counted(g.member(to), buf, w);
+            let b = bytes_of::<T>(buf.len());
+            self.send_counted_bytes(g.member(to), buf, w, b);
             result[from] = Some(self.recv::<Vec<T>>(g.member(from)));
         }
         result
@@ -412,7 +421,11 @@ impl Comm {
                 .iter()
                 .map(|(_, _, items)| 2 + words_of::<T>(items.len()))
                 .sum();
-            self.send_counted(g.member(partner), send_pool, w);
+            let b: u64 = send_pool
+                .iter()
+                .map(|(_, _, items)| 16 + bytes_of::<T>(items.len()))
+                .sum();
+            self.send_counted_bytes(g.member(partner), send_pool, w, b);
             pool = keep;
             let incoming: Vec<(u32, u32, Vec<T>)> = self.recv(g.member(partner));
             for (origin, dest, items) in incoming {
@@ -454,7 +467,8 @@ impl Comm {
             if k != me && !bufs[k].is_empty() {
                 let buf = std::mem::take(&mut bufs[k]);
                 let w = words_of::<T>(buf.len());
-                self.send_counted(g.member(k), buf, w);
+                let b = bytes_of::<T>(buf.len());
+                self.send_counted_bytes(g.member(k), buf, w, b);
             }
         }
         let out = (0..q)
@@ -499,7 +513,8 @@ impl Comm {
         let me = g.my_index();
         if me != root_idx {
             let w = words_of::<T>(mine.len());
-            self.send_counted(g.member(root_idx), mine, w);
+            let b = bytes_of::<T>(mine.len());
+            self.send_counted_bytes(g.member(root_idx), mine, w, b);
             return None;
         }
         let mut mine = Some(mine);
@@ -729,15 +744,17 @@ impl Comm {
                     }
                 }
                 let mut w = 0u64;
+                let mut b = 0u64;
                 let wire_msg: Vec<(u32, Vec<u8>, Vec<P>)> = buckets
                     .into_iter()
                     .map(|(dest, keys, ps)| {
                         let bytes = wire::encode_keys(&keys);
                         w += 2 + words_of::<u8>(bytes.len()) + words_of::<P>(ps.len());
+                        b += 16 + bytes_of::<u8>(bytes.len()) + bytes_of::<P>(ps.len());
                         (dest, bytes, ps)
                     })
                     .collect();
-                self.send_counted(partner, wire_msg, w);
+                self.send_counted_bytes(partner, wire_msg, w, b);
                 pool = keep;
                 let incoming: Vec<(u32, Vec<u8>, Vec<P>)> = self.recv(partner);
                 for (dest, bytes, ps) in incoming {
@@ -823,15 +840,17 @@ impl Comm {
                     }
                 }
                 let mut w = 0u64;
+                let mut b = 0u64;
                 let wire_msg: Vec<(u32, Vec<u8>)> = buckets
                     .into_iter()
                     .map(|(dest, keys)| {
                         let bytes = wire::encode_keys(&keys);
                         w += 2 + words_of::<u8>(bytes.len());
+                        b += 16 + bytes_of::<u8>(bytes.len());
                         (dest, bytes)
                     })
                     .collect();
-                self.send_counted(partner, wire_msg, w);
+                self.send_counted_bytes(partner, wire_msg, w, b);
                 let incoming: Vec<(u32, Vec<u8>)> = self.recv(partner);
                 let mut delivered_round: Vec<u64> = Vec::new();
                 let mut merged: Vec<(u32, u64, u8)> =
@@ -1045,19 +1064,21 @@ impl Comm {
     ) {
         if compress {
             let words: Vec<u64> = vals.iter().map(|v| v.to_word()).collect();
-            let bytes = wire::encode_words(&words);
+            let bytes = wire::encode_words_for::<T>(&words);
             let w = words_of::<u8>(bytes.len());
-            self.send_counted(dest, bytes, w);
+            let b = bytes_of::<u8>(bytes.len());
+            self.send_counted_bytes(dest, bytes, w, b);
         } else {
             let w = words_of::<T>(vals.len());
-            self.send_counted(dest, vals, w);
+            let b = bytes_of::<T>(vals.len());
+            self.send_counted_bytes(dest, vals, w, b);
         }
     }
 
     fn recv_values<T: WireWord + Send + 'static>(&mut self, src: usize, compress: bool) -> Vec<T> {
         if compress {
             let bytes: Vec<u8> = self.recv(src);
-            wire::decode_words(&bytes)
+            wire::decode_words_for::<T>(&bytes)
                 .into_iter()
                 .map(T::from_word)
                 .collect()

@@ -179,6 +179,8 @@ struct Envelope {
     arrival: f64,
     /// 8-byte words in the payload (for receiver-side accounting).
     words: u64,
+    /// Exact payload bytes (for receiver-side byte accounting).
+    bytes: u64,
     payload: Payload,
 }
 
@@ -221,7 +223,7 @@ pub struct Comm {
     senders: Arc<Vec<Sender<Envelope>>>,
     rx: Receiver<Envelope>,
     /// Out-of-order buffer: messages that arrived before being asked for.
-    pending: Vec<VecDeque<(f64, u64, Payload)>>,
+    pending: Vec<VecDeque<(f64, u64, u64, Payload)>>,
     model: MachineModel,
     snap: CostSnapshot,
     /// Raw count of local operations charged (denominator-free companion
@@ -292,6 +294,7 @@ impl Comm {
         self.snap.comm_s += t;
         self.snap.clock_s += t;
         self.snap.words_sent += words;
+        self.snap.bytes_sent += words * 8;
     }
 
     /// Records `words` of communication volume that sender-side compaction
@@ -412,10 +415,27 @@ impl Comm {
     /// Sends `msg` to `dest`, charging `α + β·words` to this rank.
     ///
     /// `words` is the payload size in 8-byte words; use
-    /// [`words_of`] for slices. Self-sends are free (local move).
+    /// [`words_of`] for slices. Bytes are recorded as `words × 8`; callers
+    /// that know the exact payload size use [`Comm::send_counted_bytes`].
+    /// Self-sends are free (local move).
     pub fn send_counted<T: Send + 'static>(&mut self, dest: usize, msg: T, words: u64) {
+        self.send_counted_bytes(dest, msg, words, words * 8);
+    }
+
+    /// [`Comm::send_counted`] with an exact byte count alongside the word
+    /// count. The β charge stays word-based (the model's bandwidth unit);
+    /// `bytes` feeds only the [`CostSnapshot::bytes_sent`] /
+    /// [`CostSnapshot::bytes_received`] counters, which is where narrow
+    /// index layouts show their true wire size.
+    pub fn send_counted_bytes<T: Send + 'static>(
+        &mut self,
+        dest: usize,
+        msg: T,
+        words: u64,
+        bytes: u64,
+    ) {
         if dest == self.rank {
-            self.pending[dest].push_back((self.snap.clock_s, 0, Box::new(msg)));
+            self.pending[dest].push_back((self.snap.clock_s, 0, 0, Box::new(msg)));
             return;
         }
         let cost = self.model.alpha + self.model.beta * words as f64;
@@ -423,10 +443,12 @@ impl Comm {
         self.snap.clock_s += cost;
         self.snap.messages_sent += 1;
         self.snap.words_sent += words;
+        self.snap.bytes_sent += bytes;
         let env = Envelope {
             src: self.rank as u32,
             arrival: self.snap.clock_s,
             words,
+            bytes,
             payload: Box::new(msg),
         };
         // Receiver threads outlive all sends within `run_spmd`, so the
@@ -439,14 +461,15 @@ impl Comm {
     /// Sends a sized value (scalars, small structs): the word count is
     /// derived from `size_of::<T>()`.
     pub fn send<T: Send + 'static>(&mut self, dest: usize, msg: T) {
-        let words = (std::mem::size_of::<T>() as u64).div_ceil(8);
-        self.send_counted(dest, msg, words);
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.send_counted_bytes(dest, msg, bytes.div_ceil(8), bytes);
     }
 
     /// Sends a vector, counting its element storage.
     pub fn send_vec<T: Send + 'static>(&mut self, dest: usize, msg: Vec<T>) {
         let words = words_of::<T>(msg.len());
-        self.send_counted(dest, msg, words);
+        let bytes = bytes_of::<T>(msg.len());
+        self.send_counted_bytes(dest, msg, words, bytes);
     }
 
     /// Receives the next message from `src`, blocking until it arrives.
@@ -460,12 +483,13 @@ impl Comm {
     /// [`DmsimError`] by the launcher).
     pub fn recv<T: Send + 'static>(&mut self, src: usize) -> T {
         loop {
-            if let Some((arrival, words, payload)) = self.pending[src].pop_front() {
+            if let Some((arrival, words, bytes, payload)) = self.pending[src].pop_front() {
                 self.snap.clock_s = self.snap.clock_s.max(arrival);
                 let copy = self.model.beta * words as f64;
                 self.snap.clock_s += copy;
                 self.snap.comm_s += copy;
                 self.snap.words_received += words;
+                self.snap.bytes_received += bytes;
                 return *payload.downcast::<T>().unwrap_or_else(|_| {
                     panic!(
                         "rank {} expected {} from rank {src}, got a different type",
@@ -475,7 +499,12 @@ impl Comm {
                 });
             }
             let env = self.rx.recv().expect("all senders dropped while receiving");
-            self.pending[env.src as usize].push_back((env.arrival, env.words, env.payload));
+            self.pending[env.src as usize].push_back((
+                env.arrival,
+                env.words,
+                env.bytes,
+                env.payload,
+            ));
         }
     }
 }
@@ -483,6 +512,11 @@ impl Comm {
 /// Payload size in 8-byte words for a slice of `len` elements of `T`.
 pub fn words_of<T>(len: usize) -> u64 {
     ((len * std::mem::size_of::<T>()) as u64).div_ceil(8)
+}
+
+/// Exact payload size in bytes for a slice of `len` elements of `T`.
+pub fn bytes_of<T>(len: usize) -> u64 {
+    (len * std::mem::size_of::<T>()) as u64
 }
 
 /// Runs an SPMD program on `p` simulated ranks with the zero-cost model

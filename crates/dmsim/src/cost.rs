@@ -137,6 +137,13 @@ pub struct CostSnapshot {
     pub words_sent: u64,
     /// 8-byte words this rank received.
     pub words_received: u64,
+    /// Exact payload bytes this rank sent. Words round each payload up to
+    /// 8-byte units for the β charge; bytes record the true element sizes,
+    /// so narrowing an index word from `u64` to `u32` shows up here even
+    /// when a tiny payload's word count is unchanged by rounding.
+    pub bytes_sent: u64,
+    /// Exact payload bytes this rank received.
+    pub bytes_received: u64,
     /// 8-byte words this rank *avoided* sending through sender-side
     /// compaction (request dedup, monoid pre-combining, id compression).
     /// Observational only — never contributes to the clock.
@@ -164,6 +171,8 @@ impl CostSnapshot {
             messages_sent: self.messages_sent - earlier.messages_sent,
             words_sent: self.words_sent - earlier.words_sent,
             words_received: self.words_received - earlier.words_received,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
             words_saved: self.words_saved - earlier.words_saved,
             combined_words: self.combined_words - earlier.combined_words,
             reruns: self.reruns - earlier.reruns,
@@ -212,6 +221,8 @@ mod tests {
             messages_sent: 10,
             words_sent: 100,
             words_received: 50,
+            bytes_sent: 800,
+            bytes_received: 400,
             words_saved: 0,
             combined_words: 1,
             reruns: 1,
@@ -223,12 +234,16 @@ mod tests {
             messages_sent: 30,
             words_sent: 400,
             words_received: 250,
+            bytes_sent: 3000,
+            bytes_received: 1800,
             words_saved: 7,
             combined_words: 4,
             reruns: 3,
         };
         let d = b.since(&a);
         assert_eq!(d.messages_sent, 20);
+        assert_eq!(d.bytes_sent, 2200);
+        assert_eq!(d.bytes_received, 1400);
         assert_eq!(d.words_saved, 7);
         assert_eq!(d.combined_words, 3);
         assert_eq!(d.reruns, 2);

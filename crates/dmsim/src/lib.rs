@@ -50,8 +50,8 @@ pub mod wire;
 
 pub use collectives::{AllToAll, CombineRoute};
 pub use comm::{
-    run_spmd, run_spmd_traced, run_spmd_with_model, words_of, BufferPool, Comm, DmsimError, Group,
-    PooledBuf,
+    bytes_of, run_spmd, run_spmd_traced, run_spmd_with_model, words_of, BufferPool, Comm,
+    DmsimError, Group, PooledBuf,
 };
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;

@@ -87,6 +87,14 @@ const MODE_RLE: u8 = 1;
 /// raw little-endian words when that would be smaller (adversarial
 /// values cost at most one mode byte over raw).
 pub fn encode_words(words: &[u64]) -> Vec<u8> {
+    encode_words_for::<u64>(words)
+}
+
+/// [`encode_words`] whose raw fallback stores each word at `T`'s native
+/// width ([`WireWord::BYTES`] little-endian bytes), so a narrow value
+/// type pays `T::BYTES` per element instead of 8 even when RLE loses.
+/// Decode with [`decode_words_for`] at the *same* `T`.
+pub fn encode_words_for<T: WireWord>(words: &[u64]) -> Vec<u8> {
     let mut rle = Vec::with_capacity(words.len() + 4);
     rle.push(MODE_RLE);
     push_varint(&mut rle, words.len() as u64);
@@ -101,24 +109,38 @@ pub fn encode_words(words: &[u64]) -> Vec<u8> {
         push_varint(&mut rle, run as u64);
         i += run;
     }
-    let raw_len = 1 + 8 * words.len();
+    let raw_len = 1 + T::BYTES * words.len();
     if rle.len() <= raw_len {
         return rle;
     }
     let mut raw = Vec::with_capacity(raw_len);
     raw.push(MODE_RAW);
     for &w in words {
-        raw.extend_from_slice(&w.to_le_bytes());
+        debug_assert!(
+            T::BYTES == 8 || w < 1u64 << (8 * T::BYTES as u32),
+            "word {w} exceeds the {}-byte raw width",
+            T::BYTES
+        );
+        raw.extend_from_slice(&w.to_le_bytes()[..T::BYTES]);
     }
     raw
 }
 
 /// Decodes a stream produced by [`encode_words`].
 pub fn decode_words(bytes: &[u8]) -> Vec<u64> {
+    decode_words_for::<u64>(bytes)
+}
+
+/// Decodes a stream produced by [`encode_words_for`] at the same `T`.
+pub fn decode_words_for<T: WireWord>(bytes: &[u8]) -> Vec<u64> {
     match bytes[0] {
         MODE_RAW => bytes[1..]
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .chunks_exact(T::BYTES)
+            .map(|c| {
+                let mut buf = [0u8; 8];
+                buf[..T::BYTES].copy_from_slice(c);
+                u64::from_le_bytes(buf)
+            })
             .collect(),
         MODE_RLE => {
             let mut pos = 1usize;
@@ -139,6 +161,10 @@ pub fn decode_words(bytes: &[u8]) -> Vec<u64> {
 /// A value type with a fixed 64-bit word representation, required to ride
 /// an encoded value stream ([`encode_words`]) or a combining reply.
 pub trait WireWord: Copy {
+    /// Native width of this type on the wire, in bytes. The raw fallback
+    /// of [`encode_words_for`] stores this many little-endian bytes per
+    /// element, so narrow index/label types are charged their true size.
+    const BYTES: usize;
     /// This value as a wire word.
     fn to_word(self) -> u64;
     /// Reconstructs the value from its wire word.
@@ -146,6 +172,7 @@ pub trait WireWord: Copy {
 }
 
 impl WireWord for u64 {
+    const BYTES: usize = 8;
     fn to_word(self) -> u64 {
         self
     }
@@ -155,6 +182,7 @@ impl WireWord for u64 {
 }
 
 impl WireWord for usize {
+    const BYTES: usize = 8;
     fn to_word(self) -> u64 {
         self as u64
     }
@@ -164,6 +192,7 @@ impl WireWord for usize {
 }
 
 impl WireWord for u32 {
+    const BYTES: usize = 4;
     fn to_word(self) -> u64 {
         u64::from(self)
     }
@@ -173,6 +202,7 @@ impl WireWord for u32 {
 }
 
 impl WireWord for bool {
+    const BYTES: usize = 1;
     fn to_word(self) -> u64 {
         u64::from(self)
     }
@@ -257,6 +287,20 @@ mod tests {
         let enc = encode_words(&words);
         assert!(enc.len() <= 1 + 8 * words.len());
         assert_eq!(decode_words(&enc), words);
+    }
+
+    #[test]
+    fn narrow_raw_fallback_is_half_width() {
+        // Adversarial u32-range values: varint pairs cost ~6 bytes each,
+        // so the narrow 4-byte raw fallback kicks in and beats both the
+        // wide raw (8 bytes) and the RLE stream the wide encoder keeps.
+        let words: Vec<u64> = (0..100).map(|k| u64::from(u32::MAX) - k * 12345).collect();
+        let wide = encode_words_for::<u64>(&words);
+        let narrow = encode_words_for::<u32>(&words);
+        assert_eq!(narrow.len(), 1 + 4 * words.len());
+        assert!(narrow.len() < wide.len());
+        assert_eq!(decode_words_for::<u64>(&wide), words);
+        assert_eq!(decode_words_for::<u32>(&narrow), words);
     }
 
     #[test]

@@ -107,14 +107,16 @@ pub fn decode_offsets(bytes: &[u8]) -> Vec<usize> {
 }
 
 /// Encodes a value stream (the non-id half of an extract reply or assign
-/// payload) with run-length encoding and a raw fallback
-/// ([`dmsim::wire::encode_words`]). Empty streams encode to zero bytes.
+/// payload) with run-length encoding and a raw fallback at `T`'s native
+/// width ([`dmsim::wire::encode_words_for`]), so narrow label types pay
+/// 4 bytes per element instead of 8 when RLE loses. Empty streams encode
+/// to zero bytes.
 pub fn encode_values<T: WireWord>(vals: &[T]) -> Vec<u8> {
     if vals.is_empty() {
         return Vec::new();
     }
     let words: Vec<u64> = vals.iter().map(|v| v.to_word()).collect();
-    dmsim::wire::encode_words(&words)
+    dmsim::wire::encode_words_for::<T>(&words)
 }
 
 /// Decodes a stream produced by [`encode_values`].
@@ -122,7 +124,7 @@ pub fn decode_values<T: WireWord>(bytes: &[u8]) -> Vec<T> {
     if bytes.is_empty() {
         return Vec::new();
     }
-    dmsim::wire::decode_words(bytes)
+    dmsim::wire::decode_words_for::<T>(bytes)
         .into_iter()
         .map(T::from_word)
         .collect()

@@ -4,7 +4,7 @@ use super::dvec::block_range;
 use crate::serial::{CsrMirror, Dcsc};
 use crate::Vid;
 use dmsim::Grid2d;
-use lacc_graph::CsrGraph;
+use lacc_graph::{CsrGraph, Idx};
 
 /// The local view of an `n × n` symmetric pattern matrix distributed on a
 /// square process grid: rank `(i, j)` stores block `A_ij` (rows in row
@@ -12,17 +12,21 @@ use lacc_graph::CsrGraph;
 /// indices, plus a row-major mirror of the same block for the row-split
 /// parallel local multiply (the matrix is static across iterations, so the
 /// mirror is built once).
+///
+/// Block indices are stored at width `I`; the narrowing happens per rank
+/// while slicing, so no globally narrowed copy of the graph is ever
+/// materialized. Callers must have checked `ensure_fits::<I>(n)` first.
 #[derive(Clone, Debug)]
-pub struct DistMat {
+pub struct DistMat<I: Idx = Vid> {
     n: usize,
     grid: Grid2d,
     row_range: (usize, usize),
     col_range: (usize, usize),
-    local: Dcsc,
-    row_mirror: CsrMirror,
+    local: Dcsc<I>,
+    row_mirror: CsrMirror<I>,
 }
 
-impl DistMat {
+impl<I: Idx> DistMat<I> {
     /// Extracts rank `rank`'s block from a (conceptually replicated) graph.
     ///
     /// In a real distributed setting the graph would arrive pre-partitioned
@@ -35,11 +39,14 @@ impl DistMat {
         let (i, j) = grid.coords_of(rank);
         let row_range = block_range(n, grid.rows(), i);
         let col_range = block_range(n, grid.cols(), j);
-        let mut pairs: Vec<(Vid, Vid)> = Vec::new();
+        let mut pairs: Vec<(I, I)> = Vec::new();
         for gc in col_range.0..col_range.1 {
             for &gr in g.neighbors(gc) {
                 if gr >= row_range.0 && gr < row_range.1 {
-                    pairs.push((gr - row_range.0, gc - col_range.0));
+                    pairs.push((
+                        I::from_usize(gr - row_range.0),
+                        I::from_usize(gc - col_range.0),
+                    ));
                 }
             }
         }
@@ -77,14 +84,14 @@ impl DistMat {
     }
 
     /// The local DCSC block (block-local indices).
-    pub fn local(&self) -> &Dcsc {
+    pub fn local(&self) -> &Dcsc<I> {
         &self.local
     }
 
     /// Row-major mirror of the local block (block-local indices); each
     /// row's columns are ascending, matching the DCSC column-sweep combine
     /// order.
-    pub fn row_mirror(&self) -> &CsrMirror {
+    pub fn row_mirror(&self) -> &CsrMirror<I> {
         &self.row_mirror
     }
 
@@ -107,7 +114,7 @@ mod tests {
         for p in [1usize, 4, 9, 16] {
             let grid = Grid2d::square(p);
             let total: usize = (0..p)
-                .map(|r| DistMat::from_graph(&g, grid, r).local_nnz())
+                .map(|r| DistMat::<Vid>::from_graph(&g, grid, r).local_nnz())
                 .sum();
             assert_eq!(total, m, "p={p}");
         }
@@ -118,7 +125,7 @@ mod tests {
         let g = path_graph(11);
         let grid = Grid2d::square(4);
         for r in 0..4 {
-            let blk = DistMat::from_graph(&g, grid, r);
+            let blk = DistMat::<Vid>::from_graph(&g, grid, r);
             let (rs, _) = blk.row_range();
             let (cs, _) = blk.col_range();
             for (lr, lc) in blk.local().pairs() {
@@ -128,10 +135,28 @@ mod tests {
     }
 
     #[test]
+    fn narrow_blocks_match_default_width() {
+        let g = erdos_renyi_gnm(40, 120, 7);
+        let grid = Grid2d::square(4);
+        for r in 0..4 {
+            let wide = DistMat::<Vid>::from_graph(&g, grid, r);
+            let narrow = DistMat::<u32>::from_graph(&g, grid, r);
+            assert_eq!(wide.local_nnz(), narrow.local_nnz());
+            let w: Vec<(usize, usize)> = wide.local().pairs().collect();
+            let n: Vec<(usize, usize)> = narrow
+                .local()
+                .pairs()
+                .map(|(a, b)| (a.idx(), b.idx()))
+                .collect();
+            assert_eq!(w, n, "rank {r}");
+        }
+    }
+
+    #[test]
     fn works_inside_spmd() {
         let g = path_graph(9);
         let out = run_spmd(9, |c| {
-            let blk = DistMat::from_graph(&g, Grid2d::square(9), c.rank());
+            let blk = DistMat::<Vid>::from_graph(&g, Grid2d::square(9), c.rank());
             blk.local_nnz()
         })
         .unwrap();
@@ -142,6 +167,6 @@ mod tests {
     #[should_panic(expected = "square grid")]
     fn rejects_rectangular_grid() {
         let g = path_graph(4);
-        DistMat::from_graph(&g, Grid2d::new(2, 1), 0);
+        DistMat::<Vid>::from_graph(&g, Grid2d::new(2, 1), 0);
     }
 }

@@ -16,6 +16,7 @@
 use crate::serial::SparseVec;
 use crate::Vid;
 use dmsim::{Comm, Grid2d, PooledBuf};
+use lacc_graph::Idx;
 
 /// Even split of `0..n` into `parts` contiguous blocks; block `k` is
 /// `[k·n/parts, (k+1)·n/parts)`.
@@ -192,16 +193,17 @@ impl VecLayout {
     /// Buckets `(global id, payload)` items by owning rank in one pass,
     /// into RAII-pooled buffers (they recycle on drop). The shared first
     /// step of extract request planning, `dist_assign` routing, and the
-    /// `mxv` reduce scatter.
-    pub fn bucket_by_owner<P: Copy + Send + 'static>(
+    /// `mxv` reduce scatter. Ids stay at their native index width `I` so
+    /// narrow layouts charge narrow wire words downstream.
+    pub fn bucket_by_owner<I: Idx, P: Copy + Send + 'static>(
         &self,
         comm: &Comm,
-        items: impl Iterator<Item = (Vid, P)>,
-    ) -> Vec<PooledBuf<(Vid, P)>> {
-        let mut buckets: Vec<PooledBuf<(Vid, P)>> =
+        items: impl Iterator<Item = (I, P)>,
+    ) -> Vec<PooledBuf<(I, P)>> {
+        let mut buckets: Vec<PooledBuf<(I, P)>> =
             (0..self.grid.size()).map(|_| comm.pooled_buf()).collect();
         for (g, it) in items {
-            buckets[self.owner_of(g)].push((g, it));
+            buckets[self.owner_of(g.idx())].push((g, it));
         }
         buckets
     }
@@ -300,15 +302,16 @@ impl<T: Copy + Send + 'static> DistVec<T> {
 }
 
 /// A sparse distributed vector: each rank stores the present entries that
-/// it owns, as `(global index, value)` sorted by index.
+/// it owns, as `(global index, value)` sorted by index. The index word is
+/// generic over [`Idx`] — `DistSpVec<T, u32>` halves entry index traffic.
 #[derive(Clone, Debug, PartialEq)]
-pub struct DistSpVec<T> {
+pub struct DistSpVec<T, I: Idx = Vid> {
     layout: VecLayout,
     rank: usize,
-    entries: Vec<(Vid, T)>,
+    entries: Vec<(I, T)>,
 }
 
-impl<T: Copy + Send + 'static> DistSpVec<T> {
+impl<T: Copy + Send + 'static, I: Idx> DistSpVec<T, I> {
     /// An empty sparse vector.
     pub fn empty(layout: VecLayout, rank: usize) -> Self {
         DistSpVec {
@@ -320,12 +323,12 @@ impl<T: Copy + Send + 'static> DistSpVec<T> {
 
     /// Builds from this rank's local entries (must be owned here; sorted
     /// and checked).
-    pub fn from_local_entries(layout: VecLayout, rank: usize, mut entries: Vec<(Vid, T)>) -> Self {
+    pub fn from_local_entries(layout: VecLayout, rank: usize, mut entries: Vec<(I, T)>) -> Self {
         entries.sort_unstable_by_key(|&(g, _)| g);
         assert!(
             entries
                 .iter()
-                .all(|&(g, _)| g < layout.len() && layout.owner_of(g) == rank),
+                .all(|&(g, _)| g.idx() < layout.len() && layout.owner_of(g.idx()) == rank),
             "entry outside local chunk"
         );
         debug_assert!(
@@ -350,7 +353,7 @@ impl<T: Copy + Send + 'static> DistSpVec<T> {
     }
 
     /// Local entries, sorted by global index.
-    pub fn entries(&self) -> &[(Vid, T)] {
+    pub fn entries(&self) -> &[(I, T)] {
         &self.entries
     }
 
@@ -366,10 +369,10 @@ impl<T: Copy + Send + 'static> DistSpVec<T> {
     }
 
     /// Assembles the full sparse vector on every rank.
-    pub fn to_serial(&self, comm: &mut Comm) -> SparseVec<T> {
+    pub fn to_serial(&self, comm: &mut Comm) -> SparseVec<T, I> {
         let world = comm.world();
         let by_rank = comm.allgatherv(&world, self.entries.clone());
-        let mut all: Vec<(Vid, T)> = by_rank.into_iter().flatten().collect();
+        let mut all: Vec<(I, T)> = by_rank.into_iter().flatten().collect();
         all.sort_unstable_by_key(|&(g, _)| g);
         SparseVec::from_entries(self.layout.n, all)
     }

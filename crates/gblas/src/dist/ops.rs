@@ -23,6 +23,7 @@ use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
 use dmsim::{words_of, AllToAll, CombineRoute, Comm, PooledBuf, SpanKind, WireWord};
+use lacc_graph::Idx;
 use std::collections::HashMap;
 
 /// Tuning knobs for the distributed primitives (the paper's §V-B levers
@@ -207,23 +208,24 @@ pub struct AssignStats {
 /// owners through a world-wide all-to-all, merging duplicates through the
 /// monoid and applying the mask owner-side. The reduce phase of the
 /// cyclic-layout `mxv` paths.
-fn scatter_merge_to_owners<T, M>(
+fn scatter_merge_to_owners<T, M, I>(
     comm: &mut Comm,
     layout: VecLayout,
-    produced: Vec<(Vid, T)>,
+    produced: Vec<(I, T)>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let world = comm.world();
     let buckets = layout.bucket_by_owner(comm, produced.into_iter());
     let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
     let incoming = comm.alltoallv(&world, buckets, opts.alltoall);
-    let mut merged: HashMap<Vid, T> = HashMap::new();
+    let mut merged: HashMap<I, T> = HashMap::new();
     let mut nops = 1u64;
     for part in incoming {
         // Adopt each incoming part so its allocation recycles on drop.
@@ -237,9 +239,9 @@ where
         }
     }
     comm.charge_compute(nops);
-    let entries: Vec<(Vid, T)> = merged
+    let entries: Vec<(I, T)> = merged
         .into_iter()
-        .filter(|&(g, _)| mask.allows(g))
+        .filter(|&(g, _)| mask.allows(g.idx()))
         .collect();
     DistSpVec::from_local_entries(layout, comm.rank(), entries)
 }
@@ -249,18 +251,19 @@ where
 /// column block from all chunks) and the reduce phase routes results
 /// straight to their cyclic owners. This is the communication price §VII
 /// anticipates paying for the better `extract`/`assign` balance.
-fn dist_mxv_cyclic<T, M>(
+fn dist_mxv_cyclic<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
+    a: &DistMat<I>,
     x_dense: Option<&DistVec<T>>,
-    x_sparse: Option<&DistSpVec<T>>,
+    x_sparse: Option<&DistSpVec<T, I>>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let layout = x_dense
         .map(|x| x.layout())
@@ -282,6 +285,7 @@ where
                 let xv = chunks[o][layout.offset_of(o, g)];
                 let rows = a.local().col(g - cs);
                 for &lr in rows {
+                    let lr = lr.idx();
                     if !is_touched[lr] {
                         is_touched[lr] = true;
                         touched.push(lr);
@@ -292,17 +296,19 @@ where
             }
         }
         (None, Some(x)) => {
-            let gathered: Vec<(Vid, T)> = comm
+            let gathered: Vec<(I, T)> = comm
                 .allgatherv(&world, x.entries().to_vec())
                 .into_iter()
                 .flatten()
                 .collect();
             for (g, xv) in gathered {
+                let g = g.idx();
                 if g < cs || g >= ce {
                     continue;
                 }
                 let rows = a.local().col(g - cs);
                 for &lr in rows {
+                    let lr = lr.idx();
                     if !is_touched[lr] {
                         is_touched[lr] = true;
                         touched.push(lr);
@@ -316,7 +322,10 @@ where
     }
     comm.charge_compute(ops);
     touched.sort_unstable();
-    let produced: Vec<(Vid, T)> = touched.into_iter().map(|lr| (rs + lr, acc[lr])).collect();
+    let produced: Vec<(I, T)> = touched
+        .into_iter()
+        .map(|lr| (I::from_usize(rs + lr), acc[lr]))
+        .collect();
     scatter_merge_to_owners(comm, layout, produced, mask, monoid, opts)
 }
 
@@ -328,9 +337,9 @@ where
 /// bit-identical for any associative monoid. When `present` is given,
 /// only columns flagged there contribute (the densified-sparse-input case
 /// of [`dist_mxv`]).
-fn local_multiply_block<T, M>(
-    local: &Dcsc,
-    mirror: &CsrMirror,
+fn local_multiply_block<T, M, I>(
+    local: &Dcsc<I>,
+    mirror: &CsrMirror<I>,
     x_block: &[T],
     present: Option<&[bool]>,
     monoid: M,
@@ -339,6 +348,7 @@ fn local_multiply_block<T, M>(
 where
     T: Copy + Send + Sync,
     M: Monoid<T>,
+    I: Idx,
 {
     let h = local.nrows();
     let mut acc = vec![monoid.identity(); h];
@@ -353,6 +363,7 @@ where
             }
             let xv = x_block[lc];
             for &lr in rows {
+                let lr = lr.idx();
                 acc[lr] = monoid.combine(acc[lr], xv);
                 touched[lr] = true;
             }
@@ -375,6 +386,7 @@ where
                 let mut ops = 0u64;
                 for (o, (a_slot, t_slot)) in ac.iter_mut().zip(tc.iter_mut()).enumerate() {
                     for &j in mirror.row(lo + o) {
+                        let j = j.idx();
                         if let Some(pr) = present {
                             if !pr[j] {
                                 continue;
@@ -393,32 +405,45 @@ where
 }
 
 /// Phase-2 local multiply for the SpMSpV-style paths: per-entry scatter of
-/// the gathered input through DCSC column lookups. With `threads > 1` the
-/// entries split into contiguous chunks, each folded into a private
-/// accumulator, and the partials merge in chunk order — the serial fold
-/// re-associated, so bit-identical for the crate's monoids (associative
-/// with strict identities). Returns `(acc, touched rows, op count)`;
-/// `touched` is in first-touch order, callers sort.
-fn local_multiply_entries<T, M>(
-    local: &Dcsc,
+/// the gathered input through DCSC column lookups.
+///
+/// With `threads > 1` this uses the same merge-free owner-partitioned
+/// scheme as [`crate::serial::mxv_sparse_par`]: the block's row space is
+/// split into one contiguous partition per worker, scanners expand their
+/// contiguous slice of the gathered entries into `(row, value)`
+/// contributions binned by owning partition, and each owner folds its bins
+/// in scanner order into a disjoint slice of one shared accumulator. No
+/// cross-thread merge phase ever re-reads the full row space — the step
+/// that made the old chunk-then-merge scheme memory-bound. Per row the
+/// contributions arrive in gathered order (scanner slices are contiguous),
+/// so the fold is the serial fold verbatim: bit-identical for any monoid.
+///
+/// Returns `(acc, touched rows, op count)`; the serial path reports
+/// `touched` in first-touch order and the partitioned path in ascending
+/// order — callers sort. The op count charges the expansion exactly as the
+/// serial sweep does, so the modeled cost is thread-count-independent.
+fn local_multiply_entries<T, M, I>(
+    local: &Dcsc<I>,
     cs: usize,
-    gathered: &[(Vid, T)],
+    gathered: &[(I, T)],
     monoid: M,
     threads: usize,
 ) -> (Vec<T>, Vec<Vid>, u64)
 where
     T: Copy + Send + Sync,
     M: Monoid<T>,
+    I: Idx,
 {
     let h = local.nrows();
     let mut ops: u64 = 1;
-    if threads <= 1 || gathered.len() < 2 {
+    if threads <= 1 || gathered.len() < 2 || h == 0 {
         let mut acc = vec![monoid.identity(); h];
         let mut is_touched = vec![false; h];
         let mut touched: Vec<Vid> = Vec::new();
         for &(gc, xv) in gathered {
-            let rows = local.col(gc - cs);
+            let rows = local.col(gc.idx() - cs);
             for &lr in rows {
+                let lr = lr.idx();
                 if !is_touched[lr] {
                     is_touched[lr] = true;
                     touched.push(lr);
@@ -430,61 +455,72 @@ where
         return (acc, touched, ops);
     }
     let pool = kernel_pool(threads);
-    let chunk = gathered.len().div_ceil(pool.current_num_threads()).max(1);
-    struct Part<T> {
-        acc: Vec<T>,
-        is_touched: Vec<bool>,
-        touched: Vec<Vid>,
-        ops: u64,
-    }
-    let mut parts: Vec<Option<Part<T>>> = Vec::new();
-    parts.resize_with(gathered.chunks(chunk).len(), || None);
+    let nt = pool.current_num_threads().max(1);
+    let part = h.div_ceil(nt).max(1);
+    let nparts = h.div_ceil(part);
+    let chunk = gathered.len().div_ceil(nt).max(1);
+    let nscan = gathered.chunks(chunk).len();
+
+    // Phase 1: scanners expand contiguous entry slices, binning row
+    // contributions by owning partition. `bins[s][k]` holds scanner s's
+    // contributions to partition k, in gathered order.
+    let mut bins: Vec<Vec<Vec<(I, T)>>> = (0..nscan).map(|_| vec![Vec::new(); nparts]).collect();
+    let mut scan_ops = vec![0u64; nscan];
     pool.scope(|s| {
-        for (slot, es) in parts.iter_mut().zip(gathered.chunks(chunk)) {
+        for ((b, es), so) in bins
+            .iter_mut()
+            .zip(gathered.chunks(chunk))
+            .zip(scan_ops.iter_mut())
+        {
             s.spawn(move || {
-                let mut part = Part {
-                    acc: vec![monoid.identity(); h],
-                    is_touched: vec![false; h],
-                    touched: Vec::new(),
-                    ops: 0,
-                };
+                let mut ops = 0u64;
                 for &(gc, xv) in es {
-                    let rows = local.col(gc - cs);
+                    let rows = local.col(gc.idx() - cs);
                     for &lr in rows {
-                        if !part.is_touched[lr] {
-                            part.is_touched[lr] = true;
-                            part.touched.push(lr);
-                        }
-                        part.acc[lr] = monoid.combine(part.acc[lr], xv);
+                        b[lr.idx() / part].push((lr, xv));
                     }
-                    part.ops += rows.len() as u64 + 1;
+                    ops += rows.len() as u64 + 1;
                 }
-                *slot = Some(part);
+                *so = ops;
             });
         }
     });
-    let parts: Vec<Part<T>> = parts.into_iter().map(|p| p.expect("part filled")).collect();
+    ops += scan_ops.iter().sum::<u64>();
+
+    // Phase 2: each owner folds its bins — scanner order restores gathered
+    // order per row — into its disjoint accumulator slice, then sorts its
+    // own touched list.
     let mut acc = vec![monoid.identity(); h];
     let mut is_touched = vec![false; h];
-    let mut touched: Vec<Vid> = Vec::new();
-    for part in &parts {
-        ops += part.ops;
-        for &lr in &part.touched {
-            if !is_touched[lr] {
-                is_touched[lr] = true;
-                touched.push(lr);
-            }
+    let mut owner_touched: Vec<Vec<Vid>> = vec![Vec::new(); nparts];
+    let bins = &bins;
+    pool.scope(|s| {
+        for (((k, ac), tc), tk) in acc
+            .chunks_mut(part)
+            .enumerate()
+            .zip(is_touched.chunks_mut(part))
+            .zip(owner_touched.iter_mut())
+        {
+            let lo = k * part;
+            s.spawn(move || {
+                for sb in bins {
+                    for &(lr, xv) in &sb[k] {
+                        let li = lr.idx() - lo;
+                        if !tc[li] {
+                            tc[li] = true;
+                            tk.push(lr.idx());
+                        }
+                        ac[li] = monoid.combine(ac[li], xv);
+                    }
+                }
+                tk.sort_unstable();
+            });
         }
-    }
-    for &lr in &touched {
-        let mut v = monoid.identity();
-        for part in &parts {
-            if part.is_touched[lr] {
-                v = monoid.combine(v, part.acc[lr]);
-            }
-        }
-        acc[lr] = v;
-    }
+    });
+
+    // Phase 3: partitions cover ascending row ranges, so concatenation is
+    // globally sorted.
+    let touched: Vec<Vid> = owner_touched.concat();
     (acc, touched, ops)
 }
 
@@ -494,19 +530,20 @@ where
 /// all-to-all + monoid merge), then the transpose exchange to the layout
 /// owner, applying the mask owner-side.
 #[allow(clippy::too_many_arguments)] // internal seam between two mxv phases
-fn spmspv_reduce_and_transpose<T, M>(
+fn spmspv_reduce_and_transpose<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
+    a: &DistMat<I>,
     layout: VecLayout,
     acc: &[T],
     mut touched: Vec<Vid>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let me = comm.rank();
     let grid = a.grid();
@@ -514,17 +551,17 @@ where
     let pc = grid.cols();
     let (rs, _re) = a.row_range();
     let row_group = grid.row_group(comm);
-    let mut buckets: Vec<PooledBuf<(Vid, T)>> = (0..pc).map(|_| comm.pooled_buf()).collect();
+    let mut buckets: Vec<PooledBuf<(I, T)>> = (0..pc).map(|_| comm.pooled_buf()).collect();
     touched.sort_unstable();
     for &lr in &touched {
         let g = rs + lr;
         let c = layout.chunk_containing(g);
         debug_assert!(c >= i * pc && c < (i + 1) * pc);
-        buckets[c - i * pc].push((g, acc[lr]));
+        buckets[c - i * pc].push((I::from_usize(g), acc[lr]));
     }
     let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
     let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
-    let mut merged: HashMap<Vid, T> = HashMap::new();
+    let mut merged: HashMap<I, T> = HashMap::new();
     let mut merge_ops = 0u64;
     for part in incoming {
         let part = comm.adopt_buf(part);
@@ -542,31 +579,35 @@ where
     let owner = layout.rank_of_chunk(held_chunk);
     let my_chunk = layout.chunk_of_rank(me);
     let holder = grid.rank_of(my_chunk / pc, my_chunk % pc);
-    let to_send: Vec<(Vid, T)> = merged.into_iter().collect();
-    let mine: Vec<(Vid, T)> = if owner == me {
+    let to_send: Vec<(I, T)> = merged.into_iter().collect();
+    let mine: Vec<(I, T)> = if owner == me {
         to_send
     } else {
         comm.send_vec(owner, to_send);
         comm.recv(holder)
     };
 
-    let entries: Vec<(Vid, T)> = mine.into_iter().filter(|&(g, _)| mask.allows(g)).collect();
+    let entries: Vec<(I, T)> = mine
+        .into_iter()
+        .filter(|&(g, _)| mask.allows(g.idx()))
+        .collect();
     comm.charge_compute(entries.len() as u64);
     DistSpVec::from_local_entries(layout, me, entries)
 }
 
 /// Distributed SpMV: `y = A ⊕.2nd x` with dense input `x`, masked output.
-pub fn dist_mxv_dense<T, M>(
+pub fn dist_mxv_dense<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
+    a: &DistMat<I>,
     x: &DistVec<T>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let span = comm.span_open(SpanKind::Mxv);
     let out = mxv_dense_impl(comm, a, x, mask, monoid, opts);
@@ -574,17 +615,18 @@ where
     out
 }
 
-fn mxv_dense_impl<T, M>(
+fn mxv_dense_impl<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
+    a: &DistMat<I>,
     x: &DistVec<T>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let grid = a.grid();
     let layout = x.layout();
@@ -653,29 +695,31 @@ where
 
     // Owner-side: keep touched entries passing the mask.
     let (s, _e) = layout.range_of_rank(me);
-    let entries: Vec<(Vid, T)> = mine
+    let entries: Vec<(I, T)> = mine
         .into_iter()
         .enumerate()
         .filter(|(_, (_, t))| *t)
         .map(|(off, (v, _))| (s + off, v))
         .filter(|&(g, _)| mask.allows(g))
+        .map(|(g, v)| (I::from_usize(g), v))
         .collect();
     comm.charge_compute(entries.len() as u64);
     DistSpVec::from_local_entries(layout, me, entries)
 }
 
 /// Distributed SpMSpV: `y = A ⊕.2nd x` with sparse input `x`.
-pub fn dist_mxv_sparse<T, M>(
+pub fn dist_mxv_sparse<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
-    x: &DistSpVec<T>,
+    a: &DistMat<I>,
+    x: &DistSpVec<T, I>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let span = comm.span_open(SpanKind::Mxv);
     let out = mxv_sparse_impl(comm, a, x, mask, monoid, opts);
@@ -683,17 +727,18 @@ where
     out
 }
 
-fn mxv_sparse_impl<T, M>(
+fn mxv_sparse_impl<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
-    x: &DistSpVec<T>,
+    a: &DistMat<I>,
+    x: &DistSpVec<T, I>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let grid = a.grid();
     let layout = x.layout();
@@ -704,14 +749,14 @@ where
 
     // Phase 1: sparse allgather of x entries within the processor column.
     let col_group = grid.col_group(comm);
-    let gathered: Vec<(Vid, T)> = comm
+    let gathered: Vec<(I, T)> = comm
         .allgatherv(&col_group, x.entries().to_vec())
         .into_iter()
         .flatten()
         .collect();
 
-    // Phase 2: local multiply through the DCSC block (entry-chunked across
-    // the kernel pool when `opts.kernel_threads > 1`).
+    // Phase 2: local multiply through the DCSC block (owner-partitioned
+    // across the kernel pool when `opts.kernel_threads > 1`).
     let (cs, _ce) = a.col_range();
     let (acc, touched, ops) =
         local_multiply_entries(a.local(), cs, &gathered, monoid, opts.kernel_threads);
@@ -738,17 +783,18 @@ where
 /// Both branches produce **bit-identical** results (same gather, same
 /// per-row combine order, same reduce/transpose phases), so the dispatch
 /// is purely a performance choice; the proptests pin this down.
-pub fn dist_mxv<T, M>(
+pub fn dist_mxv<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
-    x: &DistSpVec<T>,
+    a: &DistMat<I>,
+    x: &DistSpVec<T, I>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     // One Mxv span covers whichever execution branch runs (the sparse
     // branch goes through `mxv_sparse_impl` directly, not the public
@@ -759,17 +805,18 @@ where
     out
 }
 
-fn mxv_adaptive_impl<T, M>(
+fn mxv_adaptive_impl<T, M, I>(
     comm: &mut Comm,
-    a: &DistMat,
-    x: &DistSpVec<T>,
+    a: &DistMat<I>,
+    x: &DistSpVec<T, I>,
     mask: DistMask<'_>,
     monoid: M,
     opts: &DistOpts,
-) -> DistSpVec<T>
+) -> DistSpVec<T, I>
 where
     T: Copy + Send + Sync + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let layout = x.layout();
     assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
@@ -786,7 +833,7 @@ where
     // SpMV-style execution: same sparse allgather, then densify.
     let grid = a.grid();
     let col_group = grid.col_group(comm);
-    let gathered: Vec<(Vid, T)> = comm
+    let gathered: Vec<(I, T)> = comm
         .allgatherv(&col_group, x.entries().to_vec())
         .into_iter()
         .flatten()
@@ -796,8 +843,8 @@ where
     let mut x_block = vec![monoid.identity(); w];
     let mut present = vec![false; w];
     for &(g, v) in &gathered {
-        x_block[g - cs] = v;
-        present[g - cs] = true;
+        x_block[g.idx() - cs] = v;
+        present[g.idx() - cs] = true;
     }
     let (acc, touched_flags, ops) = local_multiply_block(
         a.local(),
@@ -829,11 +876,11 @@ where
 /// [`DistOpts::compress_ids`] the lists are sorted but keep duplicates;
 /// with neither flag they preserve request order — every combination is
 /// bit-identical to the unplanned exchange.
-pub struct RequestPlan {
+pub struct RequestPlan<I: Idx = Vid> {
     layout: VecLayout,
     n_requests: usize,
-    /// Per-owner ids as they will cross the wire.
-    wire_ids: Vec<Vec<Vid>>,
+    /// Per-owner ids as they will cross the wire, at index width `I`.
+    wire_ids: Vec<Vec<I>>,
     /// Per-owner `(index into wire_ids[o], original request position)`.
     scatter: Vec<Vec<(u32, u32)>>,
     /// Wire lists are sorted (dedup or compression was requested).
@@ -842,7 +889,7 @@ pub struct RequestPlan {
     deduped: bool,
 }
 
-impl RequestPlan {
+impl<I: Idx> RequestPlan<I> {
     /// The layout the plan was built against.
     pub fn layout(&self) -> VecLayout {
         self.layout
@@ -868,12 +915,12 @@ impl RequestPlan {
 /// [`DistOpts::dedup_requests`] / [`DistOpts::compress_ids`]) sorts and
 /// dedups each bucket, recording the reply scatter. Charged as local
 /// compute; no communication happens here.
-pub fn plan_requests(
+pub fn plan_requests<I: Idx>(
     comm: &mut Comm,
     layout: VecLayout,
-    requests: &[Vid],
+    requests: &[I],
     opts: &DistOpts,
-) -> RequestPlan {
+) -> RequestPlan<I> {
     let p = comm.size();
     assert!(
         requests.len() < u32::MAX as usize,
@@ -884,7 +931,7 @@ pub fn plan_requests(
         comm,
         requests.iter().enumerate().map(|(pos, &g)| (g, pos as u32)),
     );
-    let mut wire_ids: Vec<Vec<Vid>> = Vec::with_capacity(p);
+    let mut wire_ids: Vec<Vec<I>> = Vec::with_capacity(p);
     let mut scatter: Vec<Vec<(u32, u32)>> = Vec::with_capacity(p);
     let mut ops = requests.len() as u64 + 1;
     for bucket in pairs.iter_mut() {
@@ -904,11 +951,11 @@ pub fn plan_requests(
         if opts.dedup_requests && k >= opts.dedup_hash_threshold {
             // Hash path: one linear pass collects unique ids, then only
             // those are sorted — wins when duplication is heavy.
-            let mut uniq: HashMap<Vid, u32> = HashMap::with_capacity(k / 4);
+            let mut uniq: HashMap<I, u32> = HashMap::with_capacity(k / 4);
             for &(g, _) in bucket.iter() {
                 uniq.entry(g).or_insert(0);
             }
-            let mut ids: Vec<Vid> = uniq.keys().copied().collect();
+            let mut ids: Vec<I> = uniq.keys().copied().collect();
             ids.sort_unstable();
             for (w, &g) in ids.iter().enumerate() {
                 *uniq.get_mut(&g).expect("id just inserted") = w as u32;
@@ -921,9 +968,9 @@ pub fn plan_requests(
             // Sort path: sort the (id, position) pairs and walk the runs,
             // collapsing equal ids only when dedup is on (compression
             // alone needs sorted order but keeps duplicates).
-            let mut b: Vec<(Vid, u32)> = bucket.to_vec();
+            let mut b: Vec<(I, u32)> = bucket.to_vec();
             b.sort_unstable_by_key(|&(g, _)| g);
-            let mut ids: Vec<Vid> = Vec::with_capacity(k);
+            let mut ids: Vec<I> = Vec::with_capacity(k);
             let mut sc: Vec<(u32, u32)> = Vec::with_capacity(k);
             for (g, pos) in b {
                 let collapse = opts.dedup_requests && ids.last() == Some(&g);
@@ -957,14 +1004,15 @@ pub fn plan_requests(
 /// (then drop out of the all-to-all, which the sparse algorithm exploits).
 /// On top of that, the sender-side compaction flags in [`DistOpts`] dedup
 /// and compress what the all-to-all carries.
-pub fn dist_extract<T>(
+pub fn dist_extract<T, I>(
     comm: &mut Comm,
     src: &DistVec<T>,
-    requests: &[Vid],
+    requests: &[I],
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + WireWord + 'static,
+    I: Idx,
 {
     let span = comm.span_open(SpanKind::Extract);
     let plan = plan_requests(comm, src.layout(), requests, opts);
@@ -976,14 +1024,15 @@ where
 /// [`dist_extract`] against a request plan built once with
 /// [`plan_requests`] — callers issuing several extracts with the same
 /// request list over same-layout vectors skip the repeated bucketing.
-pub fn dist_extract_planned<T>(
+pub fn dist_extract_planned<T, I>(
     comm: &mut Comm,
     src: &DistVec<T>,
-    plan: &RequestPlan,
+    plan: &RequestPlan<I>,
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + WireWord + 'static,
+    I: Idx,
 {
     let span = comm.span_open(SpanKind::Extract);
     let out = extract_impl(comm, src, plan, opts);
@@ -991,14 +1040,15 @@ where
     out
 }
 
-fn extract_impl<T>(
+fn extract_impl<T, I>(
     comm: &mut Comm,
     src: &DistVec<T>,
-    plan: &RequestPlan,
+    plan: &RequestPlan<I>,
     opts: &DistOpts,
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + WireWord + 'static,
+    I: Idx,
 {
     let layout = src.layout();
     assert_eq!(layout, plan.layout, "plan built for a different layout");
@@ -1033,19 +1083,21 @@ where
             stats.did_broadcast = true;
         }
         for &(w, pos) in &plan.scatter[o] {
-            results[pos as usize] = Some(chunk[layout.offset_of(o, plan.wire_ids[o][w as usize])]);
+            results[pos as usize] =
+                Some(chunk[layout.offset_of(o, plan.wire_ids[o][w as usize].idx())]);
         }
         comm.charge_compute(plan.scatter[o].len() as u64 + 1);
     }
 
     // Dedup savings relative to the naive exchange: every collapsed
-    // duplicate would have crossed the wire twice (id out, reply back).
+    // duplicate would have crossed the wire twice (id out, reply back) —
+    // charged at the narrow id width actually on the wire.
     for (o, &is_hot) in hot.iter().enumerate() {
         if is_hot {
             continue;
         }
         let removed = plan.removed(o);
-        stats.dedup_saved_words += words_of::<Vid>(removed) + words_of::<T>(removed);
+        stats.dedup_saved_words += words_of::<I>(removed) + words_of::<T>(removed);
     }
 
     // In-flight combining: request ids ride the combining hypercube as
@@ -1059,7 +1111,7 @@ where
                 if hot[o] {
                     Vec::new()
                 } else {
-                    plan.wire_ids[o].iter().map(|&g| g as u64).collect()
+                    plan.wire_ids[o].iter().map(|&g| g.to_u64()).collect()
                 }
             })
             .collect();
@@ -1078,7 +1130,7 @@ where
                 continue;
             }
             for &(w, pos) in &plan.scatter[o] {
-                let key = plan.wire_ids[o][w as usize] as u64;
+                let key = plan.wire_ids[o][w as usize].to_u64();
                 let i = pairs
                     .binary_search_by_key(&key, |&(k, _)| k)
                     .expect("reply for every requested id");
@@ -1109,11 +1161,11 @@ where
             }
             let offs: Vec<usize> = plan.wire_ids[o]
                 .iter()
-                .map(|&g| layout.offset_of(o, g))
+                .map(|&g| layout.offset_of(o, g.idx()))
                 .collect();
             let enc = compact::encode_offsets(&offs, plan.deduped, opts.compress_bitmap_density);
             stats.compress_saved_words +=
-                words_of::<Vid>(offs.len()).saturating_sub(words_of::<u8>(enc.len()));
+                words_of::<I>(offs.len()).saturating_sub(words_of::<u8>(enc.len()));
             send.push(enc);
         }
         comm.charge_compute(plan.wire_ids.iter().map(|v| v.len() as u64).sum::<u64>() + 1);
@@ -1128,7 +1180,7 @@ where
             })
             .collect()
     } else {
-        let send: Vec<Vec<Vid>> = (0..p)
+        let send: Vec<Vec<I>> = (0..p)
             .map(|o| {
                 if hot[o] {
                     Vec::new()
@@ -1145,7 +1197,7 @@ where
                 // reply is built.
                 let ids = comm.adopt_buf(ids);
                 stats.received_requests += ids.len() as u64;
-                ids.iter().map(|&g| src.get_local(g)).collect()
+                ids.iter().map(|&g| src.get_local(g.idx())).collect()
             })
             .collect()
     };
@@ -1211,12 +1263,12 @@ pub struct FusedExtract {
 impl FusedExtract {
     /// Sends the plan's per-owner request ids through the combining
     /// hypercube and records the route for later reply phases.
-    pub fn begin(comm: &mut Comm, plan: &RequestPlan) -> FusedExtract {
+    pub fn begin<I: Idx>(comm: &mut Comm, plan: &RequestPlan<I>) -> FusedExtract {
         let world = comm.world();
         let key_bufs: Vec<Vec<u64>> = plan
             .wire_ids
             .iter()
-            .map(|ids| ids.iter().map(|&g| g as u64).collect())
+            .map(|ids| ids.iter().map(|&g| g.to_u64()).collect())
             .collect();
         let route = comm.combining_requests(&world, key_bufs);
         FusedExtract { route }
@@ -1230,15 +1282,16 @@ impl FusedExtract {
 
     /// One reply phase: serves the delivered ids from `src` as of *now*
     /// and returns `src[requests[k]]` for each planned request, in order.
-    pub fn extract<T>(
+    pub fn extract<T, I>(
         &self,
         comm: &mut Comm,
         src: &DistVec<T>,
-        plan: &RequestPlan,
+        plan: &RequestPlan<I>,
         opts: &DistOpts,
     ) -> Vec<T>
     where
         T: Copy + Send + WireWord + 'static,
+        I: Idx,
     {
         let span = comm.span_open(SpanKind::Extract);
         let world = comm.world();
@@ -1258,7 +1311,7 @@ impl FusedExtract {
         let mut results: Vec<Option<T>> = vec![None; plan.n_requests];
         for (o, pairs) in reply.iter().enumerate() {
             for &(w, pos) in &plan.scatter[o] {
-                let key = plan.wire_ids[o][w as usize] as u64;
+                let key = plan.wire_ids[o][w as usize].to_u64();
                 let i = pairs
                     .binary_search_by_key(&key, |&(k, _)| k)
                     .expect("reply for every requested id");
@@ -1282,16 +1335,17 @@ impl FusedExtract {
 /// Returns the number of *locally owned* elements whose value changed
 /// (callers allreduce this for the global convergence test) and the
 /// per-rank [`AssignStats`].
-pub fn dist_assign<T, M>(
+pub fn dist_assign<T, M, I>(
     comm: &mut Comm,
     dst: &mut DistVec<T>,
-    updates: &[(Vid, T)],
+    updates: &[(I, T)],
     monoid: M,
     opts: &DistOpts,
 ) -> (usize, AssignStats)
 where
     T: Copy + Send + PartialEq + WireWord + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let span = comm.span_open(SpanKind::Assign);
     let out = assign_impl(comm, dst, updates, monoid, opts);
@@ -1299,16 +1353,17 @@ where
     out
 }
 
-fn assign_impl<T, M>(
+fn assign_impl<T, M, I>(
     comm: &mut Comm,
     dst: &mut DistVec<T>,
-    updates: &[(Vid, T)],
+    updates: &[(I, T)],
     monoid: M,
     opts: &DistOpts,
 ) -> (usize, AssignStats)
 where
     T: Copy + Send + PartialEq + WireWord + 'static,
     M: Monoid<T>,
+    I: Idx,
 {
     let layout = dst.layout();
     let me = comm.rank();
@@ -1324,22 +1379,22 @@ where
     // (preserving per-target arrival order) so the offset stream is
     // monotone without changing what the receiver folds.
     let mut ops = 1u64;
-    let buckets: Vec<Vec<(Vid, T)>> = raw
+    let buckets: Vec<Vec<(I, T)>> = raw
         .into_iter()
         .map(|b| {
             let b = b.detach();
             if opts.combine_assigns {
                 let before = b.len();
-                let mut m: HashMap<Vid, T> = HashMap::with_capacity(before.min(1024));
+                let mut m: HashMap<I, T> = HashMap::with_capacity(before.min(1024));
                 for (g, v) in b {
                     m.entry(g)
                         .and_modify(|acc| *acc = monoid.combine(*acc, v))
                         .or_insert(v);
                 }
-                let mut c: Vec<(Vid, T)> = m.into_iter().collect();
+                let mut c: Vec<(I, T)> = m.into_iter().collect();
                 c.sort_unstable_by_key(|&(g, _)| g);
                 ops += before as u64 + c.len() as u64;
-                stats.combine_saved_words += words_of::<(Vid, T)>(before - c.len());
+                stats.combine_saved_words += words_of::<(I, T)>(before - c.len());
                 c
             } else if opts.compress_ids {
                 let mut b = b;
@@ -1361,7 +1416,7 @@ where
     if opts.combine_in_flight {
         let entries: Vec<Vec<(u64, T)>> = buckets
             .iter()
-            .map(|b| b.iter().map(|&(g, v)| (g as u64, v)).collect())
+            .map(|b| b.iter().map(|&(g, v)| (g.to_u64(), v)).collect())
             .collect();
         let merged = comm.reduce_scatter_by_key(&world, entries, |acc: &mut T, v| {
             *acc = monoid.combine(*acc, v)
@@ -1388,10 +1443,13 @@ where
         let mut id_bufs: Vec<Vec<u8>> = Vec::with_capacity(buckets.len());
         let mut val_bufs: Vec<Vec<T>> = Vec::with_capacity(buckets.len());
         for (o, b) in buckets.iter().enumerate() {
-            let offs: Vec<usize> = b.iter().map(|&(g, _)| layout.offset_of(o, g)).collect();
+            let offs: Vec<usize> = b
+                .iter()
+                .map(|&(g, _)| layout.offset_of(o, g.idx()))
+                .collect();
             let enc =
                 compact::encode_offsets(&offs, opts.combine_assigns, opts.compress_bitmap_density);
-            let raw_words = words_of::<(Vid, T)>(b.len());
+            let raw_words = words_of::<(I, T)>(b.len());
             let sent_words = words_of::<u8>(enc.len()) + words_of::<T>(b.len());
             stats.compress_saved_words += raw_words.saturating_sub(sent_words);
             id_bufs.push(enc);
@@ -1436,7 +1494,7 @@ where
             nops += part.len() as u64;
             for &(g, v) in part.iter() {
                 combined
-                    .entry(g)
+                    .entry(g.idx())
                     .and_modify(|acc| *acc = monoid.combine(*acc, v))
                     .or_insert(v);
             }
@@ -1742,7 +1800,8 @@ mod tests {
         let out = run_spmd(4, |c| {
             let layout = VecLayout::new(n, Grid2d::square(4));
             let mut dst = DistVec::from_global(layout, c.rank(), &init);
-            dist_assign(c, &mut dst, &[], MinUsize, &DistOpts::default());
+            let none: &[(usize, usize)] = &[];
+            dist_assign(c, &mut dst, none, MinUsize, &DistOpts::default());
             dst.to_global(c)
         })
         .unwrap();

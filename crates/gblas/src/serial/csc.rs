@@ -1,25 +1,26 @@
 //! Compressed sparse column matrices.
 
 use crate::Vid;
-use lacc_graph::CsrGraph;
+use lacc_graph::{CsrGraph, Idx};
 
-/// A sparse matrix in CSC form with values of type `T`.
+/// A sparse matrix in CSC form with values of type `T` and `I`-width row
+/// indices.
 ///
 /// `Pattern` (`T = ()`) is the adjacency-matrix case LACC uses: the
 /// `(Select2nd, min)` semiring never reads edge values.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Csc<T> {
+pub struct Csc<T, I: Idx = Vid> {
     nrows: usize,
     ncols: usize,
     colptr: Vec<usize>,
-    rowidx: Vec<Vid>,
+    rowidx: Vec<I>,
     values: Vec<T>,
 }
 
 /// Pattern-only sparse matrix (adjacency structure).
-pub type Pattern = Csc<()>;
+pub type Pattern<I = Vid> = Csc<(), I>;
 
-impl<T: Copy> Csc<T> {
+impl<T: Copy, I: Idx> Csc<T, I> {
     /// Builds from triples `(row, col, value)`; duplicates are not allowed.
     pub fn from_triples(nrows: usize, ncols: usize, mut triples: Vec<(Vid, Vid, T)>) -> Self {
         triples.sort_unstable_by_key(|&(r, c, _)| (c, r));
@@ -42,7 +43,7 @@ impl<T: Copy> Csc<T> {
         for (r, c, v) in triples {
             assert!(r < nrows, "row {r} out of range");
             let _ = c;
-            rowidx.push(r);
+            rowidx.push(I::from_usize(r));
             values.push(v);
         }
         Csc {
@@ -70,17 +71,17 @@ impl<T: Copy> Csc<T> {
     }
 
     /// Row indices of column `c`.
-    pub fn col(&self, c: Vid) -> &[Vid] {
+    pub fn col(&self, c: usize) -> &[I] {
         &self.rowidx[self.colptr[c]..self.colptr[c + 1]]
     }
 
     /// Row indices and values of column `c`.
-    pub fn col_entries(&self, c: Vid) -> impl Iterator<Item = (Vid, T)> + '_ {
+    pub fn col_entries(&self, c: usize) -> impl Iterator<Item = (Vid, T)> + '_ {
         let range = self.colptr[c]..self.colptr[c + 1];
         self.rowidx[range.clone()]
             .iter()
             .zip(&self.values[range])
-            .map(|(&r, &v)| (r, v))
+            .map(|(&r, &v)| (r.idx(), v))
     }
 
     /// Iterates over all entries as `(row, col, value)` in column order.
@@ -89,9 +90,9 @@ impl<T: Copy> Csc<T> {
     }
 }
 
-impl Pattern {
+impl<I: Idx> Pattern<I> {
     /// Builds the adjacency pattern of a symmetric graph.
-    pub fn from_graph(g: &CsrGraph) -> Pattern {
+    pub fn from_graph(g: &CsrGraph<I>) -> Pattern<I> {
         // CSR of a symmetric graph is also its CSC.
         let n = g.num_vertices();
         Csc {
@@ -117,30 +118,30 @@ impl Pattern {
 /// Build it once per matrix (`O(nnz)`) and reuse it across iterations; the
 /// matrix is static for the lifetime of a connected-components run.
 #[derive(Clone, Debug, PartialEq)]
-pub struct CsrMirror {
+pub struct CsrMirror<I: Idx = Vid> {
     nrows: usize,
     ncols: usize,
     rowptr: Vec<usize>,
-    colidx: Vec<Vid>,
+    colidx: Vec<I>,
 }
 
-impl CsrMirror {
+impl<I: Idx> CsrMirror<I> {
     /// Transposes the index structure of `a` into row-major form.
-    pub fn from_csc<T: Copy>(a: &Csc<T>) -> CsrMirror {
+    pub fn from_csc<T: Copy>(a: &Csc<T, I>) -> CsrMirror<I> {
         let mut rowptr = vec![0usize; a.nrows + 1];
         for &i in &a.rowidx {
-            rowptr[i + 1] += 1;
+            rowptr[i.idx() + 1] += 1;
         }
         for i in 0..a.nrows {
             rowptr[i + 1] += rowptr[i];
         }
-        let mut colidx = vec![0 as Vid; a.rowidx.len()];
+        let mut colidx = vec![I::zero(); a.rowidx.len()];
         let mut cursor = rowptr.clone();
         // Ascending-j column sweep ⇒ each row's colidx fills in ascending j.
         for j in 0..a.ncols {
             for &i in &a.rowidx[a.colptr[j]..a.colptr[j + 1]] {
-                colidx[cursor[i]] = j;
-                cursor[i] += 1;
+                colidx[cursor[i.idx()]] = I::from_usize(j);
+                cursor[i.idx()] += 1;
             }
         }
         CsrMirror {
@@ -155,24 +156,24 @@ impl CsrMirror {
     /// order** (ascending column, e.g. [`super::Dcsc::pairs`]), so each
     /// row's `colidx` fills in ascending `j` — the same invariant
     /// [`CsrMirror::from_csc`] establishes.
-    pub fn from_col_major_pairs<I>(nrows: usize, ncols: usize, pairs: I) -> CsrMirror
+    pub fn from_col_major_pairs<It>(nrows: usize, ncols: usize, pairs: It) -> CsrMirror<I>
     where
-        I: Iterator<Item = (Vid, Vid)> + Clone,
+        It: Iterator<Item = (I, I)> + Clone,
     {
         let mut rowptr = vec![0usize; nrows + 1];
         for (r, _) in pairs.clone() {
-            rowptr[r + 1] += 1;
+            rowptr[r.idx() + 1] += 1;
         }
         for i in 0..nrows {
             rowptr[i + 1] += rowptr[i];
         }
         let nnz = rowptr[nrows];
-        let mut colidx = vec![0 as Vid; nnz];
+        let mut colidx = vec![I::zero(); nnz];
         let mut cursor = rowptr.clone();
         for (r, c) in pairs {
-            debug_assert!(c < ncols);
-            colidx[cursor[r]] = c;
-            cursor[r] += 1;
+            debug_assert!(c.idx() < ncols);
+            colidx[cursor[r.idx()]] = c;
+            cursor[r.idx()] += 1;
         }
         CsrMirror {
             nrows,
@@ -198,14 +199,14 @@ impl CsrMirror {
     }
 
     /// Column indices of row `i`, ascending.
-    pub fn row(&self, i: Vid) -> &[Vid] {
+    pub fn row(&self, i: usize) -> &[I] {
         &self.colidx[self.rowptr[i]..self.rowptr[i + 1]]
     }
 }
 
-impl<T: Copy> Csc<T> {
+impl<T: Copy, I: Idx> Csc<T, I> {
     /// Builds the row-major mirror of this matrix's pattern.
-    pub fn csr_mirror(&self) -> CsrMirror {
+    pub fn csr_mirror(&self) -> CsrMirror<I> {
         CsrMirror::from_csc(self)
     }
 }
@@ -218,7 +219,7 @@ mod tests {
 
     #[test]
     fn from_triples_structure() {
-        let m = Csc::from_triples(3, 4, vec![(0, 1, 10), (2, 1, 20), (1, 3, 30)]);
+        let m: Csc<i32> = Csc::from_triples(3, 4, vec![(0, 1, 10), (2, 1, 20), (1, 3, 30)]);
         assert_eq!((m.nrows(), m.ncols(), m.nnz()), (3, 4, 3));
         assert_eq!(m.col(0), &[] as &[usize]);
         assert_eq!(m.col(1), &[0, 2]);
@@ -229,7 +230,7 @@ mod tests {
     #[test]
     fn triples_roundtrip() {
         let t = vec![(0, 0, 1), (1, 2, 2), (0, 2, 3)];
-        let m = Csc::from_triples(2, 3, t);
+        let m: Csc<i32> = Csc::from_triples(2, 3, t);
         let back: Vec<_> = m.triples().collect();
         assert_eq!(back, vec![(0, 0, 1), (0, 2, 3), (1, 2, 2)]);
     }
@@ -244,9 +245,22 @@ mod tests {
     }
 
     #[test]
+    fn narrow_pattern_matches_default() {
+        let g = path_graph(4);
+        let narrow = Pattern::from_graph(&g.try_narrow::<u32>().unwrap());
+        let wide = Pattern::from_graph(&g);
+        assert_eq!(narrow.nnz(), wide.nnz());
+        assert_eq!(narrow.col(1), &[0u32, 2u32]);
+        let n: Vec<_> = narrow.triples().collect();
+        let w: Vec<_> = wide.triples().collect();
+        assert_eq!(n, w);
+    }
+
+    #[test]
     fn csr_mirror_rows_ascending() {
         // Asymmetric pattern: rows and columns genuinely differ.
-        let m = Csc::from_triples(3, 4, vec![(0, 1, ()), (2, 1, ()), (1, 3, ()), (0, 3, ())]);
+        let m: Pattern =
+            Csc::from_triples(3, 4, vec![(0, 1, ()), (2, 1, ()), (1, 3, ()), (0, 3, ())]);
         let r = m.csr_mirror();
         assert_eq!((r.nrows(), r.ncols(), r.nnz()), (3, 4, 4));
         assert_eq!(r.row(0), &[1, 3]);
@@ -266,7 +280,7 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let g = CsrGraph::from_edges(EdgeList::new(3));
+        let g: CsrGraph = CsrGraph::from_edges(EdgeList::new(3));
         let a = Pattern::from_graph(&g);
         assert_eq!(a.nnz(), 0);
         assert_eq!(a.col(2), &[] as &[usize]);

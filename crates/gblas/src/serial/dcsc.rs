@@ -6,31 +6,38 @@
 //! column-pointer array dominates memory. DCSC stores only the nonempty
 //! columns (`jc`) plus a compressed pointer array — `O(nnz)` space
 //! regardless of dimensions.
+//!
+//! Indices are generic over [`Idx`]; `Dcsc<u32>` halves index traffic in
+//! the distributed kernels for blocks under 2^32 on a side.
 
 use crate::Vid;
+use lacc_graph::Idx;
 
 /// A pattern-only doubly compressed sparse column matrix.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Dcsc {
+pub struct Dcsc<I: Idx = Vid> {
     nrows: usize,
     ncols: usize,
     /// Nonempty column ids, ascending.
-    jc: Vec<Vid>,
+    jc: Vec<I>,
     /// `colptr[k]..colptr[k+1]` indexes `rowidx` for column `jc[k]`.
     colptr: Vec<usize>,
-    rowidx: Vec<Vid>,
+    rowidx: Vec<I>,
 }
 
-impl Dcsc {
+impl<I: Idx> Dcsc<I> {
     /// Builds from (row, col) pairs; duplicates are not allowed.
-    pub fn from_pairs(nrows: usize, ncols: usize, mut pairs: Vec<(Vid, Vid)>) -> Self {
+    pub fn from_pairs(nrows: usize, ncols: usize, mut pairs: Vec<(I, I)>) -> Self {
         pairs.sort_unstable_by_key(|&(r, c)| (c, r));
         debug_assert!(pairs.windows(2).all(|w| w[0] != w[1]), "duplicate entries");
-        let mut jc = Vec::new();
+        let mut jc: Vec<I> = Vec::new();
         let mut colptr = vec![0usize];
         let mut rowidx = Vec::with_capacity(pairs.len());
         for (r, c) in pairs {
-            assert!(r < nrows && c < ncols, "entry ({r},{c}) out of range");
+            assert!(
+                r.idx() < nrows && c.idx() < ncols,
+                "entry ({r},{c}) out of range"
+            );
             if jc.last() != Some(&c) {
                 jc.push(c);
                 colptr.push(rowidx.len());
@@ -68,25 +75,31 @@ impl Dcsc {
     }
 
     /// Row indices of column `c` (empty slice if the column is empty).
-    pub fn col(&self, c: Vid) -> &[Vid] {
-        match self.jc.binary_search(&c) {
+    pub fn col(&self, c: usize) -> &[I] {
+        let Some(key) = I::try_from_usize(c) else {
+            return &[];
+        };
+        match self.jc.binary_search(&key) {
             Ok(k) => &self.rowidx[self.colptr[k]..self.colptr[k + 1]],
             Err(_) => &[],
         }
     }
 
     /// Iterates over `(column id, row indices)` for nonempty columns.
-    pub fn nonempty_cols(&self) -> impl Iterator<Item = (Vid, &[Vid])> + Clone + '_ {
+    pub fn nonempty_cols(&self) -> impl Iterator<Item = (usize, &[I])> + Clone + '_ {
         self.jc
             .iter()
             .enumerate()
-            .map(move |(k, &c)| (c, &self.rowidx[self.colptr[k]..self.colptr[k + 1]]))
+            .map(move |(k, &c)| (c.idx(), &self.rowidx[self.colptr[k]..self.colptr[k + 1]]))
     }
 
     /// All entries as `(row, col)` pairs in column order.
-    pub fn pairs(&self) -> impl Iterator<Item = (Vid, Vid)> + Clone + '_ {
-        self.nonempty_cols()
-            .flat_map(|(c, rows)| rows.iter().map(move |&r| (r, c)))
+    pub fn pairs(&self) -> impl Iterator<Item = (I, I)> + Clone + '_ {
+        self.jc.iter().enumerate().flat_map(move |(k, &c)| {
+            self.rowidx[self.colptr[k]..self.colptr[k + 1]]
+                .iter()
+                .map(move |&r| (r, c))
+        })
     }
 }
 
@@ -97,7 +110,8 @@ mod tests {
     #[test]
     fn hypersparse_storage() {
         // 1M x 1M block with 3 entries: storage must be O(nnz).
-        let d = Dcsc::from_pairs(1_000_000, 1_000_000, vec![(5, 100), (7, 100), (3, 999_999)]);
+        let d: Dcsc =
+            Dcsc::from_pairs(1_000_000, 1_000_000, vec![(5, 100), (7, 100), (3, 999_999)]);
         assert_eq!(d.nnz(), 3);
         assert_eq!(d.ncols_nonempty(), 2);
         assert_eq!(d.col(100), &[5, 7]);
@@ -107,7 +121,7 @@ mod tests {
 
     #[test]
     fn empty_block() {
-        let d = Dcsc::from_pairs(10, 10, vec![]);
+        let d: Dcsc = Dcsc::from_pairs(10, 10, vec![]);
         assert_eq!(d.nnz(), 0);
         assert_eq!(d.ncols_nonempty(), 0);
         assert_eq!(d.col(5), &[] as &[usize]);
@@ -117,21 +131,36 @@ mod tests {
     #[test]
     fn pairs_roundtrip_sorted() {
         let input = vec![(2, 0), (1, 0), (0, 3)];
-        let d = Dcsc::from_pairs(3, 4, input);
+        let d: Dcsc = Dcsc::from_pairs(3, 4, input);
         let out: Vec<_> = d.pairs().collect();
         assert_eq!(out, vec![(1, 0), (2, 0), (0, 3)]);
     }
 
     #[test]
     fn nonempty_cols_iteration() {
-        let d = Dcsc::from_pairs(4, 8, vec![(0, 2), (3, 2), (1, 6)]);
+        let d: Dcsc = Dcsc::from_pairs(4, 8, vec![(0, 2), (3, 2), (1, 6)]);
         let cols: Vec<_> = d.nonempty_cols().map(|(c, rows)| (c, rows.len())).collect();
         assert_eq!(cols, vec![(2, 2), (6, 1)]);
     }
 
     #[test]
+    fn narrow_block_matches_default() {
+        let pairs = vec![(0, 2), (3, 2), (1, 6)];
+        let wide: Dcsc = Dcsc::from_pairs(4, 8, pairs.clone());
+        let narrow: Dcsc<u32> = Dcsc::from_pairs(
+            4,
+            8,
+            pairs.iter().map(|&(r, c)| (r as u32, c as u32)).collect(),
+        );
+        let w: Vec<(usize, usize)> = wide.pairs().collect();
+        let n: Vec<(usize, usize)> = narrow.pairs().map(|(r, c)| (r.idx(), c.idx())).collect();
+        assert_eq!(w, n);
+        assert_eq!(narrow.col(2), &[0u32, 3u32]);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_rejected() {
-        Dcsc::from_pairs(2, 2, vec![(2, 0)]);
+        let _: Dcsc = Dcsc::from_pairs(2, 2, vec![(2, 0)]);
     }
 }

@@ -35,17 +35,22 @@
 //! [`mxv_dense_par`], [`mxv_sparse_par`], [`assign_par`], [`extract_par`]
 //! and [`apply_par`] run the same kernels on a shared `rayon` worker pool
 //! ([`rayon::ThreadPoolBuilder`] keyed by thread count; `threads <= 1`
-//! executes inline). Work is split into contiguous chunks whose partial
-//! results are merged **in chunk order**, so every monoid fold sees its
-//! contributions in exactly the serial order (segmented associatively):
-//! the parallel kernels are bit-identical to their serial counterparts
-//! for any associative monoid with a strict identity, which every monoid
-//! in [`crate::types`] is.
+//! executes inline). [`mxv_dense_par`] splits *output rows*; the other
+//! chunked kernels split the input into contiguous chunks whose partial
+//! results combine **in chunk order**, so every monoid fold sees its
+//! contributions in exactly the serial order (segmented associatively).
+//! [`mxv_sparse_par`] uses a merge-free owner-partitioned accumulator (see
+//! its docs): each worker owns a disjoint slice of the output index space
+//! and folds only its own rows, again in serial contribution order. All
+//! parallel kernels are bit-identical to their serial counterparts for any
+//! associative monoid with a strict identity, which every monoid in
+//! [`crate::types`] is.
 
 use super::csc::{CsrMirror, Pattern};
 use super::vector::SparseVec;
 use crate::types::{Mask, Monoid};
 use crate::Vid;
+use lacc_graph::Idx;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
 /// The shared kernel pool for `threads` workers (`<= 1` ⇒ inline).
@@ -69,10 +74,11 @@ pub(crate) fn kernel_pool(threads: usize) -> ThreadPool {
 /// let y = mxv_dense(&a, &[5usize, 0, 9], Mask::None, MinUsize);
 /// assert_eq!(y.to_dense(usize::MAX), vec![0, 5, 0]);
 /// ```
-pub fn mxv_dense<T, M>(a: &Pattern, x: &[T], mask: Mask<'_>, monoid: M) -> SparseVec<T>
+pub fn mxv_dense<T, M, I>(a: &Pattern<I>, x: &[T], mask: Mask<'_>, monoid: M) -> SparseVec<T, I>
 where
     T: Copy,
     M: Monoid<T>,
+    I: Idx,
 {
     let n = a.nrows();
     assert_eq!(x.len(), a.ncols(), "vector length mismatch");
@@ -80,52 +86,59 @@ where
     let mut touched = vec![false; n];
     for (j, &xv) in x.iter().enumerate() {
         for &i in a.col(j) {
-            acc[i] = monoid.combine(acc[i], xv);
-            touched[i] = true;
+            acc[i.idx()] = monoid.combine(acc[i.idx()], xv);
+            touched[i.idx()] = true;
         }
     }
     let entries = (0..n)
         .filter(|&i| touched[i] && mask.allows(i))
-        .map(|i| (i, acc[i]))
+        .map(|i| (I::from_usize(i), acc[i]))
         .collect();
     SparseVec::from_entries(n, entries)
 }
 
 /// `y = A ⊕.2nd x` with a sparse input vector (SpMSpV).
-pub fn mxv_sparse<T, M>(a: &Pattern, x: &SparseVec<T>, mask: Mask<'_>, monoid: M) -> SparseVec<T>
+pub fn mxv_sparse<T, M, I>(
+    a: &Pattern<I>,
+    x: &SparseVec<T, I>,
+    mask: Mask<'_>,
+    monoid: M,
+) -> SparseVec<T, I>
 where
     T: Copy,
     M: Monoid<T>,
+    I: Idx,
 {
     let n = a.nrows();
     assert_eq!(x.len(), a.ncols(), "vector length mismatch");
     let mut acc = vec![monoid.identity(); n];
-    let mut touched: Vec<Vid> = Vec::new();
+    let mut touched: Vec<I> = Vec::new();
     let mut is_touched = vec![false; n];
     for &(j, xv) in x.entries() {
-        for &i in a.col(j) {
-            if !mask.allows(i) {
+        for &i in a.col(j.idx()) {
+            if !mask.allows(i.idx()) {
                 continue;
             }
-            if !is_touched[i] {
-                is_touched[i] = true;
+            if !is_touched[i.idx()] {
+                is_touched[i.idx()] = true;
                 touched.push(i);
             }
-            acc[i] = monoid.combine(acc[i], xv);
+            acc[i.idx()] = monoid.combine(acc[i.idx()], xv);
         }
     }
     touched.sort_unstable();
-    let entries = touched.into_iter().map(|i| (i, acc[i])).collect();
+    let entries = touched.into_iter().map(|i| (i, acc[i.idx()])).collect();
     SparseVec::from_entries(n, entries)
 }
 
 /// Element-wise multiply on the intersection of two sparse supports.
-pub fn ewise_mult<T, U, W, F>(u: &SparseVec<T>, v: &SparseVec<U>, f: F) -> SparseVec<W>
+pub fn ewise_mult<T, U, W, F, I>(u: &SparseVec<T, I>, v: &SparseVec<U, I>, f: F) -> SparseVec<W, I>
 where
     T: Copy,
     U: Copy,
     W: Copy,
     F: Fn(T, U) -> W,
+    I: Idx,
 {
     assert_eq!(u.len(), v.len(), "vector length mismatch");
     let (ue, ve) = (u.entries(), v.entries());
@@ -147,18 +160,19 @@ where
 
 /// Element-wise multiply of a sparse vector with a dense one: the result
 /// has the sparse operand's support.
-pub fn ewise_mult_dense<T, U, W, F>(u: &SparseVec<T>, dense: &[U], f: F) -> SparseVec<W>
+pub fn ewise_mult_dense<T, U, W, F, I>(u: &SparseVec<T, I>, dense: &[U], f: F) -> SparseVec<W, I>
 where
     T: Copy,
     U: Copy,
     W: Copy,
     F: Fn(T, U) -> W,
+    I: Idx,
 {
     assert_eq!(u.len(), dense.len(), "vector length mismatch");
     let entries = u
         .entries()
         .iter()
-        .map(|&(i, t)| (i, f(t, dense[i])))
+        .map(|&(i, t)| (i, f(t, dense[i.idx()])))
         .collect();
     SparseVec::from_entries(u.len(), entries)
 }
@@ -199,10 +213,11 @@ where
 }
 
 /// Reduces all stored entries of `u` through the monoid.
-pub fn reduce<T, M>(u: &SparseVec<T>, monoid: M) -> T
+pub fn reduce<T, M, I>(u: &SparseVec<T, I>, monoid: M) -> T
 where
     T: Copy,
     M: Monoid<T>,
+    I: Idx,
 {
     u.entries()
         .iter()
@@ -210,27 +225,29 @@ where
 }
 
 /// Maps a function over stored values (`GrB_apply`).
-pub fn apply<T, W, F>(u: &SparseVec<T>, f: F) -> SparseVec<W>
+pub fn apply<T, W, F, I>(u: &SparseVec<T, I>, f: F) -> SparseVec<W, I>
 where
     T: Copy,
     W: Copy,
     F: Fn(T) -> W,
+    I: Idx,
 {
     let entries = u.entries().iter().map(|&(i, v)| (i, f(v))).collect();
     SparseVec::from_entries(u.len(), entries)
 }
 
 /// Keeps entries satisfying the predicate (`GrB_select`).
-pub fn select<T, F>(u: &SparseVec<T>, pred: F) -> SparseVec<T>
+pub fn select<T, F, I>(u: &SparseVec<T, I>, pred: F) -> SparseVec<T, I>
 where
     T: Copy,
     F: Fn(Vid, T) -> bool,
+    I: Idx,
 {
     let entries = u
         .entries()
         .iter()
         .copied()
-        .filter(|&(i, v)| pred(i, v))
+        .filter(|&(i, v)| pred(i.idx(), v))
         .collect();
     SparseVec::from_entries(u.len(), entries)
 }
@@ -243,23 +260,24 @@ where
 /// exactly the order the serial column sweep combines them in. The result
 /// is therefore bit-identical to `mxv_dense(a, x, mask, monoid)` where
 /// `rows == a.csr_mirror()`, for any associative monoid.
-pub fn mxv_dense_par<T, M>(
-    rows: &CsrMirror,
+pub fn mxv_dense_par<T, M, I>(
+    rows: &CsrMirror<I>,
     x: &[T],
     mask: Mask<'_>,
     monoid: M,
     threads: usize,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Copy + Send + Sync,
     M: Monoid<T>,
+    I: Idx,
 {
     let n = rows.nrows();
     assert_eq!(x.len(), rows.ncols(), "vector length mismatch");
     let pool = kernel_pool(threads);
     let chunk = n.div_ceil(pool.current_num_threads()).max(1);
     let nchunks = if n == 0 { 0 } else { n.div_ceil(chunk) };
-    let mut parts: Vec<Vec<(Vid, T)>> = vec![Vec::new(); nchunks];
+    let mut parts: Vec<Vec<(I, T)>> = vec![Vec::new(); nchunks];
     pool.scope(|s| {
         for (k, slot) in parts.iter_mut().enumerate() {
             let lo = k * chunk;
@@ -274,9 +292,9 @@ where
                     }
                     let mut acc = monoid.identity();
                     for &j in cols {
-                        acc = monoid.combine(acc, x[j]);
+                        acc = monoid.combine(acc, x[j.idx()]);
                     }
-                    out.push((i, acc));
+                    out.push((I::from_usize(i), acc));
                 }
                 *slot = out;
             });
@@ -290,89 +308,111 @@ where
     SparseVec::from_entries(n, entries)
 }
 
-/// Parallel SpMSpV: [`mxv_sparse`] with the input entries split into
-/// contiguous chunks, one accumulator per worker, partials merged in chunk
-/// order.
+/// Parallel SpMSpV with a merge-free **owner-partitioned accumulator**.
 ///
-/// Chunk order is input-entry order, so for each output row the monoid
-/// folds the same contributions in the same order as the serial kernel,
-/// just re-associated — bit-identical for any associative monoid whose
-/// identity is strict (`combine(identity, v) == v` bitwise), which every
-/// monoid in [`crate::types`] satisfies.
-pub fn mxv_sparse_par<T, M>(
-    a: &Pattern,
-    x: &SparseVec<T>,
+/// The old scheme chunked the input entries and gave every worker a
+/// full-height accumulator (`threads × n` identity writes), then folded
+/// the partials together serially — a merge pass that streamed all
+/// `threads` accumulators through one core and left the kernel
+/// bandwidth-bound below 1× speedup. Here the *output* index space is
+/// what gets partitioned:
+///
+/// 1. **Scan/bin** — workers scan contiguous input chunks and, for every
+///    matrix entry the mask admits, push `(row, value)` into the bin of
+///    the row's owner (owner = `row / ceil(n/threads)`).
+/// 2. **Fold** — each owner folds the bins targeting its disjoint
+///    accumulator slice. No other thread writes those rows, so there is
+///    no cross-thread merge and no second pass over `threads × n` words.
+/// 3. **Collect** — owners' sorted touched lists concatenate in owner
+///    order, which is ascending row order.
+///
+/// Bit-identity with [`mxv_sparse`]: scanners process contiguous input
+/// ranges and owners drain scanner bins in scanner order, so each row
+/// folds the same contributions in exactly the serial input order; the
+/// mask is applied at the same point (during the scan); the output is
+/// sorted the same way. Holds for any associative monoid.
+pub fn mxv_sparse_par<T, M, I>(
+    a: &Pattern<I>,
+    x: &SparseVec<T, I>,
     mask: Mask<'_>,
     monoid: M,
     threads: usize,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Copy + Send + Sync,
     M: Monoid<T>,
+    I: Idx,
 {
     let n = a.nrows();
     assert_eq!(x.len(), a.ncols(), "vector length mismatch");
     let xe = x.entries();
     let pool = kernel_pool(threads);
-    if pool.current_num_threads() <= 1 || xe.len() < 2 {
+    let nt = pool.current_num_threads();
+    if nt <= 1 || xe.len() < 2 || n == 0 {
         return mxv_sparse(a, x, mask, monoid);
     }
-    let chunk = xe.len().div_ceil(pool.current_num_threads()).max(1);
-    struct Part<T> {
-        acc: Vec<T>,
-        is_touched: Vec<bool>,
-        touched: Vec<Vid>,
-    }
-    let mut parts: Vec<Option<Part<T>>> = Vec::new();
-    parts.resize_with(xe.chunks(chunk).len(), || None);
+    let part = n.div_ceil(nt).max(1);
+    let nparts = n.div_ceil(part);
+    let chunk = xe.len().div_ceil(nt).max(1);
+
+    // Phase 1: scanners bin admitted contributions by owner.
+    let mut bins: Vec<Vec<Vec<(I, T)>>> = Vec::new();
+    bins.resize_with(xe.chunks(chunk).len(), || {
+        let mut owners = Vec::new();
+        owners.resize_with(nparts, Vec::new);
+        owners
+    });
     pool.scope(|s| {
-        for (slot, xs) in parts.iter_mut().zip(xe.chunks(chunk)) {
+        for (slot, xs) in bins.iter_mut().zip(xe.chunks(chunk)) {
             s.spawn(move || {
-                let mut part = Part {
-                    acc: vec![monoid.identity(); n],
-                    is_touched: vec![false; n],
-                    touched: Vec::new(),
-                };
                 for &(j, xv) in xs {
-                    for &i in a.col(j) {
-                        if !mask.allows(i) {
+                    for &i in a.col(j.idx()) {
+                        if !mask.allows(i.idx()) {
                             continue;
                         }
-                        if !part.is_touched[i] {
-                            part.is_touched[i] = true;
-                            part.touched.push(i);
-                        }
-                        part.acc[i] = monoid.combine(part.acc[i], xv);
+                        slot[i.idx() / part].push((i, xv));
                     }
                 }
-                *slot = Some(part);
             });
         }
     });
-    let parts: Vec<Part<T>> = parts.into_iter().map(|p| p.expect("part filled")).collect();
-    let mut is_touched = vec![false; n];
-    let mut touched: Vec<Vid> = Vec::new();
-    for part in &parts {
-        for &i in &part.touched {
-            if !is_touched[i] {
-                is_touched[i] = true;
-                touched.push(i);
-            }
-        }
-    }
-    touched.sort_unstable();
-    let entries = touched
-        .into_iter()
-        .map(|i| {
-            let mut acc = monoid.identity();
-            for part in &parts {
-                if part.is_touched[i] {
-                    acc = monoid.combine(acc, part.acc[i]);
+
+    // Phase 2: owners fold into disjoint accumulator slices — merge-free.
+    let mut acc: Vec<T> = vec![monoid.identity(); n];
+    let mut is_touched: Vec<bool> = vec![false; n];
+    let mut owner_touched: Vec<Vec<I>> = Vec::new();
+    owner_touched.resize_with(nparts, Vec::new);
+    let bins = &bins;
+    pool.scope(|s| {
+        for (k, ((acc_k, ist_k), touched_k)) in acc
+            .chunks_mut(part)
+            .zip(is_touched.chunks_mut(part))
+            .zip(owner_touched.iter_mut())
+            .enumerate()
+        {
+            s.spawn(move || {
+                let lo = k * part;
+                for scanner in bins {
+                    for &(i, xv) in &scanner[k] {
+                        let li = i.idx() - lo;
+                        if !ist_k[li] {
+                            ist_k[li] = true;
+                            touched_k.push(i);
+                        }
+                        acc_k[li] = monoid.combine(acc_k[li], xv);
+                    }
                 }
-            }
-            (i, acc)
-        })
-        .collect();
+                touched_k.sort_unstable();
+            });
+        }
+    });
+
+    // Phase 3: owner ranges ascend, so concatenation is globally sorted.
+    let total: usize = owner_touched.iter().map(Vec::len).sum();
+    let mut entries = Vec::with_capacity(total);
+    for touched_k in &owner_touched {
+        entries.extend(touched_k.iter().map(|&i| (i, acc[i.idx()])));
+    }
     SparseVec::from_entries(n, entries)
 }
 
@@ -440,11 +480,12 @@ pub fn extract_par<T: Copy + Send + Sync>(src: &[T], indices: &[Vid], threads: u
 }
 
 /// Parallel [`apply`]: stored entries mapped in contiguous chunks.
-pub fn apply_par<T, W, F>(u: &SparseVec<T>, f: F, threads: usize) -> SparseVec<W>
+pub fn apply_par<T, W, F, I>(u: &SparseVec<T, I>, f: F, threads: usize) -> SparseVec<W, I>
 where
     T: Copy + Sync,
     W: Copy + Send,
     F: Fn(T) -> W + Sync,
+    I: Idx,
 {
     let pool = kernel_pool(threads);
     let ue = u.entries();
@@ -452,7 +493,7 @@ where
         return apply(u, f);
     }
     let chunk = ue.len().div_ceil(pool.current_num_threads()).max(1);
-    let mut parts: Vec<Vec<(Vid, W)>> = vec![Vec::new(); ue.chunks(chunk).len()];
+    let mut parts: Vec<Vec<(I, W)>> = vec![Vec::new(); ue.chunks(chunk).len()];
     let f = &f;
     pool.scope(|s| {
         for (slot, es) in parts.iter_mut().zip(ue.chunks(chunk)) {
@@ -511,7 +552,8 @@ mod tests {
     #[test]
     fn mxv_isolated_vertex_gets_no_entry() {
         let el = lacc_graph::EdgeList::from_pairs(3, [(0, 1)]);
-        let a = Pattern::from_graph(&lacc_graph::CsrGraph::from_edges(el));
+        let g: lacc_graph::CsrGraph = lacc_graph::CsrGraph::from_edges(el);
+        let a = Pattern::from_graph(&g);
         let y = mxv_dense(&a, &[5usize, 6, 7], Mask::None, MinUsize);
         assert_eq!(y.get(2), None);
         assert_eq!(y.nvals(), 2);
@@ -519,15 +561,15 @@ mod tests {
 
     #[test]
     fn ewise_mult_intersection() {
-        let u = SparseVec::from_entries(6, vec![(0, 2usize), (2, 3), (5, 4)]);
-        let v = SparseVec::from_entries(6, vec![(2, 10usize), (4, 20), (5, 30)]);
+        let u: SparseVec<usize> = SparseVec::from_entries(6, vec![(0, 2), (2, 3), (5, 4)]);
+        let v: SparseVec<usize> = SparseVec::from_entries(6, vec![(2, 10), (4, 20), (5, 30)]);
         let w = ewise_mult(&u, &v, |a, b| a + b);
         assert_eq!(w.entries(), &[(2, 13), (5, 34)]);
     }
 
     #[test]
     fn ewise_mult_dense_keeps_sparse_support() {
-        let u = SparseVec::from_entries(4, vec![(1, 100usize), (3, 200)]);
+        let u: SparseVec<usize> = SparseVec::from_entries(4, vec![(1, 100), (3, 200)]);
         let d = vec![1usize, 2, 3, 4];
         // "second" operator: take the dense value (Algorithm 3's f_h).
         let w = ewise_mult_dense(&u, &d, |_, b| b);
@@ -559,7 +601,7 @@ mod tests {
 
     #[test]
     fn reduce_apply_select() {
-        let u = SparseVec::from_entries(10, vec![(1, 5usize), (4, 2), (9, 8)]);
+        let u: SparseVec<usize> = SparseVec::from_entries(10, vec![(1, 5), (4, 2), (9, 8)]);
         assert_eq!(reduce(&u, MinUsize), 2);
         assert_eq!(reduce(&u, AddUsize), 15);
         let doubled = apply(&u, |v| v * 2);
@@ -656,10 +698,33 @@ mod tests {
     }
 
     #[test]
+    fn owner_partitioned_sparse_par_identical_at_u32() {
+        // The merge-free accumulator must stay bit-identical to serial at
+        // the narrow index width too.
+        let g = path_graph(33).try_narrow::<u32>().unwrap();
+        let a = Pattern::from_graph(&g);
+        let n = a.nrows();
+        let xs: SparseVec<u32, u32> = SparseVec::from_entries(
+            n,
+            (0..n as u32)
+                .filter(|v| v % 2 == 0)
+                .map(|v| (v, (v * 7 + 3) % 11))
+                .collect(),
+        );
+        let flags: Vec<bool> = (0..n).map(|v| v % 3 != 0).collect();
+        for mask in [Mask::None, Mask::Keep(&flags), Mask::Complement(&flags)] {
+            let serial = mxv_sparse(&a, &xs, mask, MinUsize);
+            for t in [1, 2, 4] {
+                assert_eq!(serial, mxv_sparse_par(&a, &xs, mask, MinUsize, t), "t={t}");
+            }
+        }
+    }
+
+    #[test]
     fn parallel_kernels_handle_empty_inputs() {
-        let a = Pattern::from_graph(&lacc_graph::CsrGraph::from_edges(
-            lacc_graph::EdgeList::new(4),
-        ));
+        let g: lacc_graph::CsrGraph =
+            lacc_graph::CsrGraph::from_edges(lacc_graph::EdgeList::new(4));
+        let a = Pattern::from_graph(&g);
         let rows = a.csr_mirror();
         let x = vec![1usize; 4];
         assert_eq!(mxv_dense_par(&rows, &x, Mask::None, MinUsize, 4).nvals(), 0);

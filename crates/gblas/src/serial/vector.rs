@@ -4,18 +4,22 @@
 //! element stored). A [`SparseVec`] stores only present entries — the
 //! representation LACC's vectors collapse into after the first couple of
 //! iterations ("vectors start out dense and get sparse rapidly", §IV).
+//!
+//! The index word is generic over [`Idx`]: `SparseVec<T, u32>` stores
+//! 4-byte indices, halving entry traffic for graphs under 2^32 vertices.
 
 use crate::Vid;
+use lacc_graph::{ensure_fits, Idx};
 
 /// A sparse vector: sorted, duplicate-free `(index, value)` entries over a
 /// universe of size `n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SparseVec<T> {
+pub struct SparseVec<T, I: Idx = Vid> {
     n: usize,
-    entries: Vec<(Vid, T)>,
+    entries: Vec<(I, T)>,
 }
 
-impl<T: Copy> SparseVec<T> {
+impl<T: Copy, I: Idx> SparseVec<T, I> {
     /// An empty vector over `0..n`.
     pub fn empty(n: usize) -> Self {
         SparseVec {
@@ -26,9 +30,12 @@ impl<T: Copy> SparseVec<T> {
 
     /// Builds from entries, sorting them; panics on duplicates or
     /// out-of-range indices.
-    pub fn from_entries(n: usize, mut entries: Vec<(Vid, T)>) -> Self {
+    pub fn from_entries(n: usize, mut entries: Vec<(I, T)>) -> Self {
         entries.sort_unstable_by_key(|&(i, _)| i);
-        assert!(entries.iter().all(|&(i, _)| i < n), "index out of range");
+        assert!(
+            entries.iter().all(|&(i, _)| i.idx() < n),
+            "index out of range"
+        );
         assert!(
             entries.windows(2).all(|w| w[0].0 != w[1].0),
             "duplicate indices in sparse vector"
@@ -38,9 +45,17 @@ impl<T: Copy> SparseVec<T> {
 
     /// A fully dense vector as a `SparseVec` (all indices present).
     pub fn dense(values: &[T]) -> Self {
+        if let Err(e) = ensure_fits::<I>(values.len(), "dense sparse vector") {
+            panic!("{e}");
+        }
         SparseVec {
             n: values.len(),
-            entries: values.iter().copied().enumerate().collect(),
+            entries: values
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, v)| (I::from_usize(i), v))
+                .collect(),
         }
     }
 
@@ -60,19 +75,20 @@ impl<T: Copy> SparseVec<T> {
     }
 
     /// The stored entries, sorted by index (`GrB_Vector_extractTuples`).
-    pub fn entries(&self) -> &[(Vid, T)] {
+    pub fn entries(&self) -> &[(I, T)] {
         &self.entries
     }
 
     /// Consumes the vector, returning its entries.
-    pub fn into_entries(self) -> Vec<(Vid, T)> {
+    pub fn into_entries(self) -> Vec<(I, T)> {
         self.entries
     }
 
     /// Value at index `i`, if present (binary search).
-    pub fn get(&self, i: Vid) -> Option<T> {
+    pub fn get(&self, i: usize) -> Option<T> {
+        let key = I::try_from_usize(i)?;
         self.entries
-            .binary_search_by_key(&i, |&(j, _)| j)
+            .binary_search_by_key(&key, |&(j, _)| j)
             .ok()
             .map(|k| self.entries[k].1)
     }
@@ -90,7 +106,7 @@ impl<T: Copy> SparseVec<T> {
     pub fn to_dense(&self, fill: T) -> Vec<T> {
         let mut out = vec![fill; self.n];
         for &(i, v) in &self.entries {
-            out[i] = v;
+            out[i.idx()] = v;
         }
         out
     }
@@ -102,7 +118,7 @@ mod tests {
 
     #[test]
     fn from_entries_sorts() {
-        let v = SparseVec::from_entries(10, vec![(7, 'a'), (2, 'b')]);
+        let v: SparseVec<char> = SparseVec::from_entries(10, vec![(7, 'a'), (2, 'b')]);
         assert_eq!(v.entries(), &[(2, 'b'), (7, 'a')]);
         assert_eq!(v.nvals(), 2);
         assert_eq!(v.get(7), Some('a'));
@@ -112,18 +128,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate")]
     fn duplicates_rejected() {
-        SparseVec::from_entries(5, vec![(1, 0u8), (1, 1u8)]);
+        SparseVec::<u8>::from_entries(5, vec![(1, 0u8), (1, 1u8)]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn range_checked() {
-        SparseVec::from_entries(5, vec![(5, 0u8)]);
+        SparseVec::<u8>::from_entries(5, vec![(5, 0u8)]);
     }
 
     #[test]
     fn dense_roundtrip() {
-        let v = SparseVec::dense(&[10, 20, 30]);
+        let v: SparseVec<i32> = SparseVec::dense(&[10, 20, 30]);
         assert_eq!(v.nvals(), 3);
         assert!((v.density() - 1.0).abs() < 1e-12);
         assert_eq!(v.to_dense(0), vec![10, 20, 30]);
@@ -131,7 +147,7 @@ mod tests {
 
     #[test]
     fn to_dense_fills_gaps() {
-        let v = SparseVec::from_entries(4, vec![(1, 9)]);
+        let v: SparseVec<i32> = SparseVec::from_entries(4, vec![(1, 9)]);
         assert_eq!(v.to_dense(-1), vec![-1, 9, -1, -1]);
         assert!((v.density() - 0.25).abs() < 1e-12);
     }
@@ -141,5 +157,13 @@ mod tests {
         let v: SparseVec<u32> = SparseVec::empty(0);
         assert!(v.is_empty());
         assert_eq!(v.density(), 0.0);
+    }
+
+    #[test]
+    fn narrow_width_matches_default() {
+        let narrow: SparseVec<u32, u32> = SparseVec::from_entries(9, vec![(4, 40), (1, 10)]);
+        let wide: SparseVec<u32> = SparseVec::from_entries(9, vec![(4, 40), (1, 10)]);
+        assert_eq!(narrow.to_dense(0), wide.to_dense(0));
+        assert_eq!(narrow.get(4), Some(40));
     }
 }

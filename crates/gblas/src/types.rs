@@ -1,6 +1,8 @@
 //! Algebraic building blocks: monoids, the `(Select2nd, min)` semiring
 //! convention, and output masks.
 
+use lacc_graph::Idx;
+
 /// A commutative, associative combine with identity — the "add" of a
 /// GraphBLAS semiring.
 pub trait Monoid<T: Copy>: Copy + Send + Sync + 'static {
@@ -10,30 +12,32 @@ pub trait Monoid<T: Copy>: Copy + Send + Sync + 'static {
     fn combine(&self, a: T, b: T) -> T;
 }
 
-/// `min` over `usize` — the accumulator of the paper's `(Select2nd, min)`
-/// semiring: among all neighbors' parent ids, keep the smallest.
+/// `min` over any index word — the accumulator of the paper's
+/// `(Select2nd, min)` semiring: among all neighbors' parent ids, keep the
+/// smallest. The identity is `I::max_value()`, which [`lacc_graph::ensure_fits`]
+/// guarantees never collides with a real vertex id.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MinUsize;
 
-impl Monoid<usize> for MinUsize {
-    fn identity(&self) -> usize {
-        usize::MAX
+impl<I: Idx> Monoid<I> for MinUsize {
+    fn identity(&self) -> I {
+        I::max_value()
     }
-    fn combine(&self, a: usize, b: usize) -> usize {
+    fn combine(&self, a: I, b: I) -> I {
         a.min(b)
     }
 }
 
-/// `max` over `usize` (used in tests and the tie-break ablation — the
-/// paper notes any semiring "add" works for unconditional hooking).
+/// `max` over any index word (used in tests and the tie-break ablation —
+/// the paper notes any semiring "add" works for unconditional hooking).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MaxUsize;
 
-impl Monoid<usize> for MaxUsize {
-    fn identity(&self) -> usize {
-        0
+impl<I: Idx> Monoid<I> for MaxUsize {
+    fn identity(&self) -> I {
+        I::zero()
     }
-    fn combine(&self, a: usize, b: usize) -> usize {
+    fn combine(&self, a: I, b: I) -> I {
         a.max(b)
     }
 }
@@ -64,7 +68,7 @@ impl Monoid<f64> for AddF64 {
     }
 }
 
-/// Simultaneous `(min, max)` over `usize` pairs.
+/// Simultaneous `(min, max)` over index-word pairs.
 ///
 /// Used by LACC's convergence detector: one `mxv` on this monoid yields,
 /// per vertex, both the smallest and the largest parent id among its
@@ -74,11 +78,11 @@ impl Monoid<f64> for AddF64 {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MinMaxUsize;
 
-impl Monoid<(usize, usize)> for MinMaxUsize {
-    fn identity(&self) -> (usize, usize) {
-        (usize::MAX, 0)
+impl<I: Idx> Monoid<(I, I)> for MinMaxUsize {
+    fn identity(&self) -> (I, I) {
+        (I::max_value(), I::zero())
     }
-    fn combine(&self, a: (usize, usize), b: (usize, usize)) -> (usize, usize) {
+    fn combine(&self, a: (I, I), b: (I, I)) -> (I, I) {
         (a.0.min(b.0), a.1.max(b.1))
     }
 }
@@ -144,16 +148,32 @@ mod tests {
     #[test]
     fn min_monoid_laws() {
         let m = MinUsize;
-        assert_eq!(m.combine(m.identity(), 5), 5);
-        assert_eq!(m.combine(3, 7), 3);
-        assert_eq!(m.combine(m.combine(9, 2), 5), m.combine(9, m.combine(2, 5)));
+        assert_eq!(m.combine(m.identity(), 5usize), 5);
+        assert_eq!(m.combine(3usize, 7), 3);
+        assert_eq!(
+            m.combine(m.combine(9usize, 2), 5),
+            m.combine(9, m.combine(2, 5))
+        );
+    }
+
+    #[test]
+    fn monoids_generic_over_index_width() {
+        // The blanket impls give the same algebra at every width.
+        assert_eq!(MinUsize.combine(MinUsize.identity(), 5u32), 5);
+        assert_eq!(<MinUsize as Monoid<u32>>::identity(&MinUsize), u32::MAX);
+        assert_eq!(<MinUsize as Monoid<u64>>::identity(&MinUsize), u64::MAX);
+        assert_eq!(MaxUsize.combine(MaxUsize.identity(), 9u32), 9);
+        assert_eq!(
+            MinMaxUsize.combine(MinMaxUsize.identity(), (3u32, 7u32)),
+            (3, 7)
+        );
     }
 
     #[test]
     fn add_monoids() {
         assert_eq!(AddUsize.combine(AddUsize.identity(), 4), 4);
         assert_eq!(AddF64.combine(1.5, 2.5), 4.0);
-        assert_eq!(MaxUsize.combine(MaxUsize.identity(), 0), 0);
+        assert_eq!(MaxUsize.combine(MaxUsize.identity(), 0usize), 0);
     }
 
     #[test]

@@ -6,30 +6,66 @@
 //! canonicalizes (self loops removed, both directions present, no
 //! duplicates), matching the paper's storage of symmetric adjacency
 //! matrices (Table III counts directed edges for the same reason).
+//!
+//! The target array is generic over the index word width [`Idx`]: the
+//! default `CsrGraph` stores `usize` targets (the legacy [`Vid`] layout),
+//! while `CsrGraph<u32>` halves adjacency memory traffic for graphs under
+//! 2^32 vertices. Narrowing conversions are checked — see
+//! [`CsrGraph::try_from_edges`] and [`CsrGraph::try_narrow`].
 
+use crate::idx::{ensure_fits, Idx, IdxOverflow};
 use crate::{EdgeList, Vid};
 
-/// A symmetric graph in CSR form.
+/// A symmetric graph in CSR form with `I`-width target indices.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CsrGraph {
+pub struct CsrGraph<I: Idx = Vid> {
     n: usize,
     offsets: Vec<usize>,
-    targets: Vec<Vid>,
+    targets: Vec<I>,
 }
 
-impl CsrGraph {
+impl<I: Idx> CsrGraph<I> {
     /// Builds a CSR graph from an edge list, canonicalizing it first.
-    pub fn from_edges(mut el: EdgeList) -> Self {
+    ///
+    /// Panics if the vertex count exceeds the index width `I`; use
+    /// [`try_from_edges`](Self::try_from_edges) for a recoverable error.
+    pub fn from_edges(el: EdgeList) -> Self {
+        match Self::try_from_edges(el) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a CSR graph from an edge list, canonicalizing it first, with
+    /// a checked index-width conversion.
+    pub fn try_from_edges(mut el: EdgeList) -> Result<Self, IdxOverflow> {
+        // Check the universe *before* canonicalization allocates scratch
+        // proportional to the edge count.
+        ensure_fits::<I>(el.num_vertices(), "CSR graph")?;
         el.canonicalize();
-        Self::from_canonical_edges(&el)
+        Ok(Self::from_canonical_edges(&el))
     }
 
     /// Builds a CSR graph from an edge list already in canonical form
     /// (symmetric, deduplicated, loop-free). This is cheaper than
     /// [`from_edges`](Self::from_edges) but panics in debug builds if the
-    /// input is not canonical.
+    /// input is not canonical. Panics if the vertex count exceeds `I`; use
+    /// [`try_from_canonical_edges`](Self::try_from_canonical_edges) to
+    /// recover.
     pub fn from_canonical_edges(el: &EdgeList) -> Self {
+        match Self::try_from_canonical_edges(el) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of
+    /// [`from_canonical_edges`](Self::from_canonical_edges): returns a
+    /// descriptive [`IdxOverflow`] — before allocating anything sized by
+    /// the vertex count — when the graph does not fit `I`.
+    pub fn try_from_canonical_edges(el: &EdgeList) -> Result<Self, IdxOverflow> {
         let n = el.num_vertices();
+        ensure_fits::<I>(n, "CSR graph")?;
         let mut offsets = vec![0usize; n + 1];
         for &(u, _) in el.edges() {
             offsets[u + 1] += 1;
@@ -37,11 +73,11 @@ impl CsrGraph {
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let mut targets = vec![0 as Vid; el.len()];
+        let mut targets = vec![I::zero(); el.len()];
         let mut cursor = offsets.clone();
         for &(u, v) in el.edges() {
             debug_assert_ne!(u, v, "self loop in canonical edge list");
-            targets[cursor[u]] = v;
+            targets[cursor[u]] = I::from_usize(v);
             cursor[u] += 1;
         }
         // Sort each adjacency row for deterministic traversal and binary
@@ -55,7 +91,23 @@ impl CsrGraph {
             targets,
         };
         debug_assert!(g.is_symmetric(), "edge list was not symmetric");
-        g
+        Ok(g)
+    }
+
+    /// Re-stores the same graph at index width `J`, checking that the
+    /// vertex count fits. The structure is copied verbatim (no
+    /// re-canonicalization), so the result is structurally identical.
+    pub fn try_narrow<J: Idx>(&self) -> Result<CsrGraph<J>, IdxOverflow> {
+        ensure_fits::<J>(self.n, "CSR graph")?;
+        Ok(CsrGraph {
+            n: self.n,
+            offsets: self.offsets.clone(),
+            targets: self
+                .targets
+                .iter()
+                .map(|&t| J::from_usize(t.idx()))
+                .collect(),
+        })
     }
 
     /// Number of vertices.
@@ -74,7 +126,7 @@ impl CsrGraph {
     }
 
     /// Neighbors of `v`, sorted ascending.
-    pub fn neighbors(&self, v: Vid) -> &[Vid] {
+    pub fn neighbors(&self, v: Vid) -> &[I] {
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
     }
 
@@ -98,18 +150,18 @@ impl CsrGraph {
     }
 
     /// The CSR targets array (length = number of directed edges).
-    pub fn targets(&self) -> &[Vid] {
+    pub fn targets(&self) -> &[I] {
         &self.targets
     }
 
     /// True if `{u, v}` is an edge (binary search).
     pub fn has_edge(&self, u: Vid, v: Vid) -> bool {
-        self.neighbors(u).binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&I::from_usize(v)).is_ok()
     }
 
-    /// Iterates over all directed edges `(u, v)`.
+    /// Iterates over all directed edges `(u, v)` as widened [`Vid`] pairs.
     pub fn edges(&self) -> impl Iterator<Item = (Vid, Vid)> + '_ {
-        (0..self.n).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.n).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v.idx())))
     }
 
     /// Converts back to an edge list (directed entries).
@@ -147,10 +199,10 @@ impl CsrGraph {
                 }
             }
             for &t in row {
-                if t >= self.n {
+                if t.idx() >= self.n {
                     return Err(format!("target {t} out of range in row {v}"));
                 }
-                if t == v {
+                if t.idx() == v {
                     return Err(format!("self loop at {v}"));
                 }
             }
@@ -183,7 +235,7 @@ mod tests {
     fn from_edges_canonicalizes() {
         // Duplicates, loops, one direction only.
         let el = EdgeList::from_pairs(4, [(0, 1), (0, 1), (2, 2), (3, 1)]);
-        let g = CsrGraph::from_edges(el);
+        let g = CsrGraph::<Vid>::from_edges(el);
         assert_eq!(g.num_undirected_edges(), 2);
         assert!(g.has_edge(1, 0));
         assert!(g.has_edge(1, 3));
@@ -193,13 +245,13 @@ mod tests {
 
     #[test]
     fn empty_and_isolated() {
-        let g = CsrGraph::from_edges(EdgeList::new(5));
+        let g = CsrGraph::<Vid>::from_edges(EdgeList::new(5));
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.num_directed_edges(), 0);
         assert_eq!(g.neighbors(3), &[] as &[Vid]);
         assert!(g.validate().is_ok());
 
-        let g0 = CsrGraph::from_edges(EdgeList::new(0));
+        let g0 = CsrGraph::<Vid>::from_edges(EdgeList::new(0));
         assert_eq!(g0.num_vertices(), 0);
         assert_eq!(g0.average_degree(), 0.0);
     }
@@ -225,5 +277,46 @@ mod tests {
     fn average_degree() {
         let g = triangle();
         assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_width_matches_default() {
+        let el = EdgeList::from_pairs(6, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]);
+        let wide = CsrGraph::<Vid>::from_edges(el.clone());
+        let narrow = CsrGraph::<u32>::from_edges(el);
+        assert_eq!(wide.num_directed_edges(), narrow.num_directed_edges());
+        assert_eq!(narrow.neighbors(4), &[3u32, 5u32]);
+        assert!(narrow.validate().is_ok());
+        // Structural identity after widening back.
+        let widened: Vec<_> = narrow.edges().collect();
+        let original: Vec<_> = wide.edges().collect();
+        assert_eq!(widened, original);
+        // And try_narrow roundtrips.
+        let renarrowed = wide.try_narrow::<u32>().unwrap();
+        assert_eq!(renarrowed, narrow);
+    }
+
+    #[test]
+    fn overflow_is_a_descriptive_error_not_truncation() {
+        // EdgeList::new is cheap (no per-vertex allocation), so we can ask
+        // for a universe beyond u32 without exhausting memory. The checked
+        // constructor must refuse *before* allocating offsets.
+        let huge = EdgeList::new(u32::MAX as usize + 10);
+        let err = CsrGraph::<u32>::try_from_edges(huge).unwrap_err();
+        assert_eq!(err.width(), "u32");
+        assert_eq!(err.required(), u32::MAX as usize + 10);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("u32") && msg.contains("--index-width u64"),
+            "{msg}"
+        );
+
+        let huge = EdgeList::new(u32::MAX as usize + 10);
+        assert!(CsrGraph::<u32>::try_from_canonical_edges(&huge).is_err());
+
+        // Narrowing an in-range graph succeeds; the guard is about counts,
+        // not edge density.
+        let small = CsrGraph::<Vid>::from_edges(EdgeList::from_pairs(3, [(0, 1)]));
+        assert!(small.try_narrow::<u32>().is_ok());
     }
 }

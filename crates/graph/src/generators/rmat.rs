@@ -55,7 +55,16 @@ impl RmatParams {
 /// 2^scale` sampled undirected edges (before dedup).
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
     params.validate();
-    let n: usize = 1usize << scale;
+    // Fail before sampling anything: 2^scale must fit the vertex index.
+    // (Narrower targets get the same guard from `CsrGraph::try_narrow` /
+    // `try_from_edges`, which this feeds into.)
+    let n: usize = 1usize.checked_shl(scale).unwrap_or_else(|| {
+        panic!(
+            "rmat scale {scale} overflows the {}-bit vertex index \
+             (2^{scale} vertices)",
+            usize::BITS
+        )
+    });
     let m = edge_factor * n;
     let mut rng = super::rng(seed);
     let mut el = EdgeList::new(n);
@@ -126,6 +135,14 @@ mod tests {
             (max_deg as f64) > 8.0 * avg,
             "expected skew, max {max_deg} avg {avg}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the")]
+    fn oversized_scale_is_a_descriptive_error() {
+        // 2^64 vertices cannot be indexed: the guard fires before any
+        // edge is sampled (and before any allocation).
+        rmat(64, 1, RmatParams::graph500(), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod csr;
 pub mod edgelist;
 pub mod generators;
+pub mod idx;
 pub mod io;
 pub mod permute;
 pub mod stats;
@@ -29,6 +30,7 @@ pub mod unionfind;
 
 pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
+pub use idx::{ensure_fits, Idx, IdxOverflow};
 pub use unionfind::DisjointSets;
 
 /// Vertex identifier used across the workspace.

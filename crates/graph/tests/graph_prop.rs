@@ -19,7 +19,7 @@ proptest! {
 
     #[test]
     fn csr_from_arbitrary_edges_validates(el in arb_edgelist()) {
-        let g = CsrGraph::from_edges(el);
+        let g: CsrGraph = CsrGraph::from_edges(el);
         prop_assert!(g.validate().is_ok());
         prop_assert!(g.is_symmetric());
         // Degree sum equals stored directed edges.
@@ -29,7 +29,7 @@ proptest! {
 
     #[test]
     fn matrix_market_roundtrip(el in arb_edgelist()) {
-        let g = CsrGraph::from_edges(el);
+        let g: CsrGraph = CsrGraph::from_edges(el);
         let mut buf = Vec::new();
         io::write_matrix_market(&mut buf, &g.to_edgelist()).unwrap();
         let g2 = CsrGraph::from_edges(io::read_matrix_market(&buf[..]).unwrap());
@@ -71,7 +71,7 @@ proptest! {
 
     #[test]
     fn union_find_set_count_matches_incremental(el in arb_edgelist()) {
-        let g = CsrGraph::from_edges(el);
+        let g: CsrGraph = CsrGraph::from_edges(el);
         let mut ds = DisjointSets::new(g.num_vertices());
         let mut merges = 0;
         for (u, v) in g.edges() {

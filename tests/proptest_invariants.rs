@@ -88,6 +88,56 @@ proptest! {
     }
 
     #[test]
+    fn index_widths_agree_distributed(
+        g in arb_graph(80, 200),
+        cyclic in prop_oneof![Just(false), Just(true)],
+        naive in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The index width is a storage/wire layout knob: for any comm
+        // stack (optimized or naive) and either vector distribution
+        // (blocked or cyclic), the u32 run must match the u64 run in
+        // labels and iteration count.
+        use lacc_suite::gblas::dist::DistOpts;
+        use lacc_suite::lacc::IndexWidth;
+        let base = LaccOpts {
+            permute: false,
+            cyclic_vectors: cyclic,
+            dist: if naive { DistOpts::naive() } else { DistOpts::default() },
+            ..LaccOpts::default()
+        };
+        let model = lacc_suite::dmsim::EDISON.lacc_model();
+        let narrow = lacc::run_distributed(
+            &g, 4, model, &LaccOpts { index_width: IndexWidth::U32, ..base }).unwrap();
+        let wide = lacc::run_distributed(
+            &g, 4, model, &LaccOpts { index_width: IndexWidth::U64, ..base }).unwrap();
+        prop_assert_eq!(&narrow.labels, &wide.labels);
+        prop_assert_eq!(narrow.num_iterations(), wide.num_iterations());
+    }
+
+    #[test]
+    fn owner_partitioned_spmspv_matches_serial(
+        g in arb_graph(150, 400),
+        step in 1usize..8,
+        threads in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        // The merge-free owner-partitioned accumulator must be
+        // bit-identical to the serial SpMSpV kernel for every thread
+        // count and input density.
+        use lacc_suite::gblas::serial::{self as k, Pattern, SparseVec};
+        use lacc_suite::gblas::{Mask, MinUsize};
+        let n = g.num_vertices();
+        let a = Pattern::from_graph(&g);
+        let entries: Vec<(usize, usize)> = (0..n)
+            .step_by(step)
+            .map(|v| (v, v.wrapping_mul(2654435761) % n))
+            .collect();
+        let xs = SparseVec::from_entries(n, entries);
+        let serial = k::mxv_sparse(&a, &xs, Mask::None, MinUsize);
+        let par = k::mxv_sparse_par(&a, &xs, Mask::None, MinUsize, threads);
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
     fn baselines_match_union_find(g in arb_graph(100, 250)) {
         let truth = b::union_find_cc(&g);
         prop_assert_eq!(b::bfs_cc(&g), truth.clone());
