@@ -12,7 +12,9 @@
 //! * [`labelprop`] — parallel min-label propagation (the technique inside
 //!   Slota et al.'s Multistep method).
 //! * [`fastsv`] — serial FastSV (Zhang, Azad & Hu), the LAGraph successor
-//!   algorithm; used by the extension ablation.
+//!   algorithm; the correctness oracle for the first-class distributed
+//!   FastSV engine in `lacc::engine` (which replaced the old
+//!   `fastsv_dist` baseline here).
 //! * [`parconnect`] — the distributed baseline of Figures 4–6: a
 //!   BFS + Shiloach–Vishkin hybrid over [`dmsim`] in ParConnect's flat-MPI
 //!   configuration, with dense vectors (no Lemma-1 sparsity) and the
@@ -23,7 +25,6 @@
 
 pub mod bfs;
 pub mod fastsv;
-pub mod fastsv_dist;
 pub mod labelprop;
 pub mod multistep;
 pub mod parconnect;
@@ -32,7 +33,6 @@ pub mod unionfind;
 
 pub use bfs::bfs_cc;
 pub use fastsv::fastsv_cc;
-pub use fastsv_dist::fastsv_dist;
 pub use labelprop::label_propagation_cc;
 pub use multistep::multistep_cc;
 pub use parconnect::parconnect_sim;

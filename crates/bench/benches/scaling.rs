@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmsim::EDISON;
-use lacc::{run_distributed, LaccOpts};
+use lacc::RunConfig;
 use lacc_graph::generators::community_graph;
 use std::hint::black_box;
 
@@ -15,7 +15,8 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for p in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| run_distributed(black_box(&g), p, EDISON.lacc_model(), &LaccOpts::default()))
+            let cfg = RunConfig::new(p, EDISON.lacc_model());
+            b.iter(|| lacc::run(black_box(&g), &cfg))
         });
     }
     group.finish();

@@ -42,7 +42,7 @@
 
 use dmsim::{TraceLevel, TraceSink};
 use gblas::dist::DistOpts;
-use lacc::{run_distributed_traced, IndexWidth, LaccOpts};
+use lacc::{IndexWidth, LaccOpts};
 use lacc_graph::generators::{rmat, RmatParams};
 use std::io::Write;
 
@@ -168,8 +168,12 @@ fn main() {
             ..LaccOpts::default()
         };
         let sink = TraceSink::new(TraceLevel::Collectives);
-        let run = run_distributed_traced(&g, ranks, model, &opts, Some(&sink))
-            .expect("distributed LACC rank panicked");
+        let cfg = lacc::RunConfig::new(ranks, model)
+            .with_opts(opts)
+            .with_trace(&sink);
+        let run = lacc::run(&g, &cfg)
+            .expect("distributed LACC rank panicked")
+            .run;
         match &labels {
             None => labels = Some(run.labels.clone()),
             Some(reference) => assert_eq!(

@@ -248,14 +248,8 @@ fn main() {
     if let Some(trace) = lacc_bench::trace_config() {
         let scale = scales().iter().copied().min().unwrap_or(12).min(12);
         let g = rmat(scale, 16, RmatParams::graph500(), 7);
-        lacc::run_distributed_traced(
-            &g,
-            4,
-            lacc_bench::default_model(),
-            &lacc::LaccOpts::default(),
-            Some(trace.sink()),
-        )
-        .expect("distributed LACC rank panicked");
+        let cfg = lacc::RunConfig::new(4, lacc_bench::default_model()).with_trace(trace.sink());
+        lacc::run(&g, &cfg).expect("distributed LACC rank panicked");
         trace.finish();
     }
 }

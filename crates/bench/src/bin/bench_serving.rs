@@ -18,7 +18,7 @@
 //! * `answers_consistent` — final epoch checked component-equivalent to
 //!   the brute-force oracle over the surviving edge multiset, *and* the
 //!   canonical labels checked bit-identical to a from-scratch
-//!   `run_distributed` on the same edges under the optimized stack.
+//!   `lacc::run` on the same edges under the optimized stack.
 //!
 //! Environment overrides: `LACC_SERVE_SCALE` (RMAT scale, default 13),
 //! `LACC_SERVE_RANKS` (default 4), `LACC_SERVE_BATCHES` (default 24),
@@ -87,13 +87,9 @@ fn main() {
     // Bit-identical check: canonical labels of the served epoch vs a
     // from-scratch optimized run over the same surviving edge multiset.
     let el = lacc_graph::EdgeList::from_pairs(svc.num_vertices(), svc.edges().iter().copied());
-    let fresh = lacc::run_distributed(
-        &lacc_graph::CsrGraph::from_edges(el),
-        ranks,
-        opts.model,
-        &opts.lacc,
-    )
-    .expect("from-scratch rerun");
+    let run_cfg = lacc::RunConfig::new(ranks, opts.model).with_opts(opts.lacc);
+    let fresh =
+        lacc::run(&lacc_graph::CsrGraph::from_edges(el), &run_cfg).expect("from-scratch rerun");
     let labels_bit_identical =
         canonicalize_labels(&svc.snapshot().labels()) == canonicalize_labels(&fresh.labels);
     let consistent = rep.answers_consistent && labels_bit_identical;

@@ -13,7 +13,7 @@
 
 use dmsim::{AllToAll, EDISON};
 use gblas::dist::DistOpts;
-use lacc::{run_distributed_traced, LaccOpts};
+use lacc::LaccOpts;
 use lacc_bench::*;
 use lacc_graph::generators::suite::by_name;
 
@@ -41,9 +41,12 @@ fn main() {
         if let Some(t) = &trace {
             t.clear();
         }
-        let run =
-            run_distributed_traced(&g, p, model, &opts, trace.as_ref().map(TraceConfig::sink))
-                .expect("distributed LACC rank panicked");
+        let cfg = lacc::RunConfig::new(p, model)
+            .with_opts(opts)
+            .with_trace_opt(trace.as_ref().map(TraceConfig::sink));
+        let run = lacc::run(&g, &cfg)
+            .expect("distributed LACC rank panicked")
+            .run;
         rows.push(vec![
             label.to_string(),
             fmt_s(run.modeled_total_s),
@@ -164,16 +167,12 @@ fn main() {
     // Fully naive stack for reference.
     run_cfg("naive comm (pairwise, no bcast)", LaccOpts::naive_comm());
 
-    // Extension: distributed FastSV (the LAGraph successor) on the same
-    // substrate and machine model.
-    let fsv = lacc_baselines::fastsv_dist(&g, p, model, &DistOpts::default())
-        .expect("FastSV rank panicked");
-    rows.push(vec![
-        "FastSV (distributed, extension)".to_string(),
-        fmt_s(fsv.modeled_total_s),
-        format!("{}", fsv.rounds),
-        fmt_s(fsv.wall_s),
-    ]);
+    // Extension: the first-class distributed FastSV engine (the LAGraph
+    // successor) on the same substrate and machine model.
+    let fsv_opts = LaccOpts::builder()
+        .engine(lacc::EngineSelect::Fastsv)
+        .build();
+    run_cfg("FastSV engine (extension)", fsv_opts);
 
     let header = ["configuration", "modeled s", "iterations", "sim wall s"];
     print_table(

@@ -8,7 +8,7 @@
 //! time — exposing the trade: balance improves, but `mxv` loses its
 //! grid-aligned gather and must collect vector pieces world-wide.
 
-use lacc::{run_distributed_traced, LaccOpts, LaccRun};
+use lacc::{LaccOpts, LaccRun};
 use lacc_bench::*;
 use lacc_graph::generators::suite::by_name;
 use lacc_graph::generators::{rmat, RmatParams};
@@ -86,14 +86,12 @@ fn main() {
             if let Some(t) = &trace {
                 t.clear();
             }
-            let run = run_distributed_traced(
-                g,
-                p,
-                default_model(),
-                &opts,
-                trace.as_ref().map(TraceConfig::sink),
-            )
-            .expect("distributed LACC rank panicked");
+            let cfg = lacc::RunConfig::new(p, default_model())
+                .with_opts(opts)
+                .with_trace_opt(trace.as_ref().map(TraceConfig::sink));
+            let run = lacc::run(g, &cfg)
+                .expect("distributed LACC rank panicked")
+                .run;
             rows.push(vec![
                 name.clone(),
                 layout.to_string(),

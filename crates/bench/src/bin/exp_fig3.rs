@@ -9,7 +9,7 @@
 //! counters of a p=16 run, with the hot-rank broadcast disabled so the raw
 //! skew is visible.
 
-use lacc::{run_distributed_traced, LaccOpts};
+use lacc::LaccOpts;
 use lacc_bench::*;
 use lacc_graph::generators::{rmat, RmatParams};
 
@@ -26,14 +26,12 @@ fn main() {
     // shows the problem its §V-B optimizations then fix).
     let opts = LaccOpts::naive_comm();
     let trace = trace_config();
-    let run = run_distributed_traced(
-        &g,
-        p,
-        default_model(),
-        &opts,
-        trace.as_ref().map(TraceConfig::sink),
-    )
-    .expect("distributed LACC rank panicked");
+    let cfg = lacc::RunConfig::new(p, default_model())
+        .with_opts(opts)
+        .with_trace_opt(trace.as_ref().map(TraceConfig::sink));
+    let run = lacc::run(&g, &cfg)
+        .expect("distributed LACC rank panicked")
+        .run;
     let niters = run.num_iterations();
     let early = 1.min(niters - 1);
     let late = niters.saturating_sub(2);

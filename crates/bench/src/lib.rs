@@ -147,8 +147,12 @@ pub fn lacc_scaling_traced(
             if let Some(s) = sink {
                 s.clear();
             }
-            let run = lacc::run_distributed_traced(g, ranks, model, opts, sink)
-                .expect("distributed LACC rank panicked");
+            let cfg = lacc::RunConfig::new(ranks, model)
+                .with_opts(*opts)
+                .with_trace_opt(sink);
+            let run = lacc::run(g, &cfg)
+                .expect("distributed LACC rank panicked")
+                .run;
             (
                 ScalePoint {
                     nodes,
@@ -200,8 +204,8 @@ pub struct TraceConfig {
 }
 
 impl TraceConfig {
-    /// The sink to pass to `run_distributed_traced` / `run_spmd_traced`
-    /// (as `Some(cfg.sink())`).
+    /// The sink to pass to `lacc::RunConfig::with_trace` /
+    /// `run_spmd_traced` (as `Some(cfg.sink())`).
     pub fn sink(&self) -> &Arc<TraceSink> {
         &self.sink
     }

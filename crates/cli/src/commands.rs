@@ -2,7 +2,7 @@
 
 use crate::args::{parse, Args};
 use dmsim::{TraceLevel, TraceSink};
-use lacc::{lacc_serial, run_distributed_traced, LaccOpts};
+use lacc::{lacc_serial, EngineSelect, LaccOpts, RunConfig};
 use lacc_baselines as baselines;
 use lacc_graph::generators::{self, suite};
 use lacc_graph::stats::graph_stats;
@@ -19,11 +19,13 @@ pub const USAGE: &str = "usage:
                 [--compress-ids true|false] [--bitmap-density F]
                 [--combine-in-flight true|false] [--fuse-starcheck true|false]
                 [--compress-values true|false] [--index-width u32|u64]
+                [--engine lacc|fastsv|labelprop|auto] [--canonical]
                 [--out labels.txt]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc serve    <graph> [--ranks P] [--machine edison|cori] [--batches B]
                 [--batch-size K] [--queries-per-batch Q] [--delete-every D]
-                [--staleness F] [--seed S] [--report out.json]
+                [--staleness F] [--engine lacc|fastsv|labelprop|auto]
+                [--seed S] [--report out.json]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
   lacc generate <community|metagenome|rmat|mesh3d|er|suite:NAME> --n N [--seed S] --out <graph>
   lacc convert  <in> <out>
@@ -191,6 +193,16 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
                 .map_err(|e: lacc::OptsError| e.to_string())?
                 .unwrap_or(defaults.index_width),
         )
+        // Which connected-components engine runs (auto selects from a
+        // sampled-BFS prepass; see `lacc::engine`).
+        .engine(
+            args.options
+                .get("engine")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|e: lacc::OptsError| e.to_string())?
+                .unwrap_or(defaults.engine),
+        )
         .build();
     // Span tracing: --trace <path> emits Chrome-trace JSON (load it in
     // chrome://tracing or Perfetto) plus an aggregate per-rank report;
@@ -207,14 +219,21 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         (Some(_), l) if l != TraceLevel::Off => Some(TraceSink::new(l)),
         _ => None,
     };
-    let run = run_distributed_traced(&g, ranks, model, &opts, sink.as_ref())
-        .map_err(|e| e.to_string())?;
+    let cfg = RunConfig::new(ranks, model)
+        .with_opts(opts)
+        .with_trace_opt(sink.as_ref());
+    let out = lacc::run(&g, &cfg).map_err(|e| e.to_string())?;
+    let run = &out.run;
     println!(
-        "{} components via distributed LACC on {} ranks ({})",
+        "{} components via {} engine on {} ranks ({})",
         run.num_components(),
+        out.engine,
         ranks,
         machine.name
     );
+    if let Some(why) = &out.rationale {
+        println!("engine rationale    {why}");
+    }
     println!("iterations          {}", run.num_iterations());
     println!("modeled time        {:.3} ms", run.modeled_total_s * 1e3);
     println!("simulation wall     {:.1} ms", run.wall_s * 1e3);
@@ -231,16 +250,26 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         println!("{}", sink.report().render());
         println!("trace written to {path}");
     }
-    if let Some(out) = args.options.get("out") {
-        // Raw parent labels, one `vertex label` line each — the CI smoke
-        // step byte-diffs these across flag configurations.
+    if let Some(path) = args.options.get("out") {
+        // Raw parent labels by default, one `vertex label` line each — the
+        // CI smoke step byte-diffs these across flag configurations.
+        // `--canonical` renumbers components by first appearance instead:
+        // LACC labels are tree-root ids while FastSV/labelprop converge to
+        // component minima, so only canonical labels byte-diff *across*
+        // engines.
         use std::io::Write;
-        let mut f =
-            std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?);
-        for (v, l) in run.labels.iter().enumerate() {
+        let labels = if args.has_flag("canonical") {
+            lacc_graph::unionfind::canonicalize_labels(&run.labels)
+        } else {
+            run.labels.clone()
+        };
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        );
+        for (v, l) in labels.iter().enumerate() {
             writeln!(f, "{v} {l}").map_err(|e| e.to_string())?;
         }
-        println!("labels written to {out}");
+        println!("labels written to {path}");
     }
     Ok(())
 }
@@ -264,6 +293,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if staleness < 0.0 || staleness.is_nan() {
         return Err(format!("staleness must be nonnegative, got {staleness}"));
     }
+    let engine: EngineSelect = args
+        .options
+        .get("engine")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e: lacc::OptsError| e.to_string())?
+        .unwrap_or_default();
     let cfg = WorkloadCfg {
         batches: args.get_or("batches", 20)?,
         batch_size: args.get_or("batch-size", 64)?,
@@ -274,7 +310,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let opts = ServeOpts {
         ranks,
         model: machine.lacc_model(),
-        policy: RerunPolicy::staleness(staleness),
+        policy: RerunPolicy::staleness(staleness).with_engine(engine),
         ..Default::default()
     };
     let trace_path = args.options.get("trace").cloned();
@@ -314,6 +350,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         s.staleness_reruns,
         s.rerun_modeled_s * 1e3
     );
+    if let Some(k) = svc.last_engine() {
+        println!("rebuild engine      {k} (policy: {engine})");
+    }
+    if let Some(why) = svc.last_engine_rationale() {
+        println!("engine rationale    {why}");
+    }
     println!(
         "update throughput   {:.0} updates/s ({:.1} ms wall)",
         rep.updates_per_s(),
@@ -348,8 +390,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         } else {
             "null".to_string()
         };
+        // The engine the policy requested, the one the last rebuild used
+        // (they differ under `auto`), and auto's rationale if any.
+        let rebuild_engine = match svc.last_engine() {
+            Some(k) => format!("\"{k}\""),
+            None => "null".to_string(),
+        };
+        let rationale_json = match svc.last_engine_rationale() {
+            Some(r) => format!("\"{}\"", r.replace('\\', "\\\\").replace('"', "\\\"")),
+            None => "null".to_string(),
+        };
         let json = format!(
             "{{\n  \"vertices\": {},\n  \"ranks\": {},\n  \"machine\": \"{}\",\n  \
+             \"engine\": \"{engine}\",\n  \"rebuild_engine\": {rebuild_engine},\n  \
+             \"engine_rationale\": {rationale_json},\n  \
              \"batches\": {},\n  \"batch_size\": {},\n  \"queries_per_batch\": {},\n  \
              \"delete_every\": {},\n  \"staleness_threshold\": {},\n  \"seed\": {},\n  \
              \"final_epoch\": {},\n  \"components\": {},\n  \"edges\": {},\n  \
@@ -622,6 +676,37 @@ mod tests {
     }
 
     #[test]
+    fn cc_dist_canonical_labels_identical_across_engines() {
+        // The engine-matrix CI smoke in miniature: every engine (and auto)
+        // must produce byte-identical --canonical label files.
+        let dir = std::env::temp_dir().join("lacc-cli-test10");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n5 6\n6 7\n8 9\n").unwrap();
+        let mut files = Vec::new();
+        for eng in ["lacc", "fastsv", "labelprop", "auto"] {
+            let out = dir.join(format!("{eng}.txt")).display().to_string();
+            dispatch(&argv(&[
+                "cc-dist",
+                &p,
+                "--ranks",
+                "4",
+                "--engine",
+                eng,
+                "--canonical",
+                "--out",
+                &out,
+            ]))
+            .unwrap();
+            files.push(std::fs::read(&out).unwrap());
+        }
+        for f in &files[1..] {
+            assert_eq!(&files[0], f, "an engine changed the canonical labels");
+        }
+        assert!(dispatch(&argv(&["cc-dist", &p, "--engine", "warp"])).is_err());
+    }
+
+    #[test]
     fn cc_dist_writes_trace_json() {
         let dir = std::env::temp_dir().join("lacc-cli-test5");
         std::fs::create_dir_all(&dir).unwrap();
@@ -671,6 +756,8 @@ mod tests {
             "9",
             "--delete-every",
             "3",
+            "--engine",
+            "auto",
             "--report",
             &report,
             "--trace",
@@ -680,6 +767,9 @@ mod tests {
         let json = std::fs::read_to_string(&report).unwrap();
         assert!(json.contains("\"answers_consistent\": true"));
         assert!(json.contains("\"modeled_query_p99_s\""));
+        assert!(json.contains("\"engine\": \"auto\""));
+        assert!(json.contains("\"rebuild_engine\": \""));
+        assert!(!json.contains("\"engine_rationale\": null"));
         // The bootstrap and the deletion rebuilds appear as tagged spans.
         let tr = std::fs::read_to_string(&trace).unwrap();
         assert!(tr.contains("rerun(bootstrap)"));
@@ -695,6 +785,7 @@ mod tests {
         assert!(dispatch(&argv(&["serve", &p, "--staleness", "-1"])).is_err());
         assert!(dispatch(&argv(&["serve", &p, "--batches", "many"])).is_err());
         assert!(dispatch(&argv(&["serve", &p, "--machine", "summit"])).is_err());
+        assert!(dispatch(&argv(&["serve", &p, "--engine", "quantum"])).is_err());
     }
 
     #[test]

@@ -1,405 +1,158 @@
-//! Distributed LACC over the simulated machine.
+//! Distributed connected components over the simulated machine — the
+//! unified entry point for the whole engine portfolio.
 //!
-//! The SPMD program each rank executes is the exact algorithm of
-//! [`crate::serial`], with every vector operation replaced by its
-//! [`gblas::dist`] counterpart. Because serial and distributed primitives
-//! resolve concurrent updates with the same monoid rules, a distributed
-//! run with `permute = false` produces a parent vector *bit-identical* to
-//! the serial run (tested below) — the strongest possible correctness
-//! statement for the communication layer.
+//! [`run`] executes one SPMD program on `p` simulated ranks: it resolves
+//! the configured [`crate::engine::EngineSelect`] (running the distributed `Auto`
+//! pre-pass when asked), wraps the run in an engine-tagged trace span,
+//! and dispatches to the chosen [`crate::engine::CcEngine`]. Everything a
+//! run can vary — options, trace sink, serving-rerun tagging — lives in
+//! [`RunConfig`], replacing the old `run_distributed` /
+//! `run_distributed_traced` / `run_distributed_rerun` triple (kept as
+//! thin deprecated shims for one release).
+//!
+//! With the default LACC engine and `permute = false`, a distributed run
+//! produces a parent vector *bit-identical* to [`crate::serial`] (tested
+//! below) — the strongest possible correctness statement for the
+//! communication layer.
 
+use crate::engine::{self, EngineCtx, EngineRun};
 use crate::options::{IndexWidth, LaccOpts};
 use crate::stats::{IterStats, LaccRun, StepBreakdown};
-use crate::Vid;
 use dmsim::{
-    run_spmd_traced, Comm, DmsimError, Grid2d, MachineModel, RerunReason, SpanKind, TraceSink,
-    WireWord,
+    run_spmd_traced, Comm, DmsimError, EngineKind, Grid2d, MachineModel, RerunReason, SpanKind,
+    TraceSink, WireWord,
 };
-use gblas::dist::{
-    dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, plan_requests,
-    DistMask, DistMat, DistOpts, DistSpVec, DistVec, FusedExtract, VecLayout,
-};
-use gblas::{AndBool, MinUsize};
 use lacc_graph::permute::Permutation;
 use lacc_graph::{ensure_fits, CsrGraph, Idx};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-rank, per-iteration record produced inside the SPMD program.
-#[derive(Clone, Debug, Default)]
-struct RankIter {
-    active_before: usize,
-    converged_after: usize,
-    spmv_dense: bool,
-    cond_changed: u64,
-    uncond_changed: u64,
-    shortcut_changed: u64,
-    modeled: StepBreakdown,
-    extract_received: u64,
+/// Everything one distributed run can vary: rank count, machine model,
+/// [`LaccOpts`] (including the engine selection), an optional trace sink,
+/// and an optional serving-rerun tag.
+///
+/// ```
+/// use lacc::{run, RunConfig};
+/// use lacc_graph::generators::cycle_graph;
+///
+/// let g = cycle_graph(64);
+/// let out = run(&g, &RunConfig::new(4, dmsim::EDISON.lacc_model()))
+///     .expect("no rank panicked");
+/// assert_eq!(out.num_components(), 1);
+/// assert!(out.modeled_total_s > 0.0);
+/// ```
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Simulated ranks (must form a square grid).
+    pub ranks: usize,
+    /// The α-β machine model.
+    pub model: MachineModel,
+    /// Run options (engine, comm stack, layout, width, …).
+    pub opts: LaccOpts,
+    /// When set, every rank records trace spans into this sink.
+    pub trace: Option<Arc<TraceSink>>,
+    /// When set, the run is a serving-layer epoch rebuild: it is wrapped
+    /// in a reason-tagged `rerun(...)` span and noted in rank 0's cost
+    /// snapshot.
+    pub rerun: Option<RerunReason>,
+}
+
+impl RunConfig {
+    /// A config with default [`LaccOpts`], no tracing, no rerun tag.
+    pub fn new(ranks: usize, model: MachineModel) -> Self {
+        RunConfig {
+            ranks,
+            model,
+            opts: LaccOpts::default(),
+            trace: None,
+            rerun: None,
+        }
+    }
+
+    /// Replaces the run options.
+    pub fn with_opts(mut self, opts: LaccOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Records trace spans into `sink`.
+    pub fn with_trace(mut self, sink: &Arc<TraceSink>) -> Self {
+        self.trace = Some(Arc::clone(sink));
+        self
+    }
+
+    /// Records trace spans into `sink` when `Some` (caller-side optional
+    /// sinks migrate without a match).
+    pub fn with_trace_opt(mut self, sink: Option<&Arc<TraceSink>>) -> Self {
+        self.trace = sink.map(Arc::clone);
+        self
+    }
+
+    /// Tags the run as a serving-layer epoch rebuild.
+    pub fn with_rerun(mut self, reason: RerunReason) -> Self {
+        self.rerun = Some(reason);
+        self
+    }
+}
+
+/// The result of a unified [`run`]: the familiar [`LaccRun`] statistics
+/// plus which engine actually executed and (for `Auto`) why.
+///
+/// Derefs to [`LaccRun`], so existing call sites keep reading
+/// `out.labels`, `out.num_components()`, etc.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Labels and per-iteration statistics.
+    pub run: LaccRun,
+    /// The engine that executed (the resolved
+    /// [`crate::engine::EngineSelect`]).
+    pub engine: EngineKind,
+    /// The `Auto` dispatcher's selection rationale (`None` for a fixed
+    /// engine choice).
+    pub rationale: Option<String>,
+}
+
+impl std::ops::Deref for RunOutput {
+    type Target = LaccRun;
+    fn deref(&self) -> &LaccRun {
+        &self.run
+    }
 }
 
 /// What each rank returns from the SPMD program.
-struct RankOutput {
-    labels: Option<Vec<Vid>>,
-    iters: Vec<RankIter>,
-    final_clock_s: f64,
+struct RankResult {
+    out: EngineRun,
+    kind: EngineKind,
+    rationale: Option<String>,
 }
 
-/// Star recomputation (Algorithm 6) over distributed vectors.
-///
-/// Returns the number of extract requests this rank received (Figure 3).
-fn starcheck_dist<I: Idx + WireWord>(
+fn run_engine_width<I: Idx + WireWord>(
+    kind: EngineKind,
     comm: &mut Comm,
-    f: &DistVec<I>,
-    star: &mut DistVec<bool>,
-    active: &[bool],
-    dist_opts: &DistOpts,
-) -> u64 {
-    let local_active: Vec<usize> = (0..active.len()).filter(|&o| active[o]).collect();
-    for &o in &local_active {
-        star.local_mut()[o] = true;
-    }
-    comm.charge_compute(local_active.len() as u64 + 1);
-    // Grandparents of active vertices: gf[v] = f[f[v]]. Both extracts
-    // below use the identical request list over same-layout vectors, so
-    // the owner bucketing (and dedup) is planned once and reused.
-    let reqs: Vec<I> = local_active.iter().map(|&o| f.local()[o]).collect();
-    let plan = plan_requests(comm, f.layout(), &reqs, dist_opts);
-    if dist_opts.combine_in_flight && dist_opts.fuse_starcheck {
-        // Fused: one combining request exchange serves both reply phases
-        // (the route is replayed). The parent-star phase reads `star`
-        // *after* the demote assign, exactly as the unfused pair does.
-        let fx = FusedExtract::begin(comm, &plan);
-        let gfs = fx.extract(comm, f, &plan, dist_opts);
-        let mut demote: Vec<(I, bool)> = Vec::new();
-        for (&o, &gf) in local_active.iter().zip(&gfs) {
-            if f.local()[o] != gf {
-                star.local_mut()[o] = false;
-                demote.push((gf, false));
-            }
-        }
-        comm.charge_compute(local_active.len() as u64 + 1);
-        dist_assign(comm, star, &demote, AndBool, dist_opts);
-        let parent_star = fx.extract(comm, star, &plan, dist_opts);
-        for (&o, &ps) in local_active.iter().zip(&parent_star) {
-            star.local_mut()[o] = star.local_mut()[o] && ps;
-        }
-        comm.charge_compute(local_active.len() as u64 + 1);
-        // Requests arrive once on this path; count them once.
-        return fx.received();
-    }
-    let (gfs, st1) = dist_extract_planned(comm, f, &plan, dist_opts);
-    let mut demote: Vec<(I, bool)> = Vec::new();
-    for (&o, &gf) in local_active.iter().zip(&gfs) {
-        if f.local()[o] != gf {
-            star.local_mut()[o] = false;
-            demote.push((gf, false));
-        }
-    }
-    comm.charge_compute(local_active.len() as u64 + 1);
-    dist_assign(comm, star, &demote, AndBool, dist_opts);
-    // star[v] ← star[v] ∧ star[f[v]].
-    let (parent_star, st2) = dist_extract_planned(comm, star, &plan, dist_opts);
-    for (&o, &ps) in local_active.iter().zip(&parent_star) {
-        star.local_mut()[o] = star.local_mut()[o] && ps;
-    }
-    comm.charge_compute(local_active.len() as u64 + 1);
-    st1.received_requests + st2.received_requests
+    g: &CsrGraph,
+    opts: &LaccOpts,
+) -> EngineRun {
+    let mut ctx = EngineCtx::<I>::new(comm, g, opts);
+    engine::engine_for::<I>(kind).run(&mut ctx)
 }
 
-/// The SPMD body: one rank's share of a LACC run.
+/// Runs the configured engine on `cfg.ranks` simulated ranks.
 ///
-/// Generic over the index/label width `I`: parents, the matrix block, and
-/// every exchanged id or label are stored (and charged on the wire) at
-/// `I`'s width. The caller has already checked `ensure_fits::<I>(n)`.
-fn lacc_spmd<I: Idx + WireWord>(comm: &mut Comm, g: &CsrGraph, opts: &LaccOpts) -> RankOutput {
-    let n = g.num_vertices();
-    let p = comm.size();
-    let grid = Grid2d::square(p);
-    let layout = if opts.cyclic_vectors {
-        VecLayout::cyclic(n, grid)
-    } else {
-        VecLayout::new(n, grid)
-    };
-    let rank = comm.rank();
-    let a = DistMat::<I>::from_graph(g, grid, rank);
-    let mut f: DistVec<I> = DistVec::from_fn(layout, rank, I::from_usize);
-    let mut star: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
-    let chunk_len = f.local().len();
-    let mut active = vec![true; chunk_len];
-    let mut active_count_global = n;
-    let world = comm.world();
-    let mut iters: Vec<RankIter> = Vec::new();
-    // Star staleness bookkeeping, mirroring `crate::serial`: a zero-change
-    // iteration proves a fixpoint only if the previous shortcut changed
-    // nothing (the star vector was fresh).
-    let mut prev_shortcut_changed = 0u64;
-
-    for _iteration in 1..=opts.max_iters {
-        let mut rec = RankIter {
-            active_before: active_count_global,
-            ..Default::default()
-        };
-        // --- Step 1: conditional hooking, fused with the convergence
-        // detector (one (min, max)-monoid mxv; see `crate::serial`) ---
-        // Each step opens a trace span; the close returns the modeled
-        // duration, so StepBreakdown is a thin view over span timings.
-        let span = comm.span_open(SpanKind::CondHook);
-        let mask_vec: DistVec<bool> = {
-            let mut m = star.clone();
-            for (o, ml) in m.local_mut().iter_mut().enumerate() {
-                *ml = *ml && active[o];
-            }
-            m
-        };
-        let density = if n == 0 {
-            0.0
-        } else {
-            active_count_global as f64 / n as f64
-        };
-        let use_dense = density >= opts.dense_threshold;
-        rec.spmv_dense = use_dense;
-        let q: DistSpVec<(I, I), I> = if use_dense {
-            let pairs: DistVec<(I, I)> =
-                DistVec::from_fn(layout, rank, |g| (f.get_local(g), f.get_local(g)));
-            dist_mxv_dense(
-                comm,
-                &a,
-                &pairs,
-                DistMask::Keep(&mask_vec),
-                gblas::MinMaxUsize,
-                &opts.dist,
-            )
-        } else {
-            let entries: Vec<(I, (I, I))> = active
-                .iter()
-                .enumerate()
-                .filter(|&(_, &act)| act)
-                .map(|(o, _)| (I::from_usize(f.global_of(o)), (f.local()[o], f.local()[o])))
-                .collect();
-            let x = DistSpVec::from_local_entries(layout, rank, entries);
-            // Adaptive dispatch (§V-A): even when the active fraction is
-            // below `dense_threshold`, the measured fill decides whether the
-            // local multiply runs SpMV- or SpMSpV-style.
-            dist_mxv(
-                comm,
-                &a,
-                &x,
-                DistMask::Keep(&mask_vec),
-                gblas::MinMaxUsize,
-                &opts.dist,
-            )
-        };
-
-        // Converged-component tracking (Lemma 1, strengthened; evaluated
-        // on the start-of-iteration state, same rule as `crate::serial`).
-        let mut newly_converged = 0u64;
-        if opts.use_sparsity {
-            let mut root_quiet: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
-            let demote: Vec<(I, bool)> = q
-                .entries()
-                .iter()
-                .filter(|&&(v, (lo, hi))| {
-                    let fv = f.get_local(v.idx());
-                    !(lo == fv && hi == fv)
-                })
-                .map(|&(v, _)| (f.get_local(v.idx()), false))
-                .collect();
-            dist_assign(comm, &mut root_quiet, &demote, AndBool, &opts.dist);
-            let candidates: Vec<usize> = (0..chunk_len)
-                .filter(|&o| active[o] && star.local()[o])
-                .collect();
-            let reqs: Vec<I> = candidates.iter().map(|&o| f.local()[o]).collect();
-            let (flags, st) = dist_extract(comm, &root_quiet, &reqs, &opts.dist);
-            rec.extract_received += st.received_requests;
-            for (&o, &quiet) in candidates.iter().zip(&flags) {
-                if quiet {
-                    active[o] = false;
-                    newly_converged += 1;
-                }
-            }
-            comm.charge_compute(chunk_len as u64 + 1);
-        }
-
-        // Conditional hooks from the fused sweep (skip just-deactivated
-        // vertices; their hooks are no-ops).
-        let updates: Vec<(I, I)> = q
-            .entries()
-            .iter()
-            .filter(|&&(v, _)| active[layout.offset_of(rank, v.idx())])
-            .map(|&(v, (lo, _))| {
-                let fv = f.get_local(v.idx());
-                (fv, lo.min(fv))
-            })
-            .collect();
-        rec.cond_changed = dist_assign(comm, &mut f, &updates, MinUsize, &opts.dist).0 as u64;
-        rec.modeled.cond_s += comm.span_close(span);
-
-        let span = comm.span_open(SpanKind::Starcheck);
-        rec.extract_received += starcheck_dist(comm, &f, &mut star, &active, &opts.dist);
-        rec.modeled.starcheck_s += comm.span_close(span);
-
-        // --- Step 2: unconditional hooking ---
-        let span = comm.span_open(SpanKind::UncondHook);
-        let entries: Vec<(I, I)> = active
-            .iter()
-            .enumerate()
-            .filter(|&(o, &act)| act && !star.local()[o])
-            .map(|(o, _)| (I::from_usize(f.global_of(o)), f.local()[o]))
-            .collect();
-        let x = DistSpVec::from_local_entries(layout, rank, entries);
-        let mask_vec2: DistVec<bool> = {
-            let mut m = star.clone();
-            for (o, ml) in m.local_mut().iter_mut().enumerate() {
-                *ml = *ml && active[o];
-            }
-            m
-        };
-        let fn2 = dist_mxv(
-            comm,
-            &a,
-            &x,
-            DistMask::Keep(&mask_vec2),
-            MinUsize,
-            &opts.dist,
-        );
-        let updates2: Vec<(I, I)> = fn2
-            .entries()
-            .iter()
-            .map(|&(v, m)| (f.get_local(v.idx()), m))
-            .collect();
-        rec.uncond_changed = dist_assign(comm, &mut f, &updates2, MinUsize, &opts.dist).0 as u64;
-        rec.modeled.uncond_s += comm.span_close(span);
-
-        let span = comm.span_open(SpanKind::Starcheck);
-        rec.extract_received += starcheck_dist(comm, &f, &mut star, &active, &opts.dist);
-        rec.modeled.starcheck_s += comm.span_close(span);
-
-        // --- Step 3: shortcutting (active nonstars) ---
-        let span = comm.span_open(SpanKind::Shortcut);
-        let targets: Vec<usize> = (0..chunk_len)
-            .filter(|&o| active[o] && !star.local()[o])
-            .collect();
-        let reqs: Vec<I> = targets.iter().map(|&o| f.local()[o]).collect();
-        let (gfs, st) = dist_extract(comm, &f, &reqs, &opts.dist);
-        rec.extract_received += st.received_requests;
-        for (&o, &gf) in targets.iter().zip(&gfs) {
-            if f.local()[o] != gf {
-                f.local_mut()[o] = gf;
-                rec.shortcut_changed += 1;
-            }
-        }
-        comm.charge_compute(targets.len() as u64 + 1);
-        rec.modeled.shortcut_s += comm.span_close(span);
-
-        // --- Global convergence test ---
-        let local = [
-            rec.cond_changed,
-            rec.uncond_changed,
-            rec.shortcut_changed,
-            newly_converged,
-        ];
-        let global = comm.allreduce(&world, local, |a, b| {
-            [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
-        });
-        rec.cond_changed = global[0];
-        rec.uncond_changed = global[1];
-        rec.shortcut_changed = global[2];
-        active_count_global -= global[3] as usize;
-        rec.converged_after = n - active_count_global;
-        // Fixpoint only counts with a fresh star vector (see the serial
-        // implementation's staleness note).
-        let done = global[0] + global[1] + global[2] == 0 && prev_shortcut_changed == 0;
-        prev_shortcut_changed = global[2];
-        iters.push(rec);
-        if done {
-            break;
-        }
-    }
-
-    // Widen back to `Vid` at the boundary: callers always see full-width
-    // labels regardless of the in-run storage width.
-    let labels: Vec<Vid> = f.to_global(comm).into_iter().map(|l| l.idx()).collect();
-    RankOutput {
-        labels: (rank == 0).then_some(labels),
-        iters,
-        final_clock_s: comm.clock_s(),
-    }
-}
-
-/// Runs distributed LACC on `p` simulated ranks under `model`.
-///
-/// `p` must be a perfect square (CombBLAS' square-grid restriction,
+/// `ranks` must be a perfect square (CombBLAS' square-grid restriction,
 /// §VI-A). Returns labels in the *original* vertex numbering even when
 /// `opts.permute` applies a load-balancing relabeling internally. Errs
 /// with the failing rank and panic payload if any rank panics.
 ///
-/// ```
-/// use lacc::{run_distributed, LaccOpts};
-/// use lacc_graph::generators::cycle_graph;
-///
-/// let g = cycle_graph(64);
-/// let run = run_distributed(&g, 4, dmsim::EDISON.lacc_model(), &LaccOpts::default())
-///     .expect("no rank panicked");
-/// assert_eq!(run.num_components(), 1);
-/// assert!(run.modeled_total_s > 0.0);
-/// ```
-pub fn run_distributed(
-    g: &CsrGraph,
-    p: usize,
-    model: MachineModel,
-    opts: &LaccOpts,
-) -> Result<LaccRun, DmsimError> {
-    run_distributed_traced(g, p, model, opts, None)
-}
-
-/// [`run_distributed`] with span tracing: when `sink` is `Some`, every
-/// rank records spans (LACC steps, distributed ops, collectives — gated
-/// by the sink's [`dmsim::TraceLevel`]) into it, ready for
-/// [`dmsim::TraceSink::chrome_trace_json`] and
-/// [`dmsim::TraceSink::report`]. Tracing never perturbs results or
-/// modeled costs (tested below).
-pub fn run_distributed_traced(
-    g: &CsrGraph,
-    p: usize,
-    model: MachineModel,
-    opts: &LaccOpts,
-    sink: Option<&Arc<TraceSink>>,
-) -> Result<LaccRun, DmsimError> {
-    run_distributed_inner(g, p, model, opts, sink, None)
-}
-
-/// [`run_distributed_traced`] invoked as a serving-layer **epoch rebuild**:
-/// identical computation, but every rank wraps the whole run in a
-/// [`dmsim::SpanKind::Rerun`] span tagged with the triggering `reason`
-/// (deletion vs staleness threshold vs bootstrap) and notes the rerun in
-/// its [`dmsim::CostSnapshot`], so rebuild causes and counts surface in
-/// the aggregate trace report. Labels and modeled costs are bit-identical
-/// to a plain [`run_distributed_traced`] call (tested below).
-pub fn run_distributed_rerun(
-    g: &CsrGraph,
-    p: usize,
-    model: MachineModel,
-    opts: &LaccOpts,
-    sink: Option<&Arc<TraceSink>>,
-    reason: RerunReason,
-) -> Result<LaccRun, DmsimError> {
-    run_distributed_inner(g, p, model, opts, sink, Some(reason))
-}
-
-fn run_distributed_inner(
-    g: &CsrGraph,
-    p: usize,
-    model: MachineModel,
-    opts: &LaccOpts,
-    sink: Option<&Arc<TraceSink>>,
-    rerun: Option<RerunReason>,
-) -> Result<LaccRun, DmsimError> {
+/// Engine caveat: LACC labels are tree-root ids, while FastSV and label
+/// propagation converge to component *minima* — cross-engine comparisons
+/// must canonicalize labels first.
+pub fn run(g: &CsrGraph, cfg: &RunConfig) -> Result<RunOutput, DmsimError> {
     let n = g.num_vertices();
+    let p = cfg.ranks;
     let _ = Grid2d::square(p); // validate early
                                // Clamp the per-rank kernel thread request so p ranks × T threads never
                                // oversubscribe the host (all simulated ranks run concurrently).
-    let mut opts = *opts;
+    let mut opts = cfg.opts;
     opts.dist.kernel_threads = opts.kernel_threads_for(p);
     let opts = &opts;
     let (work_graph, perm) = if opts.permute && n > 1 {
@@ -419,43 +172,57 @@ fn run_distributed_inner(
             });
         }
     }
+    let rerun = cfg.rerun;
     let wall_start = Instant::now();
     let spmd = |comm: &mut Comm| {
         // An epoch rebuild counts itself (on rank 0, so sums over
         // snapshots count each rebuild once) and wraps the whole SPMD
         // body in a reason-tagged span; both are observational.
-        let span = rerun.map(|reason| {
+        let rerun_span = rerun.map(|reason| {
             if comm.rank() == 0 {
                 comm.note_rerun();
             }
             comm.span_open(SpanKind::Rerun(reason))
         });
+        // Resolve the engine (the Auto pre-pass is deterministic and
+        // max-merged, so every rank agrees), then wrap the run in an
+        // engine-tagged span for trace attribution.
+        let (kind, rationale) = engine::resolve_engine(comm, &work_graph, opts.engine);
+        let engine_span = comm.span_open(SpanKind::Engine(kind));
         let out = match opts.index_width {
-            IndexWidth::U32 => lacc_spmd::<u32>(comm, &work_graph, opts),
-            IndexWidth::U64 => lacc_spmd::<usize>(comm, &work_graph, opts),
+            IndexWidth::U32 => run_engine_width::<u32>(kind, comm, &work_graph, opts),
+            IndexWidth::U64 => run_engine_width::<usize>(kind, comm, &work_graph, opts),
         };
-        if let Some(span) = span {
+        comm.span_close(engine_span);
+        if let Some(span) = rerun_span {
             comm.span_close(span);
         }
-        out
+        RankResult {
+            out,
+            kind,
+            rationale,
+        }
     };
-    let outs = run_spmd_traced(p, model, sink, spmd)?;
+    let outs = run_spmd_traced(p, cfg.model, cfg.trace.as_ref(), spmd)?;
     let wall_s = wall_start.elapsed().as_secs_f64();
 
-    let labels_permuted = outs[0].labels.clone().expect("rank 0 returns labels");
+    let labels_permuted = outs[0].out.labels.clone().expect("rank 0 returns labels");
     let labels = match &perm {
         Some(perm) => perm.unpermute_labels(&labels_permuted),
         None => labels_permuted,
     };
-    let modeled_total_s = outs.iter().map(|o| o.final_clock_s).fold(0.0f64, f64::max);
-    let niters = outs[0].iters.len();
-    debug_assert!(outs.iter().all(|o| o.iters.len() == niters));
+    let modeled_total_s = outs
+        .iter()
+        .map(|o| o.out.final_clock_s)
+        .fold(0.0f64, f64::max);
+    let niters = outs[0].out.iters.len();
+    debug_assert!(outs.iter().all(|o| o.out.iters.len() == niters));
     let iters: Vec<IterStats> = (0..niters)
         .map(|k| {
-            let r0 = &outs[0].iters[k];
+            let r0 = &outs[0].out.iters[k];
             let max_over = |sel: fn(&StepBreakdown) -> f64| {
                 outs.iter()
-                    .map(|o| sel(&o.iters[k].modeled))
+                    .map(|o| sel(&o.out.iters[k].modeled))
                     .fold(0.0f64, f64::max)
             };
             IterStats {
@@ -472,23 +239,86 @@ fn run_distributed_inner(
                     shortcut_s: max_over(|b| b.shortcut_s),
                     starcheck_s: max_over(|b| b.starcheck_s),
                 },
-                extract_received: outs.iter().map(|o| o.iters[k].extract_received).collect(),
+                extract_received: outs
+                    .iter()
+                    .map(|o| o.out.iters[k].extract_received)
+                    .collect(),
             }
         })
         .collect();
 
-    Ok(LaccRun {
-        labels,
-        iters,
-        p,
-        modeled_total_s,
-        wall_s,
+    Ok(RunOutput {
+        run: LaccRun {
+            labels,
+            iters,
+            p,
+            modeled_total_s,
+            wall_s,
+        },
+        engine: outs[0].kind,
+        rationale: outs[0].rationale.clone(),
     })
+}
+
+/// Runs distributed LACC on `p` simulated ranks under `model`.
+#[deprecated(since = "0.8.0", note = "use `run(graph, &RunConfig)` instead")]
+pub fn run_distributed(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+) -> Result<LaccRun, DmsimError> {
+    run(g, &RunConfig::new(p, model).with_opts(*opts)).map(|o| o.run)
+}
+
+/// [`run`] with a caller-managed optional trace sink.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `run(graph, &RunConfig::new(..).with_trace(sink))` instead"
+)]
+pub fn run_distributed_traced(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+    sink: Option<&Arc<TraceSink>>,
+) -> Result<LaccRun, DmsimError> {
+    run(
+        g,
+        &RunConfig::new(p, model)
+            .with_opts(*opts)
+            .with_trace_opt(sink),
+    )
+    .map(|o| o.run)
+}
+
+/// [`run`] invoked as a serving-layer epoch rebuild.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `run(graph, &RunConfig::new(..).with_rerun(reason))` instead"
+)]
+pub fn run_distributed_rerun(
+    g: &CsrGraph,
+    p: usize,
+    model: MachineModel,
+    opts: &LaccOpts,
+    sink: Option<&Arc<TraceSink>>,
+    reason: RerunReason,
+) -> Result<LaccRun, DmsimError> {
+    run(
+        g,
+        &RunConfig::new(p, model)
+            .with_opts(*opts)
+            .with_trace_opt(sink)
+            .with_rerun(reason),
+    )
+    .map(|o| o.run)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineSelect;
     use crate::serial::lacc_serial;
     use dmsim::EDISON;
     use lacc_graph::generators::*;
@@ -499,14 +329,19 @@ mod tests {
         EDISON.lacc_model()
     }
 
-    fn check(g: &CsrGraph, p: usize, opts: &LaccOpts) -> LaccRun {
-        let run = run_distributed(g, p, model(), opts).unwrap();
+    fn run_with(g: &CsrGraph, p: usize, opts: &LaccOpts) -> RunOutput {
+        run(g, &RunConfig::new(p, model()).with_opts(*opts)).unwrap()
+    }
+
+    fn check(g: &CsrGraph, p: usize, opts: &LaccOpts) -> RunOutput {
+        let out = run_with(g, p, opts);
         assert_eq!(
-            canonicalize_labels(&run.labels),
+            canonicalize_labels(&out.labels),
             ground_truth_labels(g),
-            "wrong components at p={p}"
+            "wrong components at p={p} engine={}",
+            out.engine
         );
-        run
+        out
     }
 
     #[test]
@@ -527,7 +362,7 @@ mod tests {
             let g = community_graph(600, 30, 3.0, 1.4, seed);
             let serial = lacc_serial(&g, &opts);
             for p in [4, 9] {
-                let dist = run_distributed(&g, p, model(), &opts).unwrap();
+                let dist = run_with(&g, p, &opts);
                 assert_eq!(dist.labels, serial.labels, "seed={seed} p={p}");
                 // Same iteration trajectory too.
                 assert_eq!(dist.num_iterations(), serial.num_iterations());
@@ -617,8 +452,8 @@ mod tests {
                 ..LaccOpts::default()
             };
             for p in [4, 9, 16] {
-                let a = run_distributed(&g, p, model(), &blocked).unwrap();
-                let b = run_distributed(&g, p, model(), &cyclic).unwrap();
+                let a = run_with(&g, p, &blocked);
+                let b = run_with(&g, p, &cyclic);
                 assert_eq!(a.labels, b.labels, "seed={seed} p={p}");
             }
         }
@@ -653,8 +488,8 @@ mod tests {
                     ..base
                 };
                 for p in [4, 9] {
-                    let a = run_distributed(&g, p, model(), &narrow).unwrap();
-                    let b = run_distributed(&g, p, model(), &wide).unwrap();
+                    let a = run_with(&g, p, &narrow);
+                    let b = run_with(&g, p, &wide);
                     assert_eq!(a.labels, b.labels, "seed={seed} p={p}");
                     assert_eq!(a.num_iterations(), b.num_iterations(), "seed={seed} p={p}");
                 }
@@ -671,7 +506,7 @@ mod tests {
         };
         let g = community_graph(600, 30, 3.0, 1.4, 1);
         let serial = lacc_serial(&g, &opts);
-        let dist = run_distributed(&g, 4, model(), &opts).unwrap();
+        let dist = run_with(&g, 4, &opts);
         assert_eq!(dist.labels, serial.labels);
     }
 
@@ -683,9 +518,13 @@ mod tests {
         use dmsim::TraceLevel;
         let g = rmat(8, 4, RmatParams::graph500(), 11);
         let opts = LaccOpts::default();
-        let off = run_distributed(&g, 4, model(), &opts).unwrap();
+        let off = run_with(&g, 4, &opts);
         let sink = TraceSink::new(TraceLevel::Collectives);
-        let on = run_distributed_traced(&g, 4, model(), &opts, Some(&sink)).unwrap();
+        let on = run(
+            &g,
+            &RunConfig::new(4, model()).with_opts(opts).with_trace(&sink),
+        )
+        .unwrap();
         assert_eq!(off.labels, on.labels);
         assert_eq!(off.num_iterations(), on.num_iterations());
         assert_eq!(off.modeled_total_s, on.modeled_total_s);
@@ -693,10 +532,12 @@ mod tests {
             assert_eq!(a.modeled, b.modeled);
             assert_eq!(a.extract_received, b.extract_received);
         }
-        // The traced run actually recorded the full hierarchy: all four
-        // LACC steps, the distributed ops, and the collectives under them.
+        // The traced run actually recorded the full hierarchy: the
+        // engine wrapper, all four LACC steps, the distributed ops, and
+        // the collectives under them.
         let report = sink.report();
         for name in [
+            "engine(lacc)",
             "cond_hook",
             "uncond_hook",
             "shortcut",
@@ -710,6 +551,7 @@ mod tests {
         }
         let json = sink.chrome_trace_json();
         assert!(json.contains("\"cond_hook\""));
+        assert!(json.contains("\"engine(lacc)\""));
         assert!(report.load_imbalance >= 1.0);
     }
 
@@ -718,11 +560,16 @@ mod tests {
         use dmsim::TraceLevel;
         let g = rmat(8, 4, RmatParams::graph500(), 13);
         let opts = LaccOpts::default();
-        let plain = run_distributed(&g, 4, model(), &opts).unwrap();
+        let plain = run_with(&g, 4, &opts);
         let sink = TraceSink::new(TraceLevel::Steps);
-        let rerun =
-            run_distributed_rerun(&g, 4, model(), &opts, Some(&sink), RerunReason::Deletion)
-                .unwrap();
+        let rerun = run(
+            &g,
+            &RunConfig::new(4, model())
+                .with_opts(opts)
+                .with_trace(&sink)
+                .with_rerun(RerunReason::Deletion),
+        )
+        .unwrap();
         // The rerun wrapper is observational: same labels, same clock.
         assert_eq!(plain.labels, rerun.labels);
         assert_eq!(plain.modeled_total_s, rerun.modeled_total_s);
@@ -732,7 +579,14 @@ mod tests {
         assert_eq!(report.kind_time_s("rerun(staleness)"), 0.0);
         // Two reruns into the same sink accumulate, and the max-over-ranks
         // aggregation counts each p-rank rebuild once.
-        run_distributed_rerun(&g, 4, model(), &opts, Some(&sink), RerunReason::Staleness).unwrap();
+        run(
+            &g,
+            &RunConfig::new(4, model())
+                .with_opts(opts)
+                .with_trace(&sink)
+                .with_rerun(RerunReason::Staleness),
+        )
+        .unwrap();
         let report = sink.report();
         assert_eq!(report.reruns, 2);
         assert!(report.kind_time_s("rerun(staleness)") > 0.0);
@@ -744,7 +598,7 @@ mod tests {
         // every rank and must come back as a typed error, not a crash.
         let g = path_graph(10);
         let err = std::panic::catch_unwind(|| {
-            let _ = run_distributed(&g, 2, model(), &LaccOpts::default());
+            let _ = run(&g, &RunConfig::new(2, model()));
         });
         // Grid validation happens eagerly on the caller thread.
         assert!(err.is_err());
@@ -759,7 +613,7 @@ mod tests {
         let g = rmat(10, 8, RmatParams::graph500(), 5);
         let p = 16;
         let imbalance = |opts: &LaccOpts| {
-            let run = run_distributed(&g, p, model(), opts).unwrap();
+            let run = run_with(&g, p, opts);
             let mut per_rank = vec![0u64; p];
             for it in &run.iters {
                 for (r, &x) in it.extract_received.iter().enumerate() {
@@ -786,5 +640,246 @@ mod tests {
             ic < ib,
             "cyclic should balance extract traffic: blocked {ib:.2}x vs cyclic {ic:.2}x"
         );
+    }
+
+    // ---------------- engine portfolio ----------------
+
+    #[test]
+    fn fastsv_engine_matches_serial_fastsv_labels() {
+        // Without permutation both converge to component minima, so the
+        // raw labels are equal — not just the partitions.
+        let g = community_graph(800, 40, 3.0, 1.4, 12);
+        let serial = baselines_oracle_fastsv(&g);
+        let opts = LaccOpts {
+            permute: false,
+            engine: EngineSelect::Fastsv,
+            ..LaccOpts::default()
+        };
+        let out = run_with(&g, 4, &opts);
+        assert_eq!(out.engine, EngineKind::Fastsv);
+        assert_eq!(out.labels, serial);
+    }
+
+    // A tiny local FastSV oracle (mirrors `lacc-baselines::fastsv_cc`,
+    // which this crate cannot depend on without a cycle).
+    fn baselines_oracle_fastsv(g: &CsrGraph) -> Vec<crate::Vid> {
+        let n = g.num_vertices();
+        let mut f: Vec<usize> = (0..n).collect();
+        let mut gf = f.clone();
+        loop {
+            let mut changed = 0u64;
+            let fnv: Vec<usize> = (0..n)
+                .map(|u| {
+                    g.neighbors(u)
+                        .iter()
+                        .map(|&v| gf[v])
+                        .min()
+                        .unwrap_or(usize::MAX)
+                })
+                .collect();
+            for u in 0..n {
+                let fu = f[u];
+                if fnv[u] < f[fu] {
+                    f[fu] = fnv[u];
+                    changed += 1;
+                }
+            }
+            for u in 0..n {
+                if fnv[u] < f[u] {
+                    f[u] = fnv[u];
+                    changed += 1;
+                }
+            }
+            for u in 0..n {
+                if gf[u] < f[u] {
+                    f[u] = gf[u];
+                    changed += 1;
+                }
+            }
+            for u in 0..n {
+                let new = f[f[u]];
+                if gf[u] != new {
+                    gf[u] = new;
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn all_engines_agree_canonically() {
+        for (name, g) in [
+            ("rmat", rmat(8, 4, RmatParams::graph500(), 21)),
+            ("community", community_graph(600, 30, 3.0, 1.4, 4)),
+            ("path", path_graph(300)),
+            ("metagenome", metagenome_graph(500, 6, 0.01, 9)),
+        ] {
+            let truth = ground_truth_labels(&g);
+            for select in [
+                EngineSelect::Lacc,
+                EngineSelect::Fastsv,
+                EngineSelect::LabelProp,
+                EngineSelect::Auto,
+            ] {
+                // Label propagation on a long path is O(diameter) rounds —
+                // legal but slow; Auto never picks it there.
+                if name == "path" && select == EngineSelect::LabelProp {
+                    continue;
+                }
+                let opts = LaccOpts {
+                    engine: select,
+                    ..LaccOpts::default()
+                };
+                let out = run_with(&g, 4, &opts);
+                assert_eq!(
+                    canonicalize_labels(&out.labels),
+                    truth,
+                    "engine={select} graph={name}"
+                );
+                if select == EngineSelect::Auto {
+                    assert!(out.rationale.is_some(), "Auto must explain itself");
+                } else {
+                    assert!(out.rationale.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_spans_tag_the_run() {
+        use dmsim::TraceLevel;
+        let g = rmat(8, 4, RmatParams::graph500(), 17);
+        for (select, span) in [
+            (EngineSelect::Fastsv, "engine(fastsv)"),
+            (EngineSelect::LabelProp, "engine(labelprop)"),
+        ] {
+            let sink = TraceSink::new(TraceLevel::Steps);
+            let opts = LaccOpts {
+                engine: select,
+                ..LaccOpts::default()
+            };
+            let out = run(
+                &g,
+                &RunConfig::new(4, model()).with_opts(opts).with_trace(&sink),
+            )
+            .unwrap();
+            assert_eq!(
+                canonicalize_labels(&out.labels),
+                ground_truth_labels(&g),
+                "{select}"
+            );
+            let report = sink.report();
+            assert!(report.kind_time_s(span) > 0.0, "missing {span}");
+            assert_eq!(report.kind_time_s("engine(lacc)"), 0.0);
+        }
+        // Auto additionally records its pre-pass span.
+        let sink = TraceSink::new(TraceLevel::Steps);
+        let opts = LaccOpts {
+            engine: EngineSelect::Auto,
+            ..LaccOpts::default()
+        };
+        run(
+            &g,
+            &RunConfig::new(4, model()).with_opts(opts).with_trace(&sink),
+        )
+        .unwrap();
+        assert!(sink.report().kind_time_s("engine_select") > 0.0);
+    }
+
+    #[test]
+    fn fastsv_uses_the_optimized_stack() {
+        // Acceptance criterion: with optimized DistOpts the FastSV engine
+        // reports nonzero words-saved (compaction active on its planned
+        // extracts / combining assigns); with naive() it reports none.
+        use dmsim::TraceLevel;
+        let g = rmat(9, 8, RmatParams::graph500(), 3);
+        let words_saved = |opts: &LaccOpts| {
+            let sink = TraceSink::new(TraceLevel::Steps);
+            run(
+                &g,
+                &RunConfig::new(4, model())
+                    .with_opts(*opts)
+                    .with_trace(&sink),
+            )
+            .unwrap();
+            sink.report().words_saved
+        };
+        let optimized = LaccOpts {
+            engine: EngineSelect::Fastsv,
+            ..LaccOpts::default()
+        };
+        let naive = LaccOpts {
+            engine: EngineSelect::Fastsv,
+            ..LaccOpts::naive_comm()
+        };
+        assert!(words_saved(&optimized) > 0, "no compaction savings");
+        assert_eq!(words_saved(&naive), 0);
+    }
+
+    #[test]
+    fn engines_agree_across_widths_and_layouts() {
+        let g = community_graph(400, 20, 3.0, 1.4, 6);
+        let truth = ground_truth_labels(&g);
+        for select in [EngineSelect::Fastsv, EngineSelect::LabelProp] {
+            let base = LaccOpts {
+                permute: false,
+                engine: select,
+                ..LaccOpts::default()
+            };
+            let mut labels: Option<Vec<crate::Vid>> = None;
+            for cyclic in [false, true] {
+                for width in [IndexWidth::U32, IndexWidth::U64] {
+                    let opts = LaccOpts {
+                        cyclic_vectors: cyclic,
+                        index_width: width,
+                        ..base
+                    };
+                    let out = run_with(&g, 4, &opts);
+                    assert_eq!(canonicalize_labels(&out.labels), truth, "{select}");
+                    // Min-monotone engines are bit-identical across
+                    // widths and layouts (labels are component minima).
+                    match &labels {
+                        Some(prev) => assert_eq!(&out.run.labels, prev, "{select}"),
+                        None => labels = Some(out.run.labels.clone()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_routes_by_family() {
+        // A fragmented many-component graph goes to LACC; a single
+        // dominant deep component goes to FastSV.
+        let frag = community_graph(800, 40, 3.0, 1.4, 2);
+        let opts = LaccOpts {
+            engine: EngineSelect::Auto,
+            ..LaccOpts::default()
+        };
+        let out = run_with(&frag, 4, &opts);
+        assert_eq!(out.engine, EngineKind::Lacc, "{:?}", out.rationale);
+        let deep = path_graph(600);
+        let out = run_with(&deep, 4, &opts);
+        assert_eq!(out.engine, EngineKind::Fastsv, "{:?}", out.rationale);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_run() {
+        let g = rmat(7, 4, RmatParams::graph500(), 29);
+        let opts = LaccOpts::default();
+        let new = run_with(&g, 4, &opts);
+        let old = run_distributed(&g, 4, model(), &opts).unwrap();
+        assert_eq!(old.labels, new.run.labels);
+        assert_eq!(old.modeled_total_s, new.modeled_total_s);
+        let old_traced = run_distributed_traced(&g, 4, model(), &opts, None).unwrap();
+        assert_eq!(old_traced.labels, new.run.labels);
+        let old_rerun =
+            run_distributed_rerun(&g, 4, model(), &opts, None, RerunReason::Bootstrap).unwrap();
+        assert_eq!(old_rerun.labels, new.run.labels);
     }
 }

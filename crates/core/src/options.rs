@@ -6,6 +6,7 @@
 //! validates every numeric knob so callers such as the CLI cannot smuggle
 //! out-of-range values into a run.
 
+use crate::engine::EngineSelect;
 use dmsim::AllToAll;
 use gblas::dist::DistOpts;
 
@@ -88,6 +89,11 @@ pub struct LaccOpts {
     pub cyclic_vectors: bool,
     /// Storage width of indices and labels (see [`IndexWidth`]).
     pub index_width: IndexWidth,
+    /// Which connected-components engine runs (see
+    /// [`crate::engine::EngineSelect`]; `Auto` picks from a sampled
+    /// pre-pass). Defaults to LACC, preserving bit-identity with the
+    /// serial reference.
+    pub engine: EngineSelect,
 }
 
 impl Default for LaccOpts {
@@ -101,6 +107,7 @@ impl Default for LaccOpts {
             max_iters: 200,
             cyclic_vectors: false,
             index_width: IndexWidth::default(),
+            engine: EngineSelect::default(),
         }
     }
 }
@@ -176,7 +183,7 @@ pub struct OptsError {
 }
 
 impl OptsError {
-    fn new(field: &'static str, message: impl Into<String>) -> Self {
+    pub(crate) fn new(field: &'static str, message: impl Into<String>) -> Self {
         OptsError {
             field,
             message: message.into(),
@@ -312,6 +319,12 @@ impl LaccOptsBuilder {
         self
     }
 
+    /// Selects the connected-components engine (or `Auto` selection).
+    pub fn engine(mut self, e: EngineSelect) -> Self {
+        self.opts.engine = e;
+        self
+    }
+
     /// Enables or disables sender-side request dedup in `extract`.
     pub fn dedup_requests(mut self, on: bool) -> Self {
         self.opts.dist.dedup_requests = on;
@@ -441,6 +454,7 @@ mod tests {
             .permute(false)
             .permute_seed(7)
             .cyclic_vectors(true)
+            .engine(EngineSelect::Fastsv)
             .dedup_requests(false)
             .combine_assigns(false)
             .compress_ids(false)
@@ -463,6 +477,7 @@ mod tests {
         assert!(!o.permute);
         assert_eq!(o.permute_seed, 7);
         assert!(o.cyclic_vectors);
+        assert_eq!(o.engine, EngineSelect::Fastsv);
         assert!(!o.dist.dedup_requests);
         assert!(!o.dist.combine_assigns);
         assert!(!o.dist.compress_ids);

@@ -56,6 +56,7 @@ pub use comm::{
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;
 pub use trace::{
-    RankTrace, RerunReason, Span, SpanKind, SpanRecord, TraceLevel, TraceReport, TraceSink,
+    EngineKind, RankTrace, RerunReason, Span, SpanKind, SpanRecord, TraceLevel, TraceReport,
+    TraceSink,
 };
 pub use wire::WireWord;

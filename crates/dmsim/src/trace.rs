@@ -70,12 +70,51 @@ pub enum RerunReason {
     Staleness,
 }
 
+/// Which connected-components engine a run executed. Tags the
+/// [`SpanKind::Engine`] span wrapping every distributed run, so trace
+/// consumers can attribute spans (and the aggregate report rows) to the
+/// algorithm that produced them — essential now that the engine portfolio
+/// makes the algorithm a runtime choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// LACC: Awerbuch–Shiloach in GraphBLAS, with Lemma-1 retirement.
+    Lacc,
+    /// FastSV: stochastic + aggressive hooking, no star machinery.
+    Fastsv,
+    /// Min-label propagation: one closed-neighborhood min per round.
+    LabelProp,
+}
+
+impl EngineKind {
+    /// Stable lowercase name (`lacc`, `fastsv`, `labelprop`) used in span
+    /// names, CLI flags, and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Lacc => "lacc",
+            EngineKind::Fastsv => "fastsv",
+            EngineKind::LabelProp => "labelprop",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The typed span vocabulary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SpanKind {
     /// Full LACC recompute triggered by the serving layer, tagged with
     /// its cause (step-level, wraps a whole epoch rebuild).
     Rerun(RerunReason),
+    /// Whole-run span tagged with the engine that executed it
+    /// (step-level, wraps every iteration of one distributed run).
+    Engine(EngineKind),
+    /// The `Auto` dispatcher's sampled-BFS pre-pass (step-level; its one
+    /// allreduce nests underneath).
+    EngineSelect,
     /// LACC conditional hooking (step).
     CondHook,
     /// LACC unconditional hooking (step).
@@ -115,7 +154,9 @@ impl SpanKind {
     pub fn level(self) -> TraceLevel {
         use SpanKind::*;
         match self {
-            Rerun(_) | CondHook | UncondHook | Shortcut | Starcheck => TraceLevel::Steps,
+            Rerun(_) | Engine(_) | EngineSelect | CondHook | UncondHook | Shortcut | Starcheck => {
+                TraceLevel::Steps
+            }
             Mxv | Assign | Extract => TraceLevel::Ops,
             _ => TraceLevel::Collectives,
         }
@@ -128,6 +169,10 @@ impl SpanKind {
             Rerun(RerunReason::Bootstrap) => "rerun(bootstrap)",
             Rerun(RerunReason::Deletion) => "rerun(deletion)",
             Rerun(RerunReason::Staleness) => "rerun(staleness)",
+            Engine(EngineKind::Lacc) => "engine(lacc)",
+            Engine(EngineKind::Fastsv) => "engine(fastsv)",
+            Engine(EngineKind::LabelProp) => "engine(labelprop)",
+            EngineSelect => "engine_select",
             CondHook => "cond_hook",
             UncondHook => "uncond_hook",
             Shortcut => "shortcut",

@@ -7,7 +7,7 @@
 //!   on the final edge list.
 //! * `RerunPolicy::always()`: each hooking batch swaps in a full LACC
 //!   epoch; the installed labels are *bit-identical* (not merely
-//!   equivalent) to an independent `run_distributed` on the same edges.
+//!   equivalent) to an independent `lacc::run` on the same edges.
 //! * Mixed insert/delete streams: every epoch agrees with the brute-force
 //!   [`CcOracle`] over the surviving multiset, including component sizes.
 
@@ -21,9 +21,8 @@ use proptest::prelude::*;
 fn fresh_labels(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
     let g = CsrGraph::from_edges(EdgeList::from_pairs(n, edges.iter().copied()));
     let opts = ServeOpts::default();
-    lacc::run_distributed(&g, opts.ranks, opts.model, &opts.lacc)
-        .expect("distributed run")
-        .labels
+    let cfg = lacc::RunConfig::new(opts.ranks, opts.model).with_opts(opts.lacc);
+    lacc::run(&g, &cfg).expect("distributed run").run.labels
 }
 
 fn chunk_batches(n: usize, raw: &[(usize, usize)], batch: usize) -> Vec<UpdateBatch> {

@@ -16,7 +16,7 @@
 use lacc_suite::dmsim::EDISON;
 use lacc_suite::graph::generators::metagenome_graph;
 use lacc_suite::graph::stats::graph_stats;
-use lacc_suite::lacc::{run_distributed, LaccOpts};
+use lacc_suite::lacc::{run, RunConfig};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         stats.vertices, stats.directed_edges, stats.avg_degree
     );
 
-    let run = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
+    let run = run(&g, &RunConfig::new(16, EDISON.lacc_model())).unwrap();
     println!(
         "LACC (p=16): {} components in {} iterations, modeled {:.1} ms",
         run.num_components(),

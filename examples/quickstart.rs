@@ -10,7 +10,7 @@
 use lacc_suite::baselines::union_find_cc;
 use lacc_suite::graph::generators::community_graph;
 use lacc_suite::graph::unionfind::canonicalize_labels;
-use lacc_suite::lacc::{lacc_serial, run_distributed, LaccOpts};
+use lacc_suite::lacc::{lacc_serial, run, LaccOpts, RunConfig};
 
 fn main() {
     // A protein-similarity-like graph: 20k vertices, ~300 components.
@@ -33,7 +33,7 @@ fn main() {
     // 2. Distributed LACC on a simulated 2x2 process grid with the
     //    Edison machine model.
     let model = lacc_suite::dmsim::EDISON.lacc_model();
-    let dist = run_distributed(&g, 4, model, &LaccOpts::default()).unwrap();
+    let dist = run(&g, &RunConfig::new(4, model)).unwrap();
     println!(
         "distributed LACC (p=4): {} components, modeled {:.2} ms, wall {:.1} ms",
         dist.num_components(),

@@ -98,10 +98,10 @@ fn main() {
     );
 
     println!("\ndistributed on 16 simulated Edison nodes (modeled ms):");
-    let run = lacc::run_distributed(&g, 64, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
+    let run = lacc::run(&g, &lacc::RunConfig::new(64, EDISON.lacc_model())).unwrap();
     check(
         "LACC (p=64, 4 ranks/node)",
-        run.labels,
+        run.labels.clone(),
         run.modeled_total_s * 1e3,
         "ms (modeled)",
     );

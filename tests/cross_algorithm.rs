@@ -7,6 +7,16 @@ use lacc_suite::graph::unionfind::canonicalize_labels;
 use lacc_suite::graph::CsrGraph;
 use lacc_suite::lacc::{self, LaccOpts};
 
+/// `lacc::run` in the positional shape the zoo sweep reads naturally in.
+fn run_with(
+    g: &CsrGraph,
+    p: usize,
+    model: lacc_suite::dmsim::MachineModel,
+    opts: &LaccOpts,
+) -> Result<lacc::RunOutput, lacc_suite::dmsim::DmsimError> {
+    lacc::run(g, &lacc::RunConfig::new(p, model).with_opts(*opts))
+}
+
 fn zoo() -> Vec<(String, CsrGraph)> {
     vec![
         ("path_1000".into(), path_graph(1000)),
@@ -64,7 +74,7 @@ fn distributed_algorithms_agree() {
     for (name, g) in zoo() {
         let truth = b::union_find_cc(&g);
         let model = lacc_suite::dmsim::EDISON.lacc_model();
-        let run = lacc::run_distributed(&g, 4, model, &LaccOpts::default()).unwrap();
+        let run = run_with(&g, 4, model, &LaccOpts::default()).unwrap();
         assert_eq!(
             canonicalize_labels(&run.labels),
             truth,

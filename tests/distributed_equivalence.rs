@@ -9,7 +9,19 @@ use dmsim::AllToAll;
 use gblas::dist::DistOpts;
 use lacc_suite::dmsim::{CORI_KNL, EDISON};
 use lacc_suite::graph::generators::*;
-use lacc_suite::lacc::{lacc_serial, run_distributed, LaccOpts};
+use lacc_suite::graph::CsrGraph;
+use lacc_suite::lacc::{lacc_serial, LaccOpts, RunConfig, RunOutput};
+
+/// `lacc::run` in the positional shape the configuration matrix below
+/// reads naturally in.
+fn run_with(
+    g: &CsrGraph,
+    p: usize,
+    model: lacc_suite::dmsim::MachineModel,
+    opts: &LaccOpts,
+) -> Result<RunOutput, lacc_suite::dmsim::DmsimError> {
+    lacc_suite::lacc::run(g, &RunConfig::new(p, model).with_opts(*opts))
+}
 
 #[test]
 fn bit_identical_across_comm_configs() {
@@ -36,7 +48,7 @@ fn bit_identical_across_comm_configs() {
                     },
                     ..base
                 };
-                let run = run_distributed(&g, p, EDISON.lacc_model(), &opts).unwrap();
+                let run = run_with(&g, p, EDISON.lacc_model(), &opts).unwrap();
                 assert_eq!(run.labels, serial.labels, "p={p} algo={algo:?} hot={hot}");
             }
         }
@@ -50,8 +62,8 @@ fn machine_model_does_not_change_results() {
         permute: false,
         ..LaccOpts::default()
     };
-    let a = run_distributed(&g, 9, EDISON.lacc_model(), &opts).unwrap();
-    let b = run_distributed(&g, 9, CORI_KNL.flat_model(), &opts).unwrap();
+    let a = run_with(&g, 9, EDISON.lacc_model(), &opts).unwrap();
+    let b = run_with(&g, 9, CORI_KNL.flat_model(), &opts).unwrap();
     assert_eq!(a.labels, b.labels);
     // Modeled time must differ (KNL flat is slower per the model).
     assert!(b.modeled_total_s > a.modeled_total_s);
@@ -60,8 +72,8 @@ fn machine_model_does_not_change_results() {
 #[test]
 fn permutation_changes_work_not_answer() {
     let g = metagenome_graph(1500, 6, 0.01, 8);
-    let with = run_distributed(&g, 16, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
-    let without = run_distributed(
+    let with = run_with(&g, 16, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
+    let without = run_with(
         &g,
         16,
         EDISON.lacc_model(),
@@ -81,8 +93,8 @@ fn permutation_changes_work_not_answer() {
 #[test]
 fn dense_as_and_lacc_agree_distributed() {
     let g = erdos_renyi_gnm(700, 900, 17);
-    let a = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
-    let d = run_distributed(&g, 4, EDISON.lacc_model(), &LaccOpts::dense_as()).unwrap();
+    let a = run_with(&g, 4, EDISON.lacc_model(), &LaccOpts::default()).unwrap();
+    let d = run_with(&g, 4, EDISON.lacc_model(), &LaccOpts::dense_as()).unwrap();
     use lacc_suite::graph::unionfind::canonicalize_labels;
     assert_eq!(
         canonicalize_labels(&a.labels),
@@ -103,7 +115,7 @@ fn dense_as_and_lacc_agree_distributed() {
         ..DistOpts::default()
     };
     let g = community_graph(4000, 200, 3.0, 1.4, 3);
-    let a = run_distributed(
+    let a = run_with(
         &g,
         16,
         EDISON.lacc_model(),
@@ -113,7 +125,7 @@ fn dense_as_and_lacc_agree_distributed() {
         },
     )
     .unwrap();
-    let d = run_distributed(
+    let d = run_with(
         &g,
         16,
         EDISON.lacc_model(),

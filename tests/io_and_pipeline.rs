@@ -6,7 +6,17 @@ use lacc_suite::graph::permute::Permutation;
 use lacc_suite::graph::stats::ground_truth_labels;
 use lacc_suite::graph::unionfind::canonicalize_labels;
 use lacc_suite::graph::CsrGraph;
-use lacc_suite::lacc::{run_distributed, LaccOpts};
+use lacc_suite::lacc::{LaccOpts, RunConfig, RunOutput};
+
+/// `lacc::run` in the positional shape these pipelines read naturally in.
+fn run_with(
+    g: &CsrGraph,
+    p: usize,
+    model: lacc_suite::dmsim::MachineModel,
+    opts: &LaccOpts,
+) -> Result<RunOutput, lacc_suite::dmsim::DmsimError> {
+    lacc_suite::lacc::run(g, &RunConfig::new(p, model).with_opts(*opts))
+}
 
 #[test]
 fn matrix_market_to_lacc_pipeline() {
@@ -17,7 +27,7 @@ fn matrix_market_to_lacc_pipeline() {
     let el = io::read_matrix_market(&buf[..]).expect("read");
     let g2 = CsrGraph::from_edges(el);
     assert_eq!(g, g2, "MM roundtrip must preserve the graph");
-    let run = run_distributed(
+    let run = run_with(
         &g2,
         4,
         lacc_suite::dmsim::EDISON.lacc_model(),
@@ -42,7 +52,7 @@ fn permuted_pipeline_recovers_original_ids() {
     let perm = Permutation::random(400, 77);
     let h = perm.permute_graph(&g);
     // Solve on the permuted graph and map labels back.
-    let run = run_distributed(
+    let run = run_with(
         &h,
         9,
         lacc_suite::dmsim::EDISON.lacc_model(),

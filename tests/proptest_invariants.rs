@@ -11,6 +11,16 @@ use lacc_suite::graph::{CsrGraph, EdgeList};
 use lacc_suite::lacc::{self, LaccOpts};
 use proptest::prelude::*;
 
+/// `lacc::run` in the positional shape the properties read naturally in.
+fn run_with(
+    g: &CsrGraph,
+    p: usize,
+    model: lacc_suite::dmsim::MachineModel,
+    opts: &LaccOpts,
+) -> Result<lacc::RunOutput, lacc_suite::dmsim::DmsimError> {
+    lacc::run(g, &lacc::RunConfig::new(p, model).with_opts(*opts))
+}
+
 /// Arbitrary graph: up to `nmax` vertices and `mmax` random edges.
 fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = CsrGraph> {
     (1..nmax).prop_flat_map(move |n| {
@@ -65,8 +75,8 @@ proptest! {
     fn distributed_matches_serial_bitwise(g in arb_graph(80, 200)) {
         let opts = LaccOpts { permute: false, ..LaccOpts::default() };
         let serial = lacc::lacc_serial(&g, &opts);
-        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts).unwrap();
-        prop_assert_eq!(dist.labels, serial.labels);
+        let dist = run_with(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts).unwrap();
+        prop_assert_eq!(&dist.labels, &serial.labels);
     }
 
     #[test]
@@ -83,8 +93,8 @@ proptest! {
         opts.dist.kernel_threads = threads;
         opts.dist.spmv_threshold = threshold;
         let serial = lacc::lacc_serial(&g, &opts);
-        let dist = lacc::run_distributed(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts).unwrap();
-        prop_assert_eq!(dist.labels, serial.labels);
+        let dist = run_with(&g, 4, lacc_suite::dmsim::EDISON.lacc_model(), &opts).unwrap();
+        prop_assert_eq!(&dist.labels, &serial.labels);
     }
 
     #[test]
@@ -106,9 +116,9 @@ proptest! {
             ..LaccOpts::default()
         };
         let model = lacc_suite::dmsim::EDISON.lacc_model();
-        let narrow = lacc::run_distributed(
+        let narrow = run_with(
             &g, 4, model, &LaccOpts { index_width: IndexWidth::U32, ..base }).unwrap();
-        let wide = lacc::run_distributed(
+        let wide = run_with(
             &g, 4, model, &LaccOpts { index_width: IndexWidth::U64, ..base }).unwrap();
         prop_assert_eq!(&narrow.labels, &wide.labels);
         prop_assert_eq!(narrow.num_iterations(), wide.num_iterations());
