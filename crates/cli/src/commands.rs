@@ -18,7 +18,8 @@ pub const USAGE: &str = "usage:
                 [--dedup-requests true|false] [--combine-assigns true|false]
                 [--compress-ids true|false] [--bitmap-density F]
                 [--combine-in-flight true|false] [--fuse-starcheck true|false]
-                [--compress-values true|false] [--index-width u32|u64]
+                [--compress-values true|false] [--overlap true|false]
+                [--index-width u32|u64]
                 [--engine lacc|fastsv|labelprop|auto] [--canonical]
                 [--out labels.txt]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
@@ -165,8 +166,8 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
     let defaults = LaccOpts::default();
     // Range validation lives in the core builder (`lacc::options`), not
     // here: the CLI just forwards the raw values and surfaces OptsError.
-    // `run_distributed` still clamps kernel-threads so ranks × threads
-    // never exceeds the host's cores.
+    // `lacc::run` still clamps kernel-threads so ranks × threads never
+    // exceeds the host's cores.
     let opts = LaccOpts::builder()
         .kernel_threads(args.get_or("kernel-threads", defaults.dist.kernel_threads)?)
         .map_err(|e| e.to_string())?
@@ -183,6 +184,9 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         .combine_in_flight(args.get_or("combine-in-flight", defaults.dist.combine_in_flight)?)
         .fuse_starcheck(args.get_or("fuse-starcheck", defaults.dist.fuse_starcheck)?)
         .compress_values(args.get_or("compress-values", defaults.dist.compress_values)?)
+        // Non-blocking hot-path exchanges with compute/comm overlap credit
+        // (bit-identical labels and traffic either way).
+        .overlap(args.get_or("overlap", defaults.dist.overlap)?)
         // Index/label storage width: u32 (default) halves index memory and
         // wire bytes, u64 lifts the 2^32-vertex limit.
         .index_width(
@@ -673,6 +677,46 @@ mod tests {
             std::fs::read(&off).unwrap(),
             "combining changed the labels"
         );
+    }
+
+    #[test]
+    fn cc_dist_labels_identical_with_overlap_on_and_off() {
+        // The overlap CI smoke in miniature: non-blocking execution must
+        // not change a single output byte.
+        let dir = std::env::temp_dir().join("lacc-cli-test11");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n5 6\n6 7\n").unwrap();
+        let on = dir.join("on.txt").display().to_string();
+        let off = dir.join("off.txt").display().to_string();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--overlap",
+            "true",
+            "--out",
+            &on,
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--overlap",
+            "false",
+            "--out",
+            &off,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&on).unwrap(),
+            std::fs::read(&off).unwrap(),
+            "overlap changed the labels"
+        );
+        assert!(dispatch(&argv(&["cc-dist", &p, "--overlap", "maybe"])).is_err());
     }
 
     #[test]

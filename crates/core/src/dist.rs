@@ -205,6 +205,15 @@ pub fn run(g: &CsrGraph, cfg: &RunConfig) -> Result<RunOutput, DmsimError> {
     };
     let outs = run_spmd_traced(p, cfg.model, cfg.trace.as_ref(), spmd)?;
     let wall_s = wall_start.elapsed().as_secs_f64();
+    // Surface the resolved engine (and the Auto dispatcher's reasoning)
+    // as run-level trace metadata so Chrome-trace viewers show *why* this
+    // run looks the way it does, not just its spans.
+    if let Some(sink) = &cfg.trace {
+        sink.add_metadata("engine", outs[0].kind.name());
+        if let Some(rationale) = &outs[0].rationale {
+            sink.add_metadata("engine_rationale", rationale);
+        }
+    }
 
     let labels_permuted = outs[0].out.labels.clone().expect("rank 0 returns labels");
     let labels = match &perm {
@@ -788,6 +797,45 @@ mod tests {
         )
         .unwrap();
         assert!(sink.report().kind_time_s("engine_select") > 0.0);
+    }
+
+    #[test]
+    fn engine_metadata_recorded_in_trace() {
+        use dmsim::TraceLevel;
+        let g = rmat(8, 4, RmatParams::graph500(), 17);
+        // A fixed engine records its name but no rationale.
+        let sink = TraceSink::new(TraceLevel::Steps);
+        let opts = LaccOpts {
+            engine: EngineSelect::Fastsv,
+            ..LaccOpts::default()
+        };
+        run(
+            &g,
+            &RunConfig::new(4, model()).with_opts(opts).with_trace(&sink),
+        )
+        .unwrap();
+        let meta = sink.metadata();
+        assert!(meta.contains(&("engine".to_string(), "fastsv".to_string())));
+        assert!(meta.iter().all(|(k, _)| k != "engine_rationale"));
+        // Auto additionally records its rationale, and both surface as
+        // Chrome metadata events.
+        let sink = TraceSink::new(TraceLevel::Steps);
+        let opts = LaccOpts {
+            engine: EngineSelect::Auto,
+            ..LaccOpts::default()
+        };
+        let out = run(
+            &g,
+            &RunConfig::new(4, model()).with_opts(opts).with_trace(&sink),
+        )
+        .unwrap();
+        let rationale = out.rationale.clone().expect("Auto explains itself");
+        let meta = sink.metadata();
+        assert!(meta.contains(&("engine".to_string(), out.engine.name().to_string())));
+        assert!(meta.contains(&("engine_rationale".to_string(), rationale)));
+        let json = sink.chrome_trace_json();
+        assert!(json.contains("\"engine_rationale\""));
+        assert!(json.contains("\"ph\":\"M\""));
     }
 
     #[test]

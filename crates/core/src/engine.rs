@@ -35,8 +35,9 @@ use crate::stats::StepBreakdown;
 use crate::Vid;
 use dmsim::{Comm, EngineKind, Grid2d, SpanKind, WireWord};
 use gblas::dist::{
-    dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense, plan_requests,
-    DistMask, DistMat, DistOpts, DistSpVec, DistVec, FusedExtract, VecLayout,
+    dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense,
+    dist_mxv_dense_start, dist_mxv_start, plan_requests, DistMask, DistMat, DistOpts, DistSpVec,
+    DistVec, FusedExtract, VecLayout,
 };
 use gblas::{AndBool, MinUsize};
 use lacc_graph::stats::{bfs_eccentricity, degree_skew, prepass_seeds, PrepassStats};
@@ -385,6 +386,10 @@ fn starcheck_dist<I: Idx + WireWord>(
     active: &[bool],
     dist_opts: &DistOpts,
 ) -> u64 {
+    // The active scan, star reset and request build produce the
+    // grandparent extract's inputs elementwise, so the first exchange is
+    // window-credited for streaming behind them (see `DistOpts::overlap`).
+    let win = comm.overlap_window();
     let local_active: Vec<usize> = (0..active.len()).filter(|&o| active[o]).collect();
     for &o in &local_active {
         star.local_mut()[o] = true;
@@ -399,8 +404,11 @@ fn starcheck_dist<I: Idx + WireWord>(
         // Fused: one combining request exchange serves both reply phases
         // (the route is replayed). The parent-star phase reads `star`
         // *after* the demote assign, exactly as the unfused pair does.
-        let fx = FusedExtract::begin(comm, &plan);
-        let gfs = fx.extract(comm, f, &plan, dist_opts);
+        let (fx, gfs) = comm.overlap_from(win, dist_opts.overlap, |c| {
+            let fx = FusedExtract::begin(c, &plan);
+            let gfs = fx.extract(c, f, &plan, dist_opts);
+            (fx, gfs)
+        });
         let mut demote: Vec<(I, bool)> = Vec::new();
         for (&o, &gf) in local_active.iter().zip(&gfs) {
             if f.local()[o] != gf {
@@ -418,7 +426,9 @@ fn starcheck_dist<I: Idx + WireWord>(
         // Requests arrive once on this path; count them once.
         return fx.received();
     }
-    let (gfs, st1) = dist_extract_planned(comm, f, &plan, dist_opts);
+    let (gfs, st1) = comm.overlap_from(win, dist_opts.overlap, |c| {
+        dist_extract_planned(c, f, &plan, dist_opts)
+    });
     let mut demote: Vec<(I, bool)> = Vec::new();
     for (&o, &gf) in local_active.iter().zip(&gfs) {
         if f.local()[o] != gf {
@@ -492,10 +502,15 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
             };
             let use_dense = density >= opts.dense_threshold;
             rec.spmv_dense = use_dense;
-            let q: DistSpVec<(I, I), I> = if use_dense {
+            // The hooking mxv is *posted* (non-blocking): it runs now with
+            // identical messages and charges, and the handle refunds its
+            // hideable exchange time against the Lemma-1 candidate scan and
+            // request planning below, which read only start-of-iteration
+            // state and so genuinely overlap the exchange.
+            let qh = if use_dense {
                 let pairs: DistVec<(I, I)> =
                     DistVec::from_fn(layout, rank, |g| (f.get_local(g), f.get_local(g)));
-                dist_mxv_dense(
+                dist_mxv_dense_start(
                     ctx.comm,
                     &ctx.a,
                     &pairs,
@@ -514,7 +529,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                 // Adaptive dispatch (§V-A): even when the active fraction is
                 // below `dense_threshold`, the measured fill decides whether
                 // the local multiply runs SpMV- or SpMSpV-style.
-                dist_mxv(
+                dist_mxv_start(
                     ctx.comm,
                     &ctx.a,
                     &x,
@@ -523,12 +538,25 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     &opts.dist,
                 )
             };
+            // Lemma-1 candidates (active stars) and their extract plan
+            // depend only on `active`/`star`/`f` as of iteration start —
+            // computed while the posted mxv is in flight.
+            let lemma1 = opts.use_sparsity.then(|| {
+                let candidates: Vec<usize> = (0..chunk_len)
+                    .filter(|&o| active[o] && star.local()[o])
+                    .collect();
+                let reqs: Vec<I> = candidates.iter().map(|&o| f.local()[o]).collect();
+                ctx.comm.charge_compute(chunk_len as u64 + 1);
+                let plan = plan_requests(ctx.comm, layout, &reqs, &opts.dist);
+                (candidates, plan)
+            });
+            let q: DistSpVec<(I, I), I> = qh.wait(ctx.comm);
 
             // Converged-component tracking (Lemma 1, strengthened;
             // evaluated on the start-of-iteration state, same rule as
             // `crate::serial`).
             let mut newly_converged = 0u64;
-            if opts.use_sparsity {
+            if let Some((candidates, plan)) = &lemma1 {
                 let mut root_quiet: DistVec<bool> = DistVec::from_fn(layout, rank, |_| true);
                 let demote: Vec<(I, bool)> = q
                     .entries()
@@ -540,11 +568,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     .map(|&(v, _)| (f.get_local(v.idx()), false))
                     .collect();
                 dist_assign(ctx.comm, &mut root_quiet, &demote, AndBool, &opts.dist);
-                let candidates: Vec<usize> = (0..chunk_len)
-                    .filter(|&o| active[o] && star.local()[o])
-                    .collect();
-                let reqs: Vec<I> = candidates.iter().map(|&o| f.local()[o]).collect();
-                let (flags, st) = dist_extract(ctx.comm, &root_quiet, &reqs, &opts.dist);
+                let (flags, st) = dist_extract_planned(ctx.comm, &root_quiet, plan, &opts.dist);
                 rec.extract_received += st.received_requests;
                 for (&o, &quiet) in candidates.iter().zip(&flags) {
                     if quiet {
@@ -576,6 +600,10 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
 
             // --- Step 2: unconditional hooking ---
             let span = ctx.comm.span_open(SpanKind::UncondHook);
+            // The mxv input and mask are produced elementwise, so a real
+            // implementation streams the gather sends while this loop runs;
+            // the window credits the exchange for that pipelining.
+            let win = ctx.comm.overlap_window();
             let entries: Vec<(I, I)> = active
                 .iter()
                 .enumerate()
@@ -590,14 +618,17 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                 }
                 m
             };
-            let fn2 = dist_mxv(
-                ctx.comm,
-                &ctx.a,
-                &x,
-                DistMask::Keep(&mask_vec2),
-                MinUsize,
-                &opts.dist,
-            );
+            ctx.comm.charge_compute(2 * chunk_len as u64 + 1);
+            let fn2 = ctx.comm.overlap_from(win, opts.dist.overlap, |c| {
+                dist_mxv(
+                    c,
+                    &ctx.a,
+                    &x,
+                    DistMask::Keep(&mask_vec2),
+                    MinUsize,
+                    &opts.dist,
+                )
+            });
             let updates2: Vec<(I, I)> = fn2
                 .entries()
                 .iter()
@@ -613,11 +644,17 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
 
             // --- Step 3: shortcutting (active nonstars) ---
             let span = ctx.comm.span_open(SpanKind::Shortcut);
+            // The target scan produces the extract's requests elementwise —
+            // window-credited streaming, as in step 2.
+            let win = ctx.comm.overlap_window();
             let targets: Vec<usize> = (0..chunk_len)
                 .filter(|&o| active[o] && !star.local()[o])
                 .collect();
             let reqs: Vec<I> = targets.iter().map(|&o| f.local()[o]).collect();
-            let (gfs, st) = dist_extract(ctx.comm, &f, &reqs, &opts.dist);
+            ctx.comm.charge_compute(chunk_len as u64 + 1);
+            let (gfs, st) = ctx.comm.overlap_from(win, opts.dist.overlap, |c| {
+                dist_extract(c, &f, &reqs, &opts.dist)
+            });
             rec.extract_received += st.received_requests;
             for (&o, &gf) in targets.iter().zip(&gfs) {
                 if f.local()[o] != gf {
@@ -731,6 +768,14 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
             rec.cond_changed = dist_assign(ctx.comm, &mut f, &hooks, MinUsize, &opts.dist).0 as u64;
             rec.modeled.cond_s += ctx.comm.span_close(span);
 
+            // The grandparent-refresh exchange below pipelines behind the
+            // aggressive-hooking and shortcutting loops: both are
+            // elementwise over f, so a real implementation streams the
+            // refresh requests for early elements while later elements
+            // still compute. The window measures that compute and credits
+            // the exchange for it (when `DistOpts::overlap` is on).
+            let win = ctx.comm.overlap_window();
+
             // Aggressive hooking: f[u] ← min(f[u], fn[u]) (local).
             let span = ctx.comm.span_open(SpanKind::UncondHook);
             for &(u, m) in fn_vec.entries() {
@@ -758,7 +803,9 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
             let span = ctx.comm.span_open(SpanKind::Starcheck);
             let reqs: Vec<I> = f.local().to_vec();
             let plan = plan_requests(ctx.comm, f.layout(), &reqs, &opts.dist);
-            let (new_gf, st) = dist_extract_planned(ctx.comm, &f, &plan, &opts.dist);
+            let (new_gf, st) = ctx.comm.overlap_from(win, opts.dist.overlap, |c| {
+                dist_extract_planned(c, &f, &plan, &opts.dist)
+            });
             rec.extract_received += st.received_requests;
             let mut gf_changed = 0u64;
             for (o, &val) in new_gf.iter().enumerate() {

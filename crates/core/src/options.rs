@@ -249,7 +249,8 @@ impl LaccOptsBuilder {
     }
 
     /// Worker threads for the local multiply kernels. Must be at least 1
-    /// (`run_distributed` additionally clamps to the host core budget).
+    /// ([`crate::run`] additionally clamps to the host core budget via
+    /// [`LaccOpts::kernel_threads_for`]).
     pub fn kernel_threads(mut self, t: usize) -> Result<Self, OptsError> {
         if t == 0 {
             return Err(OptsError::new("kernel-threads", "must be at least 1"));
@@ -363,6 +364,16 @@ impl LaccOptsBuilder {
         self
     }
 
+    /// Enables or disables compute/communication overlap: hot-path
+    /// exchanges are posted non-blocking and the modeled clock is refunded
+    /// for exchange time hidden behind independent local compute. Results
+    /// and traffic are bit-identical either way (see
+    /// [`gblas::dist::DistOpts::overlap`]).
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.opts.dist.overlap = on;
+        self
+    }
+
     /// Unique-offsets-per-span density at or above which a compressed
     /// bucket may use the bitmap encoding. Must be a finite value in
     /// `0.0..=1.0` (`0.0` always allows the bitmap, `1.0` effectively
@@ -461,6 +472,7 @@ mod tests {
             .combine_in_flight(false)
             .fuse_starcheck(false)
             .compress_values(false)
+            .overlap(false)
             .bitmap_density(0.125)
             .unwrap()
             .dedup_hash_threshold(512)
@@ -484,6 +496,7 @@ mod tests {
         assert!(!o.dist.combine_in_flight);
         assert!(!o.dist.fuse_starcheck);
         assert!(!o.dist.compress_values);
+        assert!(!o.dist.overlap);
         assert_eq!(o.dist.compress_bitmap_density, 0.125);
         assert_eq!(o.dist.dedup_hash_threshold, 512);
     }
@@ -548,8 +561,10 @@ mod tests {
         assert!(!o.dist.combine_in_flight);
         assert!(!o.dist.fuse_starcheck);
         assert!(!o.dist.compress_values);
+        assert!(!o.dist.overlap, "naive baseline runs strictly blocking");
         let d = LaccOpts::default();
         assert!(d.dist.dedup_requests && d.dist.combine_assigns && d.dist.compress_ids);
         assert!(d.dist.combine_in_flight && d.dist.fuse_starcheck && d.dist.compress_values);
+        assert!(d.dist.overlap, "overlap is part of the optimized default");
     }
 }

@@ -10,8 +10,8 @@
 //! span around each LACC step and records the modeled seconds the close
 //! returns, instead of hand-differencing clock snapshots. Full span
 //! streams (per rank, with nesting down to individual collectives) are
-//! available through [`dmsim::TraceSink`] via
-//! [`crate::run_distributed_traced`].
+//! available through [`dmsim::TraceSink`] via [`crate::run`] with
+//! [`crate::RunConfig::with_trace`].
 
 use crate::Vid;
 

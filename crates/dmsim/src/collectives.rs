@@ -24,7 +24,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops double as rank ids here
 
-use crate::comm::{bytes_of, words_of, Comm, Group, PooledBuf};
+use crate::comm::{bytes_of, words_of, Comm, CommHandle, Group, PooledBuf};
 use crate::trace::SpanKind;
 use crate::wire::{self, WireWord};
 
@@ -547,18 +547,18 @@ const FROM_SELF: u8 = 1;
 const FROM_PARTNER: u8 = 2;
 
 /// One forward round of a recorded [`Comm::combining_requests`] route.
-struct CombineHop {
+struct CombineHop<K> {
     /// In-flight entries held here after the round, sorted by
     /// (destination, key) and flagged with where each copy came from.
     /// Both flags set marks a merge fork: the reply duplicates there.
-    table: Vec<(u32, u64, u8)>,
+    table: Vec<(u32, K, u8)>,
     /// Sorted (destination, key) entries forwarded to the partner this
     /// round; the partner's reply stream aligns with this list.
-    sent: Vec<(u32, u64)>,
+    sent: Vec<(u32, K)>,
     /// Keys that reached their destination (this rank) this round. The
     /// same key can arrive in several rounds via unmerged branches; each
     /// arrival gets its own reply.
-    delivered: Vec<u64>,
+    delivered: Vec<K>,
 }
 
 /// Recorded forward route of a [`Comm::combining_requests`] exchange.
@@ -569,45 +569,54 @@ struct CombineHop {
 /// merge fork, until each origin holds the answers to exactly its own
 /// requests. The route can be replayed for any number of reply phases —
 /// that is what fuses starcheck's two extracts into one exchange.
-pub struct CombineRoute {
+///
+/// Generic over the key type `K` ([`WireWord`] + `Ord`): the key streams
+/// ride the wire as value-based delta varints either way, but the raw
+/// pairwise fallback and charge accounting use `K`'s true width, so a
+/// `u32`-indexed run no longer pays `u64` key freight.
+pub struct CombineRoute<K = u64> {
     q: usize,
     /// Power-of-two groups route through the hypercube; otherwise the
     /// exchange fell back to pairwise and `incoming` drives replies.
     hypercube: bool,
-    hops: Vec<CombineHop>,
+    hops: Vec<CombineHop<K>>,
     /// Keys this rank requested of itself (never wired).
-    self_keys: Vec<u64>,
+    self_keys: Vec<K>,
     /// Per-destination sorted unique keys this rank requested.
-    my_keys: Vec<Vec<u64>>,
+    my_keys: Vec<Vec<K>>,
     /// Sorted unique keys delivered to this rank (it owns the answers).
-    delivered_keys: Vec<u64>,
+    delivered_keys: Vec<K>,
     /// Pairwise fallback only: per-source sorted unique keys received.
-    incoming: Vec<Vec<u64>>,
+    incoming: Vec<Vec<K>>,
 }
 
-impl CombineRoute {
+impl<K> CombineRoute<K> {
     /// Sorted unique keys delivered to this rank; `values[i]` passed to
     /// [`Comm::combining_replies`] must answer `delivered_keys()[i]`.
-    pub fn delivered_keys(&self) -> &[u64] {
+    pub fn delivered_keys(&self) -> &[K] {
         &self.delivered_keys
     }
 
     /// Per-destination sorted unique keys this rank requested; replies
     /// come back aligned with these lists.
-    pub fn my_keys(&self) -> &[Vec<u64>] {
+    pub fn my_keys(&self) -> &[Vec<K>] {
         &self.my_keys
     }
 }
 
 /// Sorts a `(key, payload)` bucket by key (stable, so earlier entries
 /// fold first) and merges adjacent equal keys. Returns entries removed.
-fn merge_bucket<P, M: FnMut(&mut P, P)>(b: &mut Vec<(u64, P)>, merge: &mut M) -> usize {
+fn merge_bucket<K, P, M>(b: &mut Vec<(K, P)>, merge: &mut M) -> usize
+where
+    K: Ord + Copy,
+    M: FnMut(&mut P, P),
+{
     if b.len() <= 1 {
         return 0;
     }
     b.sort_by_key(|&(k, _)| k);
     let before = b.len();
-    let mut out: Vec<(u64, P)> = Vec::with_capacity(b.len());
+    let mut out: Vec<(K, P)> = Vec::with_capacity(b.len());
     for (k, p) in b.drain(..) {
         match out.last_mut() {
             Some(last) if last.0 == k => merge(&mut last.1, p),
@@ -619,13 +628,17 @@ fn merge_bucket<P, M: FnMut(&mut P, P)>(b: &mut Vec<(u64, P)>, merge: &mut M) ->
 }
 
 /// [`merge_bucket`] over an in-flight pool keyed by (destination, key).
-fn merge_pool<P, M: FnMut(&mut P, P)>(pool: &mut Vec<(u32, u64, P)>, merge: &mut M) -> usize {
+fn merge_pool<K, P, M>(pool: &mut Vec<(u32, K, P)>, merge: &mut M) -> usize
+where
+    K: Ord + Copy,
+    M: FnMut(&mut P, P),
+{
     if pool.len() <= 1 {
         return 0;
     }
     pool.sort_by_key(|&(d, k, _)| (d, k));
     let before = pool.len();
-    let mut out: Vec<(u32, u64, P)> = Vec::with_capacity(pool.len());
+    let mut out: Vec<(u32, K, P)> = Vec::with_capacity(pool.len());
     for (d, k, p) in pool.drain(..) {
         match out.last_mut() {
             Some(last) if last.0 == d && last.1 == k => merge(&mut last.2, p),
@@ -655,19 +668,20 @@ impl Comm {
     /// Words merged away after the first receive are credited to
     /// [`crate::cost::CostSnapshot::combined_words`] (observational: the
     /// clock already reflects the smaller forwarded payloads).
-    pub fn alltoallv_combining<T, K, M>(
+    pub fn alltoallv_combining<T, K, KF, M>(
         &mut self,
         g: &Group,
         bufs: Vec<Vec<T>>,
-        key_of: K,
+        key_of: KF,
         mut merge: M,
     ) -> Vec<T>
     where
         T: Send + 'static,
-        K: Fn(&T) -> u64,
+        K: WireWord + Ord + Copy + Send + 'static,
+        KF: Fn(&T) -> K,
         M: FnMut(&mut T, T),
     {
-        let keyed: Vec<Vec<(u64, T)>> = bufs
+        let keyed: Vec<Vec<(K, T)>> = bufs
             .into_iter()
             .map(|b| b.into_iter().map(|t| (key_of(&t), t)).collect())
             .collect();
@@ -682,13 +696,14 @@ impl Comm {
     /// a key merged through `merge` — in flight on power-of-two groups
     /// (see [`Comm::alltoallv_combining`]). Returns the merged pairs
     /// sorted by key.
-    pub fn reduce_scatter_by_key<T, M>(
+    pub fn reduce_scatter_by_key<K, T, M>(
         &mut self,
         g: &Group,
-        bufs: Vec<Vec<(u64, T)>>,
+        bufs: Vec<Vec<(K, T)>>,
         mut merge: M,
-    ) -> Vec<(u64, T)>
+    ) -> Vec<(K, T)>
     where
+        K: WireWord + Ord + Copy + Send + 'static,
         T: Send + 'static,
         M: FnMut(&mut T, T),
     {
@@ -698,22 +713,23 @@ impl Comm {
         out
     }
 
-    fn combining_exchange<P, M>(
+    fn combining_exchange<K, P, M>(
         &mut self,
         g: &Group,
-        mut bufs: Vec<Vec<(u64, P)>>,
+        mut bufs: Vec<Vec<(K, P)>>,
         merge: &mut M,
-    ) -> Vec<(u64, P)>
+    ) -> Vec<(K, P)>
     where
+        K: WireWord + Ord + Copy + Send + 'static,
         P: Send + 'static,
         M: FnMut(&mut P, P),
     {
         let q = g.size();
         assert_eq!(bufs.len(), q, "one bucket per group member");
         let me = g.my_index();
-        let mut mine: Vec<(u64, P)> = std::mem::take(&mut bufs[me]);
+        let mut mine: Vec<(K, P)> = std::mem::take(&mut bufs[me]);
         if q > 1 && q.is_power_of_two() {
-            let mut pool: Vec<(u32, u64, P)> = bufs
+            let mut pool: Vec<(u32, K, P)> = bufs
                 .into_iter()
                 .enumerate()
                 .filter(|(k, _)| *k != me)
@@ -733,7 +749,7 @@ impl Comm {
                     .partition(|&(dest, _, _)| (dest as usize) & bit != me & bit);
                 // Per-destination wire buckets: delta-varint key stream +
                 // the payloads aligned with it.
-                let mut buckets: Vec<(u32, Vec<u64>, Vec<P>)> = Vec::new();
+                let mut buckets: Vec<(u32, Vec<K>, Vec<P>)> = Vec::new();
                 for (dest, key, p) in send_pool {
                     match buckets.last_mut() {
                         Some(b) if b.0 == dest => {
@@ -748,7 +764,7 @@ impl Comm {
                 let wire_msg: Vec<(u32, Vec<u8>, Vec<P>)> = buckets
                     .into_iter()
                     .map(|(dest, keys, ps)| {
-                        let bytes = wire::encode_keys(&keys);
+                        let bytes = wire::encode_keys_for::<K>(&keys);
                         w += 2 + words_of::<u8>(bytes.len()) + words_of::<P>(ps.len());
                         b += 16 + bytes_of::<u8>(bytes.len()) + bytes_of::<P>(ps.len());
                         (dest, bytes, ps)
@@ -758,7 +774,7 @@ impl Comm {
                 pool = keep;
                 let incoming: Vec<(u32, Vec<u8>, Vec<P>)> = self.recv(partner);
                 for (dest, bytes, ps) in incoming {
-                    let keys = wire::decode_keys(&bytes);
+                    let keys = wire::decode_keys_for::<K>(&bytes);
                     debug_assert_eq!(keys.len(), ps.len());
                     if dest as usize == me {
                         mine.extend(keys.into_iter().zip(ps));
@@ -799,7 +815,10 @@ impl Comm {
     /// rank must answer `route.delivered_keys()` and can then scatter any
     /// number of reply phases back over the same route with
     /// [`Comm::combining_replies`].
-    pub fn combining_requests(&mut self, g: &Group, mut bufs: Vec<Vec<u64>>) -> CombineRoute {
+    pub fn combining_requests<K>(&mut self, g: &Group, mut bufs: Vec<Vec<K>>) -> CombineRoute<K>
+    where
+        K: WireWord + Ord + Copy + Send + 'static,
+    {
         let q = g.size();
         assert_eq!(bufs.len(), q, "one key bucket per group member");
         let me = g.my_index();
@@ -812,13 +831,13 @@ impl Comm {
         let my_keys = bufs;
         let self_keys = my_keys[me].clone();
         let mut delivered_keys = self_keys.clone();
-        let mut hops: Vec<CombineHop> = Vec::new();
-        let mut incoming_lists: Vec<Vec<u64>> = Vec::new();
+        let mut hops: Vec<CombineHop<K>> = Vec::new();
+        let mut incoming_lists: Vec<Vec<K>> = Vec::new();
         let hypercube = q > 1 && q.is_power_of_two();
         if hypercube {
             // Built in destination order from sorted buckets, so the pool
             // starts (and stays) sorted by (destination, key).
-            let mut pool: Vec<(u32, u64)> = my_keys
+            let mut pool: Vec<(u32, K)> = my_keys
                 .iter()
                 .enumerate()
                 .filter(|(k, _)| *k != me)
@@ -829,10 +848,10 @@ impl Comm {
             for bit_idx in 0..rounds {
                 let bit = 1usize << bit_idx;
                 let partner = g.member(me ^ bit);
-                let (sent, keep): (Vec<(u32, u64)>, Vec<_>) = pool
+                let (sent, keep): (Vec<(u32, K)>, Vec<_>) = pool
                     .into_iter()
                     .partition(|&(dest, _)| (dest as usize) & bit != me & bit);
-                let mut buckets: Vec<(u32, Vec<u64>)> = Vec::new();
+                let mut buckets: Vec<(u32, Vec<K>)> = Vec::new();
                 for &(dest, key) in &sent {
                     match buckets.last_mut() {
                         Some(b) if b.0 == dest => b.1.push(key),
@@ -844,7 +863,7 @@ impl Comm {
                 let wire_msg: Vec<(u32, Vec<u8>)> = buckets
                     .into_iter()
                     .map(|(dest, keys)| {
-                        let bytes = wire::encode_keys(&keys);
+                        let bytes = wire::encode_keys_for::<K>(&keys);
                         w += 2 + words_of::<u8>(bytes.len());
                         b += 16 + bytes_of::<u8>(bytes.len());
                         (dest, bytes)
@@ -852,11 +871,11 @@ impl Comm {
                     .collect();
                 self.send_counted_bytes(partner, wire_msg, w, b);
                 let incoming: Vec<(u32, Vec<u8>)> = self.recv(partner);
-                let mut delivered_round: Vec<u64> = Vec::new();
-                let mut merged: Vec<(u32, u64, u8)> =
+                let mut delivered_round: Vec<K> = Vec::new();
+                let mut merged: Vec<(u32, K, u8)> =
                     keep.iter().map(|&(d, k)| (d, k, FROM_SELF)).collect();
                 for (dest, bytes) in incoming {
-                    let keys = wire::decode_keys(&bytes);
+                    let keys = wire::decode_keys_for::<K>(&bytes);
                     if dest as usize == me {
                         delivered_round = keys;
                     } else {
@@ -865,7 +884,7 @@ impl Comm {
                 }
                 merged.sort_unstable_by_key(|&(d, k, _)| (d, k));
                 let before = merged.len();
-                let mut table: Vec<(u32, u64, u8)> = Vec::with_capacity(merged.len());
+                let mut table: Vec<(u32, K, u8)> = Vec::with_capacity(merged.len());
                 for (d, k, f) in merged {
                     match table.last_mut() {
                         Some(last) if last.0 == d && last.1 == k => last.2 |= f,
@@ -919,14 +938,15 @@ impl Comm {
     /// be called repeatedly on one route — later phases reuse the paid-for
     /// forward exchange, which is how the fused starcheck serves two
     /// vectors for one request scatter.
-    pub fn combining_replies<T>(
+    pub fn combining_replies<K, T>(
         &mut self,
         g: &Group,
-        route: &CombineRoute,
+        route: &CombineRoute<K>,
         values: &[T],
         compress: bool,
-    ) -> Vec<Vec<(u64, T)>>
+    ) -> Vec<Vec<(K, T)>>
     where
+        K: WireWord + Ord + Copy + Send + 'static,
         T: WireWord + Send + 'static,
     {
         let q = g.size();
@@ -938,26 +958,26 @@ impl Comm {
         );
         let me = g.my_index();
         let span = self.span_open(SpanKind::AlltoallvCombining);
-        let value_of = |k: u64| -> T {
+        let value_of = |k: K| -> T {
             let i = route
                 .delivered_keys
                 .binary_search(&k)
                 .expect("replied key was delivered here");
             values[i]
         };
-        let mut out: Vec<Vec<(u64, T)>> = (0..q).map(|_| Vec::new()).collect();
+        let mut out: Vec<Vec<(K, T)>> = (0..q).map(|_| Vec::new()).collect();
         if route.hypercube {
             // Invariant: entering reverse round i, `cur` holds the replies
             // for exactly the entries this rank held in flight after
             // forward round i (hops[i].table) — empty at the last round,
             // since every request had reached its destination by then.
-            let mut output: Vec<(u32, u64, T)> = Vec::new();
-            let mut cur: Vec<(u32, u64, T)> = Vec::new();
+            let mut output: Vec<(u32, K, T)> = Vec::new();
+            let mut cur: Vec<(u32, K, T)> = Vec::new();
             for (i, hop) in route.hops.iter().enumerate().rev() {
                 let bit = 1usize << i;
                 let partner = g.member(me ^ bit);
-                let mut send: Vec<(u32, u64, T)> = Vec::new();
-                let mut next: Vec<(u32, u64, T)> = Vec::new();
+                let mut send: Vec<(u32, K, T)> = Vec::new();
+                let mut next: Vec<(u32, K, T)> = Vec::new();
                 for &(d, k, v) in &cur {
                     let idx = hop
                         .table
@@ -1085,6 +1105,54 @@ impl Comm {
         } else {
             self.recv(src)
         }
+    }
+
+    /// Non-blocking [`Comm::alltoallv`]: posts the exchange and returns a
+    /// [`CommHandle`] whose [`CommHandle::wait`] yields the received
+    /// buckets. Charges are identical to the blocking call; with `on` the
+    /// handle's hideable exchange time can be credited against local
+    /// compute charged between post and wait (see [`Comm::post`]).
+    pub fn ialltoallv<T: Send + 'static>(
+        &mut self,
+        g: &Group,
+        bufs: Vec<Vec<T>>,
+        algo: AllToAll,
+        on: bool,
+    ) -> CommHandle<Vec<Vec<T>>> {
+        self.post(on, |c| c.alltoallv(g, bufs, algo))
+    }
+
+    /// Non-blocking [`Comm::allreduce_counted`]; see [`Comm::ialltoallv`]
+    /// for the handle semantics.
+    pub fn iallreduce<T, F>(
+        &mut self,
+        g: &Group,
+        val: T,
+        words: u64,
+        op: F,
+        on: bool,
+    ) -> CommHandle<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.post(on, |c| c.allreduce_counted(g, val, words, op))
+    }
+
+    /// Non-blocking [`Comm::combining_requests`]: posts the forward
+    /// request exchange; [`CommHandle::wait`] yields the recorded
+    /// [`CombineRoute`] for the reply phases. See [`Comm::ialltoallv`]
+    /// for the handle semantics.
+    pub fn combining_requests_start<K>(
+        &mut self,
+        g: &Group,
+        bufs: Vec<Vec<K>>,
+        on: bool,
+    ) -> CommHandle<CombineRoute<K>>
+    where
+        K: WireWord + Ord + Copy + Send + 'static,
+    {
+        self.post(on, |c| c.combining_requests(g, bufs))
     }
 }
 
@@ -1565,6 +1633,114 @@ mod tests {
         let plain = words_sent(false);
         let combining = words_sent(true);
         assert!(combining < plain, "combining={combining} plain={plain}");
+    }
+
+    #[test]
+    fn narrow_keyed_requests_match_wide() {
+        // The combining route is key-width generic: a u32-keyed exchange
+        // must produce the same (value-equal) replies as the u64 one, on
+        // both the hypercube path and the pairwise fallback.
+        for p in [3usize, 8] {
+            let bufs_wide = move |p: usize| -> Vec<Vec<u64>> {
+                (0..p)
+                    .map(|d| (0..8).map(|j| (d * 100 + j) as u64).collect())
+                    .collect()
+            };
+            let wide = run_spmd(p, move |c| {
+                let w = c.world();
+                let route = c.combining_requests(&w, bufs_wide(p));
+                let values: Vec<u64> = route.delivered_keys().iter().map(|&k| k * 3).collect();
+                c.combining_replies(&w, &route, &values, false)
+            })
+            .unwrap();
+            let narrow = run_spmd(p, move |c| {
+                let w = c.world();
+                let bufs: Vec<Vec<u32>> = bufs_wide(p)
+                    .into_iter()
+                    .map(|b| b.into_iter().map(|k| k as u32).collect())
+                    .collect();
+                let route = c.combining_requests(&w, bufs);
+                let values: Vec<u32> = route.delivered_keys().iter().map(|&k| k * 3).collect();
+                c.combining_replies(&w, &route, &values, false)
+            })
+            .unwrap();
+            for (me, (w64, w32)) in wide.into_iter().zip(narrow).enumerate() {
+                let widened: Vec<Vec<(u64, u64)>> = w32
+                    .into_iter()
+                    .map(|pairs| {
+                        pairs
+                            .into_iter()
+                            .map(|(k, v)| (u64::from(k), u64::from(v)))
+                            .collect()
+                    })
+                    .collect();
+                assert_eq!(widened, w64, "p={p} me={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_keys_cost_less_on_the_pairwise_fallback() {
+        // On non-power-of-two groups the keys travel as raw vectors, so
+        // the declared key width is the wire width: u32 must move fewer
+        // words than u64. (On the hypercube path both widths encode to
+        // identical delta-varint streams.)
+        let words = |wide: bool| {
+            let out = run_spmd_with_model(3, EDISON.lacc_model(), move |c| {
+                let w = c.world();
+                if wide {
+                    let bufs: Vec<Vec<u64>> = (0..3)
+                        .map(|d| (0..64).map(|j| (d * 1000 + j) as u64).collect())
+                        .collect();
+                    let route = c.combining_requests(&w, bufs);
+                    let values: Vec<u64> = route.delivered_keys().to_vec();
+                    c.combining_replies(&w, &route, &values, false);
+                } else {
+                    let bufs: Vec<Vec<u32>> = (0..3)
+                        .map(|d| (0..64).map(|j| (d * 1000 + j) as u32).collect())
+                        .collect();
+                    let route = c.combining_requests(&w, bufs);
+                    let values: Vec<u32> = route.delivered_keys().to_vec();
+                    c.combining_replies(&w, &route, &values, false);
+                }
+                c.snapshot().words_sent
+            })
+            .unwrap();
+            out.iter().sum::<u64>()
+        };
+        let wide = words(true);
+        let narrow = words(false);
+        assert!(narrow < wide, "narrow={narrow} wide={wide}");
+    }
+
+    #[test]
+    fn icollectives_match_blocking_results() {
+        let out = run_spmd(4, |c| {
+            let w = c.world();
+            let me = c.rank();
+            let h = c.ialltoallv(&w, alltoall_inputs(4, me), AllToAll::Sparse, true);
+            c.charge_compute(50);
+            let a2a = h.wait(c);
+            let h = c.iallreduce(&w, me as u64, 1, |a, b| a + b, true);
+            c.charge_compute(50);
+            let sum = h.wait(c);
+            let bufs: Vec<Vec<u64>> = (0..4).map(|d| vec![(d * 10) as u64]).collect();
+            let h = c.combining_requests_start(&w, bufs, true);
+            c.charge_compute(50);
+            let route = h.wait(c);
+            let values: Vec<u64> = route.delivered_keys().iter().map(|&k| k + 1).collect();
+            let replies = c.combining_replies(&w, &route, &values, false);
+            (a2a, sum, replies)
+        })
+        .unwrap();
+        for (me, (a2a, sum, replies)) in out.into_iter().enumerate() {
+            assert_eq!(a2a, expected_alltoall(4, me));
+            assert_eq!(sum, 6);
+            for (d, pairs) in replies.into_iter().enumerate() {
+                let k = (d * 10) as u64;
+                assert_eq!(pairs, vec![(k, k + 1)]);
+            }
+        }
     }
 
     #[test]

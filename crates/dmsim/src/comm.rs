@@ -214,6 +214,84 @@ impl Group {
     }
 }
 
+/// Handle to a posted non-blocking operation (see [`Comm::post`]).
+///
+/// The simulator executes the operation *eagerly* at post time — the
+/// message pattern, payloads, and α-β charges are exactly those of the
+/// blocking call, so results and traffic counters cannot depend on the
+/// overlap flag. What the handle defers is the *clock*: it remembers how
+/// much of the operation's charged time was hideable exchange time
+/// (β transfers and synchronization waits; α posts and the operation's
+/// own local compute are not hideable), and [`CommHandle::wait`] credits
+/// back `min(hideable, time elapsed since the post)` — the portion of
+/// the exchange that genuinely ran behind the caller's local work. The
+/// credit is subtracted from the clock and accumulated in
+/// [`CostSnapshot::overlap_hidden_s`]; the clock never rewinds past the
+/// post-time completion point, so causality (message arrival stamps,
+/// downstream receives) is preserved.
+#[must_use = "a posted operation must be completed with wait()"]
+pub struct CommHandle<T> {
+    value: Option<T>,
+    hideable_s: f64,
+    /// The rank clock at (eager) completion of the posted operation.
+    post_clock_s: f64,
+}
+
+impl<T> CommHandle<T> {
+    /// Whether enough local work has elapsed since the post for the whole
+    /// hideable portion to be hidden — i.e. `wait` would apply the full
+    /// credit and return immediately in a real implementation.
+    pub fn test(&self, comm: &Comm) -> bool {
+        comm.clock_s() - self.post_clock_s >= self.hideable_s
+    }
+
+    /// The hideable exchange seconds recorded at post time (0 when the
+    /// operation was posted with overlap disabled).
+    pub fn hideable_s(&self) -> f64 {
+        self.hideable_s
+    }
+
+    /// Borrows the operation's (eagerly computed) result without
+    /// completing it. This models *streaming consumption*: a real
+    /// non-blocking implementation hands received fragments to the
+    /// consumer as they arrive, so compute that processes the payload can
+    /// run while the tail of the transfer is still in flight. Charge that
+    /// compute between [`Comm::post`] and [`CommHandle::wait`] and the
+    /// wait credits the hidden portion back to the clock.
+    pub fn peek(&self) -> &T {
+        self.value
+            .as_ref()
+            .expect("handle holds the result until wait")
+    }
+
+    /// Completes the operation: credits `min(hideable, elapsed since
+    /// post)` back to the clock (recorded in
+    /// [`CostSnapshot::overlap_hidden_s`] and as a
+    /// [`SpanKind::Overlap`] span) and returns the operation's result.
+    pub fn wait(mut self, comm: &mut Comm) -> T {
+        let elapsed = (comm.snap.clock_s - self.post_clock_s).max(0.0);
+        let credit = elapsed.min(self.hideable_s);
+        comm.apply_overlap_credit(credit);
+        self.value
+            .take()
+            .expect("handle holds the result until wait")
+    }
+}
+
+/// Token marking the start of a local-compute window whose time may hide
+/// a *later* exchange (see [`Comm::overlap_window`] /
+/// [`Comm::overlap_from`]). The mirror image of [`CommHandle`]: instead
+/// of posting the exchange first and overlapping compute after it, the
+/// compute runs first and the exchange that follows is credited against
+/// it. This fits pipelined loops where iteration `i`'s exchange can only
+/// be *initiated* after data from iteration `i−1` is final, but its
+/// transfer time would, in a real non-blocking implementation, progress
+/// while the preceding independent compute was still running.
+#[must_use = "an overlap window is only useful if passed to overlap_from"]
+pub struct OverlapWindow {
+    start_clock_s: f64,
+}
+
 /// Per-rank handle to the simulated machine: messaging, collectives
 /// (see [`crate::collectives`]), cost accounting, and span tracing
 /// (see [`crate::trace`]).
@@ -505,6 +583,102 @@ impl Comm {
                 env.bytes,
                 env.payload,
             ));
+        }
+    }
+
+    /// Posts `op` as a non-blocking operation and returns a
+    /// [`CommHandle`] for it.
+    ///
+    /// The operation runs *eagerly* (identical messages, payloads, and
+    /// α-β charges whether `on` is set or not — results can never depend
+    /// on the overlap flag); the handle records how much of its charged
+    /// time is hideable exchange time:
+    ///
+    /// ```text
+    /// hideable = max(0, Δclock − Δcompute − α·Δmessages)
+    /// ```
+    ///
+    /// i.e. β transfer time plus synchronization waits, excluding the α
+    /// message posts (initiation stays on the critical path) and the
+    /// operation's own local compute (compute cannot hide behind
+    /// compute). With `on == false` the hideable time is pinned to zero,
+    /// so [`CommHandle::wait`] is a no-op on the clock — the single code
+    /// path both modes share is what makes bit-identity trivial.
+    pub fn post<T>(&mut self, on: bool, op: impl FnOnce(&mut Comm) -> T) -> CommHandle<T> {
+        let clock0 = self.snap.clock_s;
+        let compute0 = self.snap.compute_s;
+        let msgs0 = self.snap.messages_sent;
+        let value = op(self);
+        let hideable_s = if on {
+            let d_clock = self.snap.clock_s - clock0;
+            let d_compute = self.snap.compute_s - compute0;
+            let d_alpha = self.model.alpha * (self.snap.messages_sent - msgs0) as f64;
+            (d_clock - d_compute - d_alpha).max(0.0)
+        } else {
+            0.0
+        };
+        CommHandle {
+            value: Some(value),
+            hideable_s,
+            post_clock_s: self.snap.clock_s,
+        }
+    }
+
+    /// Opens an overlap window at the current clock: independent local
+    /// compute charged from here on can hide a later exchange run through
+    /// [`Comm::overlap_from`]. See [`OverlapWindow`].
+    pub fn overlap_window(&self) -> OverlapWindow {
+        OverlapWindow {
+            start_clock_s: self.snap.clock_s,
+        }
+    }
+
+    /// Runs `op` (typically an exchange) and credits its hideable time —
+    /// same `max(0, Δclock − Δcompute − α·Δmessages)` rule as
+    /// [`Comm::post`] — against the time elapsed since `win` was opened:
+    /// `credit = min(hideable, window length)`. The credit is applied
+    /// exactly as in [`CommHandle::wait`] and the clock never rewinds
+    /// past the point where `op` started. With `on == false` the charges
+    /// are identical and the credit is zero.
+    pub fn overlap_from<T>(
+        &mut self,
+        win: OverlapWindow,
+        on: bool,
+        op: impl FnOnce(&mut Comm) -> T,
+    ) -> T {
+        let clock0 = self.snap.clock_s;
+        let compute0 = self.snap.compute_s;
+        let msgs0 = self.snap.messages_sent;
+        let value = op(self);
+        if on {
+            let available = (clock0 - win.start_clock_s).max(0.0);
+            let d_clock = self.snap.clock_s - clock0;
+            let d_compute = self.snap.compute_s - compute0;
+            let d_alpha = self.model.alpha * (self.snap.messages_sent - msgs0) as f64;
+            let hideable = (d_clock - d_compute - d_alpha).max(0.0);
+            self.apply_overlap_credit(available.min(hideable));
+        }
+        value
+    }
+
+    /// Applies an overlap credit: subtracts it from the clock, records it
+    /// in [`CostSnapshot::overlap_hidden_s`], and (at step-level tracing)
+    /// emits a [`SpanKind::Overlap`] span covering the credited interval.
+    /// Callers guarantee `credit` never moves the clock before the
+    /// operation the credit belongs to started.
+    fn apply_overlap_credit(&mut self, credit: f64) {
+        if credit <= 0.0 {
+            return;
+        }
+        self.snap.clock_s -= credit;
+        self.snap.overlap_hidden_s += credit;
+        if self.trace.enabled(SpanKind::Overlap) {
+            // The hidden exchange ran concurrently with work ending at the
+            // credited clock; draw it over the interval it disappeared
+            // into. Observation only — never feeds back into the clock.
+            let end = self.snap.clock_s;
+            self.trace
+                .record_closed(SpanKind::Overlap, (end - credit).max(0.0), end);
         }
     }
 }
@@ -840,6 +1014,103 @@ mod tests {
             let owned = v.detach();
             assert_eq!(owned, vec![42]);
             assert_eq!(c.pooled_count::<u64>(), 0, "detached buffers not pooled");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn overlap_hidden_zero_when_off_and_monotone_when_on() {
+        let model = EDISON.lacc_model();
+        let run = |on: bool, ops: u64| {
+            run_spmd_with_model(2, model, move |c| {
+                let peer = 1 - c.rank();
+                let h = c.post(on, |c| {
+                    c.send_vec(peer, vec![0u64; 4096]);
+                    c.recv::<Vec<u64>>(peer)
+                });
+                c.charge_compute(ops);
+                let _ = h.wait(c);
+                c.snapshot()
+            })
+            .unwrap()[0]
+        };
+        // Flag off: never any hidden time, regardless of adjacent compute.
+        assert_eq!(run(false, 1_000_000).overlap_hidden_s, 0.0);
+        // Flag on: the credit is capped by the compute actually elapsed
+        // between post and wait, and monotone in it.
+        let h0 = run(true, 0).overlap_hidden_s;
+        let h1 = run(true, 100).overlap_hidden_s;
+        let h2 = run(true, 1_000_000).overlap_hidden_s;
+        assert_eq!(h0, 0.0, "nothing elapsed, nothing hidden");
+        assert!(h1 > 0.0);
+        assert!(
+            h2 >= h1,
+            "more overlapped compute must hide at least as much"
+        );
+        // Charges are identical either way; only the clock credit differs.
+        let off = run(false, 1_000_000);
+        let on = run(true, 1_000_000);
+        assert_eq!(on.words_sent, off.words_sent);
+        assert_eq!(on.messages_sent, off.messages_sent);
+        assert_eq!(on.bytes_sent, off.bytes_sent);
+        assert!(
+            on.clock_s < off.clock_s,
+            "the credit must shorten the clock"
+        );
+        assert!((off.clock_s - on.clock_s - on.overlap_hidden_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handle_test_tracks_elapsed_progress() {
+        run_spmd_with_model(2, EDISON.lacc_model(), |c| {
+            let peer = 1 - c.rank();
+            let h = c.post(true, |c| {
+                c.send_vec(peer, vec![0u64; 4096]);
+                c.recv::<Vec<u64>>(peer)
+            });
+            assert!(!h.test(c), "no local work elapsed yet");
+            c.charge_compute(100_000_000);
+            assert!(h.test(c), "ample compute elapsed: fully hidden");
+            let _ = h.wait(c);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn overlap_window_credits_preceding_compute() {
+        let model = EDISON.lacc_model();
+        let run = |on: bool| {
+            run_spmd_with_model(2, model, move |c| {
+                let peer = 1 - c.rank();
+                let win = c.overlap_window();
+                c.charge_compute(1_000_000);
+                c.overlap_from(win, on, |c| {
+                    c.send_vec(peer, vec![0u64; 4096]);
+                    let _ = c.recv::<Vec<u64>>(peer);
+                });
+                c.snapshot()
+            })
+            .unwrap()[0]
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.overlap_hidden_s, 0.0);
+        assert!(on.overlap_hidden_s > 0.0);
+        assert_eq!(on.words_sent, off.words_sent);
+        assert_eq!(on.messages_sent, off.messages_sent);
+        assert!((off.clock_s - on.clock_s - on.overlap_hidden_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_credit_excludes_alpha_and_internal_compute() {
+        // A posted op that only computes has nothing hideable; a posted
+        // empty-payload send hides nothing past its α charge.
+        run_spmd_with_model(1, EDISON.lacc_model(), |c| {
+            let h = c.post(true, |c| c.charge_compute(1_000_000));
+            assert_eq!(h.hideable_s(), 0.0, "compute cannot hide behind compute");
+            c.charge_compute(1_000_000);
+            h.wait(c);
+            assert_eq!(c.snapshot().overlap_hidden_s, 0.0);
         })
         .unwrap();
     }

@@ -159,6 +159,13 @@ pub struct CostSnapshot {
     /// — and over multiple runs collected in one sink — counts each
     /// p-rank rebuild exactly once. Observational only.
     pub reruns: u64,
+    /// Seconds of exchange time hidden behind overlapped local compute by
+    /// non-blocking collective handles (see [`crate::CommHandle`]). Unlike
+    /// the other auxiliary counters this one is *not* purely
+    /// observational: every second accumulated here was also subtracted
+    /// from [`CostSnapshot::clock_s`] when the overlap credit was applied
+    /// at completion.
+    pub overlap_hidden_s: f64,
 }
 
 impl CostSnapshot {
@@ -176,6 +183,7 @@ impl CostSnapshot {
             words_saved: self.words_saved - earlier.words_saved,
             combined_words: self.combined_words - earlier.combined_words,
             reruns: self.reruns - earlier.reruns,
+            overlap_hidden_s: self.overlap_hidden_s - earlier.overlap_hidden_s,
         }
     }
 }
@@ -226,6 +234,7 @@ mod tests {
             words_saved: 0,
             combined_words: 1,
             reruns: 1,
+            overlap_hidden_s: 0.25,
         };
         let b = CostSnapshot {
             clock_s: 3.0,
@@ -239,6 +248,7 @@ mod tests {
             words_saved: 7,
             combined_words: 4,
             reruns: 3,
+            overlap_hidden_s: 1.0,
         };
         let d = b.since(&a);
         assert_eq!(d.messages_sent, 20);
@@ -248,6 +258,7 @@ mod tests {
         assert_eq!(d.combined_words, 3);
         assert_eq!(d.reruns, 2);
         assert!((d.clock_s - 2.0).abs() < 1e-12);
+        assert!((d.overlap_hidden_s - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! Chrome-trace JSON or an aggregated per-rank report. See
 //! [`run_spmd_traced`].
 //!
+//! Execution is bulk-synchronous by default, but operations can be posted
+//! as *non-blocking* through [`Comm::post`] (returning a [`CommHandle`])
+//! or credited against a preceding compute window ([`OverlapWindow`]):
+//! the operation still runs eagerly with identical charges, and the
+//! modeled clock is refunded at completion for the exchange time that
+//! genuinely overlapped local compute
+//! ([`CostSnapshot::overlap_hidden_s`]).
+//!
 //! # Example
 //! ```
 //! use dmsim::run_spmd;
@@ -51,7 +59,7 @@ pub mod wire;
 pub use collectives::{AllToAll, CombineRoute};
 pub use comm::{
     bytes_of, run_spmd, run_spmd_traced, run_spmd_with_model, words_of, BufferPool, Comm,
-    DmsimError, Group, PooledBuf,
+    CommHandle, DmsimError, Group, OverlapWindow, PooledBuf,
 };
 pub use cost::{CostSnapshot, Machine, MachineModel, CORI_KNL, EDISON};
 pub use topology::Grid2d;

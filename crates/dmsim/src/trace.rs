@@ -123,6 +123,10 @@ pub enum SpanKind {
     Shortcut,
     /// LACC star recomputation (step).
     Starcheck,
+    /// Exchange time hidden behind overlapped local compute: recorded
+    /// retroactively when a non-blocking handle or overlap window applies
+    /// its clock credit (step-level; see [`crate::CommHandle`]).
+    Overlap,
     /// Distributed matrix-vector multiply (op).
     Mxv,
     /// Distributed `assign` scatter (op).
@@ -154,9 +158,8 @@ impl SpanKind {
     pub fn level(self) -> TraceLevel {
         use SpanKind::*;
         match self {
-            Rerun(_) | Engine(_) | EngineSelect | CondHook | UncondHook | Shortcut | Starcheck => {
-                TraceLevel::Steps
-            }
+            Rerun(_) | Engine(_) | EngineSelect | CondHook | UncondHook | Shortcut | Starcheck
+            | Overlap => TraceLevel::Steps,
             Mxv | Assign | Extract => TraceLevel::Ops,
             _ => TraceLevel::Collectives,
         }
@@ -177,6 +180,7 @@ impl SpanKind {
             UncondHook => "uncond_hook",
             Shortcut => "shortcut",
             Starcheck => "starcheck",
+            Overlap => "overlap",
             Mxv => "mxv",
             Assign => "assign",
             Extract => "extract",
@@ -290,6 +294,21 @@ impl TraceLocal {
         rec.ops = ops - rec.ops;
     }
 
+    /// Records an already-closed span with an explicit interval, at the
+    /// current nesting depth. Used for retroactive spans — the overlap
+    /// credit covers an interval that is only known after the fact, so it
+    /// cannot go through the open/close protocol.
+    pub(crate) fn record_closed(&mut self, kind: SpanKind, start_s: f64, end_s: f64) {
+        self.spans.push(SpanRecord {
+            kind,
+            depth: self.open_stack.len() as u32,
+            start_s,
+            end_s,
+            words: 0,
+            ops: 0,
+        });
+    }
+
     /// Drains the buffer, force-closing any span left open (its interval
     /// extends to the rank's final clock; counter deltas stay as-is).
     pub(crate) fn drain(&mut self, final_clock_s: f64) -> Vec<SpanRecord> {
@@ -324,6 +343,7 @@ pub struct RankTrace {
 pub struct TraceSink {
     level: TraceLevel,
     ranks: Mutex<Vec<RankTrace>>,
+    metadata: Mutex<Vec<(String, String)>>,
 }
 
 impl TraceSink {
@@ -332,6 +352,7 @@ impl TraceSink {
         Arc::new(TraceSink {
             level,
             ranks: Mutex::new(Vec::new()),
+            metadata: Mutex::new(Vec::new()),
         })
     }
 
@@ -344,9 +365,26 @@ impl TraceSink {
         self.ranks.lock().expect("trace sink poisoned").push(rt);
     }
 
+    /// Attaches a run-level key/value annotation, exported as a Chrome
+    /// trace metadata (`ph:"M"`) event — how the engine portfolio makes
+    /// the chosen engine and the `Auto` dispatcher's rationale visible in
+    /// trace viewers.
+    pub fn add_metadata(&self, key: &str, value: &str) {
+        self.metadata
+            .lock()
+            .expect("trace sink poisoned")
+            .push((key.to_string(), value.to_string()));
+    }
+
+    /// All run-level annotations recorded so far, in insertion order.
+    pub fn metadata(&self) -> Vec<(String, String)> {
+        self.metadata.lock().expect("trace sink poisoned").clone()
+    }
+
     /// Discards everything collected so far.
     pub fn clear(&self) {
         self.ranks.lock().expect("trace sink poisoned").clear();
+        self.metadata.lock().expect("trace sink poisoned").clear();
     }
 
     /// All collected per-rank traces, sorted by rank.
@@ -364,6 +402,18 @@ impl TraceSink {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"traceEvents\":[");
         let mut first = true;
+        for (key, value) in self.metadata() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"metadata\",\"ph\":\"M\",\
+                 \"pid\":0,\"tid\":0,\"args\":{{\"value\":\"{}\"}}}}",
+                escape_json(&key),
+                escape_json(&value)
+            ));
+        }
         for rt in &ranks {
             for sp in &rt.spans {
                 if !first {
@@ -399,12 +449,14 @@ impl TraceSink {
         let mut words_saved = 0u64;
         let mut combined_words = 0u64;
         let mut reruns = 0u64;
+        let mut overlap_hidden_s = 0.0f64;
         for (i, rt) in ranks.iter().enumerate() {
             rank_time_s[i] = rt.snapshot.clock_s;
             rank_words[i] = rt.snapshot.words_sent + rt.snapshot.words_received;
             words_saved += rt.snapshot.words_saved;
             combined_words += rt.snapshot.combined_words;
             reruns += rt.snapshot.reruns;
+            overlap_hidden_s += rt.snapshot.overlap_hidden_s;
             for sp in &rt.spans {
                 let name = sp.kind.name();
                 let entry = match per_kind.iter_mut().find(|k| k.name == name) {
@@ -441,9 +493,28 @@ impl TraceSink {
             words_saved,
             combined_words,
             reruns,
+            overlap_hidden_s,
             load_imbalance: if mean_t > 0.0 { max_t / mean_t } else { 1.0 },
         }
     }
+}
+
+/// Minimal JSON string escaping for metadata keys/values (quotes,
+/// backslashes, control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Aggregate totals for one span kind, summed over all ranks.
@@ -489,6 +560,10 @@ pub struct TraceReport {
     /// [`CostSnapshot::reruns`]). The per-cause split is visible in the
     /// `rerun(...)` span kinds.
     pub reruns: u64,
+    /// Exchange seconds hidden behind overlapped local compute, summed
+    /// over all ranks (see [`CostSnapshot::overlap_hidden_s`]; already
+    /// subtracted from the per-rank clocks).
+    pub overlap_hidden_s: f64,
     /// `max(rank time) / mean(rank time)` — 1.0 is perfectly balanced.
     pub load_imbalance: f64,
 }
@@ -533,6 +608,13 @@ impl TraceReport {
                 s,
                 "  full LACC reruns: {} (causes in the rerun(...) span rows)",
                 self.reruns
+            );
+        }
+        if self.overlap_hidden_s > 0.0 {
+            let _ = writeln!(
+                s,
+                "  overlap hid {:.6} rank-sec of exchange time behind local compute",
+                self.overlap_hidden_s
             );
         }
         let mut kinds = self.per_kind.clone();

@@ -54,11 +54,24 @@ pub fn varint_len(x: u64) -> usize {
 /// Encodes a sorted (non-decreasing) `u64` key list as count + first key
 /// + consecutive deltas, all varints.
 pub fn encode_keys(keys: &[u64]) -> Vec<u8> {
-    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    encode_keys_for::<u64>(keys)
+}
+
+/// [`encode_keys`] over any [`WireWord`] key type. The stream is
+/// value-based (varints of the key values and their deltas), so a `u32`
+/// key list encodes to exactly the same bytes as the equal-valued `u64`
+/// list — the declared width matters on the *raw* paths (pairwise
+/// fallbacks, tuple payloads), not here.
+pub fn encode_keys_for<K: WireWord>(keys: &[K]) -> Vec<u8> {
+    debug_assert!(
+        keys.windows(2).all(|w| w[0].to_word() <= w[1].to_word()),
+        "keys must be sorted"
+    );
     let mut out = Vec::with_capacity(keys.len() + 4);
     push_varint(&mut out, keys.len() as u64);
     let mut prev = 0u64;
-    for (i, &k) in keys.iter().enumerate() {
+    for (i, k) in keys.iter().enumerate() {
+        let k = k.to_word();
         push_varint(&mut out, if i == 0 { k } else { k - prev });
         prev = k;
     }
@@ -67,6 +80,11 @@ pub fn encode_keys(keys: &[u64]) -> Vec<u8> {
 
 /// Decodes a stream produced by [`encode_keys`].
 pub fn decode_keys(bytes: &[u8]) -> Vec<u64> {
+    decode_keys_for::<u64>(bytes)
+}
+
+/// Decodes a stream produced by [`encode_keys_for`] at the same `K`.
+pub fn decode_keys_for<K: WireWord>(bytes: &[u8]) -> Vec<K> {
     let mut pos = 0usize;
     let n = read_varint(bytes, &mut pos) as usize;
     let mut out = Vec::with_capacity(n);
@@ -74,7 +92,7 @@ pub fn decode_keys(bytes: &[u8]) -> Vec<u64> {
     for i in 0..n {
         let d = read_varint(bytes, &mut pos);
         cur = if i == 0 { d } else { cur + d };
-        out.push(cur);
+        out.push(K::from_word(cur));
     }
     debug_assert_eq!(pos, bytes.len(), "trailing bytes in key stream");
     out
@@ -301,6 +319,17 @@ mod tests {
         assert!(narrow.len() < wide.len());
         assert_eq!(decode_words_for::<u64>(&wide), words);
         assert_eq!(decode_words_for::<u32>(&narrow), words);
+    }
+
+    #[test]
+    fn narrow_key_stream_matches_wide_bytes() {
+        // The delta-varint stream is value-based: narrowing the key type
+        // changes nothing on the wire, only the raw fallbacks elsewhere.
+        let wide: Vec<u64> = vec![3, 9, 9, 1000, 70000];
+        let narrow: Vec<u32> = wide.iter().map(|&k| k as u32).collect();
+        let enc = encode_keys_for::<u32>(&narrow);
+        assert_eq!(enc, encode_keys_for::<u64>(&wide));
+        assert_eq!(decode_keys_for::<u32>(&enc), narrow);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
 use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
-use dmsim::{words_of, AllToAll, CombineRoute, Comm, PooledBuf, SpanKind, WireWord};
+use dmsim::{words_of, AllToAll, CombineRoute, Comm, CommHandle, PooledBuf, SpanKind, WireWord};
 use lacc_graph::Idx;
 use std::collections::HashMap;
 
@@ -94,6 +94,17 @@ pub struct DistOpts {
     /// convergence are heavily repeated, so reply streams collapse to a
     /// few runs. Applies to both the plain and the combining reply paths.
     pub compress_values: bool,
+    /// Non-blocking execution of the hot-path exchanges. Engines post
+    /// `mxv` through [`dist_mxv_start`] / [`dist_mxv_dense_start`] (or an
+    /// extract through [`dist_extract_start`]) and collect the result with
+    /// [`dmsim::CommHandle::wait`], or credit an exchange against a
+    /// preceding compute window ([`dmsim::Comm::overlap_from`]). The
+    /// operation still runs eagerly with an identical message pattern and
+    /// identical charges — this flag only controls whether the modeled
+    /// clock is *refunded* at completion for exchange time that overlapped
+    /// independent local compute — so labels, iteration counts and
+    /// `words_sent` are bit-identical with the flag on or off.
+    pub overlap: bool,
 }
 
 impl Default for DistOpts {
@@ -115,6 +126,7 @@ impl Default for DistOpts {
             combine_in_flight: true,
             fuse_starcheck: true,
             compress_values: true,
+            overlap: true,
         }
     }
 }
@@ -134,13 +146,14 @@ impl DistOpts {
             combine_in_flight: false,
             fuse_starcheck: false,
             compress_values: false,
+            overlap: false,
             ..DistOpts::default()
         }
     }
 
     /// The fully optimized configuration (an explicit alias of `Default`):
-    /// sparse all-to-all, hot-rank broadcasts, and all sender-side
-    /// compaction flags on.
+    /// sparse all-to-all, hot-rank broadcasts, all sender-side compaction
+    /// flags, and compute/communication overlap on.
     pub fn optimized() -> Self {
         DistOpts::default()
     }
@@ -277,9 +290,13 @@ where
     let mut is_touched = vec![false; h];
     let mut touched: Vec<usize> = Vec::new();
     let mut ops = 1u64;
+    // Both gathers are posted non-blocking: the column sweep consumes
+    // chunks as they stream in, so its charge hides the transfer tail
+    // exactly as in the blocked-layout paths.
     match (x_dense, x_sparse) {
         (Some(x), None) => {
-            let chunks = comm.allgatherv(&world, x.local().to_vec());
+            let gh = comm.post(opts.overlap, |c| c.allgatherv(&world, x.local().to_vec()));
+            let chunks = gh.peek();
             for g in cs..ce {
                 let o = layout.owner_of(g);
                 let xv = chunks[o][layout.offset_of(o, g)];
@@ -294,14 +311,12 @@ where
                 }
                 ops += rows.len() as u64 + 1;
             }
+            comm.charge_compute(ops);
+            gh.wait(comm);
         }
         (None, Some(x)) => {
-            let gathered: Vec<(I, T)> = comm
-                .allgatherv(&world, x.entries().to_vec())
-                .into_iter()
-                .flatten()
-                .collect();
-            for (g, xv) in gathered {
+            let gh = comm.post(opts.overlap, |c| c.allgatherv(&world, x.entries().to_vec()));
+            for &(g, xv) in gh.peek().iter().flatten() {
                 let g = g.idx();
                 if g < cs || g >= ce {
                     continue;
@@ -317,10 +332,11 @@ where
                 }
                 ops += rows.len() as u64 + 1;
             }
+            comm.charge_compute(ops);
+            gh.wait(comm);
         }
         _ => unreachable!("exactly one input"),
     }
-    comm.charge_compute(ops);
     touched.sort_unstable();
     let produced: Vec<(I, T)> = touched
         .into_iter()
@@ -615,6 +631,29 @@ where
     out
 }
 
+/// [`dist_mxv_dense`] posted as a non-blocking operation (see
+/// [`dist_mxv_start`] for the contract).
+pub fn dist_mxv_dense_start<T, M, I>(
+    comm: &mut Comm,
+    a: &DistMat<I>,
+    x: &DistVec<T>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> CommHandle<DistSpVec<T, I>>
+where
+    T: Copy + Send + Sync + 'static,
+    M: Monoid<T>,
+    I: Idx,
+{
+    comm.post(opts.overlap, |c| {
+        let span = c.span_open(SpanKind::Mxv);
+        let out = mxv_dense_impl(c, a, x, mask, monoid, opts);
+        c.span_close(span);
+        out
+    })
+}
+
 fn mxv_dense_impl<T, M, I>(
     comm: &mut Comm,
     a: &DistMat<I>,
@@ -640,10 +679,14 @@ where
 
     // Phase 1: assemble the column-block segment of x within the processor
     // column (group index within col_group equals grid row, so blocks
-    // concatenate in global order).
+    // concatenate in global order). Posted non-blocking: the multiply
+    // consumes gathered chunks as they stream in, so its charge lands
+    // between the post and the wait and hides the transfer tail.
     let col_group = grid.col_group(comm);
-    let chunks = comm.allgatherv(&col_group, x.local().to_vec());
-    let x_block: Vec<T> = chunks.concat();
+    let gh = comm.post(opts.overlap, |c| {
+        c.allgatherv(&col_group, x.local().to_vec())
+    });
+    let x_block: Vec<T> = gh.peek().concat();
     debug_assert_eq!(x_block.len(), a.col_range().1 - a.col_range().0);
 
     // Phase 2: local block multiply into a row-block accumulator
@@ -658,6 +701,7 @@ where
         opts.kernel_threads,
     );
     comm.charge_compute(ops + x_block.len() as u64);
+    gh.wait(comm);
 
     // Phase 3: reduce-scatter within the processor row. Subchunk k of this
     // row block is global chunk i·pc + k, destined for row-group member k.
@@ -747,13 +791,13 @@ where
         return dist_mxv_cyclic(comm, a, None, Some(x), mask, monoid, opts);
     }
 
-    // Phase 1: sparse allgather of x entries within the processor column.
+    // Phase 1: sparse allgather of x entries within the processor column,
+    // posted non-blocking so the per-entry multiply streams behind it.
     let col_group = grid.col_group(comm);
-    let gathered: Vec<(I, T)> = comm
-        .allgatherv(&col_group, x.entries().to_vec())
-        .into_iter()
-        .flatten()
-        .collect();
+    let gh = comm.post(opts.overlap, |c| {
+        c.allgatherv(&col_group, x.entries().to_vec())
+    });
+    let gathered: Vec<(I, T)> = gh.peek().iter().flatten().copied().collect();
 
     // Phase 2: local multiply through the DCSC block (owner-partitioned
     // across the kernel pool when `opts.kernel_threads > 1`).
@@ -761,6 +805,7 @@ where
     let (acc, touched, ops) =
         local_multiply_entries(a.local(), cs, &gathered, monoid, opts.kernel_threads);
     comm.charge_compute(ops);
+    gh.wait(comm);
 
     // Phases 3–4: row-wise reduce + transpose exchange (the paper's SpMSpV
     // reduce phase).
@@ -805,6 +850,37 @@ where
     out
 }
 
+/// [`dist_mxv`] posted as a non-blocking operation. The multiply runs
+/// *now* — message pattern, charges and result are exactly those of the
+/// blocking call — and the returned handle remembers how much of its
+/// modeled cost was hideable exchange time (β transfer plus
+/// synchronization waits; α posts and the local multiply are not
+/// hideable). Local compute charged between this call and
+/// [`dmsim::CommHandle::wait`] earns the clock a refund of up to that
+/// amount when [`DistOpts::overlap`] is on; with it off the handle is
+/// inert and `wait` returns the value unchanged. Either way the caller
+/// gets a bit-identical vector.
+pub fn dist_mxv_start<T, M, I>(
+    comm: &mut Comm,
+    a: &DistMat<I>,
+    x: &DistSpVec<T, I>,
+    mask: DistMask<'_>,
+    monoid: M,
+    opts: &DistOpts,
+) -> CommHandle<DistSpVec<T, I>>
+where
+    T: Copy + Send + Sync + 'static,
+    M: Monoid<T>,
+    I: Idx,
+{
+    comm.post(opts.overlap, |c| {
+        let span = c.span_open(SpanKind::Mxv);
+        let out = mxv_adaptive_impl(c, a, x, mask, monoid, opts);
+        c.span_close(span);
+        out
+    })
+}
+
 fn mxv_adaptive_impl<T, M, I>(
     comm: &mut Comm,
     a: &DistMat<I>,
@@ -830,14 +906,14 @@ where
         return mxv_sparse_impl(comm, a, x, mask, monoid, opts);
     }
 
-    // SpMV-style execution: same sparse allgather, then densify.
+    // SpMV-style execution: same sparse allgather (posted, so the densify
+    // and block multiply stream behind the transfer), then densify.
     let grid = a.grid();
     let col_group = grid.col_group(comm);
-    let gathered: Vec<(I, T)> = comm
-        .allgatherv(&col_group, x.entries().to_vec())
-        .into_iter()
-        .flatten()
-        .collect();
+    let gh = comm.post(opts.overlap, |c| {
+        c.allgatherv(&col_group, x.entries().to_vec())
+    });
+    let gathered: Vec<(I, T)> = gh.peek().iter().flatten().copied().collect();
     let (cs, ce) = a.col_range();
     let w = ce - cs;
     let mut x_block = vec![monoid.identity(); w];
@@ -855,6 +931,7 @@ where
         opts.kernel_threads,
     );
     comm.charge_compute(ops + w as u64 + gathered.len() as u64);
+    gh.wait(comm);
     let touched: Vec<Vid> = touched_flags
         .iter()
         .enumerate()
@@ -1012,13 +1089,37 @@ pub fn dist_extract<T, I>(
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + WireWord + 'static,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let span = comm.span_open(SpanKind::Extract);
     let plan = plan_requests(comm, src.layout(), requests, opts);
     let out = extract_impl(comm, src, &plan, opts);
     comm.span_close(span);
     out
+}
+
+/// [`dist_extract`] posted as a non-blocking operation: plans and runs
+/// the exchange *now* (identical messages, charges and results), and the
+/// returned handle refunds hideable exchange time against local compute
+/// charged before [`dmsim::CommHandle::wait`] when [`DistOpts::overlap`]
+/// is on. See [`dist_mxv_start`] for the full contract.
+pub fn dist_extract_start<T, I>(
+    comm: &mut Comm,
+    src: &DistVec<T>,
+    requests: &[I],
+    opts: &DistOpts,
+) -> CommHandle<(Vec<T>, ExtractStats)>
+where
+    T: Copy + Send + WireWord + 'static,
+    I: Idx + WireWord,
+{
+    comm.post(opts.overlap, |c| {
+        let span = c.span_open(SpanKind::Extract);
+        let plan = plan_requests(c, src.layout(), requests, opts);
+        let out = extract_impl(c, src, &plan, opts);
+        c.span_close(span);
+        out
+    })
 }
 
 /// [`dist_extract`] against a request plan built once with
@@ -1032,7 +1133,7 @@ pub fn dist_extract_planned<T, I>(
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + WireWord + 'static,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let span = comm.span_open(SpanKind::Extract);
     let out = extract_impl(comm, src, plan, opts);
@@ -1048,7 +1149,7 @@ fn extract_impl<T, I>(
 ) -> (Vec<T>, ExtractStats)
 where
     T: Copy + Send + WireWord + 'static,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let layout = src.layout();
     assert_eq!(layout, plan.layout, "plan built for a different layout");
@@ -1103,15 +1204,17 @@ where
     // In-flight combining: request ids ride the combining hypercube as
     // delta-encoded key streams, merging cross-rank duplicates at the hop
     // where their routes first meet; replies scatter back along the
-    // recorded reverse route. Hot owners keep the broadcast fallback and
-    // contribute empty key buckets.
+    // recorded reverse route. Keys stay at the narrow index width `I` —
+    // the delta streams encode identically, but the pairwise fallbacks
+    // and reply tuples are charged at `I`'s true size. Hot owners keep
+    // the broadcast fallback and contribute empty key buckets.
     if opts.combine_in_flight {
-        let key_bufs: Vec<Vec<u64>> = (0..p)
+        let key_bufs: Vec<Vec<I>> = (0..p)
             .map(|o| {
                 if hot[o] {
                     Vec::new()
                 } else {
-                    plan.wire_ids[o].iter().map(|&g| g.to_u64()).collect()
+                    plan.wire_ids[o].clone()
                 }
             })
             .collect();
@@ -1120,7 +1223,7 @@ where
         let values: Vec<T> = route
             .delivered_keys()
             .iter()
-            .map(|&k| src.get_local(k as Vid))
+            .map(|&k| src.get_local(k.idx()))
             .collect();
         comm.charge_compute(stats.received_requests + 1);
         comm.note_words_saved(stats.dedup_saved_words);
@@ -1130,7 +1233,7 @@ where
                 continue;
             }
             for &(w, pos) in &plan.scatter[o] {
-                let key = plan.wire_ids[o][w as usize].to_u64();
+                let key = plan.wire_ids[o][w as usize];
                 let i = pairs
                     .binary_search_by_key(&key, |&(k, _)| k)
                     .expect("reply for every requested id");
@@ -1255,21 +1358,17 @@ where
 /// observes assigns applied after `begin` — exactly the ordering the
 /// unfused pair of extracts had. This path never takes the hot-rank
 /// broadcast: the combining tree already collapses the duplicate traffic
-/// that made owners hot.
-pub struct FusedExtract {
-    route: CombineRoute,
+/// that made owners hot. Keys stay at the plan's index width `I`.
+pub struct FusedExtract<I: Idx = Vid> {
+    route: CombineRoute<I>,
 }
 
-impl FusedExtract {
+impl<I: Idx + WireWord> FusedExtract<I> {
     /// Sends the plan's per-owner request ids through the combining
     /// hypercube and records the route for later reply phases.
-    pub fn begin<I: Idx>(comm: &mut Comm, plan: &RequestPlan<I>) -> FusedExtract {
+    pub fn begin(comm: &mut Comm, plan: &RequestPlan<I>) -> FusedExtract<I> {
         let world = comm.world();
-        let key_bufs: Vec<Vec<u64>> = plan
-            .wire_ids
-            .iter()
-            .map(|ids| ids.iter().map(|&g| g.to_u64()).collect())
-            .collect();
+        let key_bufs: Vec<Vec<I>> = plan.wire_ids.to_vec();
         let route = comm.combining_requests(&world, key_bufs);
         FusedExtract { route }
     }
@@ -1282,7 +1381,7 @@ impl FusedExtract {
 
     /// One reply phase: serves the delivered ids from `src` as of *now*
     /// and returns `src[requests[k]]` for each planned request, in order.
-    pub fn extract<T, I>(
+    pub fn extract<T>(
         &self,
         comm: &mut Comm,
         src: &DistVec<T>,
@@ -1291,7 +1390,6 @@ impl FusedExtract {
     ) -> Vec<T>
     where
         T: Copy + Send + WireWord + 'static,
-        I: Idx,
     {
         let span = comm.span_open(SpanKind::Extract);
         let world = comm.world();
@@ -1304,14 +1402,14 @@ impl FusedExtract {
             .route
             .delivered_keys()
             .iter()
-            .map(|&k| src.get_local(k as Vid))
+            .map(|&k| src.get_local(k.idx()))
             .collect();
         comm.charge_compute(values.len() as u64 + 1);
         let reply = comm.combining_replies(&world, &self.route, &values, opts.compress_values);
         let mut results: Vec<Option<T>> = vec![None; plan.n_requests];
         for (o, pairs) in reply.iter().enumerate() {
             for &(w, pos) in &plan.scatter[o] {
-                let key = plan.wire_ids[o][w as usize].to_u64();
+                let key = plan.wire_ids[o][w as usize];
                 let i = pairs
                     .binary_search_by_key(&key, |&(k, _)| k)
                     .expect("reply for every requested id");
@@ -1345,7 +1443,7 @@ pub fn dist_assign<T, M, I>(
 where
     T: Copy + Send + PartialEq + WireWord + 'static,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let span = comm.span_open(SpanKind::Assign);
     let out = assign_impl(comm, dst, updates, monoid, opts);
@@ -1363,7 +1461,7 @@ fn assign_impl<T, M, I>(
 where
     T: Copy + Send + PartialEq + WireWord + 'static,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let layout = dst.layout();
     let me = comm.rank();
@@ -1413,12 +1511,10 @@ where
     // meet — each target reaches its owner at most once per arrival
     // branch instead of once per sender. LACC's monoids (min-hook,
     // and-fold) are commutative, so the merge-tree order is immaterial.
+    // Keys ride at the narrow index width `I`, so the per-entry tuples
+    // are charged at their true size.
     if opts.combine_in_flight {
-        let entries: Vec<Vec<(u64, T)>> = buckets
-            .iter()
-            .map(|b| b.iter().map(|&(g, v)| (g.to_u64(), v)).collect())
-            .collect();
-        let merged = comm.reduce_scatter_by_key(&world, entries, |acc: &mut T, v| {
+        let merged = comm.reduce_scatter_by_key(&world, buckets, |acc: &mut T, v| {
             *acc = monoid.combine(*acc, v)
         });
         stats.received_updates = merged.len() as u64;
@@ -1426,7 +1522,7 @@ where
         comm.note_words_saved(stats.combine_saved_words);
         let mut changed = 0;
         for (k, v) in merged {
-            let g = k as Vid;
+            let g = k.idx();
             if dst.get_local(g) != v {
                 dst.set_local(g, v);
                 changed += 1;
@@ -1922,6 +2018,71 @@ mod tests {
         let once = combined(1, DistOpts::optimized());
         for (rank, &w) in once.iter().enumerate() {
             assert!(w > 0, "rank {rank}: identical cross-rank requests merge");
+        }
+    }
+
+    #[test]
+    fn posted_ops_match_blocking_and_refund_overlap() {
+        // dist_mxv_start / dist_extract_start run eagerly: bit-identical
+        // results to the blocking calls, and with overlap on the compute
+        // charged between post and wait earns a positive clock refund.
+        let g = erdos_renyi_gnm(48, 140, 23);
+        let n = g.num_vertices();
+        let p = 4;
+        let out = dmsim::run_spmd_with_model(p, dmsim::EDISON.lacc_model(), |c| {
+            let grid = Grid2d::square(p);
+            let layout = VecLayout::new(n, grid);
+            let a = DistMat::from_graph(&g, grid, c.rank());
+            let (s, e) = layout.range_of_rank(c.rank());
+            let local: Vec<(usize, usize)> =
+                (s..e).filter(|v| v % 2 == 0).map(|v| (v, v)).collect();
+            let x = DistSpVec::from_local_entries(layout, c.rank(), local);
+            let opts = DistOpts::optimized();
+            let blocking = dist_mxv(c, &a, &x, DistMask::None, MinUsize, &opts);
+            let h = dist_mxv_start(c, &a, &x, DistMask::None, MinUsize, &opts);
+            c.charge_compute(10_000_000);
+            let posted = h.wait(c);
+            assert_eq!(posted.entries(), blocking.entries());
+
+            let src = DistVec::from_fn(layout, c.rank(), |g| g * 3 % n);
+            let reqs: Vec<usize> = (s..e).map(|v| v * 7 % n).collect();
+            let (vb, _) = dist_extract(c, &src, &reqs, &opts);
+            let h2 = dist_extract_start(c, &src, &reqs, &opts);
+            c.charge_compute(10_000_000);
+            let (vp, _) = h2.wait(c);
+            assert_eq!(vp, vb);
+            c.snapshot().overlap_hidden_s
+        })
+        .unwrap();
+        for hidden in out {
+            assert!(hidden > 0.0, "posted exchanges refund against compute");
+        }
+    }
+
+    #[test]
+    fn posted_ops_inert_when_overlap_off() {
+        // With DistOpts::overlap off the handles still deliver identical
+        // values but never refund the clock.
+        let p = 4;
+        let n = 64;
+        let out = dmsim::run_spmd_with_model(p, dmsim::EDISON.lacc_model(), |c| {
+            let layout = VecLayout::new(n, Grid2d::square(p));
+            let opts = DistOpts {
+                overlap: false,
+                ..DistOpts::optimized()
+            };
+            let src = DistVec::from_fn(layout, c.rank(), |g| g * 3 % n);
+            let reqs: Vec<usize> = (0..32).map(|k| (k * 5 + c.rank()) % n).collect();
+            let (vb, _) = dist_extract(c, &src, &reqs, &opts);
+            let h = dist_extract_start(c, &src, &reqs, &opts);
+            c.charge_compute(10_000_000);
+            let (vp, _) = h.wait(c);
+            assert_eq!(vp, vb);
+            c.snapshot().overlap_hidden_s
+        })
+        .unwrap();
+        for hidden in out {
+            assert_eq!(hidden, 0.0, "flag off keeps the clock uncredited");
         }
     }
 

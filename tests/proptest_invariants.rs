@@ -125,6 +125,52 @@ proptest! {
     }
 
     #[test]
+    fn overlap_is_invisible_in_results_and_traffic(
+        g in arb_graph(80, 200),
+        engine in prop_oneof![
+            Just(lacc::EngineSelect::Lacc),
+            Just(lacc::EngineSelect::Fastsv),
+            Just(lacc::EngineSelect::LabelProp),
+        ],
+        cyclic in prop_oneof![Just(false), Just(true)],
+        narrow in prop_oneof![Just(false), Just(true)],
+    ) {
+        // Non-blocking execution is a pure scheduling change: for every
+        // engine, vector layout, and index width, overlap on and off must
+        // produce bit-identical labels, the same iteration trajectory, and
+        // move exactly the same words per rank — only the modeled clock
+        // (and the hidden-seconds counter) may differ.
+        use lacc_suite::dmsim::{TraceLevel, TraceSink};
+        use lacc_suite::lacc::IndexWidth;
+        let model = lacc_suite::dmsim::EDISON.lacc_model();
+        let base = LaccOpts {
+            permute: false,
+            cyclic_vectors: cyclic,
+            engine,
+            index_width: if narrow { IndexWidth::U32 } else { IndexWidth::U64 },
+            ..LaccOpts::default()
+        };
+        let run_traced = |overlap: bool| {
+            let mut opts = base;
+            opts.dist.overlap = overlap;
+            let sink = TraceSink::new(TraceLevel::Steps);
+            let out = lacc::run(
+                &g,
+                &lacc::RunConfig::new(4, model).with_opts(opts).with_trace(&sink),
+            )
+            .unwrap();
+            (out, sink.report())
+        };
+        let (on, ron) = run_traced(true);
+        let (off, roff) = run_traced(false);
+        prop_assert_eq!(&on.labels, &off.labels);
+        prop_assert_eq!(on.num_iterations(), off.num_iterations());
+        prop_assert_eq!(&ron.rank_words, &roff.rank_words);
+        prop_assert_eq!(roff.overlap_hidden_s, 0.0);
+        prop_assert!(ron.overlap_hidden_s >= 0.0);
+    }
+
+    #[test]
     fn owner_partitioned_spmspv_matches_serial(
         g in arb_graph(150, 400),
         step in 1usize..8,
