@@ -19,7 +19,7 @@ pub const USAGE: &str = "usage:
                 [--compress-ids true|false] [--bitmap-density F]
                 [--combine-in-flight true|false] [--fuse-starcheck true|false]
                 [--compress-values true|false] [--overlap true|false]
-                [--index-width u32|u64]
+                [--narrow-labels true|false] [--index-width u32|u64]
                 [--engine lacc|fastsv|labelprop|auto] [--canonical]
                 [--out labels.txt]
                 [--trace out.json] [--trace-level off|steps|ops|collectives]
@@ -187,6 +187,10 @@ fn cmd_cc_dist(args: &Args) -> Result<(), String> {
         // Non-blocking hot-path exchanges with compute/comm overlap credit
         // (bit-identical labels and traffic either way).
         .overlap(args.get_or("overlap", defaults.dist.overlap)?)
+        // Dynamic label-range narrowing: probe-selected u16/dictionary
+        // wire tiers (bit-identical labels and word counts either way;
+        // only bytes_sent shrinks).
+        .narrow_labels(args.get_or("narrow-labels", defaults.dist.narrow_labels)?)
         // Index/label storage width: u32 (default) halves index memory and
         // wire bytes, u64 lifts the 2^32-vertex limit.
         .index_width(
@@ -717,6 +721,46 @@ mod tests {
             "overlap changed the labels"
         );
         assert!(dispatch(&argv(&["cc-dist", &p, "--overlap", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn cc_dist_labels_identical_with_narrowing_on_and_off() {
+        // The narrowing CI smoke in miniature: probe-selected wire tiers
+        // must not change a single output byte.
+        let dir = std::env::temp_dir().join("lacc-cli-test12");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.el").display().to_string();
+        std::fs::write(&p, "0 1\n1 2\n3 4\n5 6\n6 7\n").unwrap();
+        let on = dir.join("on.txt").display().to_string();
+        let off = dir.join("off.txt").display().to_string();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--narrow-labels",
+            "true",
+            "--out",
+            &on,
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "cc-dist",
+            &p,
+            "--ranks",
+            "4",
+            "--narrow-labels",
+            "false",
+            "--out",
+            &off,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&on).unwrap(),
+            std::fs::read(&off).unwrap(),
+            "narrowing changed the labels"
+        );
+        assert!(dispatch(&argv(&["cc-dist", &p, "--narrow-labels", "maybe"])).is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use dmsim::{
     run_spmd_traced, Comm, DmsimError, EngineKind, Grid2d, MachineModel, RerunReason, SpanKind,
     TraceSink, WireWord,
 };
+use gblas::dist::NarrowVal;
 use lacc_graph::permute::Permutation;
 use lacc_graph::{ensure_fits, CsrGraph, Idx};
 use std::sync::Arc;
@@ -126,7 +127,7 @@ struct RankResult {
     rationale: Option<String>,
 }
 
-fn run_engine_width<I: Idx + WireWord>(
+fn run_engine_width<I: Idx + WireWord + NarrowVal>(
     kind: EngineKind,
     comm: &mut Comm,
     g: &CsrGraph,

@@ -30,6 +30,7 @@
 //! first (`lacc_graph::unionfind::canonicalize_labels`) — the engine
 //! matrix tests do exactly that.
 
+use crate::narrow::NarrowPlanner;
 use crate::options::{LaccOpts, OptsError};
 use crate::stats::StepBreakdown;
 use crate::Vid;
@@ -37,7 +38,7 @@ use dmsim::{Comm, EngineKind, Grid2d, SpanKind, WireWord};
 use gblas::dist::{
     dist_assign, dist_extract, dist_extract_planned, dist_mxv, dist_mxv_dense,
     dist_mxv_dense_start, dist_mxv_start, plan_requests, DistMask, DistMat, DistOpts, DistSpVec,
-    DistVec, FusedExtract, VecLayout,
+    DistVec, FusedExtract, NarrowVal, VecLayout,
 };
 use gblas::{AndBool, MinUsize};
 use lacc_graph::stats::{bfs_eccentricity, degree_skew, prepass_seeds, PrepassStats};
@@ -203,7 +204,7 @@ impl<'a, I: Idx> EngineCtx<'a, I> {
 /// the true component partition (property-tested in
 /// `tests/engine_matrix.rs` across engines × comm configs × layouts ×
 /// index widths).
-pub trait CcEngine<I: Idx + WireWord> {
+pub trait CcEngine<I: Idx + WireWord + NarrowVal> {
     /// Which engine this is (tags the run's trace span).
     fn kind(&self) -> EngineKind;
 
@@ -220,7 +221,7 @@ pub trait CcEngine<I: Idx + WireWord> {
 }
 
 /// The engine implementation for a resolved [`EngineKind`].
-pub fn engine_for<I: Idx + WireWord>(kind: EngineKind) -> &'static dyn CcEngine<I> {
+pub fn engine_for<I: Idx + WireWord + NarrowVal>(kind: EngineKind) -> &'static dyn CcEngine<I> {
     match kind {
         EngineKind::Lacc => &LaccEngine,
         EngineKind::Fastsv => &FastsvEngine,
@@ -379,7 +380,7 @@ pub struct LaccEngine;
 /// Star recomputation (Algorithm 6) over distributed vectors.
 ///
 /// Returns the number of extract requests this rank received (Figure 3).
-fn starcheck_dist<I: Idx + WireWord>(
+fn starcheck_dist<I: Idx + WireWord + NarrowVal>(
     comm: &mut Comm,
     f: &DistVec<I>,
     star: &mut DistVec<bool>,
@@ -405,7 +406,7 @@ fn starcheck_dist<I: Idx + WireWord>(
         // (the route is replayed). The parent-star phase reads `star`
         // *after* the demote assign, exactly as the unfused pair does.
         let (fx, gfs) = comm.overlap_from(win, dist_opts.overlap, |c| {
-            let fx = FusedExtract::begin(c, &plan);
+            let fx = FusedExtract::begin_narrow(c, &plan, dist_opts.narrow);
             let gfs = fx.extract(c, f, &plan, dist_opts);
             (fx, gfs)
         });
@@ -447,7 +448,7 @@ fn starcheck_dist<I: Idx + WireWord>(
     st1.received_requests + st2.received_requests
 }
 
-impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
+impl<I: Idx + WireWord + NarrowVal> CcEngine<I> for LaccEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Lacc
     }
@@ -477,6 +478,15 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
         // zero-change iteration proves a fixpoint only if the previous
         // shortcut changed nothing (the star vector was fresh).
         let mut prev_shortcut_changed = 0u64;
+        // Label-range narrowing: `dopts.narrow` carries the wire tier the
+        // planner picked for the upcoming iteration's exchanges. Iteration
+        // 1 is seeded for free from the identity labeling; later
+        // iterations re-plan from the probe piggybacked on the
+        // convergence allreduce.
+        let planner = NarrowPlanner::new(&opts.dist);
+        let mut dopts = opts.dist;
+        let seed = planner.seed_probe(n);
+        dopts.narrow = planner.plan(ctx.comm, &world, seed[0], seed[1], false, f.local());
 
         for _iteration in 1..=opts.max_iters {
             let mut rec = EngineIter {
@@ -516,7 +526,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     &pairs,
                     DistMask::Keep(&mask_vec),
                     gblas::MinMaxUsize,
-                    &opts.dist,
+                    &dopts,
                 )
             } else {
                 let entries: Vec<(I, (I, I))> = active
@@ -535,7 +545,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     &x,
                     DistMask::Keep(&mask_vec),
                     gblas::MinMaxUsize,
-                    &opts.dist,
+                    &dopts,
                 )
             };
             // Lemma-1 candidates (active stars) and their extract plan
@@ -547,7 +557,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     .collect();
                 let reqs: Vec<I> = candidates.iter().map(|&o| f.local()[o]).collect();
                 ctx.comm.charge_compute(chunk_len as u64 + 1);
-                let plan = plan_requests(ctx.comm, layout, &reqs, &opts.dist);
+                let plan = plan_requests(ctx.comm, layout, &reqs, &dopts);
                 (candidates, plan)
             });
             let q: DistSpVec<(I, I), I> = qh.wait(ctx.comm);
@@ -567,8 +577,8 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     })
                     .map(|&(v, _)| (f.get_local(v.idx()), false))
                     .collect();
-                dist_assign(ctx.comm, &mut root_quiet, &demote, AndBool, &opts.dist);
-                let (flags, st) = dist_extract_planned(ctx.comm, &root_quiet, plan, &opts.dist);
+                dist_assign(ctx.comm, &mut root_quiet, &demote, AndBool, &dopts);
+                let (flags, st) = dist_extract_planned(ctx.comm, &root_quiet, plan, &dopts);
                 rec.extract_received += st.received_requests;
                 for (&o, &quiet) in candidates.iter().zip(&flags) {
                     if quiet {
@@ -590,12 +600,11 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                     (fv, lo.min(fv))
                 })
                 .collect();
-            rec.cond_changed =
-                dist_assign(ctx.comm, &mut f, &updates, MinUsize, &opts.dist).0 as u64;
+            rec.cond_changed = dist_assign(ctx.comm, &mut f, &updates, MinUsize, &dopts).0 as u64;
             rec.modeled.cond_s += ctx.comm.span_close(span);
 
             let span = ctx.comm.span_open(SpanKind::Starcheck);
-            rec.extract_received += starcheck_dist(ctx.comm, &f, &mut star, &active, &opts.dist);
+            rec.extract_received += starcheck_dist(ctx.comm, &f, &mut star, &active, &dopts);
             rec.modeled.starcheck_s += ctx.comm.span_close(span);
 
             // --- Step 2: unconditional hooking ---
@@ -619,15 +628,8 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                 m
             };
             ctx.comm.charge_compute(2 * chunk_len as u64 + 1);
-            let fn2 = ctx.comm.overlap_from(win, opts.dist.overlap, |c| {
-                dist_mxv(
-                    c,
-                    &ctx.a,
-                    &x,
-                    DistMask::Keep(&mask_vec2),
-                    MinUsize,
-                    &opts.dist,
-                )
+            let fn2 = ctx.comm.overlap_from(win, dopts.overlap, |c| {
+                dist_mxv(c, &ctx.a, &x, DistMask::Keep(&mask_vec2), MinUsize, &dopts)
             });
             let updates2: Vec<(I, I)> = fn2
                 .entries()
@@ -635,11 +637,11 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                 .map(|&(v, m)| (f.get_local(v.idx()), m))
                 .collect();
             rec.uncond_changed =
-                dist_assign(ctx.comm, &mut f, &updates2, MinUsize, &opts.dist).0 as u64;
+                dist_assign(ctx.comm, &mut f, &updates2, MinUsize, &dopts).0 as u64;
             rec.modeled.uncond_s += ctx.comm.span_close(span);
 
             let span = ctx.comm.span_open(SpanKind::Starcheck);
-            rec.extract_received += starcheck_dist(ctx.comm, &f, &mut star, &active, &opts.dist);
+            rec.extract_received += starcheck_dist(ctx.comm, &f, &mut star, &active, &dopts);
             rec.modeled.starcheck_s += ctx.comm.span_close(span);
 
             // --- Step 3: shortcutting (active nonstars) ---
@@ -652,9 +654,9 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
                 .collect();
             let reqs: Vec<I> = targets.iter().map(|&o| f.local()[o]).collect();
             ctx.comm.charge_compute(chunk_len as u64 + 1);
-            let (gfs, st) = ctx.comm.overlap_from(win, opts.dist.overlap, |c| {
-                dist_extract(c, &f, &reqs, &opts.dist)
-            });
+            let (gfs, st) = ctx
+                .comm
+                .overlap_from(win, dopts.overlap, |c| dist_extract(c, &f, &reqs, &dopts));
             rec.extract_received += st.received_requests;
             for (&o, &gf) in targets.iter().zip(&gfs) {
                 if f.local()[o] != gf {
@@ -665,15 +667,29 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
             ctx.comm.charge_compute(targets.len() as u64 + 1);
             rec.modeled.shortcut_s += ctx.comm.span_close(span);
 
-            // --- Global convergence test ---
+            // --- Global convergence test, with the narrowing probe
+            // piggybacked (elements 4–5: max label word max-merged, local
+            // distinct count summed). The payload is six words whether
+            // narrowing is on or off, so `words_sent` cannot depend on the
+            // flag; the probe compute is charged only when enabled.
+            let probe = planner.local_probe(ctx.comm, f.local());
             let local = [
                 rec.cond_changed,
                 rec.uncond_changed,
                 rec.shortcut_changed,
                 newly_converged,
+                probe[0],
+                probe[1],
             ];
             let global = ctx.comm.allreduce(&world, local, |a, b| {
-                [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+                [
+                    a[0] + b[0],
+                    a[1] + b[1],
+                    a[2] + b[2],
+                    a[3] + b[3],
+                    a[4].max(b[4]),
+                    a[5] + b[5],
+                ]
             });
             rec.cond_changed = global[0];
             rec.uncond_changed = global[1];
@@ -688,6 +704,17 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
             if done {
                 break;
             }
+            // Plan the next iteration's wire tier; a shortcut that moved
+            // labels invalidates the dictionary (stale dense ranks still
+            // decode, they just stop being tight).
+            dopts.narrow = planner.plan(
+                ctx.comm,
+                &world,
+                global[4],
+                global[5],
+                global[2] > 0,
+                f.local(),
+            );
         }
 
         // Widen back to `Vid` at the boundary: callers always see
@@ -719,7 +746,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LaccEngine {
 /// after the forest mutates).
 pub struct FastsvEngine;
 
-impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
+impl<I: Idx + WireWord + NarrowVal> CcEngine<I> for FastsvEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Fastsv
     }
@@ -744,6 +771,14 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
         let world = ctx.comm.world();
         let max_rounds = 8 * (usize::BITS - n.leading_zeros()) as usize + 32;
         let mut iters: Vec<EngineIter> = Vec::new();
+        // Narrowing plan for the upcoming round, seeded from the identity
+        // labeling and refreshed off the convergence allreduce (see the
+        // LACC engine). `gf` values are always current-or-earlier `f`
+        // values, so one f-probe covers both exchanged vectors.
+        let planner = NarrowPlanner::new(&opts.dist);
+        let mut dopts = opts.dist;
+        let seed = planner.seed_probe(n);
+        dopts.narrow = planner.plan(ctx.comm, &world, seed[0], seed[1], false, f.local());
         loop {
             assert!(iters.len() < max_rounds, "FastSV did not converge");
             let mut rec = EngineIter {
@@ -756,7 +791,7 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
             // hooking f[f[u]] ← min(f[f[u]], fn[u]).
             let span = ctx.comm.span_open(SpanKind::CondHook);
             let fn_vec: DistSpVec<I, I> =
-                dist_mxv_dense(ctx.comm, &ctx.a, &gf, DistMask::None, MinUsize, &opts.dist);
+                dist_mxv_dense(ctx.comm, &ctx.a, &gf, DistMask::None, MinUsize, &dopts);
             let hooks: Vec<(I, I)> = fn_vec
                 .entries()
                 .iter()
@@ -765,7 +800,7 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
                     (fu, m.min(fu))
                 })
                 .collect();
-            rec.cond_changed = dist_assign(ctx.comm, &mut f, &hooks, MinUsize, &opts.dist).0 as u64;
+            rec.cond_changed = dist_assign(ctx.comm, &mut f, &hooks, MinUsize, &dopts).0 as u64;
             rec.modeled.cond_s += ctx.comm.span_close(span);
 
             // The grandparent-refresh exchange below pipelines behind the
@@ -802,9 +837,9 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
             // extract (requests dedup + combine like every other gather).
             let span = ctx.comm.span_open(SpanKind::Starcheck);
             let reqs: Vec<I> = f.local().to_vec();
-            let plan = plan_requests(ctx.comm, f.layout(), &reqs, &opts.dist);
-            let (new_gf, st) = ctx.comm.overlap_from(win, opts.dist.overlap, |c| {
-                dist_extract_planned(c, &f, &plan, &opts.dist)
+            let plan = plan_requests(ctx.comm, f.layout(), &reqs, &dopts);
+            let (new_gf, st) = ctx.comm.overlap_from(win, dopts.overlap, |c| {
+                dist_extract_planned(c, &f, &plan, &dopts)
             });
             rec.extract_received += st.received_requests;
             let mut gf_changed = 0u64;
@@ -818,25 +853,45 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
             rec.modeled.starcheck_s += ctx.comm.span_close(span);
 
             // Converged when a full round (hooks + shortcut + grandparent
-            // refresh) changed nothing anywhere.
+            // refresh) changed nothing anywhere. Elements 4–5 piggyback
+            // the narrowing probe (max-merged word, summed distinct
+            // count); the payload is six words with narrowing on or off.
+            let probe = planner.local_probe(ctx.comm, f.local());
             let local = [
                 rec.cond_changed,
                 rec.uncond_changed,
                 rec.shortcut_changed,
                 gf_changed,
+                probe[0],
+                probe[1],
             ];
             let global = ctx.comm.allreduce(&world, local, |a, b| {
-                [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+                [
+                    a[0] + b[0],
+                    a[1] + b[1],
+                    a[2] + b[2],
+                    a[3] + b[3],
+                    a[4].max(b[4]),
+                    a[5] + b[5],
+                ]
             });
             rec.cond_changed = global[0];
             rec.uncond_changed = global[1];
             rec.shortcut_changed = global[2];
-            let done = global.iter().sum::<u64>() == 0;
+            let done = global[..4].iter().sum::<u64>() == 0;
             rec.converged_after = if done { n } else { 0 };
             iters.push(rec);
             if done {
                 break;
             }
+            dopts.narrow = planner.plan(
+                ctx.comm,
+                &world,
+                global[4],
+                global[5],
+                global[2] > 0,
+                f.local(),
+            );
         }
         let labels: Vec<Vid> = f.to_global(ctx.comm).into_iter().map(|l| l.idx()).collect();
         EngineRun {
@@ -861,7 +916,7 @@ impl<I: Idx + WireWord> CcEngine<I> for FastsvEngine {
 /// All work lands in the `cond` step bucket (one phase per round).
 pub struct LabelPropEngine;
 
-impl<I: Idx + WireWord> CcEngine<I> for LabelPropEngine {
+impl<I: Idx + WireWord + NarrowVal> CcEngine<I> for LabelPropEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::LabelProp
     }
@@ -883,6 +938,13 @@ impl<I: Idx + WireWord> CcEngine<I> for LabelPropEngine {
         let mut f: DistVec<I> = DistVec::from_fn(layout, rank, I::from_usize);
         let world = ctx.comm.world();
         let mut iters: Vec<EngineIter> = Vec::new();
+        // Narrowing plan for the upcoming round (seed free from identity
+        // labels, refreshed off the scalar convergence allreduce widened
+        // to three words — on and off alike, so words stay identical).
+        let planner = NarrowPlanner::new(&opts.dist);
+        let mut dopts = opts.dist;
+        let seed = planner.seed_probe(n);
+        dopts.narrow = planner.plan(ctx.comm, &world, seed[0], seed[1], false, f.local());
         loop {
             // The true bound is the diameter (< n); `max_iters` is a
             // safety knob for LACC's O(log n) trajectory and would be a
@@ -895,7 +957,7 @@ impl<I: Idx + WireWord> CcEngine<I> for LabelPropEngine {
             };
             let span = ctx.comm.span_open(SpanKind::CondHook);
             let fn_vec: DistSpVec<I, I> =
-                dist_mxv_dense(ctx.comm, &ctx.a, &f, DistMask::None, MinUsize, &opts.dist);
+                dist_mxv_dense(ctx.comm, &ctx.a, &f, DistMask::None, MinUsize, &dopts);
             let mut changed = 0u64;
             for &(u, m) in fn_vec.entries() {
                 if m < f.get_local(u.idx()) {
@@ -905,7 +967,13 @@ impl<I: Idx + WireWord> CcEngine<I> for LabelPropEngine {
             }
             ctx.comm.charge_compute(fn_vec.local_nvals() as u64 + 1);
             rec.modeled.cond_s += ctx.comm.span_close(span);
-            let total = ctx.comm.allreduce(&world, changed, |a, b| a + b);
+            let probe = planner.local_probe(ctx.comm, f.local());
+            let merged = ctx
+                .comm
+                .allreduce(&world, [changed, probe[0], probe[1]], |a, b| {
+                    [a[0] + b[0], a[1].max(b[1]), a[2] + b[2]]
+                });
+            let total = merged[0];
             rec.cond_changed = total;
             let done = total == 0;
             rec.converged_after = if done { n } else { 0 };
@@ -913,6 +981,11 @@ impl<I: Idx + WireWord> CcEngine<I> for LabelPropEngine {
             if done {
                 break;
             }
+            // Any label movement invalidates the dictionary for tightness
+            // (the new minima are still contained, so a stale dictionary
+            // would decode fine — it just stops being dense-ranked).
+            dopts.narrow =
+                planner.plan(ctx.comm, &world, merged[1], merged[2], total > 0, f.local());
         }
         let labels: Vec<Vid> = f.to_global(ctx.comm).into_iter().map(|l| l.idx()).collect();
         EngineRun {

@@ -37,6 +37,7 @@
 pub mod asref;
 pub mod dist;
 pub mod engine;
+pub mod narrow;
 pub mod options;
 pub mod serial;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use engine::{
     caps_for, choose_engine, engine_for, CcEngine, EngineCaps, EngineCtx, EngineIter, EngineRun,
     EngineSelect, FastsvEngine, LabelPropEngine, LaccEngine,
 };
+pub use narrow::NarrowPlanner;
 pub use options::{IndexWidth, LaccOpts, LaccOptsBuilder, OptsError};
 pub use serial::lacc_serial;
 pub use stats::{IterStats, LaccRun, StepBreakdown};

@@ -374,6 +374,17 @@ impl LaccOptsBuilder {
         self
     }
 
+    /// Enables or disables dynamic label-range narrowing: a probe
+    /// piggybacked on the convergence allreduce picks a narrower wire
+    /// encoding (raw u16 or dictionary codes) per iteration once the
+    /// live label range or survivor count permits. Labels, iteration
+    /// counts, and per-rank word counts are bit-identical either way;
+    /// only `bytes_sent` shrinks (see [`crate::narrow`]).
+    pub fn narrow_labels(mut self, on: bool) -> Self {
+        self.opts.dist.narrow_labels = on;
+        self
+    }
+
     /// Unique-offsets-per-span density at or above which a compressed
     /// bucket may use the bitmap encoding. Must be a finite value in
     /// `0.0..=1.0` (`0.0` always allows the bitmap, `1.0` effectively
@@ -473,6 +484,7 @@ mod tests {
             .fuse_starcheck(false)
             .compress_values(false)
             .overlap(false)
+            .narrow_labels(false)
             .bitmap_density(0.125)
             .unwrap()
             .dedup_hash_threshold(512)
@@ -497,6 +509,7 @@ mod tests {
         assert!(!o.dist.fuse_starcheck);
         assert!(!o.dist.compress_values);
         assert!(!o.dist.overlap);
+        assert!(!o.dist.narrow_labels);
         assert_eq!(o.dist.compress_bitmap_density, 0.125);
         assert_eq!(o.dist.dedup_hash_threshold, 512);
     }
@@ -562,9 +575,17 @@ mod tests {
         assert!(!o.dist.fuse_starcheck);
         assert!(!o.dist.compress_values);
         assert!(!o.dist.overlap, "naive baseline runs strictly blocking");
+        assert!(
+            !o.dist.narrow_labels,
+            "naive baseline ships native-width labels"
+        );
         let d = LaccOpts::default();
         assert!(d.dist.dedup_requests && d.dist.combine_assigns && d.dist.compress_ids);
         assert!(d.dist.combine_in_flight && d.dist.fuse_starcheck && d.dist.compress_values);
         assert!(d.dist.overlap, "overlap is part of the optimized default");
+        assert!(
+            d.dist.narrow_labels,
+            "narrowing is part of the optimized default"
+        );
     }
 }

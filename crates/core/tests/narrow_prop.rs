@@ -1,0 +1,107 @@
+//! Property tests: dynamic label-range narrowing must be invisible in
+//! everything except bytes.
+//!
+//! With `narrow_labels` on vs off, a run must produce identical labels,
+//! identical iteration counts, and identical per-rank `words_sent` —
+//! across every engine, both vector layouts, and both index widths. The
+//! forced-dictionary variant pins `narrow_u16_max` to zero so every
+//! narrowed exchange goes through the dictionary tier, exercising
+//! dictionary builds, cross-iteration reuse, and shortcut invalidation
+//! followed by a rebuild over the (possibly colliding) surviving labels.
+
+use dmsim::{TraceLevel, TraceSink};
+use lacc::{run, EngineSelect, IndexWidth, LaccOpts, RunConfig};
+use lacc_graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+const RANKS: usize = 4;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..48).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..120)
+            .prop_map(move |pairs| CsrGraph::from_edges(EdgeList::from_pairs(n, pairs)))
+    })
+}
+
+/// Runs one configuration and returns the narrowing-sensitive profile:
+/// labels, iteration count, and per-rank word counts.
+fn profile(
+    g: &CsrGraph,
+    engine: EngineSelect,
+    cyclic: bool,
+    width: IndexWidth,
+    narrow: bool,
+    force_dict: bool,
+) -> (Vec<usize>, usize, Vec<u64>) {
+    let mut opts = LaccOpts::builder()
+        .engine(engine)
+        .cyclic_vectors(cyclic)
+        .index_width(width)
+        .narrow_labels(narrow)
+        .build();
+    if force_dict {
+        // Never raw u16, always eligible for the dictionary: every
+        // narrowed iteration builds or reuses a dictionary, and every
+        // shortcut that moves labels invalidates it for a rebuild.
+        opts.dist.narrow_u16_max = 0;
+        opts.dist.narrow_dict_max = 1 << 20;
+    }
+    let sink = TraceSink::new(TraceLevel::Steps);
+    let cfg = RunConfig::new(RANKS, dmsim::EDISON.lacc_model())
+        .with_opts(opts)
+        .with_trace(&sink);
+    let out = run(g, &cfg).expect("rank panicked");
+    let saved: u64 = sink
+        .rank_traces()
+        .iter()
+        .map(|rt| rt.snapshot.narrow_saved_bytes)
+        .sum();
+    assert!(
+        narrow || saved == 0,
+        "narrow_saved_bytes must be zero with narrowing off (got {saved})"
+    );
+    let words: Vec<u64> = sink
+        .rank_traces()
+        .iter()
+        .map(|rt| rt.snapshot.words_sent)
+        .collect();
+    (out.run.labels.clone(), out.run.num_iterations(), words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn narrowing_is_bit_identical_across_the_matrix(
+        g in arb_graph(),
+        cyclic in proptest::bool::ANY,
+        wide in proptest::bool::ANY,
+    ) {
+        let width = if wide { IndexWidth::U64 } else { IndexWidth::U32 };
+        for engine in [
+            EngineSelect::Lacc,
+            EngineSelect::Fastsv,
+            EngineSelect::LabelProp,
+        ] {
+            let base = profile(&g, engine, cyclic, width, false, false);
+            for force_dict in [false, true] {
+                let narrowed = profile(&g, engine, cyclic, width, true, force_dict);
+                prop_assert_eq!(
+                    &base.0, &narrowed.0,
+                    "labels diverged (engine {}, cyclic {}, width {}, dict {})",
+                    engine, cyclic, width, force_dict
+                );
+                prop_assert_eq!(
+                    base.1, narrowed.1,
+                    "iteration count diverged (engine {}, dict {})",
+                    engine, force_dict
+                );
+                prop_assert_eq!(
+                    &base.2, &narrowed.2,
+                    "per-rank words_sent diverged (engine {}, cyclic {}, width {}, dict {})",
+                    engine, cyclic, width, force_dict
+                );
+            }
+        }
+    }
+}

@@ -13,6 +13,13 @@
 //! * **word-stream RLE** ([`encode_words`] / [`decode_words`]) — value
 //!   payloads as `(value, run-length)` varint pairs with a raw fallback,
 //!   effective when labels near convergence are heavily repeated.
+//! * **dynamic narrowing tiers** ([`encode_words_narrow`] /
+//!   [`encode_keys_narrow`]) — when a per-iteration range probe shows the
+//!   active label set fits, value streams drop to raw `u16` words or to
+//!   dense-rank codes in a shared [`NarrowDict`], and sorted key streams
+//!   re-delta over dictionary ranks. Encoders always pick the smallest
+//!   valid candidate (never larger than the legacy stream), so the
+//!   savings counter is monotone-nonnegative by construction.
 //! * [`WireWord`] — the fixed word representation a value type must have
 //!   to ride an encoded value stream.
 
@@ -100,6 +107,90 @@ pub fn decode_keys_for<K: WireWord>(bytes: &[u8]) -> Vec<K> {
 
 const MODE_RAW: u8 = 0;
 const MODE_RLE: u8 = 1;
+const MODE_RAW16: u8 = 2;
+const MODE_DICT: u8 = 3;
+
+/// Wire tier the dynamic range probe selected for an exchange's
+/// label-valued streams (see `DESIGN.md` §11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NarrowTier {
+    /// No narrowing: streams use the static `Idx`-width codecs.
+    #[default]
+    Native,
+    /// Every active label word fits 16 bits: raw-`u16` fallback allowed.
+    U16,
+    /// The surviving label *set* is small: dense-rank dictionary codes.
+    Dict,
+}
+
+/// Per-iteration narrowing decision, threaded from the engine loop's
+/// range probe down to every exchange site via `DistOpts`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NarrowSpec {
+    /// Selected tier for this iteration's exchanges.
+    pub tier: NarrowTier,
+}
+
+impl NarrowSpec {
+    /// The no-narrowing spec (what `narrow_labels: false` pins).
+    pub const NATIVE: NarrowSpec = NarrowSpec {
+        tier: NarrowTier::Native,
+    };
+
+    /// Whether any narrowing tier is active.
+    pub fn active(&self) -> bool {
+        self.tier != NarrowTier::Native
+    }
+}
+
+/// Dense-rank dictionary over the surviving label words, shared by all
+/// ranks (each builds it from the same allgathered value set, so the
+/// code assignment is identical everywhere). `epoch` stamps every
+/// dictionary-coded stream so a decode against a stale dictionary is
+/// caught rather than silently wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NarrowDict {
+    epoch: u64,
+    values: Vec<u64>,
+}
+
+impl NarrowDict {
+    /// Builds a dictionary from a sorted, deduplicated word list.
+    pub fn new(epoch: u64, values: Vec<u64>) -> Self {
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "dictionary values must be sorted and unique"
+        );
+        NarrowDict { epoch, values }
+    }
+
+    /// The install epoch stamped into every dictionary-coded stream.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of entries (the code space is `0..len`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Dense rank of `w`, or `None` when `w` is not in the dictionary
+    /// (encoders fall back to the legacy stream — correctness never
+    /// depends on the probe being tight).
+    pub fn code_of(&self, w: u64) -> Option<u64> {
+        self.values.binary_search(&w).ok().map(|i| i as u64)
+    }
+
+    /// The word a code stands for.
+    pub fn value_of(&self, code: u64) -> u64 {
+        self.values[code as usize]
+    }
+}
 
 /// Encodes a word stream as run-length `(value, run)` varint pairs, or
 /// raw little-endian words when that would be smaller (adversarial
@@ -176,6 +267,131 @@ pub fn decode_words_for<T: WireWord>(bytes: &[u8]) -> Vec<u64> {
     }
 }
 
+/// [`encode_words_for`] with the dynamic narrowing tiers layered on top.
+/// Returns the encoded stream and the bytes saved relative to the legacy
+/// `encode_words_for::<T>` stream. The legacy stream is always a
+/// candidate, so the saving is `>= 0` and decode via
+/// [`decode_words_narrow`] is correct even when the probe was stale:
+/// a word outside the `u16` range or the dictionary simply disables that
+/// candidate for the whole stream.
+pub fn encode_words_narrow<T: WireWord>(
+    words: &[u64],
+    spec: NarrowSpec,
+    dict: Option<&NarrowDict>,
+) -> (Vec<u8>, u64) {
+    let legacy = encode_words_for::<T>(words);
+    if !spec.active() {
+        return (legacy, 0);
+    }
+    let mut best = legacy;
+    let legacy_len = best.len();
+    // Raw-u16 candidate (valid under both narrow tiers).
+    if T::BYTES > 2 && words.iter().all(|&w| w < 1 << 16) {
+        let raw16_len = 1 + 2 * words.len();
+        if raw16_len < best.len() {
+            let mut raw16 = Vec::with_capacity(raw16_len);
+            raw16.push(MODE_RAW16);
+            for &w in words {
+                raw16.extend_from_slice(&(w as u16).to_le_bytes());
+            }
+            best = raw16;
+        }
+    }
+    // Dictionary candidate: dense-rank codes, themselves RLE-or-raw
+    // encoded at u32 width (codes are bounded by the dictionary size).
+    if spec.tier == NarrowTier::Dict {
+        if let Some(d) = dict {
+            let codes: Option<Vec<u64>> = words.iter().map(|&w| d.code_of(w)).collect();
+            if let Some(codes) = codes {
+                let mut enc = Vec::with_capacity(codes.len() + 4);
+                enc.push(MODE_DICT);
+                push_varint(&mut enc, d.epoch());
+                enc.extend_from_slice(&encode_words_for::<u32>(&codes));
+                if enc.len() < best.len() {
+                    best = enc;
+                }
+            }
+        }
+    }
+    let saved = (legacy_len - best.len()) as u64;
+    (best, saved)
+}
+
+/// Decodes a stream produced by [`encode_words_narrow`] at the same `T`.
+/// `dict` must be the same dictionary the encoder saw (checked via the
+/// embedded epoch) whenever the stream is dictionary-coded.
+pub fn decode_words_narrow<T: WireWord>(bytes: &[u8], dict: Option<&NarrowDict>) -> Vec<u64> {
+    match bytes[0] {
+        MODE_RAW16 => bytes[1..]
+            .chunks_exact(2)
+            .map(|c| u64::from(u16::from_le_bytes([c[0], c[1]])))
+            .collect(),
+        MODE_DICT => {
+            let mut pos = 1usize;
+            let epoch = read_varint(bytes, &mut pos);
+            let d = dict.expect("dictionary-coded stream without an installed dictionary");
+            assert_eq!(epoch, d.epoch(), "dictionary epoch mismatch on decode");
+            decode_words_for::<u32>(&bytes[pos..])
+                .into_iter()
+                .map(|c| d.value_of(c))
+                .collect()
+        }
+        _ => decode_words_for::<T>(bytes),
+    }
+}
+
+/// [`encode_keys_for`] with the dictionary tier layered on top: when
+/// every key is in the dictionary, the sorted key list can be re-deltaed
+/// over its dense ranks (rank deltas are tiny where raw label deltas are
+/// huge near convergence). The narrow frame is `[0x00, varint(epoch),
+/// <rank key stream>]` — unambiguous because a legacy nonempty stream
+/// starts with `varint(count) != 0` and the legacy empty stream is the
+/// single byte `0x00`. Used only when strictly smaller, so plain streams
+/// pay zero overhead. Returns `(stream, bytes saved)`.
+pub fn encode_keys_narrow<K: WireWord>(
+    keys: &[K],
+    spec: NarrowSpec,
+    dict: Option<&NarrowDict>,
+) -> (Vec<u8>, u64) {
+    let plain = encode_keys_for::<K>(keys);
+    if spec.tier != NarrowTier::Dict || keys.is_empty() {
+        return (plain, 0);
+    }
+    let Some(d) = dict else {
+        return (plain, 0);
+    };
+    let codes: Option<Vec<u64>> = keys.iter().map(|k| d.code_of(k.to_word())).collect();
+    let Some(codes) = codes else {
+        return (plain, 0);
+    };
+    let mut framed = Vec::with_capacity(codes.len() + 4);
+    framed.push(0u8);
+    push_varint(&mut framed, d.epoch());
+    framed.extend_from_slice(&encode_keys(&codes));
+    if framed.len() < plain.len() {
+        let saved = (plain.len() - framed.len()) as u64;
+        (framed, saved)
+    } else {
+        (plain, 0)
+    }
+}
+
+/// Decodes a stream produced by [`encode_keys_narrow`] at the same `K`.
+pub fn decode_keys_narrow<K: WireWord>(bytes: &[u8], dict: Option<&NarrowDict>) -> Vec<K> {
+    if bytes.len() > 1 && bytes[0] == 0 {
+        let mut pos = 1usize;
+        let epoch = read_varint(bytes, &mut pos);
+        let d = dict.expect("dictionary-coded key stream without an installed dictionary");
+        assert_eq!(epoch, d.epoch(), "dictionary epoch mismatch on key decode");
+        decode_keys(&bytes[pos..])
+            .into_iter()
+            .map(|c| K::from_word(d.value_of(c)))
+            .collect()
+    } else {
+        decode_keys_for::<K>(bytes)
+    }
+}
+
 /// A value type with a fixed 64-bit word representation, required to ride
 /// an encoded value stream ([`encode_words`]) or a combining reply.
 pub trait WireWord: Copy {
@@ -216,6 +432,16 @@ impl WireWord for u32 {
     }
     fn from_word(w: u64) -> Self {
         w as u32
+    }
+}
+
+impl WireWord for u16 {
+    const BYTES: usize = 2;
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> Self {
+        w as u16
     }
 }
 
@@ -337,7 +563,124 @@ mod tests {
         assert_eq!(u64::from_word(9u64.to_word()), 9);
         assert_eq!(usize::from_word(17usize.to_word()), 17);
         assert_eq!(u32::from_word(5u32.to_word()), 5);
+        assert_eq!(u16::from_word(40000u16.to_word()), 40000);
         assert!(bool::from_word(true.to_word()));
         assert!(!bool::from_word(false.to_word()));
+    }
+
+    const U16_SPEC: NarrowSpec = NarrowSpec {
+        tier: NarrowTier::U16,
+    };
+    const DICT_SPEC: NarrowSpec = NarrowSpec {
+        tier: NarrowTier::Dict,
+    };
+
+    #[test]
+    fn narrow_words_native_spec_is_legacy_bytes() {
+        let words: Vec<u64> = (0..200).map(|k| k * 999).collect();
+        let (enc, saved) = encode_words_narrow::<u32>(&words, NarrowSpec::NATIVE, None);
+        assert_eq!(enc, encode_words_for::<u32>(&words));
+        assert_eq!(saved, 0);
+    }
+
+    #[test]
+    fn narrow_words_u16_tier_beats_legacy_and_roundtrips() {
+        // Distinct u16-range values: legacy falls back to 4-byte raw,
+        // the u16 tier halves that.
+        let words: Vec<u64> = (0..300).map(|k| (k * 199) % 65536).collect();
+        let legacy = encode_words_for::<u32>(&words);
+        let (enc, saved) = encode_words_narrow::<u32>(&words, U16_SPEC, None);
+        assert_eq!(enc.len() + saved as usize, legacy.len());
+        assert!(saved > 0, "u16 tier should have saved bytes");
+        assert_eq!(decode_words_narrow::<u32>(&enc, None), words);
+    }
+
+    #[test]
+    fn narrow_words_out_of_range_falls_back() {
+        let words = vec![1, 2, 1 << 20];
+        let (enc, saved) = encode_words_narrow::<u32>(&words, U16_SPEC, None);
+        assert_eq!(enc, encode_words_for::<u32>(&words));
+        assert_eq!(saved, 0);
+        assert_eq!(decode_words_narrow::<u32>(&enc, None), words);
+    }
+
+    #[test]
+    fn narrow_words_dict_tier_roundtrips_and_saves() {
+        // A handful of huge surviving labels: out of u16 range, but the
+        // dictionary maps them to tiny dense ranks.
+        let survivors: Vec<u64> = vec![1 << 20, 1 << 30, u64::from(u32::MAX) + 7, 1 << 40];
+        let dict = NarrowDict::new(3, survivors.clone());
+        let words: Vec<u64> = (0..400).map(|k| survivors[k % survivors.len()]).collect();
+        let legacy = encode_words_for::<u64>(&words);
+        let (enc, saved) = encode_words_narrow::<u64>(&words, DICT_SPEC, Some(&dict));
+        assert_eq!(enc.len() + saved as usize, legacy.len());
+        assert_eq!(decode_words_narrow::<u64>(&enc, Some(&dict)), words);
+    }
+
+    #[test]
+    fn narrow_words_dict_miss_falls_back() {
+        // Words outside both the u16 range and the dictionary: every
+        // narrow candidate is ineligible, so the legacy stream ships.
+        let dict = NarrowDict::new(1, vec![1 << 20, 1 << 21]);
+        let words = vec![1 << 20, 1 << 21, 1 << 22]; // 1<<22 not in dict
+        let (enc, saved) = encode_words_narrow::<u64>(&words, DICT_SPEC, Some(&dict));
+        assert_eq!(enc, encode_words_for::<u64>(&words));
+        assert_eq!(saved, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dictionary epoch mismatch")]
+    fn narrow_words_stale_dict_epoch_panics() {
+        let dict = NarrowDict::new(2, vec![1 << 20, 1 << 21, 1 << 22, 1 << 23]);
+        let words: Vec<u64> = (0..64).map(|k| 1u64 << (20 + (k % 4))).collect();
+        let (enc, _) = encode_words_narrow::<u64>(&words, DICT_SPEC, Some(&dict));
+        assert_eq!(enc[0], 3, "expected the dict candidate to win");
+        let stale = NarrowDict::new(5, vec![1 << 20, 1 << 21, 1 << 22, 1 << 23]);
+        decode_words_narrow::<u64>(&enc, Some(&stale));
+    }
+
+    #[test]
+    fn narrow_keys_dict_rank_deltas_save_and_roundtrip() {
+        // Sparse huge keys, dense ranks: rank deltas are 1-byte varints
+        // where the raw deltas are 3-5 bytes.
+        let survivors: Vec<u64> = (0..512).map(|k| (1 << 22) + k * 1_000_003).collect();
+        let dict = NarrowDict::new(7, survivors.clone());
+        let keys: Vec<u64> = survivors.iter().step_by(2).copied().collect();
+        let plain = encode_keys(&keys);
+        let (enc, saved) = encode_keys_narrow::<u64>(&keys, DICT_SPEC, Some(&dict));
+        assert!(saved > 0, "dict rank deltas should beat raw key deltas");
+        assert_eq!(enc.len() + saved as usize, plain.len());
+        assert_eq!(decode_keys_narrow::<u64>(&enc, Some(&dict)), keys);
+        // A key outside the dictionary disables the frame for the stream.
+        let mut miss = keys.clone();
+        miss.push(u64::MAX);
+        let (enc2, saved2) = encode_keys_narrow::<u64>(&miss, DICT_SPEC, Some(&dict));
+        assert_eq!(saved2, 0);
+        assert_eq!(decode_keys_narrow::<u64>(&enc2, Some(&dict)), miss);
+    }
+
+    #[test]
+    fn narrow_keys_empty_and_plain_streams_unframed() {
+        let dict = NarrowDict::new(1, vec![5, 6]);
+        let (enc, saved) = encode_keys_narrow::<u64>(&[], DICT_SPEC, Some(&dict));
+        assert_eq!(enc, encode_keys(&[]));
+        assert_eq!(saved, 0);
+        // Legacy streams always decode unchanged through the narrow
+        // decoder (frame detection cannot misfire on them).
+        for keys in [vec![], vec![0u64], vec![0, 1, 2], vec![900, 1000]] {
+            let plain = encode_keys(&keys);
+            assert_eq!(decode_keys_narrow::<u64>(&plain, Some(&dict)), keys);
+        }
+    }
+
+    #[test]
+    fn narrow_dict_lookup() {
+        let d = NarrowDict::new(0, vec![100, 200, 300]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.code_of(200), Some(1));
+        assert_eq!(d.code_of(150), None);
+        assert_eq!(d.value_of(2), 300);
+        assert_eq!(d.epoch(), 0);
     }
 }

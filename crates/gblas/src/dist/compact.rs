@@ -130,6 +130,109 @@ pub fn decode_values<T: WireWord>(bytes: &[u8]) -> Vec<T> {
         .collect()
 }
 
+/// [`encode_values`] with a dynamic narrowing tier
+/// ([`dmsim::wire::encode_words_narrow`]): under an active spec the
+/// stream may additionally ship as raw `u16` or dictionary codes when
+/// that is strictly smaller than the legacy encoding. Returns the bytes
+/// and the saving vs [`encode_values`] (0 under
+/// [`dmsim::NarrowSpec::NATIVE`], where the bytes are identical).
+pub fn encode_values_narrow<T: WireWord>(
+    vals: &[T],
+    spec: dmsim::NarrowSpec,
+    dict: Option<&dmsim::NarrowDict>,
+) -> (Vec<u8>, u64) {
+    if vals.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let words: Vec<u64> = vals.iter().map(|v| v.to_word()).collect();
+    dmsim::wire::encode_words_narrow::<T>(&words, spec, dict)
+}
+
+/// Decodes a stream produced by [`encode_values_narrow`] (any tier).
+pub fn decode_values_narrow<T: WireWord>(bytes: &[u8], dict: Option<&dmsim::NarrowDict>) -> Vec<T> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    dmsim::wire::decode_words_narrow::<T>(bytes, dict)
+        .into_iter()
+        .map(T::from_word)
+        .collect()
+}
+
+/// A value type whose streams can ride a narrow-framed exchange.
+///
+/// The mxv gather/exchange payloads are not always scalar wire words —
+/// LACC's conditional hook ships `(parent, value)` pairs — so the codec
+/// is chunk-level: a whole value slice encodes to one self-delimiting
+/// byte frame and decodes back without external length information.
+/// Scalar wire types delegate to [`encode_values_narrow`]; pairs split
+/// into two component planes with a varint length prefix on the first.
+///
+/// Contract: `decode_chunk(&encode_chunk(v, spec, dict), dict) == v` for
+/// any `spec` the encoder saw and the same `dict` epoch, and the empty
+/// slice encodes to the empty frame.
+pub trait NarrowVal: Copy + Send + Sync + 'static {
+    /// Encodes a value slice as one self-delimiting frame.
+    fn encode_chunk(
+        vals: &[Self],
+        spec: dmsim::NarrowSpec,
+        dict: Option<&dmsim::NarrowDict>,
+    ) -> Vec<u8>;
+    /// Decodes a frame produced by [`NarrowVal::encode_chunk`].
+    fn decode_chunk(bytes: &[u8], dict: Option<&dmsim::NarrowDict>) -> Vec<Self>;
+}
+
+macro_rules! narrow_val_scalar {
+    ($($t:ty),*) => {$(
+        impl NarrowVal for $t {
+            fn encode_chunk(
+                vals: &[Self],
+                spec: dmsim::NarrowSpec,
+                dict: Option<&dmsim::NarrowDict>,
+            ) -> Vec<u8> {
+                encode_values_narrow::<$t>(vals, spec, dict).0
+            }
+            fn decode_chunk(bytes: &[u8], dict: Option<&dmsim::NarrowDict>) -> Vec<Self> {
+                decode_values_narrow::<$t>(bytes, dict)
+            }
+        }
+    )*};
+}
+
+narrow_val_scalar!(u16, u32, u64, usize, bool);
+
+impl<A: NarrowVal, B: NarrowVal> NarrowVal for (A, B) {
+    fn encode_chunk(
+        vals: &[Self],
+        spec: dmsim::NarrowSpec,
+        dict: Option<&dmsim::NarrowDict>,
+    ) -> Vec<u8> {
+        if vals.is_empty() {
+            return Vec::new();
+        }
+        let a_plane: Vec<A> = vals.iter().map(|&(a, _)| a).collect();
+        let b_plane: Vec<B> = vals.iter().map(|&(_, b)| b).collect();
+        let a_bytes = A::encode_chunk(&a_plane, spec, dict);
+        let b_bytes = B::encode_chunk(&b_plane, spec, dict);
+        let mut out = Vec::with_capacity(a_bytes.len() + b_bytes.len() + 4);
+        push_varint(&mut out, a_bytes.len() as u64);
+        out.extend_from_slice(&a_bytes);
+        out.extend_from_slice(&b_bytes);
+        out
+    }
+    fn decode_chunk(bytes: &[u8], dict: Option<&dmsim::NarrowDict>) -> Vec<Self> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let mut pos = 0usize;
+        let a_len = read_varint(bytes, &mut pos) as usize;
+        let a_plane = A::decode_chunk(&bytes[pos..pos + a_len], dict);
+        let b_plane = B::decode_chunk(&bytes[pos + a_len..], dict);
+        debug_assert_eq!(a_plane.len(), b_plane.len(), "tuple planes align");
+        a_plane.into_iter().zip(b_plane).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +240,27 @@ mod tests {
     fn roundtrip(offs: &[usize], unique: bool, density: f64) {
         let enc = encode_offsets(offs, unique, density);
         assert_eq!(decode_offsets(&enc), offs, "unique={unique}");
+    }
+
+    #[test]
+    fn tuple_chunks_roundtrip_across_tiers() {
+        let pairs: Vec<(u32, usize)> = (0..300u32)
+            .map(|k| (k * 5 % 97, (k % 11) as usize))
+            .collect();
+        for tier in [dmsim::NarrowTier::Native, dmsim::NarrowTier::U16] {
+            let spec = dmsim::NarrowSpec { tier };
+            let frame = <(u32, usize)>::encode_chunk(&pairs, spec, None);
+            assert_eq!(
+                <(u32, usize)>::decode_chunk(&frame, None),
+                pairs,
+                "{tier:?}"
+            );
+        }
+        let spec = dmsim::NarrowSpec {
+            tier: dmsim::NarrowTier::U16,
+        };
+        assert!(<(u32, usize)>::encode_chunk(&[], spec, None).is_empty());
+        assert!(<(u32, usize)>::decode_chunk(&[], None).is_empty());
     }
 
     #[test]

@@ -16,13 +16,16 @@
 //! All primitives are bit-identical to their serial counterparts in
 //! [`crate::serial`]; the test module checks this across grid sizes.
 
-use super::compact;
+use super::compact::{self, NarrowVal};
 use super::dmat::DistMat;
 use super::dvec::{block_range, DistSpVec, DistVec, Distribution, VecLayout};
 use crate::serial::{kernel_pool, CsrMirror, Dcsc};
 use crate::types::Monoid;
 use crate::Vid;
-use dmsim::{words_of, AllToAll, CombineRoute, Comm, CommHandle, PooledBuf, SpanKind, WireWord};
+use dmsim::{
+    bytes_of, words_of, AllToAll, CombineRoute, Comm, CommHandle, FramedBlock, Group, NarrowSpec,
+    PooledBuf, SpanKind, WireWord,
+};
 use lacc_graph::Idx;
 use std::collections::HashMap;
 
@@ -105,6 +108,38 @@ pub struct DistOpts {
     /// independent local compute — so labels, iteration counts and
     /// `words_sent` are bit-identical with the flag on or off.
     pub overlap: bool,
+    /// Lets the adaptive [`dist_mxv`] dispatch account for overlap credit
+    /// when choosing SpMV vs SpMSpV: with `overlap` on, SpMV's bulk
+    /// column allgather is largely hideable behind its streaming local
+    /// multiply (`hideable_s`), so the effective fill threshold drops (see
+    /// [`spmv_wins`]). Off by default — unlike every other lever this one
+    /// changes the *message pattern* with `overlap`, which would break the
+    /// overlap-invariance contract (`words_sent` identical on/off) the
+    /// proptests and bench assert; opt in where that contract is not
+    /// relied on.
+    pub overlap_dispatch: bool,
+    /// Dynamic label-range narrowing: each engine iteration probes the
+    /// active label range/cardinality (piggybacked on the convergence
+    /// allreduce) and, when the labels fit, re-encodes the exchange
+    /// streams as raw `u16` or dictionary codes ([`dmsim::NarrowTier`]).
+    /// Decode always widens back to the index type, so labels and
+    /// iteration counts are bit-identical on/off; only bytes shrink
+    /// ([`dmsim::CostSnapshot::narrow_saved_bytes`]).
+    pub narrow_labels: bool,
+    /// The raw-`u16` tier activates when every live label word is below
+    /// this bound (default `2^16`, the widest the tier can represent;
+    /// tests lower it to force the dictionary tier on small graphs).
+    pub narrow_u16_max: u64,
+    /// The dictionary tier builds/keeps a dense-rank dictionary when the
+    /// global surviving-label count is below this bound (default `2^16`;
+    /// a build-cost heuristic — dictionary codes themselves are varint,
+    /// not limited to 16 bits).
+    pub narrow_dict_max: u64,
+    /// The tier selected for the *current* iteration's exchanges. Runtime
+    /// state set by the engine's probe (see `lacc_core`'s narrow planner),
+    /// not a user-facing knob: leave it at the default
+    /// ([`dmsim::NarrowSpec::NATIVE`]) when calling primitives directly.
+    pub narrow: dmsim::NarrowSpec,
 }
 
 impl Default for DistOpts {
@@ -127,6 +162,11 @@ impl Default for DistOpts {
             fuse_starcheck: true,
             compress_values: true,
             overlap: true,
+            overlap_dispatch: false,
+            narrow_labels: true,
+            narrow_u16_max: 1 << 16,
+            narrow_dict_max: 1 << 16,
+            narrow: dmsim::NarrowSpec::NATIVE,
         }
     }
 }
@@ -147,6 +187,7 @@ impl DistOpts {
             fuse_starcheck: false,
             compress_values: false,
             overlap: false,
+            narrow_labels: false,
             ..DistOpts::default()
         }
     }
@@ -157,6 +198,151 @@ impl DistOpts {
     pub fn optimized() -> Self {
         DistOpts::default()
     }
+}
+
+/// Whether the adaptive [`dist_mxv`] dispatch takes the SpMV (dense,
+/// column-scan) execution at this measured global fill.
+///
+/// The base rule is the paper's: SpMV at `fill ≥ spmv_threshold`. With
+/// both [`DistOpts::overlap`] and [`DistOpts::overlap_dispatch`] on, the
+/// effective threshold is halved: SpMV's one bulk column allgather is
+/// posted ahead of a long streaming multiply, so most of its exchange
+/// cost is hideable (`hideable_s` ≈ the β transfer), while SpMSpV's
+/// smaller, irregular exchanges leave little compute to hide behind —
+/// overlap credit shifts the break-even point toward SpMV.
+pub fn spmv_wins(fill: f64, opts: &DistOpts) -> bool {
+    let threshold = if opts.overlap && opts.overlap_dispatch {
+        opts.spmv_threshold * 0.5
+    } else {
+        opts.spmv_threshold
+    };
+    fill >= threshold
+}
+
+/// Allgathers each rank's value chunk, re-encoding the stream under an
+/// active narrowing spec (raw `Vec<T>` otherwise — byte-identical to the
+/// legacy exchange). The framed ring charges β at the legacy chunk word
+/// count, so `words_sent` and the modeled clock are identical with
+/// narrowing on or off; savings (charged against the raw chunk bytes,
+/// once per ring hop the block travels) show up only in `bytes_sent`.
+/// Decoding happens inside the posted operation, so the handle yields
+/// per-rank chunks either way.
+fn allgather_chunks_narrow<T>(
+    comm: &mut Comm,
+    group: &Group,
+    local: Vec<T>,
+    opts: &DistOpts,
+) -> CommHandle<Vec<Vec<T>>>
+where
+    T: NarrowVal,
+{
+    let spec = opts.narrow;
+    if !spec.active() {
+        return comm.post(opts.overlap, move |c| c.allgatherv(group, local));
+    }
+    let hops = group.size().saturating_sub(1) as u64;
+    comm.post(opts.overlap, move |c| {
+        let dict = c.narrow_dict();
+        let bytes = T::encode_chunk(&local, spec, dict.as_deref());
+        c.note_narrow_saved(bytes_of::<T>(local.len()).saturating_sub(bytes.len() as u64) * hops);
+        c.charge_compute(local.len() as u64 + 1);
+        let gathered = c.allgatherv_framed(
+            group,
+            FramedBlock {
+                legacy_words: words_of::<T>(local.len()),
+                items: local.len() as u64,
+                bytes,
+            },
+        );
+        gathered
+            .into_iter()
+            .map(|b| T::decode_chunk(&b, dict.as_deref()))
+            .collect()
+    })
+}
+
+/// [`allgather_chunks_narrow`] over sorted sparse entries: each rank's
+/// `(id, value)` list ships as one frame — varint count, delta-encoded id
+/// stream, narrowed value stream — under an active spec, or as the legacy
+/// raw tuple vector otherwise. Same framed-ring charging contract as
+/// [`allgather_chunks_narrow`].
+fn allgather_entries_narrow<T, I>(
+    comm: &mut Comm,
+    group: &Group,
+    entries: Vec<(I, T)>,
+    opts: &DistOpts,
+) -> CommHandle<Vec<Vec<(I, T)>>>
+where
+    T: NarrowVal,
+    I: Idx + WireWord,
+{
+    let spec = opts.narrow;
+    if !spec.active() {
+        return comm.post(opts.overlap, move |c| c.allgatherv(group, entries));
+    }
+    let hops = group.size().saturating_sub(1) as u64;
+    comm.post(opts.overlap, move |c| {
+        let dict = c.narrow_dict();
+        let frame = encode_entry_frame(&entries, spec, dict.as_deref());
+        c.note_narrow_saved(
+            bytes_of::<(I, T)>(entries.len()).saturating_sub(frame.len() as u64) * hops,
+        );
+        c.charge_compute(entries.len() as u64 + 1);
+        let gathered = c.allgatherv_framed(
+            group,
+            FramedBlock {
+                legacy_words: words_of::<(I, T)>(entries.len()),
+                items: entries.len() as u64,
+                bytes: frame,
+            },
+        );
+        gathered
+            .into_iter()
+            .map(|b| decode_entry_frame::<T, I>(&b, dict.as_deref()))
+            .collect()
+    })
+}
+
+/// One narrowed sparse-entry frame: varint id-stream length, the
+/// delta-encoded (possibly dictionary-ranked) id stream, then the
+/// narrowed value stream. Requires ids sorted ascending.
+fn encode_entry_frame<T, I>(
+    entries: &[(I, T)],
+    spec: NarrowSpec,
+    dict: Option<&dmsim::NarrowDict>,
+) -> Vec<u8>
+where
+    T: NarrowVal,
+    I: Idx + WireWord,
+{
+    debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "ids sorted");
+    let ids: Vec<I> = entries.iter().map(|&(g, _)| g).collect();
+    let (id_bytes, _) = dmsim::wire::encode_keys_narrow::<I>(&ids, spec, dict);
+    let vals: Vec<T> = entries.iter().map(|&(_, v)| v).collect();
+    let val_bytes = T::encode_chunk(&vals, spec, dict);
+    let mut frame = Vec::with_capacity(10 + id_bytes.len() + val_bytes.len());
+    dmsim::wire::push_varint(&mut frame, id_bytes.len() as u64);
+    frame.extend_from_slice(&id_bytes);
+    frame.extend_from_slice(&val_bytes);
+    frame
+}
+
+/// Decodes a frame produced by [`encode_entry_frame`].
+fn decode_entry_frame<T, I>(bytes: &[u8], dict: Option<&dmsim::NarrowDict>) -> Vec<(I, T)>
+where
+    T: NarrowVal,
+    I: Idx + WireWord,
+{
+    if bytes.is_empty() {
+        // A sparse exchange slot whose sender was gated off (items == 0).
+        return Vec::new();
+    }
+    let mut pos = 0usize;
+    let id_len = dmsim::wire::read_varint(bytes, &mut pos) as usize;
+    let ids = dmsim::wire::decode_keys_narrow::<I>(&bytes[pos..pos + id_len], dict);
+    let vals = T::decode_chunk(&bytes[pos + id_len..], dict);
+    debug_assert_eq!(ids.len(), vals.len(), "id/value frame halves misaligned");
+    ids.into_iter().zip(vals).collect()
 }
 
 /// A mask aligned with the output vector's distribution.
@@ -557,9 +743,9 @@ fn spmspv_reduce_and_transpose<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let me = comm.rank();
     let grid = a.grid();
@@ -575,18 +761,48 @@ where
         debug_assert!(c >= i * pc && c < (i + 1) * pc);
         buckets[c - i * pc].push((I::from_usize(g), acc[lr]));
     }
-    let buckets = buckets.into_iter().map(PooledBuf::detach).collect();
-    let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
+    let buckets: Vec<Vec<(I, T)>> = buckets.into_iter().map(PooledBuf::detach).collect();
+    // Under an active narrowing spec the per-destination buckets ship as
+    // entry frames (ids are pushed in sorted `touched` order, so each
+    // bucket's id stream is monotone); the legacy tuple exchange is
+    // byte-identical with narrowing off. (The later transpose exchange
+    // stays raw: its HashMap-order entries have no sorted id stream.)
     let mut merged: HashMap<I, T> = HashMap::new();
     let mut merge_ops = 0u64;
-    for part in incoming {
-        let part = comm.adopt_buf(part);
-        merge_ops += part.len() as u64;
-        for &(g, v) in part.iter() {
-            merged
-                .entry(g)
-                .and_modify(|acc| *acc = monoid.combine(*acc, v))
-                .or_insert(v);
+    if opts.narrow.active() {
+        let dict = comm.narrow_dict();
+        let mut frames: Vec<FramedBlock> = Vec::with_capacity(pc);
+        for b in &buckets {
+            let frame = encode_entry_frame(b, opts.narrow, dict.as_deref());
+            comm.note_narrow_saved(bytes_of::<(I, T)>(b.len()).saturating_sub(frame.len() as u64));
+            frames.push(FramedBlock {
+                legacy_words: words_of::<(I, T)>(b.len()),
+                items: b.len() as u64,
+                bytes: frame,
+            });
+        }
+        comm.charge_compute(buckets.iter().map(|b| b.len() as u64).sum::<u64>() + 1);
+        for bytes in comm.alltoallv_framed(&row_group, frames, opts.alltoall) {
+            let part = decode_entry_frame::<T, I>(&bytes, dict.as_deref());
+            merge_ops += part.len() as u64;
+            for (g, v) in part {
+                merged
+                    .entry(g)
+                    .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                    .or_insert(v);
+            }
+        }
+    } else {
+        let incoming = comm.alltoallv(&row_group, buckets, opts.alltoall);
+        for part in incoming {
+            let part = comm.adopt_buf(part);
+            merge_ops += part.len() as u64;
+            for &(g, v) in part.iter() {
+                merged
+                    .entry(g)
+                    .and_modify(|acc| *acc = monoid.combine(*acc, v))
+                    .or_insert(v);
+            }
         }
     }
     comm.charge_compute(merge_ops);
@@ -621,9 +837,9 @@ pub fn dist_mxv_dense<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let span = comm.span_open(SpanKind::Mxv);
     let out = mxv_dense_impl(comm, a, x, mask, monoid, opts);
@@ -642,9 +858,9 @@ pub fn dist_mxv_dense_start<T, M, I>(
     opts: &DistOpts,
 ) -> CommHandle<DistSpVec<T, I>>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     comm.post(opts.overlap, |c| {
         let span = c.span_open(SpanKind::Mxv);
@@ -663,9 +879,9 @@ fn mxv_dense_impl<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let grid = a.grid();
     let layout = x.layout();
@@ -681,11 +897,10 @@ where
     // column (group index within col_group equals grid row, so blocks
     // concatenate in global order). Posted non-blocking: the multiply
     // consumes gathered chunks as they stream in, so its charge lands
-    // between the post and the wait and hides the transfer tail.
+    // between the post and the wait and hides the transfer tail. Under an
+    // active narrowing spec the chunks ship re-encoded (u16/dictionary).
     let col_group = grid.col_group(comm);
-    let gh = comm.post(opts.overlap, |c| {
-        c.allgatherv(&col_group, x.local().to_vec())
-    });
+    let gh = allgather_chunks_narrow(comm, &col_group, x.local().to_vec(), opts);
     let x_block: Vec<T> = gh.peek().concat();
     debug_assert_eq!(x_block.len(), a.col_range().1 - a.col_range().0);
 
@@ -761,9 +976,9 @@ pub fn dist_mxv_sparse<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let span = comm.span_open(SpanKind::Mxv);
     let out = mxv_sparse_impl(comm, a, x, mask, monoid, opts);
@@ -780,9 +995,9 @@ fn mxv_sparse_impl<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let grid = a.grid();
     let layout = x.layout();
@@ -793,10 +1008,10 @@ where
 
     // Phase 1: sparse allgather of x entries within the processor column,
     // posted non-blocking so the per-entry multiply streams behind it.
+    // Under an active narrowing spec each rank's entries ship as one
+    // id-stream + narrowed-value frame.
     let col_group = grid.col_group(comm);
-    let gh = comm.post(opts.overlap, |c| {
-        c.allgatherv(&col_group, x.entries().to_vec())
-    });
+    let gh = allgather_entries_narrow(comm, &col_group, x.entries().to_vec(), opts);
     let gathered: Vec<(I, T)> = gh.peek().iter().flatten().copied().collect();
 
     // Phase 2: local multiply through the DCSC block (owner-partitioned
@@ -837,9 +1052,9 @@ pub fn dist_mxv<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     // One Mxv span covers whichever execution branch runs (the sparse
     // branch goes through `mxv_sparse_impl` directly, not the public
@@ -869,9 +1084,9 @@ pub fn dist_mxv_start<T, M, I>(
     opts: &DistOpts,
 ) -> CommHandle<DistSpVec<T, I>>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     comm.post(opts.overlap, |c| {
         let span = c.span_open(SpanKind::Mxv);
@@ -890,9 +1105,9 @@ fn mxv_adaptive_impl<T, M, I>(
     opts: &DistOpts,
 ) -> DistSpVec<T, I>
 where
-    T: Copy + Send + Sync + 'static,
+    T: NarrowVal,
     M: Monoid<T>,
-    I: Idx,
+    I: Idx + WireWord,
 {
     let layout = x.layout();
     assert_eq!(layout.len(), a.n(), "matrix/vector dimension mismatch");
@@ -902,7 +1117,7 @@ where
     } else {
         x.global_nvals(comm) as f64 / n as f64
     };
-    if layout.distribution() == Distribution::Cyclic || fill < opts.spmv_threshold {
+    if layout.distribution() == Distribution::Cyclic || !spmv_wins(fill, opts) {
         return mxv_sparse_impl(comm, a, x, mask, monoid, opts);
     }
 
@@ -910,9 +1125,7 @@ where
     // and block multiply stream behind the transfer), then densify.
     let grid = a.grid();
     let col_group = grid.col_group(comm);
-    let gh = comm.post(opts.overlap, |c| {
-        c.allgatherv(&col_group, x.entries().to_vec())
-    });
+    let gh = allgather_entries_narrow(comm, &col_group, x.entries().to_vec(), opts);
     let gathered: Vec<(I, T)> = gh.peek().iter().flatten().copied().collect();
     let (cs, ce) = a.col_range();
     let w = ce - cs;
@@ -1218,7 +1431,7 @@ where
                 }
             })
             .collect();
-        let route = comm.combining_requests(&world, key_bufs);
+        let route = comm.combining_requests_narrow(&world, key_bufs, opts.narrow);
         stats.received_requests = route.delivered_keys().len() as u64;
         let values: Vec<T> = route
             .delivered_keys()
@@ -1227,7 +1440,13 @@ where
             .collect();
         comm.charge_compute(stats.received_requests + 1);
         comm.note_words_saved(stats.dedup_saved_words);
-        let reply = comm.combining_replies(&world, &route, &values, opts.compress_values);
+        let reply = comm.combining_replies_narrow(
+            &world,
+            &route,
+            &values,
+            opts.compress_values,
+            opts.narrow,
+        );
         for (o, pairs) in reply.iter().enumerate() {
             if hot[o] {
                 continue;
@@ -1309,22 +1528,31 @@ where
     // compression is on (near convergence most replies repeat the same
     // few labels, so the streams collapse to a handful of runs).
     let reply_back: Vec<Vec<T>> = if opts.compress_values {
-        let mut enc: Vec<Vec<u8>> = Vec::with_capacity(p);
+        let dict = comm.narrow_dict();
+        let mut enc: Vec<FramedBlock> = Vec::with_capacity(p);
+        let mut narrow_saved = 0u64;
         for r in &replies {
-            let e = compact::encode_values(r);
+            let (e, saved) = compact::encode_values_narrow(r, opts.narrow, dict.as_deref());
+            narrow_saved += saved;
+            // Both the β charge and the value-compression stat are taken
+            // at the legacy stream length (e.len() + saved), so neither
+            // words_sent nor ExtractStats depends on the narrowing tier.
+            let legacy_len = e.len() + saved as usize;
             stats.value_saved_words +=
-                words_of::<T>(r.len()).saturating_sub(words_of::<u8>(e.len()));
-            enc.push(e);
+                words_of::<T>(r.len()).saturating_sub(words_of::<u8>(legacy_len));
+            enc.push(FramedBlock {
+                legacy_words: words_of::<u8>(legacy_len),
+                items: r.len() as u64,
+                bytes: e,
+            });
         }
+        comm.note_narrow_saved(narrow_saved);
         comm.note_words_saved(
             stats.dedup_saved_words + stats.compress_saved_words + stats.value_saved_words,
         );
-        let back = comm.alltoallv(&world, enc, opts.alltoall);
+        let back = comm.alltoallv_framed(&world, enc, opts.alltoall);
         back.into_iter()
-            .map(|bytes| {
-                let bytes = comm.adopt_buf(bytes);
-                compact::decode_values(&bytes)
-            })
+            .map(|bytes| compact::decode_values_narrow(&bytes, dict.as_deref()))
             .collect()
     } else {
         comm.note_words_saved(stats.dedup_saved_words + stats.compress_saved_words);
@@ -1367,9 +1595,19 @@ impl<I: Idx + WireWord> FusedExtract<I> {
     /// Sends the plan's per-owner request ids through the combining
     /// hypercube and records the route for later reply phases.
     pub fn begin(comm: &mut Comm, plan: &RequestPlan<I>) -> FusedExtract<I> {
+        Self::begin_narrow(comm, plan, NarrowSpec::NATIVE)
+    }
+
+    /// [`FusedExtract::begin`] with a dynamic narrowing tier for the
+    /// forward key streams (see [`DistOpts::narrow_labels`]).
+    pub fn begin_narrow(
+        comm: &mut Comm,
+        plan: &RequestPlan<I>,
+        spec: NarrowSpec,
+    ) -> FusedExtract<I> {
         let world = comm.world();
         let key_bufs: Vec<Vec<I>> = plan.wire_ids.to_vec();
-        let route = comm.combining_requests(&world, key_bufs);
+        let route = comm.combining_requests_narrow(&world, key_bufs, spec);
         FusedExtract { route }
     }
 
@@ -1405,7 +1643,13 @@ impl<I: Idx + WireWord> FusedExtract<I> {
             .map(|&k| src.get_local(k.idx()))
             .collect();
         comm.charge_compute(values.len() as u64 + 1);
-        let reply = comm.combining_replies(&world, &self.route, &values, opts.compress_values);
+        let reply = comm.combining_replies_narrow(
+            &world,
+            &self.route,
+            &values,
+            opts.compress_values,
+            opts.narrow,
+        );
         let mut results: Vec<Option<T>> = vec![None; plan.n_requests];
         for (o, pairs) in reply.iter().enumerate() {
             for &(w, pos) in &plan.scatter[o] {
@@ -1514,9 +1758,12 @@ where
     // Keys ride at the narrow index width `I`, so the per-entry tuples
     // are charged at their true size.
     if opts.combine_in_flight {
-        let merged = comm.reduce_scatter_by_key(&world, buckets, |acc: &mut T, v| {
-            *acc = monoid.combine(*acc, v)
-        });
+        let merged = comm.reduce_scatter_by_key_narrow(
+            &world,
+            buckets,
+            |acc: &mut T, v| *acc = monoid.combine(*acc, v),
+            opts.narrow,
+        );
         stats.received_updates = merged.len() as u64;
         comm.charge_compute(stats.received_updates + 1);
         comm.note_words_saved(stats.combine_saved_words);
@@ -1554,19 +1801,28 @@ where
         let in_ids = comm.alltoallv(&world, id_bufs, opts.alltoall);
         // Values ride raw or run-length encoded per compress_values.
         let in_vals: Vec<Vec<T>> = if opts.compress_values {
-            let mut enc_vals: Vec<Vec<u8>> = Vec::with_capacity(val_bufs.len());
+            let dict = comm.narrow_dict();
+            let mut enc_vals: Vec<FramedBlock> = Vec::with_capacity(val_bufs.len());
+            let mut narrow_saved = 0u64;
             for v in &val_bufs {
-                let e = compact::encode_values(v);
+                let (e, saved) = compact::encode_values_narrow(v, opts.narrow, dict.as_deref());
+                narrow_saved += saved;
+                // β and the compression stat are charged at the legacy
+                // stream length (e.len() + saved), so words_sent and
+                // AssignStats are identical with narrowing on or off.
+                let legacy_len = e.len() + saved as usize;
                 stats.value_saved_words +=
-                    words_of::<T>(v.len()).saturating_sub(words_of::<u8>(e.len()));
-                enc_vals.push(e);
+                    words_of::<T>(v.len()).saturating_sub(words_of::<u8>(legacy_len));
+                enc_vals.push(FramedBlock {
+                    legacy_words: words_of::<u8>(legacy_len),
+                    items: v.len() as u64,
+                    bytes: e,
+                });
             }
-            comm.alltoallv(&world, enc_vals, opts.alltoall)
+            comm.note_narrow_saved(narrow_saved);
+            comm.alltoallv_framed(&world, enc_vals, opts.alltoall)
                 .into_iter()
-                .map(|bytes| {
-                    let bytes = comm.adopt_buf(bytes);
-                    compact::decode_values(&bytes)
-                })
+                .map(|bytes| compact::decode_values_narrow(&bytes, dict.as_deref()))
                 .collect()
         } else {
             comm.alltoallv(&world, val_bufs, opts.alltoall)
@@ -1623,6 +1879,43 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     const GRIDS: [usize; 4] = [1, 4, 9, 16];
+
+    #[test]
+    fn overlap_dispatch_halves_the_spmv_threshold() {
+        let mut opts = DistOpts {
+            spmv_threshold: 0.5,
+            overlap: true,
+            overlap_dispatch: false,
+            ..DistOpts::optimized()
+        };
+        // Without the opt-in the base threshold applies regardless of overlap.
+        assert!(!spmv_wins(0.3, &opts));
+        assert!(spmv_wins(0.6, &opts));
+        opts.overlap_dispatch = true;
+        // Overlap credit halves the bar: a 0.3 fill now picks SpMV.
+        assert!(spmv_wins(0.3, &opts));
+        assert!(!spmv_wins(0.2, &opts));
+        // No overlap means no hideable allgather, so no credit.
+        opts.overlap = false;
+        assert!(!spmv_wins(0.3, &opts));
+    }
+
+    #[test]
+    fn narrow_entry_frames_roundtrip_and_shrink() {
+        let entries: Vec<(u32, usize)> = (0..200u32).map(|k| (k * 3, (k % 7) as usize)).collect();
+        let spec = dmsim::NarrowSpec {
+            tier: dmsim::NarrowTier::U16,
+        };
+        let frame = encode_entry_frame(&entries, spec, None);
+        assert_eq!(decode_entry_frame::<usize, u32>(&frame, None), entries);
+        // 200 ids + 200 u16 values must land well under the raw wire cost.
+        assert!(
+            (frame.len() as u64) < bytes_of::<(u32, usize)>(entries.len()),
+            "frame is {} bytes",
+            frame.len()
+        );
+        assert!(encode_entry_frame::<usize, u32>(&[], spec, None).len() <= 4);
+    }
 
     fn random_dense(n: usize, seed: u64) -> Vec<usize> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
